@@ -1,0 +1,407 @@
+// Benchmarks regenerating the paper's evaluation (Figure 1) and the
+// extension experiments E1–E7 of DESIGN.md, plus micro-benchmarks of the
+// kernels they stand on. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Scales are the "small" experiment scales so a full sweep completes in
+// minutes; EXPERIMENTS.md records full-scale numbers from cmd/mdrep-sim.
+package mdrep_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mdrep"
+	"mdrep/internal/core"
+	"mdrep/internal/dht"
+	"mdrep/internal/eigentrust"
+	"mdrep/internal/eval"
+	"mdrep/internal/experiments"
+	"mdrep/internal/identity"
+	"mdrep/internal/p2psim"
+	"mdrep/internal/sim"
+	"mdrep/internal/sparse"
+	"mdrep/internal/trace"
+)
+
+// --- Figure 1 -------------------------------------------------------------
+
+// BenchmarkFigure1Coverage regenerates the whole of Figure 1 (trace
+// generation plus five coverage replays) per iteration.
+func BenchmarkFigure1Coverage(b *testing.B) {
+	cfg := experiments.DefaultFig1Config(experiments.ScaleSmall)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Steady[len(res.Steady)-1] < 0.8 {
+			b.Fatalf("implicit coverage %v below the paper's band", res.Steady[len(res.Steady)-1])
+		}
+	}
+}
+
+// --- Extension experiments E1–E7 ------------------------------------------
+
+func benchP2PConfig(scheme p2psim.Scheme) p2psim.Config {
+	cfg := p2psim.DefaultConfig()
+	cfg.Peers = 150
+	cfg.Titles = 200
+	cfg.Requests = 5000
+	cfg.Scheme = scheme
+	return cfg
+}
+
+// BenchmarkE1FakeFiles runs the pollution scenario once per scheme per
+// iteration and reports the resulting fake-download ratios.
+func BenchmarkE1FakeFiles(b *testing.B) {
+	for _, scheme := range []p2psim.Scheme{
+		p2psim.SchemeMDRep, p2psim.SchemeLIP, p2psim.SchemeNaiveVoting, p2psim.SchemeNone,
+	} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			var lastRatio float64
+			for i := 0; i < b.N; i++ {
+				res, err := p2psim.Run(benchP2PConfig(scheme))
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastRatio = res.FakeFraction()
+			}
+			b.ReportMetric(lastRatio, "fake-ratio")
+		})
+	}
+}
+
+// BenchmarkE2Incentive runs the free-riding scenario and reports the
+// bandwidth advantage sharers enjoy over free-riders.
+func BenchmarkE2Incentive(b *testing.B) {
+	cfg := p2psim.IncentiveConfig()
+	cfg.Peers = 150
+	cfg.Titles = 200
+	cfg.Requests = 5000
+	var advantage float64
+	for i := 0; i < b.N; i++ {
+		res, err := p2psim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		free := res.BandwidthByClass[p2psim.FreeRider].Mean()
+		if free > 0 {
+			advantage = res.BandwidthByClass[p2psim.Honest].Mean() / free
+		}
+	}
+	b.ReportMetric(advantage, "bw-advantage")
+}
+
+// BenchmarkE3Collusion runs the clique experiment and reports EigenTrust's
+// amplification next to MDRep's suppression.
+func BenchmarkE3Collusion(b *testing.B) {
+	cfg := experiments.DefaultE3Config(experiments.ScaleSmall)
+	var et, md float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E3Collusion(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		et = res.EigenTrustShare / res.ServiceShare
+		md = res.MDRepShare / res.ServiceShare
+	}
+	b.ReportMetric(et, "eigentrust-amp")
+	b.ReportMetric(md, "mdrep-amp")
+}
+
+// BenchmarkE4Ablation measures the per-dimension coverage ablation.
+func BenchmarkE4Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4Ablation(experiments.ScaleSmall); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Steps measures the multi-trust depth sweep.
+func BenchmarkE5Steps(b *testing.B) {
+	cfg := experiments.DefaultE5Config(experiments.ScaleSmall)
+	var oneStep, deep float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E5Steps(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oneStep = res.Coverage[0]
+		deep = res.Coverage[len(res.Coverage)-1]
+	}
+	b.ReportMetric(oneStep, "coverage-1step")
+	b.ReportMetric(deep, "coverage-6step")
+}
+
+// BenchmarkE6DHT measures the DHT sweep (lookup hops, publish overhead,
+// churn resilience).
+func BenchmarkE6DHT(b *testing.B) {
+	cfg := experiments.DefaultE6Config(experiments.ScaleSmall)
+	var hops float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E6DHT(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops = res.Rows[len(res.Rows)-1].MeanLookupHops
+	}
+	b.ReportMetric(hops, "hops-at-64")
+}
+
+// --- Kernels ---------------------------------------------------------------
+
+// buildLoadedEngine returns an engine with a realistic evidence load.
+func buildLoadedEngine(b *testing.B, peers, downloads int) *core.Engine {
+	b.Helper()
+	tc := trace.DefaultGenConfig()
+	tc.Peers = peers
+	tc.Files = peers * 4
+	tc.Downloads = downloads
+	tr, err := trace.Generate(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := core.NewEngine(peers, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range tr.Records {
+		f := eval.FileID(trace.FileHash(rec.File))
+		if err := engine.RecordDownload(rec.Downloader, rec.Uploader, f, rec.Size, rec.Time); err != nil {
+			b.Fatal(err)
+		}
+		if err := engine.SetImplicit(rec.Downloader, f, 0.9, rec.Time); err != nil {
+			b.Fatal(err)
+		}
+		if err := engine.SetImplicit(rec.Uploader, f, 0.9, rec.Time); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return engine
+}
+
+// BenchmarkTrustMatrixBuild measures building TM (FM + DM + UM) from a
+// loaded engine — the per-epoch cost of the system.
+func BenchmarkTrustMatrixBuild(b *testing.B) {
+	engine := buildLoadedEngine(b, 300, 20000)
+	now := 30 * 24 * time.Hour
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.BuildTM(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReputationQuery measures one peer's multi-trust row against a
+// prebuilt TM — the per-request cost of the system.
+func BenchmarkReputationQuery(b *testing.B) {
+	engine := buildLoadedEngine(b, 300, 20000)
+	now := 30 * 24 * time.Hour
+	tm, err := engine.BuildTM(now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.ReputationsFromTM(tm, i%300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFileJudgement measures Eq. (9) over a 50-evaluator opinion set.
+func BenchmarkFileJudgement(b *testing.B) {
+	engine := buildLoadedEngine(b, 300, 20000)
+	now := 30 * 24 * time.Hour
+	tm, err := engine.BuildTM(now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	owners := make([]core.OwnerEvaluation, 50)
+	for i := range owners {
+		owners[i] = core.OwnerEvaluation{Owner: i * 3, Value: float64(i%10) / 10}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.JudgeFileFromTM(tm, i%300, owners); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparseMatMul measures TM·TM on a Maze-sized sparse matrix.
+func BenchmarkSparseMatMul(b *testing.B) {
+	rng := sim.NewRNG(1)
+	n := 1000
+	m := sparse.New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 20; k++ {
+			m.Set(i, rng.Intn(n), rng.Float64())
+		}
+	}
+	m.RowNormalize()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Mul(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEigenTrust measures the baseline's power iteration at n=1000.
+func BenchmarkEigenTrust(b *testing.B) {
+	rng := sim.NewRNG(2)
+	n := 1000
+	m := sparse.New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 20; k++ {
+			m.Set(i, rng.Intn(n), rng.Float64())
+		}
+	}
+	m.RowNormalize()
+	cfg := eigentrust.DefaultConfig([]int{0, 1, 2})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eigentrust.Compute(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDHTLookup measures a single routed lookup on a 64-node ring.
+func BenchmarkDHTLookup(b *testing.B) {
+	ring, err := dht.NewRing(64, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := dht.HashKey(fmt.Sprintf("bench-%d", i))
+		if _, err := ring.Nodes[i%64].Lookup(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDHTPublish measures a replicated publish on a 64-node ring.
+func BenchmarkDHTPublish(b *testing.B) {
+	ring, err := dht.NewRing(64, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench-file-%d", i)
+		rec := dht.StoredRecord{
+			Key: dht.HashKey(name),
+			Info: eval.Info{
+				FileID:     eval.FileID(name),
+				OwnerID:    "bench-owner",
+				Evaluation: 0.9,
+				Timestamp:  time.Duration(i),
+			},
+		}
+		if err := ring.Nodes[i%64].Publish([]dht.StoredRecord{rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthesising the Figure 1 workload.
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Peers = 200
+	cfg.Files = 1000
+	cfg.Downloads = 20000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := trace.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignVerify measures the EvaluationInfo signature round trip.
+func BenchmarkSignVerify(b *testing.B) {
+	id, err := identity.Generate(identity.NewDeterministicReader(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := identity.NewDirectory()
+	if _, err := dir.Register(id.PublicKey()); err != nil {
+		b.Fatal(err)
+	}
+	info := eval.Info{FileID: "f", OwnerID: id.ID(), Evaluation: 0.9, Timestamp: 1}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		info.Timestamp = time.Duration(i)
+		if err := info.Sign(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := info.Verify(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemIngest measures the public-API write path: one download
+// record plus one vote.
+func BenchmarkSystemIngest(b *testing.B) {
+	sys, err := mdrep.NewSystem(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * time.Second
+		f := mdrep.FileID(fmt.Sprintf("f-%d", i%500))
+		if err := sys.RecordDownload(i%100, (i+1)%100, f, 1<<20, now); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Vote(i%100, f, 0.9, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemJudge measures the public-API read path — a fresh
+// multi-trust judgement including matrix construction — on a fixed
+// evidence load.
+func BenchmarkSystemJudge(b *testing.B) {
+	sys, err := mdrep.NewSystem(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		now := time.Duration(i) * time.Second
+		f := mdrep.FileID(fmt.Sprintf("f-%d", i%200))
+		if err := sys.RecordDownload(i%100, (i+1)%100, f, 1<<20, now); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Vote(i%100, f, 0.9, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	owners := []mdrep.OwnerEvaluation{{Owner: 1, Value: 0.9}, {Owner: 2, Value: 0.1}}
+	now := 2000 * time.Second
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.JudgeFile(i%100, owners, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

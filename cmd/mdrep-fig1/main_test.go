@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunRejectsMissingTrace(t *testing.T) {
+	if err := run([]string{"-trace", "/nonexistent/file"}); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full small-scale figure")
+	}
+	out := filepath.Join(t.TempDir(), "fig1.csv")
+	if err := run([]string{"-csv", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV written")
+	}
+}

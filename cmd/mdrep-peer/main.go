@@ -1,0 +1,210 @@
+// Command mdrep-peer runs the decentralised protocol (§4.1 steps 4–6)
+// over real TCP: it serves this participant's signed evaluation list,
+// syncs other participants' lists, and prints the resulting trust row.
+//
+// Identities are deterministic from -seed so two invocations can refer to
+// each other; a real deployment would persist keys and resolve addresses
+// through the DHT.
+//
+// Usage:
+//
+//	mdrep-peer id    -seed 1
+//	mdrep-peer serve -seed 1 -listen 127.0.0.1:9100 \
+//	                 [-vote FILE=0.9,OTHER=0.1]
+//	mdrep-peer trust -seed 2 -vote FILE=0.9 \
+//	                 -sync SEED@HOST:PORT[,SEED@HOST:PORT…]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+	"mdrep/internal/peer"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdrep-peer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: mdrep-peer id|serve|trust [flags]")
+	}
+	switch args[0] {
+	case "id":
+		return printID(args[1:])
+	case "serve":
+		return serve(args[1:])
+	case "trust":
+		return trust(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// makeIdentity derives the deterministic identity for a seed and registers
+// it in dir.
+func makeIdentity(seed uint64, dir *identity.Directory) (*identity.Identity, error) {
+	id, err := identity.Generate(identity.NewDeterministicReader(seed))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dir.Register(id.PublicKey()); err != nil {
+		return nil, err
+	}
+	return id, nil
+}
+
+// parseVotes parses "file=0.9,other=0.1".
+func parseVotes(spec string) (map[eval.FileID]float64, error) {
+	out := make(map[eval.FileID]float64)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("malformed vote %q (want FILE=VALUE)", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("vote %q: %w", part, err)
+		}
+		out[eval.FileID(kv[0])] = v
+	}
+	return out, nil
+}
+
+func printID(args []string) error {
+	fs := flag.NewFlagSet("id", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "identity seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir := identity.NewDirectory()
+	id, err := makeIdentity(*seed, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seed %d → peer ID %s\n", *seed, id.ID())
+	return nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "identity seed")
+	listen := fs.String("listen", "127.0.0.1:9100", "address to serve the evaluation list on")
+	votes := fs.String("vote", "", "comma-separated FILE=VALUE evaluations to publish")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir := identity.NewDirectory()
+	id, err := makeIdentity(*seed, dir)
+	if err != nil {
+		return err
+	}
+	resolver := peer.NewStaticResolver()
+	p, err := peer.New(id, dir, peer.NewTCPExchange(resolver), peer.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	parsed, err := parseVotes(*votes)
+	if err != nil {
+		return err
+	}
+	for f, v := range parsed {
+		p.Vote(f, v)
+	}
+	srv, err := peer.ServeExchange(*listen, p.SignedEvaluations)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("peer %s serving %d evaluations on %s\n", p.ID(), len(parsed), srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down")
+	return nil
+}
+
+func trust(args []string) error {
+	fs := flag.NewFlagSet("trust", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2, "identity seed")
+	votes := fs.String("vote", "", "comma-separated FILE=VALUE evaluations of our own")
+	syncSpec := fs.String("sync", "", "comma-separated SEED@HOST:PORT peers to sync with")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *syncSpec == "" {
+		return fmt.Errorf("trust: -sync is required")
+	}
+	dir := identity.NewDirectory()
+	id, err := makeIdentity(*seed, dir)
+	if err != nil {
+		return err
+	}
+	resolver := peer.NewStaticResolver()
+	p, err := peer.New(id, dir, peer.NewTCPExchange(resolver), peer.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	parsed, err := parseVotes(*votes)
+	if err != nil {
+		return err
+	}
+	for f, v := range parsed {
+		p.Vote(f, v)
+	}
+
+	names := make(map[identity.PeerID]string)
+	for _, part := range strings.Split(*syncSpec, ",") {
+		kv := strings.SplitN(part, "@", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("malformed sync target %q (want SEED@HOST:PORT)", part)
+		}
+		peerSeed, err := strconv.ParseUint(kv[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("sync target %q: %w", part, err)
+		}
+		otherID, err := makeIdentity(peerSeed, dir)
+		if err != nil {
+			return err
+		}
+		resolver.Set(otherID.ID(), kv[1])
+		names[otherID.ID()] = part
+		n, err := p.SyncPeer(otherID.ID())
+		if err != nil {
+			fmt.Printf("sync %s: %v\n", part, err)
+			continue
+		}
+		fmt.Printf("synced %d evaluations from %s\n", n, part)
+	}
+	row := p.TrustRow()
+	type entry struct {
+		name  string
+		trust float64
+	}
+	entries := make([]entry, 0, len(row))
+	for pid, v := range row {
+		entries = append(entries, entry{name: names[pid], trust: v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].trust > entries[j].trust })
+	fmt.Println("\ntrust row:")
+	for _, e := range entries {
+		fmt.Printf("  %-24s %.3f\n", e.name, e.trust)
+	}
+	return nil
+}

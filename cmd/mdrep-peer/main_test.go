@@ -1,0 +1,59 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"mdrep/internal/identity"
+)
+
+func newTestDirectory() *identity.Directory { return identity.NewDirectory() }
+
+func TestParseVotes(t *testing.T) {
+	got, err := parseVotes("a=0.9,b=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || math.Abs(got["a"]-0.9) > 1e-12 || math.Abs(got["b"]-0.1) > 1e-12 {
+		t.Fatalf("parseVotes = %v", got)
+	}
+	if got, err := parseVotes(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"a", "a=x", "=0.5,"} {
+		if _, err := parseVotes(bad); err == nil {
+			t.Fatalf("malformed spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}
+
+func TestTrustRequiresSync(t *testing.T) {
+	if err := trust([]string{"-seed", "2"}); err == nil {
+		t.Fatal("trust without -sync accepted")
+	}
+}
+
+func TestMakeIdentityDeterministic(t *testing.T) {
+	dirA := newTestDirectory()
+	a, err := makeIdentity(5, dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirB := newTestDirectory()
+	b, err := makeIdentity(5, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != b.ID() {
+		t.Fatal("identities not deterministic")
+	}
+}

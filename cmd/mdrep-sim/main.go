@@ -1,0 +1,81 @@
+// Command mdrep-sim runs the extension experiments E1–E6 (see DESIGN.md):
+//
+//	E1  fake-file suppression by judgement scheme
+//	E2  service differentiation of free-riders vs sharers
+//	E3  collusion: clique trust capture by mechanism
+//	E4  request-coverage ablation per trust dimension
+//	E5  multi-trust depth sweep in the sparse-vote regime
+//	E6  DHT lookup/publication overhead and churn resilience
+//	e1sweep  E1 across polluter fractions 10–40%
+//	E7  dimension-weight (α/β/γ) ablation
+//
+// Usage:
+//
+//	mdrep-sim [-exp e1|e1sweep|e2|e3|e4|e5|e6|e7|all] [-scale small|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdrep/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdrep-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mdrep-sim", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id: e1..e6 or all")
+	scale := fs.String("scale", "small", "experiment scale: small or full")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := experiments.ScaleSmall
+	switch *scale {
+	case "small":
+	case "full":
+		sc = experiments.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	type renderer interface{ Render() string }
+	runners := map[string]func() (renderer, error){
+		"e1":      func() (renderer, error) { return experiments.E1FakeFiles(sc) },
+		"e2":      func() (renderer, error) { return experiments.E2Incentive(sc) },
+		"e3":      func() (renderer, error) { return experiments.E3Collusion(experiments.DefaultE3Config(sc)) },
+		"e4":      func() (renderer, error) { return experiments.E4Ablation(sc) },
+		"e5":      func() (renderer, error) { return experiments.E5Steps(experiments.DefaultE5Config(sc)) },
+		"e6":      func() (renderer, error) { return experiments.E6DHT(experiments.DefaultE6Config(sc)) },
+		"e1sweep": func() (renderer, error) { return experiments.E1PolluterSweep(sc) },
+		"e7":      func() (renderer, error) { return experiments.E7Weights(sc) },
+	}
+	order := []string{"e1", "e1sweep", "e2", "e3", "e4", "e5", "e6", "e7"}
+
+	var selected []string
+	switch strings.ToLower(*exp) {
+	case "all":
+		selected = order
+	default:
+		if _, ok := runners[strings.ToLower(*exp)]; !ok {
+			return fmt.Errorf("unknown experiment %q (want e1..e7, e1sweep, or all)", *exp)
+		}
+		selected = []string{strings.ToLower(*exp)}
+	}
+	for _, id := range selected {
+		fmt.Printf("=== %s ===\n", strings.ToUpper(id))
+		res, err := runners[id]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	// E6 at small scale is the cheapest end-to-end path.
+	if err := run([]string{"-exp", "e6", "-scale", "small"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package mdrep
+
+import (
+	"io"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+	"mdrep/internal/peer"
+)
+
+// The decentralised face of the library (§4.1 steps 4–6): participants
+// that hold only their own state and compute trust over the network. See
+// examples/decentralized for an end-to-end walk-through.
+
+// PeerID identifies a participant by the hash of its public key.
+type PeerID = identity.PeerID
+
+// Identity is a participant's signing key pair.
+type Identity = identity.Identity
+
+// PKIDirectory resolves peer IDs to public keys.
+type PKIDirectory = identity.Directory
+
+// EvaluationInfo is the signed per-file evaluation record exchanged
+// between peers and stored in the DHT.
+type EvaluationInfo = eval.Info
+
+// Participant is a protocol peer: it exchanges signed evaluation lists,
+// computes its one-step trust row locally, judges files from DHT records,
+// and runs a reputation-ordered upload queue.
+type Participant = peer.Peer
+
+// ParticipantConfig parameterises a Participant.
+type ParticipantConfig = peer.Config
+
+// PeerNetwork is how a participant fetches other participants' evaluation
+// lists.
+type PeerNetwork = peer.Network
+
+// EvaluationExchange is the in-memory PeerNetwork for simulations and
+// tests.
+type EvaluationExchange = peer.Exchange
+
+// NewIdentity generates a participant identity; pass nil to use
+// crypto/rand, or a deterministic reader in simulations.
+func NewIdentity(rand io.Reader) (*Identity, error) {
+	return identity.Generate(rand)
+}
+
+// NewPKIDirectory returns an empty PKI directory.
+func NewPKIDirectory() *PKIDirectory { return identity.NewDirectory() }
+
+// NewEvaluationExchange returns an empty in-memory exchange.
+func NewEvaluationExchange() *EvaluationExchange { return peer.NewExchange() }
+
+// NewParticipant builds a protocol peer with the paper's defaults.
+func NewParticipant(id *Identity, dir *PKIDirectory, network PeerNetwork) (*Participant, error) {
+	return peer.New(id, dir, network, peer.DefaultConfig())
+}
+
+// NewParticipantWithConfig builds a protocol peer with explicit
+// configuration.
+func NewParticipantWithConfig(id *Identity, dir *PKIDirectory, network PeerNetwork, cfg ParticipantConfig) (*Participant, error) {
+	return peer.New(id, dir, network, cfg)
+}

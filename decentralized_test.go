@@ -1,0 +1,73 @@
+package mdrep
+
+import (
+	"testing"
+
+	"mdrep/internal/identity"
+)
+
+func TestDecentralizedFacadeEndToEnd(t *testing.T) {
+	dir := NewPKIDirectory()
+	exchange := NewEvaluationExchange()
+
+	mk := func(seed uint64) *Participant {
+		t.Helper()
+		id, err := NewIdentity(identity.NewDeterministicReader(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dir.Register(id.PublicKey()); err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewParticipant(id, dir, exchange)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exchange.Register(p)
+		return p
+	}
+	alice := mk(1)
+	bob := mk(2)
+
+	// Shared taste builds a trust edge.
+	alice.Vote("classic", 0.9)
+	bob.Vote("classic", 0.92)
+	if _, err := alice.SyncPeer(bob.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if alice.TrustRow()[bob.ID()] <= 0 {
+		t.Fatal("no trust edge from shared taste")
+	}
+
+	// Bob's signed verdict on a new file drives alice's judgement.
+	bob.Vote("new-file", 0.05)
+	infos, err := bob.SignedEvaluations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []EvaluationInfo
+	for _, in := range infos {
+		if in.FileID == "new-file" {
+			records = append(records, in)
+		}
+	}
+	j, err := alice.JudgeFile(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Known || !j.Fake {
+		t.Fatalf("judgement: %+v", j)
+	}
+}
+
+func TestNewParticipantWithConfigValidates(t *testing.T) {
+	dir := NewPKIDirectory()
+	id, err := NewIdentity(identity.NewDeterministicReader(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ParticipantConfig{} // zero config is invalid
+	if _, err := NewParticipantWithConfig(id, dir, NewEvaluationExchange(), cfg); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

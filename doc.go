@@ -1,0 +1,39 @@
+// Package mdrep is a multi-dimensional reputation system for P2P file
+// sharing, reproducing Yang, Feng, Dai and Zhang, "A Multi-dimensional
+// Reputation System Combined with Trust and Incentive Mechanisms in P2P
+// File Sharing Systems" (ICDCS 2007).
+//
+// The package combines a trust mechanism (who can I believe about files?)
+// with an incentive mechanism (who deserves good service?) on top of a
+// shared evidence base:
+//
+//   - File-based direct trust: peers whose file evaluations — explicit
+//     votes blended with implicit retention-time signals — agree, trust
+//     each other (Eq. 1–3).
+//   - Download-volume trust: evaluation-weighted bytes actually served
+//     (Eq. 4–5).
+//   - User-based trust: explicit ratings, friend lists and blacklists
+//     (Eq. 6).
+//
+// The three one-step matrices integrate into TM = α·FM + β·DM + γ·UM
+// (Eq. 7); multi-trust reputations are rows of RM = TM^n (Eq. 8); a file's
+// reputation is the RM-weighted mean of its evaluators' published
+// evaluations (Eq. 9), which identifies fake files before download; and
+// service differentiation grants queueing offsets and bandwidth quotas by
+// requester reputation (§3.4).
+//
+// # Quick start
+//
+//	sys, err := mdrep.NewSystem(100)
+//	if err != nil { ... }
+//	sys.RecordDownload(alice, bob, "deadbeef", 64<<20, now) // alice fetched from bob
+//	sys.Vote(alice, "deadbeef", 0.9, now)                   // and liked it
+//	reps, err := sys.Reputations(alice, now)                // alice's trust view
+//	j, err := sys.JudgeFile(alice, owners, now)             // fake-file check
+//
+// Substrates live under internal/: a deterministic simulation kernel, a
+// Maze-like trace generator, a Chord DHT with TCP and in-memory
+// transports, EigenTrust / Tit-for-Tat / multi-tier baselines, and the
+// experiment harness that regenerates the paper's Figure 1 and the
+// extension experiments E1–E7 (see DESIGN.md and EXPERIMENTS.md).
+package mdrep

@@ -1,0 +1,140 @@
+// Decentralized protocol (§4.1 steps 4–6): no omniscient engine — each
+// peer holds only its own evaluations, ledger and ratings, exchanges
+// signed evaluation lists with other peers, retrieves a file's
+// EvaluationInfo records from a verifying DHT ring, and judges the file
+// against its own locally computed trust row.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mdrep/internal/dht"
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+	"mdrep/internal/peer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir := identity.NewDirectory()
+	exchange := peer.NewExchange()
+
+	// Four participants: alice (us), two honest friends, one polluter.
+	names := []string{"alice", "bob", "carol", "mallory"}
+	cfg := peer.DefaultConfig()
+	cfg.Reputation.Blend = eval.Blend{Eta: 0.4, Rho: 0.6}
+	peers := make(map[string]*peer.Peer, len(names))
+	for i, name := range names {
+		id, err := identity.Generate(identity.NewDeterministicReader(uint64(100 + i)))
+		if err != nil {
+			return err
+		}
+		if _, err := dir.Register(id.PublicKey()); err != nil {
+			return err
+		}
+		p, err := peer.New(id, dir, exchange, cfg)
+		if err != nil {
+			return err
+		}
+		exchange.Register(p)
+		peers[name] = p
+	}
+	alice := peers["alice"]
+
+	// Shared history: everyone owns the same three classics; the honest
+	// peers kept them (and vote), mallory hates what everyone loves.
+	classics := []eval.FileID{"classic-1", "classic-2", "classic-3"}
+	for _, f := range classics {
+		for _, name := range []string{"alice", "bob", "carol"} {
+			peers[name].ObserveRetention(f, 20*24*time.Hour, false)
+			peers[name].Vote(f, 0.9)
+		}
+		peers["mallory"].ObserveRetention(f, time.Hour, true)
+		peers["mallory"].Vote(f, 0.05)
+	}
+	// Alice also downloaded from bob and it was good: download-volume
+	// trust.
+	if err := alice.RecordDownload(peers["bob"].ID(), "classic-1", 700<<20); err != nil {
+		return err
+	}
+	// And carol is a friend.
+	if err := alice.RateUser(peers["carol"].ID(), 1.0); err != nil {
+		return err
+	}
+
+	// Step 4: alice fetches everyone's signed evaluation lists and builds
+	// her one-step trust row locally.
+	for _, name := range []string{"bob", "carol", "mallory"} {
+		n, err := alice.SyncPeer(peers[name].ID())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("alice synced %d signed evaluations from %s\n", n, name)
+	}
+	row := alice.TrustRow()
+	fmt.Println("\nalice's trust row:")
+	for _, name := range []string{"bob", "carol", "mallory"} {
+		fmt.Printf("  %-8s %.3f\n", name, row[peers[name].ID()])
+	}
+
+	// A DHT ring stores the new file's evaluations (§4.1 steps 1–3).
+	ring, err := dht.NewRing(8, func(int) dht.NodeConfig {
+		return dht.NodeConfig{SuccessorListLen: 3, Storage: dht.NewStorage(0, dir)}
+	})
+	if err != nil {
+		return err
+	}
+	const newFile eval.FileID = "new-release"
+	peers["bob"].Vote(newFile, 0.1)     // bob found it fake
+	peers["mallory"].Vote(newFile, 1.0) // mallory promotes it
+	key := dht.HashKey(string(newFile))
+	for _, name := range []string{"bob", "mallory"} {
+		infos, err := peers[name].SignedEvaluations()
+		if err != nil {
+			return err
+		}
+		for _, in := range infos {
+			if in.FileID == newFile {
+				if err := ring.Nodes[0].Publish([]dht.StoredRecord{{Key: key, Info: in}}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Printf("\nbob and mallory published their evaluations of %q to the DHT\n", newFile)
+
+	// Step 5: alice retrieves the records and judges before downloading.
+	stored, err := ring.Nodes[5].Retrieve(key)
+	if err != nil {
+		return err
+	}
+	records := make([]eval.Info, 0, len(stored))
+	for _, r := range stored {
+		records = append(records, r.Info)
+	}
+	j, err := alice.JudgeFile(records)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice retrieved %d records and judges %q: R_f = %.3f, fake = %v\n",
+		len(records), newFile, j.Reputation, j.Fake)
+
+	// Step 6: service differentiation at alice's upload queue.
+	if err := alice.EnqueueUpload(peers["mallory"].ID(), "classic-1", 1<<20, 0); err != nil {
+		return err
+	}
+	if err := alice.EnqueueUpload(peers["carol"].ID(), "classic-1", 1<<20, time.Minute); err != nil {
+		return err
+	}
+	first, _ := alice.NextUpload()
+	fmt.Printf("\nupload queue served first: request arriving at %v (carol overtakes mallory)\n",
+		first.Arrival)
+	return nil
+}

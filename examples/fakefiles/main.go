@@ -1,0 +1,49 @@
+// Fake-file suppression (the E1 story): a population with vote-stuffing
+// polluters, compared under three judgement schemes — no defence, naive
+// vote averaging, and the paper's reputation-weighted judgement. Prints
+// the fake-download ratio over time for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdrep/internal/metrics"
+	"mdrep/internal/p2psim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("simulating 300 peers for 14 days under a 20% polluter attack…")
+	series := make([]*metrics.Series, 0, 3)
+	for _, scheme := range []p2psim.Scheme{
+		p2psim.SchemeNone,
+		p2psim.SchemeNaiveVoting,
+		p2psim.SchemeMDRep,
+	} {
+		cfg := p2psim.DefaultConfig()
+		cfg.Peers = 300
+		cfg.Titles = 400
+		cfg.Requests = 15000
+		cfg.Scheme = scheme
+		res, err := p2psim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		series = append(series, res.FakeRatio)
+		fmt.Printf("  %-13s fake ratio %.3f (%d downloads, %d requests walked away)\n",
+			scheme.String()+":", res.FakeFraction(), res.TotalDownloads, res.AvoidedFakes)
+	}
+	fmt.Println()
+	fmt.Print(metrics.AsciiChart("fake-download ratio over 14 days", 70, 14, series...))
+	fmt.Println("\nThe undefended system sustains ~90% pollution on attacked titles;")
+	fmt.Println("naive vote averaging is poisoned by the stuffed votes; the")
+	fmt.Println("reputation-weighted judgement (Eq. 9) learns who to believe and")
+	fmt.Println("drives the ratio down as honest evaluations accumulate.")
+	return nil
+}

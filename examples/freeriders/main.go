@@ -1,0 +1,50 @@
+// Service differentiation (the E2 story): free-riders in a population of
+// sharers, under the paper's trust-based incentive mechanism — queue
+// offsets and bandwidth quotas keyed on multi-trust reputation. Prints
+// the per-class service levels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdrep/internal/p2psim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := p2psim.IncentiveConfig()
+	cfg.Peers = 300
+	cfg.Titles = 400
+	cfg.Requests = 15000
+	fmt.Printf("simulating %d peers (%d%% free-riders) for %.0f days…\n",
+		cfg.Peers, int(cfg.FreeRiderFrac*100), cfg.Duration.Hours()/24)
+	res, err := p2psim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nsteady-state service by class:")
+	fmt.Println("class        mean wait   p90 wait   granted bandwidth   reputation")
+	for _, b := range []p2psim.Behavior{p2psim.Honest, p2psim.FreeRider} {
+		w := res.WaitByClass[b]
+		bw := res.BandwidthByClass[b]
+		fmt.Printf("%-11s  %7.0f s  %7.0f s  %12.0f B/s   %.6f\n",
+			b, w.Mean(), w.Quantile(0.9), bw.Mean(), res.ReputationByClass[b])
+	}
+	hw := res.WaitByClass[p2psim.Honest]
+	fw := res.WaitByClass[p2psim.FreeRider]
+	hb := res.BandwidthByClass[p2psim.Honest]
+	fb := res.BandwidthByClass[p2psim.FreeRider]
+	fmt.Printf("\nsharers wait %.1fx less and transfer %.1fx faster than free-riders.\n",
+		fw.Mean()/hw.Mean(), hb.Mean()/fb.Mean())
+	fmt.Println("Uploading real files earns download-volume trust from the peers you")
+	fmt.Println("serve; two-step multi-trust propagates that record to uploaders who")
+	fmt.Println("never met you — free-riders have no record to propagate.")
+	return nil
+}

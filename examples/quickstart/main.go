@@ -1,0 +1,108 @@
+// Quickstart: build a tiny network, feed it the three kinds of evidence
+// the paper combines (file evaluations, download volume, user ratings),
+// and use the resulting multi-trust reputations to unmask a fake file
+// before downloading it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mdrep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Five peers: 0 is "us", 1-2 are honest friends, 3 is a stranger,
+	// 4 is a polluter pushing a fake file.
+	const (
+		us       = 0
+		friendA  = 1
+		friendB  = 2
+		stranger = 3
+		polluter = 4
+	)
+	sys, err := mdrep.NewSystem(5,
+		mdrep.WithWeights(0.5, 0.3, 0.2), // α FM + β DM + γ UM (Eq. 7)
+		mdrep.WithBlend(0.4, 0.6),        // η implicit + ρ explicit (Eq. 1)
+		mdrep.WithSteps(1),               // one-step multi-trust, as in Maze
+		mdrep.WithFakeThreshold(0.5),
+	)
+	if err != nil {
+		return err
+	}
+	now := time.Duration(0)
+
+	// Evidence 1 — file-based trust: we and our friends evaluated the
+	// same classics similarly; the polluter disagrees wildly.
+	history := []struct {
+		peer int
+		file mdrep.FileID
+		vote float64
+	}{
+		{us, "classic-1", 0.95}, {friendA, "classic-1", 0.9}, {polluter, "classic-1", 0.1},
+		{us, "classic-2", 0.2}, {friendA, "classic-2", 0.3}, {friendB, "classic-2", 0.25},
+		{us, "classic-3", 0.85}, {friendB, "classic-3", 0.9},
+	}
+	for _, h := range history {
+		if err := sys.Vote(h.peer, h.file, h.vote, now); err != nil {
+			return err
+		}
+	}
+
+	// Evidence 2 — download volume: we fetched 700 MB of good data from
+	// friend A, and kept the files for weeks (strong implicit approval).
+	if err := sys.RecordDownload(us, friendA, "classic-1", 700<<20, now); err != nil {
+		return err
+	}
+	if err := sys.ObserveRetention(us, "classic-1", 21*24*time.Hour, false, now); err != nil {
+		return err
+	}
+
+	// Evidence 3 — user ratings: friend B goes on our friend list.
+	if err := sys.AddFriend(us, friendB); err != nil {
+		return err
+	}
+
+	// Our multi-trust view of the network (row "us" of RM = TM^n).
+	reps, err := sys.Reputations(us, now)
+	if err != nil {
+		return err
+	}
+	fmt.Println("our reputation view:")
+	for peer, name := range map[int]string{
+		friendA: "friend A", friendB: "friend B", stranger: "stranger", polluter: "polluter",
+	} {
+		fmt.Printf("  %-9s %.3f\n", name, reps[peer])
+	}
+
+	// A new title appears. The polluter's copy is promoted hard; friend A
+	// has the real copy and rates it honestly. Eq. (9) weighs the
+	// evaluations by OUR trust in each evaluator.
+	fakeOpinions := []mdrep.OwnerEvaluation{
+		{Owner: polluter, Value: 1.0}, // "best quality!!"
+		{Owner: friendA, Value: 0.1},  // "it's a loop of static"
+	}
+	j, err := sys.JudgeFile(us, fakeOpinions, now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsuspicious copy: R_f = %.3f, fake = %v\n", j.Reputation, j.Fake)
+
+	realOpinions := []mdrep.OwnerEvaluation{
+		{Owner: friendA, Value: 0.9},
+		{Owner: friendB, Value: 0.95},
+	}
+	j, err = sys.JudgeFile(us, realOpinions, now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("friends' copy:   R_f = %.3f, fake = %v\n", j.Reputation, j.Fake)
+	return nil
+}

@@ -1,0 +1,3 @@
+module mdrep
+
+go 1.22

@@ -1,0 +1,100 @@
+// Package core implements the paper's primary contribution: the
+// multi-dimensional reputation system of §3. It builds the three one-step
+// direct-trust matrices —
+//
+//	FM (file-based, Eq. 2–3): similarity of blended file evaluations,
+//	DM (download-volume-based, Eq. 4–5): evaluation-weighted bytes fetched,
+//	UM (user-based, Eq. 6): explicit user ratings / friends / blacklists,
+//
+// integrates them into the one-step trust matrix TM = α·FM + β·DM + γ·UM
+// (Eq. 7), computes multi-trust reputations RM = TM^n (Eq. 8), derives
+// per-file reputations R_f (Eq. 9) for fake-file identification, and
+// provides the request-coverage analysis behind Figure 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mdrep/internal/eval"
+)
+
+// Config holds the system parameters of §3. Construct with DefaultConfig
+// and override, then Validate.
+type Config struct {
+	// Alpha, Beta, Gamma weight FM, DM and UM in Eq. (7); they must sum
+	// to 1.
+	Alpha, Beta, Gamma float64
+	// Blend holds η and ρ of Eq. (1).
+	Blend eval.Blend
+	// Steps is the multi-trust depth n of Eq. (8). The paper chooses
+	// n = 1 for Maze once implicit evaluation densifies the one-step
+	// matrix; sparse deployments need larger n (experiment E5).
+	Steps int
+	// Window is the evaluation retention interval of §4.3; zero keeps
+	// evaluations forever.
+	Window time.Duration
+	// Retention maps retention time to implicit evaluations.
+	Retention eval.RetentionModel
+	// FakeThreshold is the local download threshold on R_f (§3.3): a
+	// file whose reputation falls below it is judged fake.
+	FakeThreshold float64
+	// FriendTrust is the UT value assigned to friend-list entries (§3.1.3).
+	FriendTrust float64
+	// MaxEvaluatorsPerFile caps how many of a file's evaluators FM
+	// construction pairs up (0 = unlimited). Popular files in a
+	// Maze-scale deployment have tens of thousands of evaluators and
+	// pairing them is quadratic; a deterministic sample preserves the
+	// similarity estimate at bounded cost.
+	MaxEvaluatorsPerFile int
+}
+
+// DefaultConfig returns the parameter set used across the experiments:
+// file similarity dominates (it is the densest dimension), one-step
+// multi-trust, a 30-day window matching the trace length, and a neutral
+// 0.5 fake threshold.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:         0.5,
+		Beta:          0.3,
+		Gamma:         0.2,
+		Blend:         eval.DefaultBlend(),
+		Steps:         1,
+		Window:        30 * 24 * time.Hour,
+		Retention:     eval.DefaultRetentionModel(),
+		FakeThreshold: 0.5,
+		FriendTrust:   1.0,
+		// Unlimited by default; the large-scale simulations set a cap.
+		MaxEvaluatorsPerFile: 0,
+	}
+}
+
+// Validate checks all parameters.
+func (c Config) Validate() error {
+	if c.Alpha < 0 || c.Beta < 0 || c.Gamma < 0 {
+		return errors.New("core: negative dimension weight")
+	}
+	if s := c.Alpha + c.Beta + c.Gamma; s < 1-1e-9 || s > 1+1e-9 {
+		return fmt.Errorf("core: dimension weights sum to %v, want 1", s)
+	}
+	if err := c.Blend.Validate(); err != nil {
+		return err
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("core: multi-trust steps %d, want >= 1", c.Steps)
+	}
+	if c.Window < 0 {
+		return errors.New("core: negative window")
+	}
+	if c.FakeThreshold < 0 || c.FakeThreshold > 1 {
+		return errors.New("core: fake threshold outside [0,1]")
+	}
+	if c.FriendTrust < 0 || c.FriendTrust > 1 {
+		return errors.New("core: friend trust outside [0,1]")
+	}
+	if c.MaxEvaluatorsPerFile < 0 {
+		return errors.New("core: negative evaluator cap")
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mdrep/internal/trace"
+)
+
+// CoverageConfig parameterises the Figure 1 request-coverage experiment
+// (§3.2). A download request u→d is *covered* when, at request time, the
+// uploader and the downloader have at least one co-evaluated file — the
+// condition under which a file-based direct trust edge exists between
+// them.
+type CoverageConfig struct {
+	// VoteFraction is k/100: the probability that a peer explicitly
+	// evaluates a file it owns. 1.0 models implicit evaluation, where
+	// "users will evaluate 100% of the files they have".
+	VoteFraction float64
+	// Window expires evaluations after the given interval (§4.3); zero
+	// disables expiry.
+	Window time.Duration
+	// Buckets is the number of time buckets in the output series.
+	Buckets int
+	// Seed drives the per-(peer,file) vote decision.
+	Seed uint64
+	// WithDownloadEdges additionally counts a request as covered when the
+	// downloader previously downloaded from the uploader (a DM edge) —
+	// the "download volume … can also increase request coverage" remark.
+	WithDownloadEdges bool
+	// WithUserEdges additionally counts UM edges; modelled as covered
+	// when the two peers interacted at least UserEdgeThreshold times
+	// (repeat interaction is the paper's proxy for explicit ratings).
+	WithUserEdges bool
+	// UserEdgeThreshold is the repeat-interaction count treated as a
+	// user-rating edge; default 3.
+	UserEdgeThreshold int
+}
+
+// Validate checks the configuration.
+func (c CoverageConfig) Validate() error {
+	if c.VoteFraction < 0 || c.VoteFraction > 1 {
+		return errors.New("core: vote fraction outside [0,1]")
+	}
+	if c.Window < 0 {
+		return errors.New("core: negative window")
+	}
+	if c.Buckets < 1 {
+		return errors.New("core: need at least 1 bucket")
+	}
+	if c.WithUserEdges && c.UserEdgeThreshold < 1 {
+		return errors.New("core: user edge threshold must be >= 1")
+	}
+	return nil
+}
+
+// CoveragePoint is one bucket of the coverage time series.
+type CoveragePoint struct {
+	// Time is the bucket's end time.
+	Time time.Duration
+	// Requests is the number of download requests in the bucket.
+	Requests int
+	// Covered is how many of them had a direct trust edge.
+	Covered int
+}
+
+// Fraction returns Covered/Requests (zero for an empty bucket).
+func (p CoveragePoint) Fraction() float64 {
+	if p.Requests == 0 {
+		return 0
+	}
+	return float64(p.Covered) / float64(p.Requests)
+}
+
+// CoverageResult is the outcome of a coverage run.
+type CoverageResult struct {
+	Config CoverageConfig
+	Series []CoveragePoint
+	// Total aggregates the whole run.
+	Total CoveragePoint
+}
+
+// OverallFraction returns the run-wide covered fraction.
+func (r CoverageResult) OverallFraction() float64 { return r.Total.Fraction() }
+
+// SteadyStateFraction returns the covered fraction over the second half of
+// the series, past the cold-start ramp; this is the number compared with
+// the paper's Figure 1 plateau.
+func (r CoverageResult) SteadyStateFraction() float64 {
+	half := r.Series[len(r.Series)/2:]
+	var p CoveragePoint
+	for _, b := range half {
+		p.Requests += b.Requests
+		p.Covered += b.Covered
+	}
+	return p.Fraction()
+}
+
+// voteDecision deterministically decides whether peer p evaluates file f,
+// with probability fraction, independent of event order. A cheap 64-bit
+// mix of (seed, p, f) stands in for per-peer sampling.
+func voteDecision(seed uint64, p, f int, fraction float64) bool {
+	if fraction >= 1 {
+		return true
+	}
+	if fraction <= 0 {
+		return false
+	}
+	z := seed ^ uint64(p)*0x9e3779b97f4a7c15 ^ uint64(f)*0xc2b2ae3d27d4eb4f
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < fraction
+}
+
+// MeasureCoverage replays the trace and reports request coverage over
+// time, reproducing Figure 1. Ownership semantics follow the paper's
+// replay: serving a file proves the uploader owns it, finishing a download
+// makes the downloader own it; a peer evaluates an owned file with
+// probability VoteFraction, and evaluations expire after Window.
+func MeasureCoverage(tr *trace.Trace, cfg CoverageConfig) (*CoverageResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	duration := tr.Duration()
+	if duration <= 0 {
+		return nil, fmt.Errorf("core: trace has no time extent")
+	}
+	bucketLen := duration / time.Duration(cfg.Buckets)
+	if bucketLen <= 0 {
+		bucketLen = 1
+	}
+
+	// evaluated[p] maps file → last-touch time for peer p's evaluated
+	// files.
+	evaluated := make([]map[int]time.Duration, tr.Peers)
+	touch := func(p, f int, now time.Duration) {
+		if !voteDecision(cfg.Seed, p, f, cfg.VoteFraction) {
+			return
+		}
+		m := evaluated[p]
+		if m == nil {
+			m = make(map[int]time.Duration, 8)
+			evaluated[p] = m
+		}
+		m[f] = now
+	}
+	live := func(p, f int, now time.Duration) bool {
+		at, ok := evaluated[p][f]
+		if !ok {
+			return false
+		}
+		if cfg.Window > 0 && now-at > cfg.Window {
+			delete(evaluated[p], f)
+			return false
+		}
+		return true
+	}
+	covered := func(u, d int, now time.Duration) bool {
+		a, b := evaluated[u], evaluated[d]
+		if len(a) > len(b) {
+			a, b, u, d = b, a, d, u
+		}
+		owner := u
+		for f := range a {
+			if !live(owner, f, now) {
+				continue
+			}
+			if live(d, f, now) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pairwise interaction counts for the DM/UM edge extensions, stored
+	// sparsely keyed on (min, max).
+	var interactions map[[2]int32]int32
+	if cfg.WithDownloadEdges || cfg.WithUserEdges {
+		interactions = make(map[[2]int32]int32)
+	}
+	pairKey := func(u, d int) [2]int32 {
+		if u > d {
+			u, d = d, u
+		}
+		return [2]int32{int32(u), int32(d)}
+	}
+	threshold := int32(cfg.UserEdgeThreshold)
+	if threshold < 1 {
+		threshold = 3
+	}
+
+	res := &CoverageResult{Config: cfg, Series: make([]CoveragePoint, cfg.Buckets)}
+	for b := range res.Series {
+		res.Series[b].Time = bucketLen * time.Duration(b+1)
+	}
+	for _, rec := range tr.Records {
+		b := int(rec.Time / bucketLen)
+		if b >= cfg.Buckets {
+			b = cfg.Buckets - 1
+		}
+		isCovered := covered(rec.Uploader, rec.Downloader, rec.Time)
+		if !isCovered && interactions != nil {
+			n := interactions[pairKey(rec.Uploader, rec.Downloader)]
+			if cfg.WithDownloadEdges && n >= 1 {
+				isCovered = true
+			}
+			if cfg.WithUserEdges && n >= threshold {
+				isCovered = true
+			}
+		}
+		res.Series[b].Requests++
+		res.Total.Requests++
+		if isCovered {
+			res.Series[b].Covered++
+			res.Total.Covered++
+		}
+		// State updates happen after the coverage check: the request is
+		// judged on history only.
+		touch(rec.Uploader, rec.File, rec.Time)
+		touch(rec.Downloader, rec.File, rec.Time)
+		if interactions != nil {
+			interactions[pairKey(rec.Uploader, rec.Downloader)]++
+		}
+	}
+	res.Total.Time = duration
+	return res, nil
+}

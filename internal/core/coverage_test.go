@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mdrep/internal/trace"
+)
+
+func coverageTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultGenConfig()
+	cfg.Peers = 200
+	cfg.Files = 1000
+	cfg.Downloads = 20000
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func measure(t *testing.T, tr *trace.Trace, cfg CoverageConfig) *CoverageResult {
+	t.Helper()
+	res, err := MeasureCoverage(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func baseCoverageConfig() CoverageConfig {
+	return CoverageConfig{VoteFraction: 1, Buckets: 30, Seed: 7}
+}
+
+func TestCoverageConfigValidate(t *testing.T) {
+	mutations := []func(*CoverageConfig){
+		func(c *CoverageConfig) { c.VoteFraction = -0.1 },
+		func(c *CoverageConfig) { c.VoteFraction = 1.1 },
+		func(c *CoverageConfig) { c.Window = -time.Second },
+		func(c *CoverageConfig) { c.Buckets = 0 },
+		func(c *CoverageConfig) { c.WithUserEdges = true; c.UserEdgeThreshold = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := baseCoverageConfig()
+		mutate(&cfg)
+		if _, err := MeasureCoverage(coverageTrace(t), cfg); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCoverageMonotoneInVoteFraction(t *testing.T) {
+	tr := coverageTrace(t)
+	prev := -1.0
+	for _, k := range []float64{0.05, 0.2, 0.5, 1.0} {
+		cfg := baseCoverageConfig()
+		cfg.VoteFraction = k
+		res := measure(t, tr, cfg)
+		frac := res.OverallFraction()
+		if frac < prev {
+			t.Fatalf("coverage not monotone in vote fraction: k=%v → %v < %v", k, frac, prev)
+		}
+		prev = frac
+	}
+}
+
+func TestCoverageZeroVotesZeroCoverage(t *testing.T) {
+	cfg := baseCoverageConfig()
+	cfg.VoteFraction = 0
+	res := measure(t, coverageTrace(t), cfg)
+	if res.Total.Covered != 0 {
+		t.Fatalf("zero vote fraction covered %d requests", res.Total.Covered)
+	}
+}
+
+func TestCoverageFigure1Bands(t *testing.T) {
+	// The paper's Figure 1: k=5% → small coverage, k=20% → ≈50%,
+	// implicit (100%) → above 80% at steady state.
+	tr := coverageTrace(t)
+
+	cfg := baseCoverageConfig()
+	cfg.VoteFraction = 1
+	implicit := measure(t, tr, cfg).SteadyStateFraction()
+	if implicit < 0.8 {
+		t.Fatalf("implicit coverage %v, paper reports > 0.8", implicit)
+	}
+
+	cfg.VoteFraction = 0.2
+	twenty := measure(t, tr, cfg).SteadyStateFraction()
+	if twenty < 0.3 || twenty > 0.7 {
+		t.Fatalf("k=20%% coverage %v, paper reports ≈ 0.5", twenty)
+	}
+
+	cfg.VoteFraction = 0.05
+	five := measure(t, tr, cfg).SteadyStateFraction()
+	if five > 0.35 {
+		t.Fatalf("k=5%% coverage %v, paper reports small", five)
+	}
+	if five >= twenty || twenty >= implicit {
+		t.Fatalf("ordering violated: %v, %v, %v", five, twenty, implicit)
+	}
+}
+
+func TestCoverageSeriesAccounting(t *testing.T) {
+	tr := coverageTrace(t)
+	res := measure(t, tr, baseCoverageConfig())
+	totalReq, totalCov := 0, 0
+	for _, p := range res.Series {
+		if p.Covered > p.Requests {
+			t.Fatalf("bucket covered %d of %d", p.Covered, p.Requests)
+		}
+		totalReq += p.Requests
+		totalCov += p.Covered
+	}
+	if totalReq != len(tr.Records) {
+		t.Fatalf("series accounts %d of %d requests", totalReq, len(tr.Records))
+	}
+	if totalReq != res.Total.Requests || totalCov != res.Total.Covered {
+		t.Fatal("series totals disagree with Total")
+	}
+}
+
+func TestCoverageWindowReducesCoverage(t *testing.T) {
+	tr := coverageTrace(t)
+	unbounded := measure(t, tr, baseCoverageConfig()).OverallFraction()
+	cfg := baseCoverageConfig()
+	cfg.Window = 24 * time.Hour
+	windowed := measure(t, tr, cfg).OverallFraction()
+	if windowed > unbounded {
+		t.Fatalf("windowed coverage %v exceeds unbounded %v", windowed, unbounded)
+	}
+	if windowed >= unbounded-0.01 {
+		t.Fatalf("1-day window barely changed coverage (%v vs %v); expiry inert?", windowed, unbounded)
+	}
+}
+
+func TestCoverageExtraDimensionsHelp(t *testing.T) {
+	tr := coverageTrace(t)
+	cfg := baseCoverageConfig()
+	cfg.VoteFraction = 0.05 // sparse regime where DM/UM edges matter
+	fileOnly := measure(t, tr, cfg).OverallFraction()
+	cfg.WithDownloadEdges = true
+	withDM := measure(t, tr, cfg).OverallFraction()
+	if withDM < fileOnly {
+		t.Fatalf("download edges reduced coverage: %v < %v", withDM, fileOnly)
+	}
+	cfg.WithUserEdges = true
+	cfg.UserEdgeThreshold = 3
+	withUM := measure(t, tr, cfg).OverallFraction()
+	if withUM < withDM {
+		t.Fatalf("user edges reduced coverage: %v < %v", withUM, withDM)
+	}
+	if withDM <= fileOnly {
+		t.Fatalf("download edges added nothing over file edges (%v vs %v)", withDM, fileOnly)
+	}
+}
+
+func TestCoverageDeterministicAcrossRuns(t *testing.T) {
+	tr := coverageTrace(t)
+	cfg := baseCoverageConfig()
+	cfg.VoteFraction = 0.2
+	a := measure(t, tr, cfg)
+	b := measure(t, tr, cfg)
+	if a.Total != b.Total {
+		t.Fatalf("coverage not deterministic: %+v vs %+v", a.Total, b.Total)
+	}
+}
+
+func TestVoteDecisionStable(t *testing.T) {
+	for p := 0; p < 10; p++ {
+		for f := 0; f < 10; f++ {
+			if voteDecision(1, p, f, 0.5) != voteDecision(1, p, f, 0.5) {
+				t.Fatal("voteDecision not deterministic")
+			}
+		}
+	}
+	if !voteDecision(1, 3, 4, 1) {
+		t.Fatal("fraction 1 must always vote")
+	}
+	if voteDecision(1, 3, 4, 0) {
+		t.Fatal("fraction 0 must never vote")
+	}
+	yes := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if voteDecision(42, i, i*7+1, 0.3) {
+			yes++
+		}
+	}
+	if frac := float64(yes) / n; frac < 0.27 || frac > 0.33 {
+		t.Fatalf("voteDecision(0.3) fired at rate %v", frac)
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/sparse"
+)
+
+// Engine is the reputation system state for a population of peers indexed
+// [0, n). It ingests the observable behaviour of §3.1 — file evaluations,
+// download volumes and user ratings — and produces trust matrices and
+// reputations. The Engine is not safe for concurrent use; the simulator
+// and DHT layers serialise access.
+type Engine struct {
+	cfg    Config
+	n      int
+	stores []*eval.Store
+	// downloads[i][j] accumulates the files peer i fetched from peer j
+	// (Eq. 4 input). Repeated downloads of the same file count once per
+	// occurrence, as in the Maze log.
+	downloads []map[int][]downloadEntry
+	// userTrust[i][j] is UT_ij (Eq. 6 input).
+	userTrust []map[int]float64
+	// blacklist[i][j] forces UT_ij to zero regardless of later ratings.
+	blacklist []map[int]struct{}
+	// evaluators is the inverted index file → peers with a live
+	// evaluation; it keeps FM construction proportional to actual
+	// co-evaluation instead of O(n²).
+	evaluators map[eval.FileID]map[int]struct{}
+}
+
+type downloadEntry struct {
+	file eval.FileID
+	size int64
+}
+
+// NewEngine builds an engine for n peers.
+func NewEngine(n int, cfg Config) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: population %d, want >= 1", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		n:          n,
+		stores:     make([]*eval.Store, n),
+		downloads:  make([]map[int][]downloadEntry, n),
+		userTrust:  make([]map[int]float64, n),
+		blacklist:  make([]map[int]struct{}, n),
+		evaluators: make(map[eval.FileID]map[int]struct{}),
+	}
+	for i := range e.stores {
+		s, err := eval.NewStore(cfg.Blend, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		e.stores[i] = s
+	}
+	return e, nil
+}
+
+// N returns the population size.
+func (e *Engine) N() int { return e.n }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+func (e *Engine) checkPeer(p int) error {
+	if p < 0 || p >= e.n {
+		return fmt.Errorf("core: peer %d outside [0, %d)", p, e.n)
+	}
+	return nil
+}
+
+func (e *Engine) indexEvaluator(f eval.FileID, p int) {
+	m := e.evaluators[f]
+	if m == nil {
+		m = make(map[int]struct{}, 4)
+		e.evaluators[f] = m
+	}
+	m[p] = struct{}{}
+}
+
+// SetImplicit records peer p's implicit (retention-derived) evaluation of
+// file f.
+func (e *Engine) SetImplicit(p int, f eval.FileID, value float64, now time.Duration) error {
+	if err := e.checkPeer(p); err != nil {
+		return err
+	}
+	e.stores[p].SetImplicit(f, value, now)
+	e.indexEvaluator(f, p)
+	return nil
+}
+
+// ObserveRetention records an implicit evaluation computed from the
+// configured retention model.
+func (e *Engine) ObserveRetention(p int, f eval.FileID, retention time.Duration, deleted bool, now time.Duration) error {
+	return e.SetImplicit(p, f, e.cfg.Retention.Implicit(retention, deleted), now)
+}
+
+// Vote records peer p's explicit evaluation of file f.
+func (e *Engine) Vote(p int, f eval.FileID, value float64, now time.Duration) error {
+	if err := e.checkPeer(p); err != nil {
+		return err
+	}
+	e.stores[p].Vote(f, value, now)
+	e.indexEvaluator(f, p)
+	return nil
+}
+
+// Evaluation returns peer p's blended evaluation of f, if live.
+func (e *Engine) Evaluation(p int, f eval.FileID, now time.Duration) (float64, bool) {
+	if e.checkPeer(p) != nil {
+		return 0, false
+	}
+	return e.stores[p].Get(f, now)
+}
+
+// RecordDownload registers that downloader fetched file f (size bytes)
+// from uploader; it feeds VD of Eq. (4). The evaluation weight E_ik is
+// resolved lazily when DM is built, so a later vote or retention update
+// retroactively re-weights the volume — sharing a file the downloader
+// ends up judging fake earns no download-volume trust.
+func (e *Engine) RecordDownload(downloader, uploader int, f eval.FileID, size int64, now time.Duration) error {
+	if err := e.checkPeer(downloader); err != nil {
+		return err
+	}
+	if err := e.checkPeer(uploader); err != nil {
+		return err
+	}
+	if downloader == uploader {
+		return fmt.Errorf("core: self-download by peer %d", downloader)
+	}
+	if size < 0 {
+		return fmt.Errorf("core: negative size %d", size)
+	}
+	m := e.downloads[downloader]
+	if m == nil {
+		m = make(map[int][]downloadEntry)
+		e.downloads[downloader] = m
+	}
+	m[uploader] = append(m[uploader], downloadEntry{file: f, size: size})
+	return nil
+}
+
+// RateUser records UT_ij = value (Eq. 6). Blacklisted targets stay at
+// zero.
+func (e *Engine) RateUser(i, j int, value float64) error {
+	if err := e.checkPeer(i); err != nil {
+		return err
+	}
+	if err := e.checkPeer(j); err != nil {
+		return err
+	}
+	if i == j {
+		return fmt.Errorf("core: self-rating by peer %d", i)
+	}
+	if value < 0 || value > 1 {
+		return fmt.Errorf("core: user rating %v outside [0,1]", value)
+	}
+	if bl := e.blacklist[i]; bl != nil {
+		if _, banned := bl[j]; banned {
+			return nil
+		}
+	}
+	if e.userTrust[i] == nil {
+		e.userTrust[i] = make(map[int]float64)
+	}
+	e.userTrust[i][j] = value
+	return nil
+}
+
+// AddFriend assigns the configured friend-list trust to j (§3.1.3).
+func (e *Engine) AddFriend(i, j int) error {
+	return e.RateUser(i, j, e.cfg.FriendTrust)
+}
+
+// Blacklist sets UT_ij to zero permanently for i's view of j (§3.1.3:
+// "the users in the blacklist … should be assigned with zero").
+func (e *Engine) Blacklist(i, j int) error {
+	if err := e.checkPeer(i); err != nil {
+		return err
+	}
+	if err := e.checkPeer(j); err != nil {
+		return err
+	}
+	if e.blacklist[i] == nil {
+		e.blacklist[i] = make(map[int]struct{})
+	}
+	e.blacklist[i][j] = struct{}{}
+	if e.userTrust[i] != nil {
+		delete(e.userTrust[i], j)
+	}
+	return nil
+}
+
+// BuildFM constructs the file-based one-step matrix (Eq. 2–3) from live
+// evaluations at time now. For each pair (i, j) with a non-empty
+// co-evaluated set F of size m:
+//
+//	FT_ij = 1 - (1/m)·Σ_{k∈F} |E_ik − E_jk|
+//
+// then rows are normalised. Construction walks the inverted file index, so
+// cost is Σ_f |evaluators(f)|², the actual co-evaluation mass.
+func (e *Engine) BuildFM(now time.Duration) *sparse.Matrix {
+	type pairKey struct{ i, j int }
+	sums := make(map[pairKey]float64)
+	counts := make(map[pairKey]int)
+	// Cache each peer's snapshot once.
+	snaps := make([]map[eval.FileID]float64, e.n)
+	snap := func(p int) map[eval.FileID]float64 {
+		if snaps[p] == nil {
+			snaps[p] = e.stores[p].Snapshot(now)
+		}
+		return snaps[p]
+	}
+	maxEval := e.cfg.MaxEvaluatorsPerFile
+	for f, peers := range e.evaluators {
+		// Collect live evaluators of f.
+		live := make([]int, 0, len(peers))
+		vals := make([]float64, 0, len(peers))
+		for p := range peers {
+			if v, ok := snap(p)[f]; ok {
+				live = append(live, p)
+				vals = append(vals, v)
+			}
+		}
+		if maxEval > 0 && len(live) > maxEval {
+			// Deterministic sample: order by peer index, then keep a
+			// strided subset so the kept set is stable across rebuilds
+			// and spans the index range.
+			sort.Sort(&evaluatorsByPeer{peers: live, vals: vals})
+			stride := float64(len(live)) / float64(maxEval)
+			for k := 0; k < maxEval; k++ {
+				i := int(float64(k) * stride)
+				live[k], vals[k] = live[i], vals[i]
+			}
+			live, vals = live[:maxEval], vals[:maxEval]
+		}
+		for a := 0; a < len(live); a++ {
+			for b := a + 1; b < len(live); b++ {
+				i, j := live[a], live[b]
+				if i > j {
+					i, j = j, i
+				}
+				k := pairKey{i, j}
+				sums[k] += math.Abs(vals[a] - vals[b])
+				counts[k]++
+			}
+		}
+	}
+	fm := sparse.New(e.n)
+	for k, c := range counts {
+		ft := 1 - sums[k]/float64(c)
+		if ft <= 0 {
+			continue
+		}
+		// FT is symmetric; FM is not after row normalisation.
+		fm.Set(k.i, k.j, ft)
+		fm.Set(k.j, k.i, ft)
+	}
+	return fm.RowNormalize()
+}
+
+// BuildDM constructs the download-volume matrix (Eq. 4–5) at time now:
+// VD_ij = Σ_{k ∈ D_ij} E_ik·S_k, rows normalised. Files the downloader
+// never evaluated contribute the retention-model floor — a just-finished
+// download is weak but real evidence the uploader served something.
+func (e *Engine) BuildDM(now time.Duration) *sparse.Matrix {
+	dm := sparse.New(e.n)
+	floor := e.cfg.Retention.Floor
+	for i, per := range e.downloads {
+		for j, entries := range per {
+			vd := 0.0
+			for _, d := range entries {
+				ev, ok := e.stores[i].Get(d.file, now)
+				if !ok {
+					ev = floor
+				}
+				vd += ev * float64(d.size)
+			}
+			if vd > 0 {
+				dm.Set(i, j, vd)
+			}
+		}
+	}
+	return dm.RowNormalize()
+}
+
+// BuildUM constructs the user-based matrix (Eq. 6) from explicit ratings.
+func (e *Engine) BuildUM() *sparse.Matrix {
+	um := sparse.New(e.n)
+	for i, per := range e.userTrust {
+		for j, v := range per {
+			if v > 0 {
+				um.Set(i, j, v)
+			}
+		}
+	}
+	return um.RowNormalize()
+}
+
+// BuildTM integrates the three dimensions into the one-step direct trust
+// matrix of Eq. (7). Rows of TM are sub-stochastic when a peer lacks one
+// of the dimensions; that is intentional — missing evidence must not be
+// re-weighted into false confidence.
+func (e *Engine) BuildTM(now time.Duration) (*sparse.Matrix, error) {
+	tm := sparse.New(e.n)
+	if err := tm.AddScaled(e.cfg.Alpha, e.BuildFM(now)); err != nil {
+		return nil, err
+	}
+	if err := tm.AddScaled(e.cfg.Beta, e.BuildDM(now)); err != nil {
+		return nil, err
+	}
+	if err := tm.AddScaled(e.cfg.Gamma, e.BuildUM()); err != nil {
+		return nil, err
+	}
+	return tm, nil
+}
+
+// BuildRM computes the full reputation matrix RM = TM^n (Eq. 8).
+func (e *Engine) BuildRM(now time.Duration) (*sparse.Matrix, error) {
+	tm, err := e.BuildTM(now)
+	if err != nil {
+		return nil, err
+	}
+	return tm.Pow(e.cfg.Steps)
+}
+
+// Reputations returns row i of RM — peer i's multi-trust reputation view
+// of every other peer — without materialising the full power.
+func (e *Engine) Reputations(i int, now time.Duration) (map[int]float64, error) {
+	if err := e.checkPeer(i); err != nil {
+		return nil, err
+	}
+	tm, err := e.BuildTM(now)
+	if err != nil {
+		return nil, err
+	}
+	return tm.RowVecPow(i, e.cfg.Steps)
+}
+
+// ReputationsFromTM is Reputations against a prebuilt TM, letting callers
+// amortise matrix construction across many queries.
+func (e *Engine) ReputationsFromTM(tm *sparse.Matrix, i int) (map[int]float64, error) {
+	if err := e.checkPeer(i); err != nil {
+		return nil, err
+	}
+	return tm.RowVecPow(i, e.cfg.Steps)
+}
+
+// Compact drops expired evaluations from every store and prunes the
+// inverted index; call periodically in long simulations.
+func (e *Engine) Compact(now time.Duration) {
+	for _, s := range e.stores {
+		s.Compact(now)
+	}
+	for f, peers := range e.evaluators {
+		for p := range peers {
+			if _, ok := e.stores[p].Get(f, now); !ok {
+				delete(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			delete(e.evaluators, f)
+		}
+	}
+}
+
+// evaluatorsByPeer sorts parallel (peer, value) slices by peer index.
+type evaluatorsByPeer struct {
+	peers []int
+	vals  []float64
+}
+
+func (s *evaluatorsByPeer) Len() int           { return len(s.peers) }
+func (s *evaluatorsByPeer) Less(i, j int) bool { return s.peers[i] < s.peers[j] }
+func (s *evaluatorsByPeer) Swap(i, j int) {
+	s.peers[i], s.peers[j] = s.peers[j], s.peers[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

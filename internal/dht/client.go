@@ -1,0 +1,40 @@
+package dht
+
+import "errors"
+
+// Client is the RPC surface a node uses to talk to other nodes. The
+// in-memory network and the TCP transport both implement it; the node
+// logic is transport-agnostic.
+type Client interface {
+	// FindSuccessor asks the node at addr for the successor of id.
+	FindSuccessor(addr string, id ID) (NodeRef, error)
+	// Successors returns the successor list of the node at addr.
+	Successors(addr string) ([]NodeRef, error)
+	// Predecessor returns the predecessor of the node at addr; ok is
+	// false when unset.
+	Predecessor(addr string) (NodeRef, bool, error)
+	// Notify tells the node at addr that self may be its predecessor.
+	Notify(addr string, self NodeRef) error
+	// Ping checks liveness.
+	Ping(addr string) error
+	// Store writes records to the node at addr. When replicate is true
+	// the receiving node forwards copies to its successor list.
+	Store(addr string, recs []StoredRecord, replicate bool) error
+	// Retrieve reads the records stored under key at addr.
+	Retrieve(addr string, key ID) ([]StoredRecord, error)
+}
+
+// ErrNodeUnreachable is returned by transports when the remote node is
+// gone; the caller routes around it via the successor list.
+var ErrNodeUnreachable = errors.New("dht: node unreachable")
+
+// handler is the server-side surface; *Node implements it, and both
+// transports dispatch inbound requests through it.
+type handler interface {
+	HandleFindSuccessor(id ID) (NodeRef, error)
+	HandleSuccessors() []NodeRef
+	HandlePredecessor() (NodeRef, bool)
+	HandleNotify(candidate NodeRef)
+	HandleStore(recs []StoredRecord, replicate bool)
+	HandleRetrieve(key ID) []StoredRecord
+}

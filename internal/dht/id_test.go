@@ -1,0 +1,125 @@
+package dht
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashKeyStable(t *testing.T) {
+	if HashKey("abc") != HashKey("abc") {
+		t.Fatal("HashKey not deterministic")
+	}
+	if HashKey("abc") == HashKey("abd") {
+		t.Fatal("HashKey collision on adjacent strings")
+	}
+}
+
+func TestBetweenSimpleInterval(t *testing.T) {
+	// (10, 20]
+	cases := []struct {
+		id   ID
+		want bool
+	}{
+		{10, false}, {11, true}, {15, true}, {20, true}, {21, false}, {5, false},
+	}
+	for _, c := range cases {
+		if got := Between(c.id, 10, 20); got != c.want {
+			t.Fatalf("Between(%d, 10, 20) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+func TestBetweenWrappedInterval(t *testing.T) {
+	// (2^64-10, 5] wraps zero.
+	a := ^ID(9)
+	cases := []struct {
+		id   ID
+		want bool
+	}{
+		{a, false}, {a + 1, true}, {0, true}, {5, true}, {6, false}, {100, false},
+	}
+	for _, c := range cases {
+		if got := Between(c.id, a, 5); got != c.want {
+			t.Fatalf("Between(%d, %d, 5) = %v, want %v", c.id, a, got, c.want)
+		}
+	}
+}
+
+func TestBetweenFullRing(t *testing.T) {
+	if !Between(42, 7, 7) {
+		t.Fatal("(a, a] must span the whole ring")
+	}
+	if !Between(7, 7, 7) {
+		t.Fatal("(a, a] must include a itself (it is the successor of everything)")
+	}
+}
+
+func TestBetweenOpen(t *testing.T) {
+	if BetweenOpen(20, 10, 20) {
+		t.Fatal("open interval must exclude the upper bound")
+	}
+	if BetweenOpen(10, 10, 20) {
+		t.Fatal("open interval must exclude the lower bound")
+	}
+	if !BetweenOpen(15, 10, 20) {
+		t.Fatal("open interval must include the middle")
+	}
+	if !BetweenOpen(0, ^ID(4), 5) {
+		t.Fatal("wrapped open interval must include zero")
+	}
+	if BetweenOpen(7, 7, 7) {
+		t.Fatal("(a, a) must exclude a")
+	}
+	if !BetweenOpen(8, 7, 7) {
+		t.Fatal("(a, a) must include everything else")
+	}
+}
+
+func TestBetweenComplementProperty(t *testing.T) {
+	// For a != b, every id other than the endpoints is in exactly one of
+	// (a, b] and (b, a].
+	f := func(id, a, b uint64) bool {
+		x, y, z := ID(id), ID(a), ID(b)
+		if y == z {
+			return true
+		}
+		inAB := Between(x, y, z)
+		inBA := Between(x, z, y)
+		return inAB != inBA
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerStartWraps(t *testing.T) {
+	self := ^ID(0)
+	if got := fingerStart(self, 0); got != 0 {
+		t.Fatalf("fingerStart wrap = %v, want 0", got)
+	}
+	if got := fingerStart(0, 3); got != 8 {
+		t.Fatalf("fingerStart(0, 3) = %v, want 8", got)
+	}
+}
+
+func TestIDStringFixedWidth(t *testing.T) {
+	if s := ID(5).String(); len(s) != 16 {
+		t.Fatalf("ID string %q not fixed width", s)
+	}
+	if s := ID(0).String(); s != "0000000000000000" {
+		t.Fatalf("zero ID string %q", s)
+	}
+}
+
+func TestRefFromAddr(t *testing.T) {
+	r := RefFromAddr("127.0.0.1:9000")
+	if r.IsZero() {
+		t.Fatal("ref from address is zero")
+	}
+	if r.ID != HashKey("127.0.0.1:9000") {
+		t.Fatal("ref ID does not match address hash")
+	}
+	if !(NodeRef{}).IsZero() {
+		t.Fatal("zero ref not detected")
+	}
+}

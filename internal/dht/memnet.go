@@ -1,0 +1,221 @@
+package dht
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MemNet is a deterministic in-memory transport: RPCs are direct function
+// calls on registered nodes, with per-call message accounting for the
+// overhead experiment (E6). Nodes can be failed to simulate churn.
+type MemNet struct {
+	mu     sync.RWMutex
+	nodes  map[string]handler
+	failed map[string]struct{}
+	// lossRate drops that fraction of RPCs (deterministically, from
+	// lossState) to inject message loss.
+	lossRate  float64
+	lossState uint64
+	// messages counts every RPC issued over the network.
+	messages atomic.Uint64
+}
+
+// NewMemNet returns an empty network.
+func NewMemNet() *MemNet {
+	return &MemNet{
+		nodes:  make(map[string]handler),
+		failed: make(map[string]struct{}),
+	}
+}
+
+// Register attaches a node at addr.
+func (m *MemNet) Register(addr string, h handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[addr] = h
+	delete(m.failed, addr)
+}
+
+// Fail marks addr unreachable (simulated crash); its state survives so
+// Recover can bring it back.
+func (m *MemNet) Fail(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failed[addr] = struct{}{}
+}
+
+// Recover clears a failure.
+func (m *MemNet) Recover(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.failed, addr)
+}
+
+// Messages returns the RPC count so far.
+func (m *MemNet) Messages() uint64 { return m.messages.Load() }
+
+// ResetMessages zeroes the RPC counter.
+func (m *MemNet) ResetMessages() { m.messages.Store(0) }
+
+// SetLossRate makes the network drop the given fraction of RPCs
+// (0 disables). Drops are deterministic under a fixed call sequence.
+func (m *MemNet) SetLossRate(rate float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	m.lossRate = rate
+}
+
+func (m *MemNet) lookup(addr string) (handler, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lossRate > 0 {
+		m.lossState += 0x9e3779b97f4a7c15
+		z := m.lossState
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if float64(z>>11)/(1<<53) < m.lossRate {
+			return nil, ErrNodeUnreachable
+		}
+	}
+	if _, down := m.failed[addr]; down {
+		return nil, ErrNodeUnreachable
+	}
+	h, ok := m.nodes[addr]
+	if !ok {
+		return nil, ErrNodeUnreachable
+	}
+	return h, nil
+}
+
+// FindSuccessor implements Client.
+func (m *MemNet) FindSuccessor(addr string, id ID) (NodeRef, error) {
+	m.messages.Add(1)
+	h, err := m.lookup(addr)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return h.HandleFindSuccessor(id)
+}
+
+// Successors implements Client.
+func (m *MemNet) Successors(addr string) ([]NodeRef, error) {
+	m.messages.Add(1)
+	h, err := m.lookup(addr)
+	if err != nil {
+		return nil, err
+	}
+	return h.HandleSuccessors(), nil
+}
+
+// Predecessor implements Client.
+func (m *MemNet) Predecessor(addr string) (NodeRef, bool, error) {
+	m.messages.Add(1)
+	h, err := m.lookup(addr)
+	if err != nil {
+		return NodeRef{}, false, err
+	}
+	ref, ok := h.HandlePredecessor()
+	return ref, ok, nil
+}
+
+// Notify implements Client.
+func (m *MemNet) Notify(addr string, self NodeRef) error {
+	m.messages.Add(1)
+	h, err := m.lookup(addr)
+	if err != nil {
+		return err
+	}
+	h.HandleNotify(self)
+	return nil
+}
+
+// Ping implements Client.
+func (m *MemNet) Ping(addr string) error {
+	m.messages.Add(1)
+	_, err := m.lookup(addr)
+	return err
+}
+
+// Store implements Client.
+func (m *MemNet) Store(addr string, recs []StoredRecord, replicate bool) error {
+	m.messages.Add(1)
+	h, err := m.lookup(addr)
+	if err != nil {
+		return err
+	}
+	h.HandleStore(recs, replicate)
+	return nil
+}
+
+// Retrieve implements Client.
+func (m *MemNet) Retrieve(addr string, key ID) ([]StoredRecord, error) {
+	m.messages.Add(1)
+	h, err := m.lookup(addr)
+	if err != nil {
+		return nil, err
+	}
+	return h.HandleRetrieve(key), nil
+}
+
+var _ Client = (*MemNet)(nil)
+
+// Ring is a convenience wrapper building and stabilising an in-memory ring
+// of nodes for simulations and tests.
+type Ring struct {
+	Net   *MemNet
+	Nodes []*Node
+}
+
+// NewRing builds n nodes, joins them through the first, and runs enough
+// stabilisation rounds for the ring to converge.
+func NewRing(n int, mkConfig func(i int) NodeConfig) (*Ring, error) {
+	net := NewMemNet()
+	r := &Ring{Net: net}
+	for i := 0; i < n; i++ {
+		cfg := DefaultNodeConfig()
+		if mkConfig != nil {
+			cfg = mkConfig(i)
+		}
+		// Each node needs its own storage: a shared default would alias.
+		if cfg.Storage == nil {
+			cfg.Storage = NewStorage(0, nil)
+		}
+		node, err := NewNode(ringAddr(i), net, cfg)
+		if err != nil {
+			return nil, err
+		}
+		net.Register(node.Self().Addr, node)
+		if i > 0 {
+			if err := node.Join(r.Nodes[0].Self().Addr); err != nil {
+				return nil, err
+			}
+		}
+		r.Nodes = append(r.Nodes, node)
+	}
+	r.Converge(2*n + 8)
+	return r, nil
+}
+
+func ringAddr(i int) string {
+	return "mem://node-" + ID(uint64(i)).String()
+}
+
+// Converge runs rounds of stabilisation plus finger repair across all
+// nodes.
+func (r *Ring) Converge(rounds int) {
+	for round := 0; round < rounds; round++ {
+		for _, n := range r.Nodes {
+			n.Stabilize()
+		}
+	}
+	for _, n := range r.Nodes {
+		n.FixAllFingers()
+	}
+}

@@ -1,0 +1,423 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NodeConfig parameterises one DHT node.
+type NodeConfig struct {
+	// SuccessorListLen is the fault-tolerance depth r; records are
+	// replicated to the key's first r successors.
+	SuccessorListLen int
+	// Storage is the node's record store (required).
+	Storage *Storage
+}
+
+// DefaultNodeConfig returns r=4 and an unverified store with a 1-hour
+// TTL. Lookup termination needs no hop bound: every forwarding step
+// strictly shrinks the ring distance to the target.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		SuccessorListLen: 4,
+		Storage:          NewStorage(time.Hour, nil),
+	}
+}
+
+// Validate checks the configuration.
+func (c NodeConfig) Validate() error {
+	if c.SuccessorListLen < 1 {
+		return errors.New("dht: successor list length must be >= 1")
+	}
+	if c.Storage == nil {
+		return errors.New("dht: nil storage")
+	}
+	return nil
+}
+
+// Node is one Chord participant. All exported methods are safe for
+// concurrent use; internal state is guarded by mu, and no RPC is issued
+// while mu is held (transports may call back into the node).
+type Node struct {
+	self   NodeRef
+	client Client
+	cfg    NodeConfig
+
+	mu      sync.RWMutex
+	succs   []NodeRef // succs[0] is the immediate successor
+	pred    NodeRef
+	hasPred bool
+	fingers [Bits]NodeRef
+
+	// Lookups counts FindSuccessor hops served, for experiment E6.
+	lookupHops uint64
+}
+
+// NewNode builds a node addressed at addr using the given client.
+func NewNode(addr string, client Client, cfg NodeConfig) (*Node, error) {
+	if addr == "" {
+		return nil, errors.New("dht: empty address")
+	}
+	if client == nil {
+		return nil, errors.New("dht: nil client")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{self: RefFromAddr(addr), client: client, cfg: cfg}
+	// A fresh node is its own ring.
+	n.succs = []NodeRef{n.self}
+	return n, nil
+}
+
+// Self returns the node's ref.
+func (n *Node) Self() NodeRef { return n.self }
+
+// Successor returns the immediate successor.
+func (n *Node) Successor() NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.succs[0]
+}
+
+// SuccessorList returns a copy of the successor list.
+func (n *Node) SuccessorList() []NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]NodeRef, len(n.succs))
+	copy(out, n.succs)
+	return out
+}
+
+// PredecessorRef returns the predecessor, if known.
+func (n *Node) PredecessorRef() (NodeRef, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.pred, n.hasPred
+}
+
+// LookupHops returns the number of FindSuccessor hops this node has
+// served.
+func (n *Node) LookupHops() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.lookupHops
+}
+
+// Join points the node at an existing ring member and resolves its
+// successor. The periodic Stabilize calls then integrate it fully.
+func (n *Node) Join(bootstrap string) error {
+	succ, err := n.client.FindSuccessor(bootstrap, n.self.ID)
+	if err != nil {
+		return fmt.Errorf("dht: join via %s: %w", bootstrap, err)
+	}
+	n.mu.Lock()
+	n.succs = []NodeRef{succ}
+	n.hasPred = false
+	n.mu.Unlock()
+	return nil
+}
+
+// closestPreceding returns the ring-closest known node strictly between
+// self and id, consulting fingers and the successor list.
+func (n *Node) closestPreceding(id ID) NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for i := Bits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if !f.IsZero() && BetweenOpen(f.ID, n.self.ID, id) {
+			return f
+		}
+	}
+	for i := len(n.succs) - 1; i >= 0; i-- {
+		s := n.succs[i]
+		if !s.IsZero() && BetweenOpen(s.ID, n.self.ID, id) {
+			return s
+		}
+	}
+	return n.self
+}
+
+// HandleFindSuccessor implements the server side of lookups: if id falls
+// between self and successor, the successor owns it; otherwise forward to
+// the closest preceding finger.
+func (n *Node) HandleFindSuccessor(id ID) (NodeRef, error) {
+	n.mu.Lock()
+	n.lookupHops++
+	succ := n.succs[0]
+	n.mu.Unlock()
+	if Between(id, n.self.ID, succ.ID) {
+		return succ, nil
+	}
+	next := n.closestPreceding(id)
+	if next.Addr == n.self.Addr {
+		return succ, nil
+	}
+	ref, err := n.client.FindSuccessor(next.Addr, id)
+	if err != nil {
+		// Routing hole during churn: fall back to the successor walk.
+		return succ, nil
+	}
+	return ref, nil
+}
+
+// HandleSuccessors returns the successor list.
+func (n *Node) HandleSuccessors() []NodeRef { return n.SuccessorList() }
+
+// HandlePredecessor returns the predecessor.
+func (n *Node) HandlePredecessor() (NodeRef, bool) { return n.PredecessorRef() }
+
+// HandleNotify accepts a predecessor candidate (Chord's notify).
+func (n *Node) HandleNotify(candidate NodeRef) {
+	if candidate.IsZero() || candidate.Addr == n.self.Addr {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.hasPred || BetweenOpen(candidate.ID, n.pred.ID, n.self.ID) {
+		n.pred = candidate
+		n.hasPred = true
+	}
+}
+
+// HandleStore merges records locally; when replicate is set it forwards
+// unreplicated copies to the successor list.
+func (n *Node) HandleStore(recs []StoredRecord, replicate bool) {
+	n.cfg.Storage.Put(recs)
+	if !replicate {
+		return
+	}
+	for _, s := range n.SuccessorList() {
+		if s.Addr == n.self.Addr {
+			continue
+		}
+		// Replica write failures are tolerated; stabilisation repairs.
+		_ = n.client.Store(s.Addr, recs, false)
+	}
+}
+
+// HandleRetrieve reads the records stored under key.
+func (n *Node) HandleRetrieve(key ID) []StoredRecord {
+	return n.cfg.Storage.Get(key)
+}
+
+var _ handler = (*Node)(nil)
+
+// Stabilize runs one round of Chord stabilisation: verify the successor,
+// adopt a closer one if its predecessor sits between, refresh the
+// successor list, and notify the successor of our existence.
+func (n *Node) Stabilize() {
+	succ := n.Successor()
+	if succ.Addr == n.self.Addr {
+		// Bootstrap case: a node that is its own successor adopts its
+		// predecessor (set by a joiner's notify) to close the ring.
+		if pred, ok := n.PredecessorRef(); ok && pred.Addr != n.self.Addr {
+			if n.client.Ping(pred.Addr) == nil {
+				n.adoptSuccessor(pred)
+				succ = pred
+			}
+		}
+	} else {
+		if pred, ok, err := n.client.Predecessor(succ.Addr); err != nil {
+			n.dropSuccessor(succ)
+			succ = n.Successor()
+		} else if ok && BetweenOpen(pred.ID, n.self.ID, succ.ID) && pred.Addr != n.self.Addr {
+			if n.client.Ping(pred.Addr) == nil {
+				n.adoptSuccessor(pred)
+				succ = pred
+			}
+		}
+	}
+	// Refresh the successor list from the (possibly new) successor.
+	if succ.Addr != n.self.Addr {
+		if list, err := n.client.Successors(succ.Addr); err == nil {
+			n.mergeSuccessorList(succ, list)
+			_ = n.client.Notify(succ.Addr, n.self)
+		} else {
+			n.dropSuccessor(succ)
+		}
+	}
+	n.checkPredecessor()
+}
+
+func (n *Node) adoptSuccessor(s NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.succs = append([]NodeRef{s}, n.succs...)
+	n.trimSuccessorsLocked()
+}
+
+func (n *Node) dropSuccessor(dead NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.succs[:0]
+	for _, s := range n.succs {
+		if s.Addr != dead.Addr {
+			kept = append(kept, s)
+		}
+	}
+	n.succs = kept
+	if len(n.succs) == 0 {
+		n.succs = []NodeRef{n.self}
+	}
+}
+
+func (n *Node) mergeSuccessorList(succ NodeRef, theirList []NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	list := make([]NodeRef, 0, n.cfg.SuccessorListLen+1)
+	list = append(list, succ)
+	for _, s := range theirList {
+		if s.Addr == n.self.Addr || s.Addr == succ.Addr {
+			continue
+		}
+		list = append(list, s)
+		if len(list) >= n.cfg.SuccessorListLen {
+			break
+		}
+	}
+	n.succs = list
+	n.trimSuccessorsLocked()
+}
+
+func (n *Node) trimSuccessorsLocked() {
+	seen := make(map[string]struct{}, len(n.succs))
+	kept := n.succs[:0]
+	for _, s := range n.succs {
+		if _, dup := seen[s.Addr]; dup {
+			continue
+		}
+		seen[s.Addr] = struct{}{}
+		kept = append(kept, s)
+		if len(kept) >= n.cfg.SuccessorListLen {
+			break
+		}
+	}
+	n.succs = kept
+	if len(n.succs) == 0 {
+		n.succs = []NodeRef{n.self}
+	}
+}
+
+func (n *Node) checkPredecessor() {
+	pred, ok := n.PredecessorRef()
+	if !ok || pred.Addr == n.self.Addr {
+		return
+	}
+	if n.client.Ping(pred.Addr) != nil {
+		n.mu.Lock()
+		n.hasPred = false
+		n.mu.Unlock()
+	}
+}
+
+// FixFinger refreshes finger i by looking up its target.
+func (n *Node) FixFinger(i int) {
+	if i < 0 || i >= Bits {
+		return
+	}
+	target := fingerStart(n.self.ID, i)
+	ref, err := n.HandleFindSuccessor(target)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.fingers[i] = ref
+	n.mu.Unlock()
+}
+
+// FixAllFingers refreshes every finger; tests and freshly joined nodes use
+// it to converge quickly.
+func (n *Node) FixAllFingers() {
+	for i := 0; i < Bits; i++ {
+		n.FixFinger(i)
+	}
+}
+
+// Lookup resolves the node responsible for key.
+func (n *Node) Lookup(key ID) (NodeRef, error) {
+	return n.HandleFindSuccessor(key)
+}
+
+// Publish stores records under their keys at the responsible nodes with
+// replication (§4.1 steps 1–2: publication and republication both land
+// here). Records with distinct keys are routed independently.
+func (n *Node) Publish(recs []StoredRecord) error {
+	byKey := make(map[ID][]StoredRecord)
+	for _, r := range recs {
+		byKey[r.Key] = append(byKey[r.Key], r)
+	}
+	var firstErr error
+	for key, group := range byKey {
+		root, err := n.Lookup(key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if root.Addr == n.self.Addr {
+			n.HandleStore(group, true)
+			continue
+		}
+		if err := n.client.Store(root.Addr, group, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Retrieve fetches the records stored under key (§4.1 step 3), trying the
+// root and then its replicas.
+func (n *Node) Retrieve(key ID) ([]StoredRecord, error) {
+	root, err := n.Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	if root.Addr == n.self.Addr {
+		return n.HandleRetrieve(key), nil
+	}
+	recs, err := n.client.Retrieve(root.Addr, key)
+	if err == nil {
+		return recs, nil
+	}
+	// Root unreachable: ask its replicas via our successor walk.
+	list, lerr := n.client.Successors(root.Addr)
+	if lerr != nil {
+		list = n.SuccessorList()
+	}
+	for _, s := range list {
+		if s.Addr == root.Addr || s.Addr == n.self.Addr {
+			continue
+		}
+		if recs, rerr := n.client.Retrieve(s.Addr, key); rerr == nil {
+			return recs, nil
+		}
+	}
+	return nil, err
+}
+
+// Leave gracefully removes the node from the ring: its stored records are
+// handed to its successor (which replicates them onward), and its
+// predecessor is pointed past it. The caller must stop routing to the
+// node afterwards (close its transport / unregister it).
+func (n *Node) Leave() error {
+	succ := n.Successor()
+	if succ.Addr == n.self.Addr {
+		return nil // last node; nothing to hand off
+	}
+	records := n.cfg.Storage.All()
+	if len(records) > 0 {
+		if err := n.client.Store(succ.Addr, records, true); err != nil {
+			return fmt.Errorf("dht: hand off %d records to %s: %w", len(records), succ.Addr, err)
+		}
+	}
+	// Tell the successor who its new predecessor should be, so the ring
+	// closes without waiting for failure detection.
+	if pred, ok := n.PredecessorRef(); ok && pred.Addr != n.self.Addr {
+		_ = n.client.Notify(succ.Addr, pred)
+	}
+	return nil
+}

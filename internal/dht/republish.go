@@ -1,0 +1,122 @@
+package dht
+
+import (
+	"sync"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+)
+
+// Republisher keeps a peer's own evaluation records alive in the ring:
+// §4.1 step 2, "update of a file's evaluation: this can be done with the
+// regular republication", which also refreshes replica TTLs and re-places
+// records after ring churn. It is driven either by its own ticker (Start /
+// Stop) or manually via RepublishNow for deterministic tests.
+type Republisher struct {
+	node *Node
+	id   *identity.Identity
+
+	mu      sync.Mutex
+	records map[eval.FileID]float64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRepublisher wraps a node and the identity that signs its records.
+func NewRepublisher(node *Node, id *identity.Identity) *Republisher {
+	return &Republisher{
+		node:    node,
+		id:      id,
+		records: make(map[eval.FileID]float64),
+	}
+}
+
+// SetEvaluation stages (or updates) the peer's evaluation of a file; it is
+// published on the next republication round. Use RepublishNow to push
+// immediately.
+func (r *Republisher) SetEvaluation(f eval.FileID, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records[f] = value
+}
+
+// Withdraw stops republishing a file's evaluation; replicas expire it at
+// their TTL (the churn-pruning behaviour of §4.3).
+func (r *Republisher) Withdraw(f eval.FileID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.records, f)
+}
+
+// Len returns the number of staged evaluations.
+func (r *Republisher) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
+}
+
+// RepublishNow signs and publishes every staged evaluation with a fresh
+// timestamp. It returns the first publish error, after attempting all
+// records.
+func (r *Republisher) RepublishNow(now time.Duration) error {
+	r.mu.Lock()
+	staged := make(map[eval.FileID]float64, len(r.records))
+	for f, v := range r.records {
+		staged[f] = v
+	}
+	r.mu.Unlock()
+
+	recs := make([]StoredRecord, 0, len(staged))
+	for f, v := range staged {
+		info := eval.Info{
+			FileID:     f,
+			OwnerID:    r.id.ID(),
+			Evaluation: v,
+			Timestamp:  now,
+		}
+		if err := info.Sign(r.id); err != nil {
+			return err
+		}
+		recs = append(recs, StoredRecord{Key: HashKey(string(f)), Info: info})
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	return r.node.Publish(recs)
+}
+
+// Start launches a background loop republishing every interval, stamping
+// records with the wall-clock offset since start. Call Stop to halt it;
+// Start after Stop is not supported.
+func (r *Republisher) Start(interval time.Duration) {
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		epoch := time.Now()
+		for {
+			select {
+			case <-ticker.C:
+				// Errors are transient ring conditions; the next round
+				// retries.
+				_ = r.RepublishNow(time.Since(epoch))
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit.
+func (r *Republisher) Stop() {
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	r.stop = nil
+}

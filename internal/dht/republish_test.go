@@ -1,0 +1,158 @@
+package dht
+
+import (
+	"testing"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+)
+
+func newRepublisherRing(t *testing.T, ttl time.Duration) (*Ring, *Republisher, *identity.Directory) {
+	t.Helper()
+	owner, err := identity.Generate(identity.NewDeterministicReader(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := identity.NewDirectory()
+	if _, err := dir.Register(owner.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	ring, err := NewRing(8, func(int) NodeConfig {
+		return NodeConfig{SuccessorListLen: 3, Storage: NewStorage(ttl, dir)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring, NewRepublisher(ring.Nodes[0], owner), dir
+}
+
+func TestRepublisherPublishesStagedRecords(t *testing.T) {
+	ring, rep, _ := newRepublisherRing(t, 0)
+	rep.SetEvaluation("file-a", 0.8)
+	rep.SetEvaluation("file-b", 0.3)
+	if rep.Len() != 2 {
+		t.Fatalf("staged %d", rep.Len())
+	}
+	if err := rep.RepublishNow(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []eval.FileID{"file-a", "file-b"} {
+		recs, err := ring.Nodes[5].Retrieve(HashKey(string(f)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("%s: %d records", f, len(recs))
+		}
+	}
+}
+
+func TestRepublisherUpdatesEvaluation(t *testing.T) {
+	ring, rep, _ := newRepublisherRing(t, 0)
+	rep.SetEvaluation("f", 0.9)
+	if err := rep.RepublishNow(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rep.SetEvaluation("f", 0.2) // user revised their opinion
+	if err := rep.RepublishNow(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ring.Nodes[3].Retrieve(HashKey("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Info.Evaluation != 0.2 {
+		t.Fatalf("update not applied: %+v", recs)
+	}
+}
+
+func TestRepublisherWithdraw(t *testing.T) {
+	_, rep, _ := newRepublisherRing(t, 0)
+	rep.SetEvaluation("f", 0.9)
+	rep.Withdraw("f")
+	if rep.Len() != 0 {
+		t.Fatal("withdrawn record still staged")
+	}
+	if err := rep.RepublishNow(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepublisherRefreshesTTL(t *testing.T) {
+	// Storage with a short TTL driven by a fake clock on every node.
+	owner, err := identity.Generate(identity.NewDeterministicReader(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := identity.NewDirectory()
+	if _, err := dir.Register(owner.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(5000, 0)
+	stores := make([]*Storage, 0, 8)
+	ring, err := NewRing(8, func(int) NodeConfig {
+		st := NewStorage(time.Hour, dir)
+		st.now = func() time.Time { return now }
+		stores = append(stores, st)
+		return NodeConfig{SuccessorListLen: 3, Storage: st}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewRepublisher(ring.Nodes[0], owner)
+	rep.SetEvaluation("f", 0.7)
+	if err := rep.RepublishNow(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	key := HashKey("f")
+
+	// 50 minutes later: refresh. 50 more minutes: still alive only
+	// because of the refresh.
+	now = now.Add(50 * time.Minute)
+	if err := rep.RepublishNow(51 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(50 * time.Minute)
+	recs, err := ring.Nodes[4].Retrieve(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("refreshed record expired: %d records", len(recs))
+	}
+
+	// Without further refresh it expires.
+	now = now.Add(2 * time.Hour)
+	recs, err = ring.Nodes[4].Retrieve(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("stale record survived TTL: %+v", recs)
+	}
+}
+
+func TestRepublisherBackgroundLoop(t *testing.T) {
+	ring, rep, _ := newRepublisherRing(t, 0)
+	rep.SetEvaluation("bg", 0.6)
+	rep.Start(10 * time.Millisecond)
+	defer rep.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		recs, err := ring.Nodes[6].Retrieve(HashKey("bg"))
+		if err == nil && len(recs) == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background republisher never published")
+}
+
+func TestRepublisherStopIdempotent(t *testing.T) {
+	_, rep, _ := newRepublisherRing(t, 0)
+	rep.Stop() // never started: no-op
+	rep.Start(time.Hour)
+	rep.Stop()
+	rep.Stop()
+}

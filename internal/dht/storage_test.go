@@ -1,0 +1,148 @@
+package dht
+
+import (
+	"testing"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+)
+
+func rec(key ID, owner string, value float64, ts time.Duration) StoredRecord {
+	return StoredRecord{
+		Key: key,
+		Info: eval.Info{
+			FileID:     "f",
+			OwnerID:    identity.PeerID(owner),
+			Evaluation: value,
+			Timestamp:  ts,
+		},
+	}
+}
+
+func TestStoragePutGet(t *testing.T) {
+	s := NewStorage(0, nil)
+	if n := s.Put([]StoredRecord{rec(1, "a", 0.9, 0), rec(1, "b", 0.5, 0), rec(2, "a", 0.1, 0)}); n != 3 {
+		t.Fatalf("Put accepted %d, want 3", n)
+	}
+	got := s.Get(1)
+	if len(got) != 2 {
+		t.Fatalf("Get(1) returned %d records", len(got))
+	}
+	if got[0].Info.OwnerID != "a" || got[1].Info.OwnerID != "b" {
+		t.Fatalf("records not sorted by owner: %+v", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Get(9) != nil {
+		t.Fatal("missing key returned records")
+	}
+}
+
+func TestStorageNewerTimestampWins(t *testing.T) {
+	s := NewStorage(0, nil)
+	s.Put([]StoredRecord{rec(1, "a", 0.9, 10)})
+	s.Put([]StoredRecord{rec(1, "a", 0.1, 5)}) // stale replay
+	got := s.Get(1)
+	if len(got) != 1 || got[0].Info.Evaluation != 0.9 {
+		t.Fatalf("stale record overwrote newer: %+v", got)
+	}
+	s.Put([]StoredRecord{rec(1, "a", 0.2, 20)}) // genuine update
+	got = s.Get(1)
+	if got[0].Info.Evaluation != 0.2 {
+		t.Fatalf("republication did not supersede: %+v", got)
+	}
+}
+
+func TestStorageTTLExpiry(t *testing.T) {
+	s := NewStorage(time.Hour, nil)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	s.Put([]StoredRecord{rec(1, "a", 0.9, 0)})
+	if len(s.Get(1)) != 1 {
+		t.Fatal("fresh record missing")
+	}
+	now = now.Add(2 * time.Hour)
+	if len(s.Get(1)) != 0 {
+		t.Fatal("expired record still returned")
+	}
+	if removed := s.Sweep(); removed != 1 {
+		t.Fatalf("Sweep removed %d, want 1", removed)
+	}
+	if s.Len() != 0 {
+		t.Fatal("swept store not empty")
+	}
+}
+
+func TestStorageRepublicationRefreshesTTL(t *testing.T) {
+	s := NewStorage(time.Hour, nil)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	s.Put([]StoredRecord{rec(1, "a", 0.9, 0)})
+	now = now.Add(50 * time.Minute)
+	s.Put([]StoredRecord{rec(1, "a", 0.9, time.Duration(now.UnixNano()))})
+	now = now.Add(50 * time.Minute) // 100m after first put, 50m after refresh
+	if len(s.Get(1)) != 1 {
+		t.Fatal("republished record expired")
+	}
+}
+
+func TestStorageSignatureVerification(t *testing.T) {
+	id, err := identity.Generate(identity.NewDeterministicReader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := identity.NewDirectory()
+	if _, err := dir.Register(id.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStorage(0, dir)
+
+	signed := eval.Info{FileID: "f", OwnerID: id.ID(), Evaluation: 0.7, Timestamp: 1}
+	if err := signed.Sign(id); err != nil {
+		t.Fatal(err)
+	}
+	forged := signed
+	forged.Evaluation = 1.0 // signature now invalid
+
+	n := s.Put([]StoredRecord{
+		{Key: 1, Info: signed},
+		{Key: 1, Info: forged},
+	})
+	if n != 1 {
+		t.Fatalf("Put accepted %d records, want only the signed one", n)
+	}
+	got := s.Get(1)
+	if len(got) != 1 || got[0].Info.Evaluation != 0.7 {
+		t.Fatalf("stored record wrong: %+v", got)
+	}
+}
+
+func TestStorageRecordsInRange(t *testing.T) {
+	s := NewStorage(0, nil)
+	s.Put([]StoredRecord{rec(5, "a", 1, 0), rec(15, "a", 1, 0), rec(25, "a", 1, 0)})
+	got := s.RecordsInRange(10, 20)
+	if len(got) != 1 || got[0].Key != 15 {
+		t.Fatalf("RecordsInRange(10, 20) = %+v", got)
+	}
+	all := s.All()
+	if len(all) != 3 {
+		t.Fatalf("All returned %d records", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key > all[i].Key {
+			t.Fatal("All not sorted by key")
+		}
+	}
+}
+
+func TestStorageRangeWraps(t *testing.T) {
+	s := NewStorage(0, nil)
+	high := ^ID(4)
+	s.Put([]StoredRecord{rec(high, "a", 1, 0), rec(3, "a", 1, 0), rec(1000, "a", 1, 0)})
+	got := s.RecordsInRange(^ID(9), 10)
+	if len(got) != 2 {
+		t.Fatalf("wrapped range returned %d records, want 2", len(got))
+	}
+}

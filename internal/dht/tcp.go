@@ -1,0 +1,248 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mdrep/internal/wire"
+)
+
+// The TCP transport frames each message with internal/wire (length-
+// prefixed JSON). One request/response pair per connection keeps the
+// protocol trivially robust to peer churn; the dial cost is irrelevant
+// next to file transfer times in the target workload.
+
+type wireRequest struct {
+	Method    string         `json:"method"`
+	ID        ID             `json:"id,omitempty"`
+	Node      NodeRef        `json:"node,omitempty"`
+	Records   []StoredRecord `json:"records,omitempty"`
+	Replicate bool           `json:"replicate,omitempty"`
+}
+
+type wireResponse struct {
+	Error   string         `json:"error,omitempty"`
+	Node    NodeRef        `json:"nodeRef,omitempty"`
+	HasNode bool           `json:"hasNode,omitempty"`
+	Nodes   []NodeRef      `json:"nodes,omitempty"`
+	Records []StoredRecord `json:"records,omitempty"`
+}
+
+// TCPClient implements Client over TCP.
+type TCPClient struct {
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// CallTimeout bounds a full request/response exchange.
+	CallTimeout time.Duration
+}
+
+// NewTCPClient returns a client with 2s dial and 5s call timeouts.
+func NewTCPClient() *TCPClient {
+	return &TCPClient{DialTimeout: 2 * time.Second, CallTimeout: 5 * time.Second}
+}
+
+func (c *TCPClient) call(addr string, req wireRequest) (*wireResponse, error) {
+	conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeUnreachable, addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := conn.SetDeadline(time.Now().Add(c.CallTimeout)); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, req); err != nil {
+		return nil, fmt.Errorf("%w: send to %s: %v", ErrNodeUnreachable, addr, err)
+	}
+	var resp wireResponse
+	if err := wire.ReadFrame(conn, &resp); err != nil {
+		return nil, fmt.Errorf("%w: recv from %s: %v", ErrNodeUnreachable, addr, err)
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// FindSuccessor implements Client.
+func (c *TCPClient) FindSuccessor(addr string, id ID) (NodeRef, error) {
+	resp, err := c.call(addr, wireRequest{Method: "find_successor", ID: id})
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return resp.Node, nil
+}
+
+// Successors implements Client.
+func (c *TCPClient) Successors(addr string) ([]NodeRef, error) {
+	resp, err := c.call(addr, wireRequest{Method: "successors"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Nodes, nil
+}
+
+// Predecessor implements Client.
+func (c *TCPClient) Predecessor(addr string) (NodeRef, bool, error) {
+	resp, err := c.call(addr, wireRequest{Method: "predecessor"})
+	if err != nil {
+		return NodeRef{}, false, err
+	}
+	return resp.Node, resp.HasNode, nil
+}
+
+// Notify implements Client.
+func (c *TCPClient) Notify(addr string, self NodeRef) error {
+	_, err := c.call(addr, wireRequest{Method: "notify", Node: self})
+	return err
+}
+
+// Ping implements Client.
+func (c *TCPClient) Ping(addr string) error {
+	_, err := c.call(addr, wireRequest{Method: "ping"})
+	return err
+}
+
+// Store implements Client.
+func (c *TCPClient) Store(addr string, recs []StoredRecord, replicate bool) error {
+	_, err := c.call(addr, wireRequest{Method: "store", Records: recs, Replicate: replicate})
+	return err
+}
+
+// Retrieve implements Client.
+func (c *TCPClient) Retrieve(addr string, key ID) ([]StoredRecord, error) {
+	resp, err := c.call(addr, wireRequest{Method: "retrieve", ID: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+var _ Client = (*TCPClient)(nil)
+
+// TCPServer serves a node's handler over TCP.
+type TCPServer struct {
+	listener net.Listener
+
+	mu      sync.Mutex
+	handler handler
+	conns   map[net.Conn]struct{}
+	closing bool
+	wg      sync.WaitGroup
+}
+
+// setHandler attaches (or replaces) the handler; requests arriving while
+// no handler is set are dropped.
+func (s *TCPServer) setHandler(h handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+func (s *TCPServer) getHandler() handler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handler
+}
+
+// ServeTCP starts serving h on addr (e.g. "127.0.0.1:0") and returns the
+// running server; Addr reports the bound address. The caller must Close.
+func ServeTCP(addr string, h handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dht: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{listener: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and all in-flight connections, then waits for
+// the serving goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	var req wireRequest
+	if err := wire.ReadFrame(conn, &req); err != nil {
+		return
+	}
+	h := s.getHandler()
+	if h == nil {
+		_ = wire.WriteFrame(conn, wireResponse{Error: "dht: node not attached yet"})
+		return
+	}
+	resp := s.dispatch(h, req)
+	_ = wire.WriteFrame(conn, resp)
+}
+
+func (s *TCPServer) dispatch(h handler, req wireRequest) wireResponse {
+	switch req.Method {
+	case "find_successor":
+		ref, err := h.HandleFindSuccessor(req.ID)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{Node: ref}
+	case "successors":
+		return wireResponse{Nodes: h.HandleSuccessors()}
+	case "predecessor":
+		ref, ok := h.HandlePredecessor()
+		return wireResponse{Node: ref, HasNode: ok}
+	case "notify":
+		h.HandleNotify(req.Node)
+		return wireResponse{}
+	case "ping":
+		return wireResponse{}
+	case "store":
+		h.HandleStore(req.Records, req.Replicate)
+		return wireResponse{}
+	case "retrieve":
+		return wireResponse{Records: h.HandleRetrieve(req.ID)}
+	default:
+		return wireResponse{Error: fmt.Sprintf("dht: unknown method %q", req.Method)}
+	}
+}

@@ -1,0 +1,168 @@
+package dht
+
+import (
+	"testing"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+)
+
+// startTCPRing launches n nodes on loopback TCP, joins them, and
+// stabilises. It returns the nodes and a cleanup function.
+func startTCPRing(t *testing.T, n int) []*Node {
+	t.Helper()
+	client := NewTCPClient()
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := DefaultNodeConfig()
+		cfg.Storage = NewStorage(0, nil)
+		// Bind first so the node's address (and ring ID) is the real
+		// listen address.
+		srv, err := ServeTCP("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(srv.Addr(), client, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.setHandler(node)
+		t.Cleanup(func() { _ = srv.Close() })
+		if i > 0 {
+			if err := node.Join(nodes[0].Self().Addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, node)
+	}
+	for round := 0; round < 2*n+6; round++ {
+		for _, node := range nodes {
+			node.Stabilize()
+		}
+	}
+	for _, node := range nodes {
+		node.FixAllFingers()
+	}
+	return nodes
+}
+
+func TestTCPRingPublishRetrieve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping TCP ring test in -short mode")
+	}
+	nodes := startTCPRing(t, 6)
+	key := HashKey("tcp-file")
+	if err := nodes[1].Publish([]StoredRecord{rec(key, "owner", 0.75, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nodes[4].Retrieve(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Info.Evaluation != 0.75 {
+		t.Fatalf("retrieved %+v", got)
+	}
+}
+
+func TestTCPRingLookupConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping TCP ring test in -short mode")
+	}
+	nodes := startTCPRing(t, 5)
+	key := HashKey("consistency-check")
+	want, err := nodes[0].Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes[1:] {
+		got, err := n.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Addr != want.Addr {
+			t.Fatalf("nodes disagree on owner of %v: %s vs %s", key, got.Addr, want.Addr)
+		}
+	}
+}
+
+func TestTCPSignedRecordVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping TCP ring test in -short mode")
+	}
+	owner, err := identity.Generate(identity.NewDeterministicReader(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := identity.NewDirectory()
+	if _, err := dir.Register(owner.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	client := NewTCPClient()
+	cfg := NodeConfig{SuccessorListLen: 2, Storage: NewStorage(0, dir)}
+	srv, err := ServeTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(srv.Addr(), client, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.setHandler(node)
+	t.Cleanup(func() { _ = srv.Close() })
+
+	info := eval.Info{FileID: "xyz", OwnerID: owner.ID(), Evaluation: 0.6, Timestamp: 3}
+	if err := info.Sign(owner); err != nil {
+		t.Fatal(err)
+	}
+	key := HashKey(string(info.FileID))
+	// Store via real TCP round trip (signature survives JSON framing).
+	if err := client.Store(node.Self().Addr, []StoredRecord{{Key: key, Info: info}}, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Retrieve(node.Self().Addr, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Info.Evaluation != 0.6 {
+		t.Fatalf("retrieved %+v", got)
+	}
+	// A forged record must be dropped by the verifying store.
+	forged := info
+	forged.Timestamp = 99
+	if err := client.Store(node.Self().Addr, []StoredRecord{{Key: key, Info: forged}}, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err = client.Retrieve(node.Self().Addr, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Info.Timestamp != 3 {
+		t.Fatalf("forged record accepted over TCP: %+v", got)
+	}
+}
+
+func TestTCPClientUnreachable(t *testing.T) {
+	c := &TCPClient{DialTimeout: 200 * time.Millisecond, CallTimeout: 200 * time.Millisecond}
+	if err := c.Ping("127.0.0.1:1"); err == nil {
+		t.Fatal("ping to closed port succeeded")
+	}
+}
+
+func TestTCPServerRejectsUnknownMethod(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewMemNet()
+	node, err := NewNode(srv.Addr(), net, DefaultNodeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.setHandler(node)
+	t.Cleanup(func() { _ = srv.Close() })
+	c := NewTCPClient()
+	if _, err := c.call(srv.Addr(), wireRequest{Method: "bogus"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package dht
+
+// TCPNodeServer couples a Node with the TCP server exposing it: the
+// listener is bound first so the node's ring ID derives from its real
+// address, then the node is attached as the handler.
+type TCPNodeServer struct {
+	srv  *TCPServer
+	node *Node
+}
+
+// ServeTCPNode binds listen (use ":0" for an ephemeral port), creates a
+// node addressed at the bound address, and starts serving it.
+func ServeTCPNode(listen string, client Client, cfg NodeConfig) (*TCPNodeServer, error) {
+	srv, err := ServeTCP(listen, nil)
+	if err != nil {
+		return nil, err
+	}
+	node, err := NewNode(srv.Addr(), client, cfg)
+	if err != nil {
+		_ = srv.Close()
+		return nil, err
+	}
+	srv.setHandler(node)
+	return &TCPNodeServer{srv: srv, node: node}, nil
+}
+
+// Node returns the served node.
+func (s *TCPNodeServer) Node() *Node { return s.node }
+
+// Addr returns the bound listen address.
+func (s *TCPNodeServer) Addr() string { return s.srv.Addr() }
+
+// Close stops the server.
+func (s *TCPNodeServer) Close() error { return s.srv.Close() }

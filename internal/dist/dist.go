@@ -1,0 +1,214 @@
+// Package dist provides the heavy-tailed distributions used to model P2P
+// file-sharing workloads: Zipf file popularity, bounded-Pareto user
+// activity and file sizes, exponential inter-arrival times, and lognormal
+// retention times.
+//
+// All samplers draw from an injected *sim.RNG so experiments remain
+// deterministic under a fixed seed.
+package dist
+
+import (
+	"errors"
+	"math"
+
+	"mdrep/internal/sim"
+)
+
+// Sampler produces values from a fixed distribution.
+type Sampler interface {
+	// Sample draws the next value.
+	Sample(rng *sim.RNG) float64
+}
+
+// Zipf samples ranks 1..N with P(rank=k) proportional to 1/k^s, via inverse
+// transform on a precomputed CDF. It models file-popularity skew: a small
+// number of titles receive most downloads, the defining property of the
+// Maze and KaZaA traces the paper builds on.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf distribution over ranks [1, n] with exponent s.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, errors.New("dist: Zipf needs n > 0")
+	}
+	if s < 0 {
+		return nil, errors.New("dist: Zipf needs s >= 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank draws a rank in [0, n) (zero-based; rank 0 is the most popular).
+func (z *Zipf) Rank(rng *sim.RNG) int {
+	u := rng.Float64()
+	// Binary search for the first CDF entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Sample returns the drawn rank as a float64 (zero-based), satisfying
+// Sampler.
+func (z *Zipf) Sample(rng *sim.RNG) float64 { return float64(z.Rank(rng)) }
+
+// PMF returns the probability of (zero-based) rank k.
+func (z *Zipf) PMF(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
+
+var _ Sampler = (*Zipf)(nil)
+
+// BoundedPareto samples from a Pareto distribution truncated to [lo, hi].
+// It models user activity (a few heavy uploaders/downloaders dominate) and
+// file sizes.
+type BoundedPareto struct {
+	alpha  float64
+	lo, hi float64
+}
+
+// NewBoundedPareto builds a bounded Pareto with shape alpha on [lo, hi].
+func NewBoundedPareto(alpha, lo, hi float64) (*BoundedPareto, error) {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		return nil, errors.New("dist: BoundedPareto needs alpha > 0 and 0 < lo < hi")
+	}
+	return &BoundedPareto{alpha: alpha, lo: lo, hi: hi}, nil
+}
+
+// Sample draws a value in [lo, hi] by inverse transform.
+func (p *BoundedPareto) Sample(rng *sim.RNG) float64 {
+	u := rng.Float64()
+	la := math.Pow(p.lo, p.alpha)
+	ha := math.Pow(p.hi, p.alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.alpha)
+	if x < p.lo {
+		x = p.lo
+	}
+	if x > p.hi {
+		x = p.hi
+	}
+	return x
+}
+
+var _ Sampler = (*BoundedPareto)(nil)
+
+// Exponential samples with the given rate (mean 1/rate); it models
+// inter-arrival times of download requests and session churn.
+type Exponential struct {
+	rate float64
+}
+
+// NewExponential builds an exponential distribution with rate > 0.
+func NewExponential(rate float64) (*Exponential, error) {
+	if rate <= 0 {
+		return nil, errors.New("dist: Exponential needs rate > 0")
+	}
+	return &Exponential{rate: rate}, nil
+}
+
+// Sample draws an exponentially distributed value with mean 1/rate.
+func (e *Exponential) Sample(rng *sim.RNG) float64 {
+	return rng.ExpFloat64() / e.rate
+}
+
+var _ Sampler = (*Exponential)(nil)
+
+// Lognormal samples exp(N(mu, sigma)); it models file retention times —
+// most files are deleted quickly, a long tail is kept for months, the
+// signal behind implicit evaluation in the paper (§3.1.1).
+type Lognormal struct {
+	mu, sigma float64
+}
+
+// NewLognormal builds a lognormal distribution with log-mean mu and
+// log-stddev sigma >= 0.
+func NewLognormal(mu, sigma float64) (*Lognormal, error) {
+	if sigma < 0 {
+		return nil, errors.New("dist: Lognormal needs sigma >= 0")
+	}
+	return &Lognormal{mu: mu, sigma: sigma}, nil
+}
+
+// Sample draws a lognormally distributed value.
+func (l *Lognormal) Sample(rng *sim.RNG) float64 {
+	return math.Exp(l.mu + l.sigma*rng.NormFloat64())
+}
+
+var _ Sampler = (*Lognormal)(nil)
+
+// Weighted draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. It is used to pick uploaders proportionally
+// to how many replicas of a file they hold, and peers proportional to
+// activity.
+type Weighted struct {
+	cdf []float64
+}
+
+// NewWeighted builds a discrete distribution from non-negative weights; at
+// least one weight must be positive.
+func NewWeighted(weights []float64) (*Weighted, error) {
+	if len(weights) == 0 {
+		return nil, errors.New("dist: Weighted needs at least one weight")
+	}
+	cdf := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, errors.New("dist: Weighted needs non-negative weights")
+		}
+		total += w
+		cdf[i] = total
+	}
+	if total <= 0 {
+		return nil, errors.New("dist: Weighted needs a positive total weight")
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Weighted{cdf: cdf}, nil
+}
+
+// Index draws an index proportional to its weight.
+func (w *Weighted) Index(rng *sim.RNG) int {
+	u := rng.Float64()
+	lo, hi := 0, len(w.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Sample returns the drawn index as a float64, satisfying Sampler.
+func (w *Weighted) Sample(rng *sim.RNG) float64 { return float64(w.Index(rng)) }
+
+var _ Sampler = (*Weighted)(nil)

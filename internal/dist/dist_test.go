@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mdrep/internal/sim"
+)
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("NewZipf(0, 1) succeeded")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatal("NewZipf(10, -1) succeeded")
+	}
+}
+
+func TestZipfPMFSumsToOne(t *testing.T) {
+	z, err := NewZipf(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for k := 0; k < z.N(); k++ {
+		sum += z.PMF(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %v", sum)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(1000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(rng)]++
+	}
+	// Rank 0 should get about 1/H(1000) ~ 13.4% of draws; rank 999 ~ 0.013%.
+	p0 := float64(counts[0]) / n
+	if p0 < 0.10 || p0 > 0.17 {
+		t.Fatalf("rank-0 frequency %v outside Zipf(1.0) expectation", p0)
+	}
+	if counts[0] < 50*counts[500] {
+		t.Fatalf("insufficient skew: head=%d mid=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, err := NewZipf(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if math.Abs(z.PMF(k)-0.1) > 1e-9 {
+			t.Fatalf("PMF(%d) = %v, want 0.1", k, z.PMF(k))
+		}
+	}
+}
+
+func TestZipfRankInRange(t *testing.T) {
+	z, err := NewZipf(50, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		r := z.Rank(rng)
+		if r < 0 || r >= 50 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	p, err := NewBoundedPareto(1.2, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := p.Sample(rng)
+		if v < 1 || v > 1000 {
+			t.Fatalf("sample %v outside [1, 1000]", v)
+		}
+	}
+}
+
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	p, err := NewBoundedPareto(1.0, 1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(4)
+	const n = 50000
+	small, large := 0, 0
+	for i := 0; i < n; i++ {
+		v := p.Sample(rng)
+		if v < 2 {
+			small++
+		}
+		if v > 100 {
+			large++
+		}
+	}
+	// With alpha=1 on [1,10^4]: P(X<2) ~ 0.5, P(X>100) ~ 1%.
+	if fs := float64(small) / n; fs < 0.4 || fs > 0.6 {
+		t.Fatalf("P(X<2) = %v, want ~0.5", fs)
+	}
+	if fl := float64(large) / n; fl < 0.003 || fl > 0.03 {
+		t.Fatalf("P(X>100) = %v, want ~0.01", fl)
+	}
+}
+
+func TestBoundedParetoRejectsBadParams(t *testing.T) {
+	cases := []struct{ alpha, lo, hi float64 }{
+		{0, 1, 2}, {1, 0, 2}, {1, 2, 2}, {1, 3, 2},
+	}
+	for _, c := range cases {
+		if _, err := NewBoundedPareto(c.alpha, c.lo, c.hi); err == nil {
+			t.Fatalf("NewBoundedPareto(%v, %v, %v) succeeded", c.alpha, c.lo, c.hi)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	e, err := NewExponential(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(5)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += e.Sample(rng)
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Fatalf("exponential(0.5) mean %v, want ~2", mean)
+	}
+}
+
+func TestExponentialRejectsBadRate(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Fatal("NewExponential(0) succeeded")
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	l, err := NewLognormal(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(6)
+	const n = 50000
+	below := 0
+	median := math.Exp(2.0)
+	for i := 0; i < n; i++ {
+		if l.Sample(rng) < median {
+			below++
+		}
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("P(X < e^mu) = %v, want ~0.5", frac)
+	}
+}
+
+func TestLognormalRejectsNegativeSigma(t *testing.T) {
+	if _, err := NewLognormal(0, -1); err == nil {
+		t.Fatal("NewLognormal with sigma<0 succeeded")
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	w, err := NewWeighted([]float64{1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Index(rng)]++
+	}
+	want := []float64{0.1, 0.3, 0.6}
+	for i, c := range counts {
+		if got := float64(c) / n; math.Abs(got-want[i]) > 0.01 {
+			t.Fatalf("index %d frequency %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestWeightedZeroWeightNeverDrawn(t *testing.T) {
+	w, err := NewWeighted([]float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(8)
+	for i := 0; i < 1000; i++ {
+		if w.Index(rng) != 1 {
+			t.Fatal("zero-weight index was drawn")
+		}
+	}
+}
+
+func TestWeightedRejectsBadWeights(t *testing.T) {
+	if _, err := NewWeighted(nil); err == nil {
+		t.Fatal("NewWeighted(nil) succeeded")
+	}
+	if _, err := NewWeighted([]float64{0, 0}); err == nil {
+		t.Fatal("NewWeighted(all-zero) succeeded")
+	}
+	if _, err := NewWeighted([]float64{1, -1}); err == nil {
+		t.Fatal("NewWeighted(negative) succeeded")
+	}
+}
+
+func TestWeightedIndexAlwaysValid(t *testing.T) {
+	rng := sim.NewRNG(9)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		anyPositive := false
+		for i, r := range raw {
+			weights[i] = float64(r)
+			if r > 0 {
+				anyPositive = true
+			}
+		}
+		if !anyPositive {
+			return true
+		}
+		w, err := NewWeighted(weights)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			idx := w.Index(rng)
+			if idx < 0 || idx >= len(weights) || weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package eigentrust
+
+import (
+	"math"
+	"testing"
+
+	"mdrep/internal/sim"
+	"mdrep/internal/sparse"
+)
+
+func ringMatrix(n int) *sparse.Matrix {
+	m := sparse.New(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, (i+1)%n, 1)
+	}
+	return m.RowNormalize()
+}
+
+func TestComputeUniformOnSymmetricRing(t *testing.T) {
+	n := 8
+	m := ringMatrix(n)
+	res, err := Compute(m, DefaultConfig([]int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("power iteration did not converge on a ring")
+	}
+	sum := 0.0
+	for _, v := range res.Trust {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("trust sums to %v", sum)
+	}
+}
+
+func TestComputeFavorsHighlyTrustedPeer(t *testing.T) {
+	// Everyone trusts peer 0; peer 0 trusts peer 1.
+	n := 6
+	m := sparse.New(n)
+	for i := 1; i < n; i++ {
+		m.Set(i, 0, 1)
+	}
+	m.Set(0, 1, 1)
+	m.RowNormalize()
+	res, err := Compute(m, DefaultConfig([]int{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < n; i++ {
+		if res.Trust[0] <= res.Trust[i] {
+			t.Fatalf("hub peer 0 (%v) not above peer %d (%v)", res.Trust[0], i, res.Trust[i])
+		}
+	}
+	if res.Trust[1] <= res.Trust[3] {
+		t.Fatalf("peer 1 trusted by hub (%v) not above leaf %v", res.Trust[1], res.Trust[3])
+	}
+}
+
+func TestComputeIsolatedCliqueLimitedByDamping(t *testing.T) {
+	// A collusion clique (3,4) trusts only itself; nobody outside trusts
+	// it. Pre-trust damping keeps its global trust near zero.
+	n := 5
+	m := sparse.New(n)
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 1)
+	m.Set(2, 0, 1)
+	m.Set(3, 4, 1)
+	m.Set(4, 3, 1)
+	m.RowNormalize()
+	res, err := Compute(m, DefaultConfig([]int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliqueTrust := res.Trust[3] + res.Trust[4]
+	if cliqueTrust > 0.05 {
+		t.Fatalf("isolated clique captured %v global trust", cliqueTrust)
+	}
+}
+
+func TestComputeDanglingRows(t *testing.T) {
+	// Peer 2 has no outgoing trust; its mass must flow to pre-trusted
+	// peers rather than leak.
+	n := 3
+	m := sparse.New(n)
+	m.Set(0, 2, 1)
+	m.Set(1, 2, 1)
+	m.RowNormalize()
+	res, err := Compute(m, DefaultConfig([]int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.Trust {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("trust mass leaked: sum %v", sum)
+	}
+	if res.Trust[2] < res.Trust[1] {
+		t.Fatalf("peer trusted by all (%v) below leaf (%v)", res.Trust[2], res.Trust[1])
+	}
+}
+
+func TestComputeRejectsNonStochastic(t *testing.T) {
+	m := sparse.New(2)
+	m.Set(0, 1, 2) // row sums to 2
+	if _, err := Compute(m, DefaultConfig([]int{0})); err == nil {
+		t.Fatal("non-stochastic matrix accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := ringMatrix(4)
+	cases := []Config{
+		{PreTrusted: nil, Damping: 0.1, Epsilon: 1e-9, MaxIterations: 10},
+		{PreTrusted: []int{9}, Damping: 0.1, Epsilon: 1e-9, MaxIterations: 10},
+		{PreTrusted: []int{0}, Damping: 2, Epsilon: 1e-9, MaxIterations: 10},
+		{PreTrusted: []int{0}, Damping: 0.1, Epsilon: 0, MaxIterations: 10},
+		{PreTrusted: []int{0}, Damping: 0.1, Epsilon: 1e-9, MaxIterations: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := Compute(m, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	rng := sim.NewRNG(3)
+	n := 30
+	m := sparse.New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			m.Set(i, rng.Intn(n), rng.Float64()+0.01)
+		}
+	}
+	m.RowNormalize()
+	a, err := Compute(m, DefaultConfig([]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(m, DefaultConfig([]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Trust {
+		if a.Trust[i] != b.Trust[i] {
+			t.Fatal("Compute not deterministic")
+		}
+	}
+}
+
+func TestLocalTrustFromSatisfaction(t *testing.T) {
+	sat := sparse.New(3)
+	unsat := sparse.New(3)
+	sat.Set(0, 1, 10)
+	unsat.Set(0, 1, 4) // net 6
+	sat.Set(0, 2, 3)
+	unsat.Set(0, 2, 5) // net negative → dropped
+	c, err := LocalTrustFromSatisfaction(sat, unsat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("c_01 = %v, want 1 (sole positive net)", got)
+	}
+	if c.Get(0, 2) != 0 {
+		t.Fatal("negative net satisfaction kept")
+	}
+}
+
+func TestLocalTrustFromSatisfactionErrors(t *testing.T) {
+	if _, err := LocalTrustFromSatisfaction(nil, sparse.New(2)); err == nil {
+		t.Fatal("nil sat accepted")
+	}
+	if _, err := LocalTrustFromSatisfaction(sparse.New(2), sparse.New(3)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,310 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mdrep/internal/identity"
+)
+
+func TestBlendValidate(t *testing.T) {
+	if err := DefaultBlend().Validate(); err != nil {
+		t.Fatalf("DefaultBlend invalid: %v", err)
+	}
+	bad := []Blend{
+		{Eta: 0.5, Rho: 0.6},
+		{Eta: -0.1, Rho: 1.1},
+		{Eta: 1.2, Rho: -0.2},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("blend %+v validated", b)
+		}
+	}
+}
+
+func TestRecordValueUnvotedUsesImplicit(t *testing.T) {
+	r := Record{Implicit: 0.7, Explicit: 0.1, Voted: false}
+	if got := r.Value(DefaultBlend()); got != 0.7 {
+		t.Fatalf("unvoted value = %v, want implicit 0.7", got)
+	}
+}
+
+func TestRecordValueVotedBlends(t *testing.T) {
+	b := Blend{Eta: 0.4, Rho: 0.6}
+	r := Record{Implicit: 0.5, Explicit: 1.0, Voted: true}
+	want := 0.4*0.5 + 0.6*1.0
+	if got := r.Value(b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("voted value = %v, want %v", got, want)
+	}
+}
+
+func TestRecordValueClamped(t *testing.T) {
+	r := Record{Implicit: 5, Voted: false}
+	if got := r.Value(DefaultBlend()); got != 1 {
+		t.Fatalf("value %v not clamped to 1", got)
+	}
+	r = Record{Implicit: -3, Voted: false}
+	if got := r.Value(DefaultBlend()); got != 0 {
+		t.Fatalf("value %v not clamped to 0", got)
+	}
+}
+
+func TestRetentionModelMonotone(t *testing.T) {
+	m := DefaultRetentionModel()
+	prev := -1.0
+	for h := 0; h <= 24*14; h += 6 {
+		v := m.Implicit(time.Duration(h)*time.Hour, false)
+		if v < prev {
+			t.Fatalf("implicit evaluation decreased at %dh: %v < %v", h, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("implicit evaluation %v out of range", v)
+		}
+		prev = v
+	}
+	if got := m.Implicit(0, false); got != m.Floor {
+		t.Fatalf("retention 0 → %v, want floor %v", got, m.Floor)
+	}
+	if got := m.Implicit(30*24*time.Hour, false); got != 1 {
+		t.Fatalf("long retention → %v, want 1", got)
+	}
+}
+
+func TestRetentionModelDeletion(t *testing.T) {
+	m := DefaultRetentionModel()
+	immediate := m.Implicit(0, true)
+	if immediate != 0 {
+		t.Fatalf("immediate deletion → %v, want 0", immediate)
+	}
+	late := m.Implicit(m.Saturation, true)
+	if math.Abs(late-0.5) > 1e-12 {
+		t.Fatalf("deletion at saturation → %v, want 0.5", late)
+	}
+	kept := m.Implicit(m.Saturation, false)
+	if late >= kept {
+		t.Fatalf("deletion (%v) should score below keeping (%v)", late, kept)
+	}
+}
+
+func TestRetentionModelZeroSaturation(t *testing.T) {
+	m := RetentionModel{Saturation: 0, Floor: 0.3}
+	if got := m.Implicit(time.Hour, false); got != 0.3 {
+		t.Fatalf("zero-saturation model → %v, want floor", got)
+	}
+}
+
+func TestStoreVoteAndImplicit(t *testing.T) {
+	s, err := NewStore(Blend{Eta: 0.5, Rho: 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetImplicit("f1", 0.8, 0)
+	v, ok := s.Get("f1", 0)
+	if !ok || v != 0.8 {
+		t.Fatalf("Get after SetImplicit = %v, %v", v, ok)
+	}
+	s.Vote("f1", 0.2, time.Second)
+	v, ok = s.Get("f1", time.Second)
+	want := 0.5*0.8 + 0.5*0.2
+	if !ok || math.Abs(v-want) > 1e-12 {
+		t.Fatalf("Get after Vote = %v, want %v", v, want)
+	}
+}
+
+func TestStoreVotePreservedAcrossImplicitUpdate(t *testing.T) {
+	s, err := NewStore(Blend{Eta: 0.5, Rho: 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Vote("f", 1.0, 0)
+	s.SetImplicit("f", 0.0, time.Second)
+	r, ok := s.Record("f", time.Second)
+	if !ok || !r.Voted || r.Explicit != 1.0 {
+		t.Fatalf("vote lost after implicit update: %+v", r)
+	}
+}
+
+func TestStoreWindowExpiry(t *testing.T) {
+	s, err := NewStore(DefaultBlend(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetImplicit("old", 0.9, 0)
+	s.SetImplicit("new", 0.9, 2*time.Hour)
+	if _, ok := s.Get("old", 2*time.Hour); ok {
+		t.Fatal("expired evaluation still readable")
+	}
+	if _, ok := s.Get("new", 2*time.Hour); !ok {
+		t.Fatal("live evaluation not readable")
+	}
+	if files := s.Files(2 * time.Hour); len(files) != 1 || files[0] != "new" {
+		t.Fatalf("Files = %v", files)
+	}
+	if removed := s.Compact(2 * time.Hour); removed != 1 {
+		t.Fatalf("Compact removed %d, want 1", removed)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after compact", s.Len())
+	}
+}
+
+func TestStoreUpdateRefreshesWindow(t *testing.T) {
+	s, err := NewStore(DefaultBlend(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetImplicit("f", 0.5, 0)
+	s.Vote("f", 0.9, 50*time.Minute) // refresh at 50m
+	if _, ok := s.Get("f", 100*time.Minute); !ok {
+		t.Fatal("refreshed evaluation expired early")
+	}
+}
+
+func TestStoreForget(t *testing.T) {
+	s, err := NewStore(DefaultBlend(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetImplicit("f", 0.5, 0)
+	s.Forget("f")
+	if _, ok := s.Get("f", 0); ok {
+		t.Fatal("forgotten evaluation still readable")
+	}
+}
+
+func TestStoreSnapshotIsCopy(t *testing.T) {
+	s, err := NewStore(DefaultBlend(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetImplicit("f", 0.5, 0)
+	snap := s.Snapshot(0)
+	snap["f"] = 99
+	if v, _ := s.Get("f", 0); v != 0.5 {
+		t.Fatal("Snapshot exposed internal state")
+	}
+}
+
+func TestStoreRejectsBadConfig(t *testing.T) {
+	if _, err := NewStore(Blend{Eta: 1, Rho: 1}, 0); err == nil {
+		t.Fatal("invalid blend accepted")
+	}
+	if _, err := NewStore(DefaultBlend(), -time.Second); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+func TestStoreValuesAlwaysInRange(t *testing.T) {
+	s, err := NewStore(DefaultBlend(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(impl, expl float64, voted bool) bool {
+		s.SetImplicit("f", impl, 0)
+		if voted {
+			s.Vote("f", expl, 0)
+		} else {
+			s.Forget("f")
+			s.SetImplicit("f", impl, 0)
+		}
+		v, ok := s.Get("f", 0)
+		return ok && v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newSignedInfo(t *testing.T, seed uint64) (*Info, *identity.Identity, *identity.Directory) {
+	t.Helper()
+	id, err := identity.Generate(identity.NewDeterministicReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := identity.NewDirectory()
+	if _, err := dir.Register(id.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	info := &Info{
+		FileID:     "abc123",
+		OwnerID:    id.ID(),
+		Evaluation: 0.85,
+		Timestamp:  42 * time.Second,
+	}
+	if err := info.Sign(id); err != nil {
+		t.Fatal(err)
+	}
+	return info, id, dir
+}
+
+func TestInfoSignVerifyRoundTrip(t *testing.T) {
+	info, _, dir := newSignedInfo(t, 100)
+	if err := info.Verify(dir); err != nil {
+		t.Fatalf("valid info rejected: %v", err)
+	}
+}
+
+func TestInfoVerifyRejectsTampering(t *testing.T) {
+	tamper := []func(*Info){
+		func(in *Info) { in.Evaluation = 0.1 },
+		func(in *Info) { in.FileID = "evil" },
+		func(in *Info) { in.Timestamp++ },
+	}
+	for i, mutate := range tamper {
+		info, _, dir := newSignedInfo(t, 200+uint64(i))
+		mutate(info)
+		if err := info.Verify(dir); err == nil {
+			t.Fatalf("tampering %d not detected", i)
+		}
+	}
+}
+
+func TestInfoVerifyRejectsOutOfRange(t *testing.T) {
+	info, id, dir := newSignedInfo(t, 300)
+	info.Evaluation = 1.5
+	// Re-sign so only the range check can fail.
+	if err := info.Sign(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := info.Verify(dir); err != ErrOutOfRange {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestInfoSignRejectsNonOwner(t *testing.T) {
+	info, _, _ := newSignedInfo(t, 400)
+	other, err := identity.Generate(identity.NewDeterministicReader(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := info.Sign(other); err == nil {
+		t.Fatal("non-owner signature accepted")
+	}
+}
+
+func TestInfoMarshalRoundTrip(t *testing.T) {
+	info, _, dir := newSignedInfo(t, 500)
+	data, err := info.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalInfo(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Verify(dir); err != nil {
+		t.Fatalf("round-tripped info failed verification: %v", err)
+	}
+	if got.FileID != info.FileID || got.Evaluation != info.Evaluation {
+		t.Fatalf("round trip changed fields: %+v vs %+v", got, info)
+	}
+}
+
+func TestUnmarshalInfoRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalInfo([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mdrep/internal/dht"
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+)
+
+// E6Config parameterises the DHT overhead experiment.
+type E6Config struct {
+	// RingSizes are the node counts swept.
+	RingSizes []int
+	// Files is how many files are published per configuration.
+	Files int
+	// Lookups is how many lookups measure hop counts.
+	Lookups int
+	// ChurnFraction is the fraction of nodes failed for the
+	// fault-tolerance measurement.
+	ChurnFraction float64
+}
+
+// DefaultE6Config returns the sweep recorded in EXPERIMENTS.md.
+func DefaultE6Config(scale Scale) E6Config {
+	cfg := E6Config{
+		RingSizes:     []int{16, 32, 64},
+		Files:         200,
+		Lookups:       300,
+		ChurnFraction: 0.1,
+	}
+	if scale == ScaleFull {
+		cfg.RingSizes = []int{16, 32, 64, 128, 256}
+		cfg.Files = 500
+		cfg.Lookups = 1000
+	}
+	return cfg
+}
+
+// E6Row is the measurement for one ring size.
+type E6Row struct {
+	Nodes int
+	// MeanLookupHops is FindSuccessor hops per lookup.
+	MeanLookupHops float64
+	// MsgsPiggyback is RPC messages per file when the evaluation rides
+	// along with the index publication (§4.1's design).
+	MsgsPiggyback float64
+	// MsgsSeparate is RPC messages per file when index and evaluation
+	// are stored under separate keys (the strawman the paper avoids).
+	MsgsSeparate float64
+	// RetrievalOKAfterChurn is the fraction of published files still
+	// retrievable after ChurnFraction of the nodes fail and the ring
+	// stabilises.
+	RetrievalOKAfterChurn float64
+}
+
+// E6Result is the DHT overhead sweep.
+type E6Result struct {
+	Config E6Config
+	Rows   []E6Row
+}
+
+// E6DHT measures lookup cost, publication overhead with and without
+// evaluation piggybacking, and retrieval availability under churn, on
+// in-memory rings of increasing size.
+func E6DHT(cfg E6Config) (*E6Result, error) {
+	if cfg.Files < 1 || cfg.Lookups < 1 {
+		return nil, fmt.Errorf("experiments: invalid E6 config %+v", cfg)
+	}
+	res := &E6Result{Config: cfg}
+	for _, n := range cfg.RingSizes {
+		if n < 4 {
+			return nil, fmt.Errorf("experiments: ring size %d too small", n)
+		}
+		row, err := e6Ring(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E6 ring %d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func e6Ring(cfg E6Config, n int) (E6Row, error) {
+	ring, err := dht.NewRing(n, nil)
+	if err != nil {
+		return E6Row{}, err
+	}
+	row := E6Row{Nodes: n}
+
+	// Lookup hops.
+	var hopsBefore uint64
+	for _, node := range ring.Nodes {
+		hopsBefore += node.LookupHops()
+	}
+	for i := 0; i < cfg.Lookups; i++ {
+		key := dht.HashKey(fmt.Sprintf("lookup-%d", i))
+		if _, err := ring.Nodes[i%n].Lookup(key); err != nil {
+			return E6Row{}, err
+		}
+	}
+	var hopsAfter uint64
+	for _, node := range ring.Nodes {
+		hopsAfter += node.LookupHops()
+	}
+	row.MeanLookupHops = float64(hopsAfter-hopsBefore) / float64(cfg.Lookups)
+
+	// Publication overhead: piggybacked vs separate keys.
+	mkRecord := func(name string, i int) dht.StoredRecord {
+		return dht.StoredRecord{
+			Key: dht.HashKey(name),
+			Info: eval.Info{
+				FileID:     eval.FileID(name),
+				OwnerID:    identity.PeerID(fmt.Sprintf("owner-%04d", i)),
+				Evaluation: 0.9,
+				Timestamp:  time.Duration(i),
+			},
+		}
+	}
+	ring.Net.ResetMessages()
+	for i := 0; i < cfg.Files; i++ {
+		name := fmt.Sprintf("file-%d", i)
+		// Piggyback: index entry and evaluation are one record under one
+		// key — one routed publish.
+		if err := ring.Nodes[i%n].Publish([]dht.StoredRecord{mkRecord(name, i)}); err != nil {
+			return E6Row{}, err
+		}
+	}
+	row.MsgsPiggyback = float64(ring.Net.Messages()) / float64(cfg.Files)
+
+	ring.Net.ResetMessages()
+	for i := 0; i < cfg.Files; i++ {
+		name := fmt.Sprintf("file-sep-%d", i)
+		// Separate: the index entry and the evaluation live under
+		// different keys, doubling the routed publishes.
+		if err := ring.Nodes[i%n].Publish([]dht.StoredRecord{mkRecord(name, i)}); err != nil {
+			return E6Row{}, err
+		}
+		evalRec := mkRecord("eval:"+name, i)
+		if err := ring.Nodes[i%n].Publish([]dht.StoredRecord{evalRec}); err != nil {
+			return E6Row{}, err
+		}
+	}
+	row.MsgsSeparate = float64(ring.Net.Messages()) / float64(cfg.Files)
+
+	// Churn: fail a fraction of nodes, stabilise the survivors, and
+	// check how many of the piggybacked records are still retrievable.
+	failed := make(map[string]struct{})
+	for i := 0; i < int(float64(n)*cfg.ChurnFraction); i++ {
+		addr := ring.Nodes[(i*7+3)%n].Self().Addr
+		ring.Net.Fail(addr)
+		failed[addr] = struct{}{}
+	}
+	var survivors []*dht.Node
+	for _, node := range ring.Nodes {
+		if _, down := failed[node.Self().Addr]; !down {
+			survivors = append(survivors, node)
+		}
+	}
+	for round := 0; round < 3*n; round++ {
+		for _, node := range survivors {
+			node.Stabilize()
+		}
+	}
+	for _, node := range survivors {
+		node.FixAllFingers()
+	}
+	ok := 0
+	for i := 0; i < cfg.Files; i++ {
+		name := fmt.Sprintf("file-%d", i)
+		recs, err := survivors[i%len(survivors)].Retrieve(dht.HashKey(name))
+		if err == nil && len(recs) > 0 {
+			ok++
+		}
+	}
+	row.RetrievalOKAfterChurn = float64(ok) / float64(cfg.Files)
+	return row, nil
+}
+
+// Render formats E6 as the overhead table.
+func (r *E6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("E6 — DHT cost: lookups, publication overhead, churn\n")
+	sb.WriteString("nodes  hops/lookup  msgs/publish(piggyback)  msgs/publish(separate)  retrievable-after-churn\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%5d  %11.2f  %23.2f  %22.2f  %23.3f\n",
+			row.Nodes, row.MeanLookupHops, row.MsgsPiggyback, row.MsgsSeparate,
+			row.RetrievalOKAfterChurn)
+	}
+	return sb.String()
+}

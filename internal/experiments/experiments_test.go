@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mdrep/internal/p2psim"
+)
+
+func TestFigure1ReproducesPaperBands(t *testing.T) {
+	res, err := Figure1(DefaultFig1Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]float64)
+	for i, s := range res.Series {
+		byName[s.Name()] = res.Steady[i]
+	}
+	// Paper: 5% → small; 20% → ≈50%; implicit → >80%.
+	if v := byName["k=5%"]; v > 0.35 {
+		t.Fatalf("k=5%% steady coverage %v, paper reports small", v)
+	}
+	if v := byName["k=20%"]; v < 0.3 || v > 0.7 {
+		t.Fatalf("k=20%% steady coverage %v, paper reports ≈0.5", v)
+	}
+	if v := byName["implicit(100%)"]; v < 0.8 {
+		t.Fatalf("implicit steady coverage %v, paper reports >0.8", v)
+	}
+	// Monotone in evaluation coverage.
+	for i := 1; i < len(res.Steady); i++ {
+		if res.Steady[i] < res.Steady[i-1] {
+			t.Fatalf("steady coverage not monotone: %v", res.Steady)
+		}
+	}
+}
+
+func TestFigure1RenderContainsSeries(t *testing.T) {
+	res, err := Figure1(DefaultFig1Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 1", "k=5%", "implicit(100%)", "steady-state"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE1SchemesOrdered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E1 runs three full simulations")
+	}
+	res, err := E1FakeFiles(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdrep := res.Fraction("mdrep")
+	naive := res.Fraction("naive-voting")
+	none := res.Fraction("none")
+	if mdrep < 0 || naive < 0 || none < 0 {
+		t.Fatalf("missing runs: %v", res.Labels)
+	}
+	if mdrep >= naive {
+		t.Fatalf("mdrep (%v) not below naive voting (%v)", mdrep, naive)
+	}
+	if naive >= none {
+		t.Fatalf("naive voting (%v) not below undefended (%v)", naive, none)
+	}
+	// The patient attacker collapses LIP but not MDRep.
+	lip := res.Fraction("lip")
+	lipPatient := res.Fraction("lip+patient")
+	mdrepPatient := res.Fraction("mdrep+patient")
+	if lipPatient < lip+0.3 {
+		t.Fatalf("patient attack did not collapse LIP: %v vs %v", lipPatient, lip)
+	}
+	if diff := mdrepPatient - mdrep; diff > 0.1 || diff < -0.1 {
+		t.Fatalf("patient attack moved mdrep: %v vs %v", mdrepPatient, mdrep)
+	}
+	if !strings.Contains(res.Render(), "fake-ratio") {
+		t.Fatal("render missing table")
+	}
+}
+
+func TestE2HonestBeatFreeRiders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E2 runs a full simulation")
+	}
+	res, err := E2Incentive(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := res.Run.BandwidthByClass[p2psim.Honest].Mean()
+	free := res.Run.BandwidthByClass[p2psim.FreeRider].Mean()
+	if honest <= free {
+		t.Fatalf("honest bandwidth %v not above free-rider %v", honest, free)
+	}
+	if !strings.Contains(res.Render(), "service differentiation") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestE3EigenTrustAmplifiesMDRepSuppresses(t *testing.T) {
+	res, err := E3Collusion(DefaultE3Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServiceShare <= 0 || res.ServiceShare > 0.3 {
+		t.Fatalf("clique service share %v implausible", res.ServiceShare)
+	}
+	// EigenTrust lets the clique capture more than its service share;
+	// one-step MDRep keeps it below.
+	if res.EigenTrustShare <= res.ServiceShare {
+		t.Fatalf("eigentrust share %v not amplified above service %v",
+			res.EigenTrustShare, res.ServiceShare)
+	}
+	if res.MDRepShare >= res.ServiceShare {
+		t.Fatalf("mdrep share %v not below service share %v",
+			res.MDRepShare, res.ServiceShare)
+	}
+	// Depth amplifies: 2-step leaks more trust into the clique than
+	// 1-step.
+	if res.MDRepTwoStepShare <= res.MDRepShare {
+		t.Fatalf("2-step share %v not above 1-step %v",
+			res.MDRepTwoStepShare, res.MDRepShare)
+	}
+	if !strings.Contains(res.Render(), "amplification") {
+		t.Fatal("render missing table")
+	}
+}
+
+func TestE3ConfigValidation(t *testing.T) {
+	cfg := DefaultE3Config(ScaleSmall)
+	cfg.HonestPeers = 5
+	if _, err := E3Collusion(cfg); err == nil {
+		t.Fatal("tiny population accepted")
+	}
+}
+
+func TestE4DimensionsOnlyHelp(t *testing.T) {
+	res, err := E4Ablation(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Regimes {
+		if res.PlusDM[i] < res.FileOnly[i] {
+			t.Fatalf("regime %v: +DM (%v) below file-only (%v)",
+				res.Regimes[i], res.PlusDM[i], res.FileOnly[i])
+		}
+		if res.PlusUM[i] < res.FileOnly[i] {
+			t.Fatalf("regime %v: +UM (%v) below file-only (%v)",
+				res.Regimes[i], res.PlusUM[i], res.FileOnly[i])
+		}
+		if res.All[i] < res.PlusDM[i] || res.All[i] < res.PlusUM[i] {
+			t.Fatalf("regime %v: all dimensions (%v) below a subset", res.Regimes[i], res.All[i])
+		}
+	}
+	// In the sparse regime the extra dimensions matter a lot.
+	if res.PlusDM[0] < res.FileOnly[0]+0.1 {
+		t.Fatalf("sparse regime: +DM (%v) adds too little over file-only (%v)",
+			res.PlusDM[0], res.FileOnly[0])
+	}
+	if res.TitForTat <= 0 || res.TitForTat >= res.All[2] {
+		t.Fatalf("tit-for-tat baseline %v not between 0 and full coverage %v",
+			res.TitForTat, res.PlusUM[2])
+	}
+	if !strings.Contains(res.Render(), "file-only") {
+		t.Fatal("render missing table")
+	}
+}
+
+func TestE5CoverageGrowsWithDepthButSaturates(t *testing.T) {
+	res, err := E5Steps(DefaultE5Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Coverage
+	if len(cov) != 6 {
+		t.Fatalf("coverage depth %d", len(cov))
+	}
+	for k := 1; k < len(cov); k++ {
+		if cov[k] < cov[k-1] {
+			t.Fatalf("coverage not monotone in depth: %v", cov)
+		}
+	}
+	// The one-step sparse matrix problem: low one-step coverage.
+	if cov[0] > 0.3 {
+		t.Fatalf("one-step coverage %v not sparse; regime broken", cov[0])
+	}
+	// Depth helps substantially…
+	if cov[2] < 2*cov[0] {
+		t.Fatalf("3-step coverage %v does not clearly improve on 1-step %v", cov[2], cov[0])
+	}
+	// …but saturates well below the implicit-evaluation fix (Fig. 1's
+	// >0.8), which is the paper's argument for densifying one step.
+	if cov[len(cov)-1] > 0.8 {
+		t.Fatalf("deep coverage %v too high; sparse regime broken", cov[len(cov)-1])
+	}
+	if !strings.Contains(res.Render(), "steps") {
+		t.Fatal("render missing table")
+	}
+}
+
+func TestE5ConfigValidation(t *testing.T) {
+	cfg := DefaultE5Config(ScaleSmall)
+	cfg.MaxSteps = 0
+	if _, err := E5Steps(cfg); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestE6LookupCostLogarithmicAndPiggybackCheaper(t *testing.T) {
+	res, err := E6DHT(DefaultE6Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// O(log n): far fewer hops than n/2 (the linear-walk cost).
+		if row.MeanLookupHops > float64(row.Nodes)/2 {
+			t.Fatalf("%d nodes: %v hops/lookup looks linear", row.Nodes, row.MeanLookupHops)
+		}
+		// Piggybacking roughly halves publication messages.
+		if row.MsgsPiggyback >= row.MsgsSeparate*0.7 {
+			t.Fatalf("%d nodes: piggyback (%v msgs) not clearly cheaper than separate (%v)",
+				row.Nodes, row.MsgsPiggyback, row.MsgsSeparate)
+		}
+		// Successor-list replication keeps data available under 10% churn.
+		if row.RetrievalOKAfterChurn < 0.95 {
+			t.Fatalf("%d nodes: only %v retrievable after churn",
+				row.Nodes, row.RetrievalOKAfterChurn)
+		}
+	}
+	// Hop count grows sublinearly with ring size.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.MeanLookupHops > first.MeanLookupHops*float64(last.Nodes)/float64(first.Nodes)/2 {
+		t.Fatalf("hops grew superlogarithmically: %v@%d vs %v@%d",
+			first.MeanLookupHops, first.Nodes, last.MeanLookupHops, last.Nodes)
+	}
+	if !strings.Contains(res.Render(), "piggyback") {
+		t.Fatal("render missing table")
+	}
+}
+
+func TestE6ConfigValidation(t *testing.T) {
+	cfg := DefaultE6Config(ScaleSmall)
+	cfg.Files = 0
+	if _, err := E6DHT(cfg); err == nil {
+		t.Fatal("zero files accepted")
+	}
+	cfg = DefaultE6Config(ScaleSmall)
+	cfg.RingSizes = []int{2}
+	if _, err := E6DHT(cfg); err == nil {
+		t.Fatal("tiny ring accepted")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	a, err := E5Steps(DefaultE5Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E5Steps(DefaultE5Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Coverage {
+		if a.Coverage[i] != b.Coverage[i] {
+			t.Fatal("E5 not deterministic")
+		}
+	}
+}
+
+func TestE1PolluterSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs eight simulations")
+	}
+	res, err := E1PolluterSweep(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MDRep) != len(res.Fractions) || len(res.None) != len(res.Fractions) {
+		t.Fatalf("ragged sweep: %+v", res)
+	}
+	for i := range res.Fractions {
+		// The defence must beat no-defence at every attacker strength.
+		if res.MDRep[i] >= res.None[i] {
+			t.Fatalf("p=%v: mdrep (%v) not below none (%v)",
+				res.Fractions[i], res.MDRep[i], res.None[i])
+		}
+	}
+	// The defence degrades as the attacker fraction grows; no-defence is
+	// already saturated.
+	if res.MDRep[len(res.MDRep)-1] <= res.MDRep[0] {
+		t.Fatalf("mdrep did not degrade with attacker strength: %v", res.MDRep)
+	}
+	if !strings.Contains(res.Render(), "polluter fraction") {
+		t.Fatal("render missing table")
+	}
+}
+
+func TestE7FileDimensionIdentifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs four simulations")
+	}
+	res, err := E7Weights(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := make(map[string]E7Row)
+	for _, row := range res.Rows {
+		byLabel[row.Label] = row
+	}
+	fileOnly, ok := byLabel["file-only"]
+	if !ok {
+		t.Fatal("file-only row missing")
+	}
+	noFile, ok := byLabel["no-file"]
+	if !ok {
+		t.Fatal("no-file row missing")
+	}
+	if fileOnly.FakeRatio >= noFile.FakeRatio {
+		t.Fatalf("file dimension not doing the identification: file-only %v vs no-file %v",
+			fileOnly.FakeRatio, noFile.FakeRatio)
+	}
+	if fileOnly.Separation() <= noFile.Separation() {
+		t.Fatalf("file-only separation %v not above no-file %v",
+			fileOnly.Separation(), noFile.Separation())
+	}
+	if !strings.Contains(res.Render(), "ablation") {
+		t.Fatal("render missing table")
+	}
+}

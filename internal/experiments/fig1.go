@@ -1,0 +1,127 @@
+// Package experiments contains one runner per reproduced result: Figure 1
+// (request coverage) and the extension experiments E1–E7 documented in
+// DESIGN.md. Each runner is deterministic under its seed, returns a
+// structured result, and can render itself for terminal output; the
+// cmd/ binaries and the root bench harness are thin wrappers around this
+// package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mdrep/internal/core"
+	"mdrep/internal/metrics"
+	"mdrep/internal/trace"
+)
+
+// Scale selects how large an experiment instance to run.
+type Scale int
+
+// Experiment scales: Small for CI and benchmarks, Full for the numbers
+// recorded in EXPERIMENTS.md.
+const (
+	ScaleSmall Scale = iota + 1
+	ScaleFull
+)
+
+// Fig1Config parameterises the Figure 1 reproduction.
+type Fig1Config struct {
+	// Trace generates the synthetic Maze-like workload.
+	Trace trace.GenConfig
+	// VoteFractions are the explicit-evaluation coverages k to plot; the
+	// implicit case (1.0) reproduces the paper's "evaluate 100%" line.
+	VoteFractions []float64
+	// Window is the evaluation retention interval.
+	Window time.Duration
+	// Buckets is the number of points per series.
+	Buckets int
+}
+
+// DefaultFig1Config returns the configuration recorded in EXPERIMENTS.md.
+func DefaultFig1Config(scale Scale) Fig1Config {
+	tc := trace.DefaultGenConfig()
+	if scale == ScaleSmall {
+		tc.Peers = 200
+		tc.Files = 1000
+		tc.Downloads = 20000
+	}
+	return Fig1Config{
+		Trace:         tc,
+		VoteFractions: []float64{0.05, 0.1, 0.2, 0.5, 1.0},
+		Window:        0,
+		Buckets:       30,
+	}
+}
+
+// Fig1Result is the reproduced Figure 1.
+type Fig1Result struct {
+	Config Fig1Config
+	// Series holds one coverage-over-time series per vote fraction.
+	Series []*metrics.Series
+	// Steady holds the steady-state coverage per vote fraction.
+	Steady []float64
+	// TraceStats summarises the generated workload.
+	TraceStats trace.Stats
+}
+
+// Figure1 generates the trace once and measures request coverage for each
+// evaluation coverage, reproducing the paper's Figure 1.
+func Figure1(cfg Fig1Config) (*Fig1Result, error) {
+	tr, err := trace.Generate(cfg.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 1 trace: %w", err)
+	}
+	return Figure1OnTrace(tr, cfg)
+}
+
+// Figure1OnTrace runs the coverage measurement on a supplied trace — the
+// path for replaying a real log converted to the paper's schema.
+func Figure1OnTrace(tr *trace.Trace, cfg Fig1Config) (*Fig1Result, error) {
+	res := &Fig1Result{Config: cfg, TraceStats: tr.ComputeStats()}
+	for _, k := range cfg.VoteFractions {
+		cov, err := core.MeasureCoverage(tr, core.CoverageConfig{
+			VoteFraction: k,
+			Window:       cfg.Window,
+			Buckets:      cfg.Buckets,
+			Seed:         cfg.Trace.Seed + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: coverage at k=%v: %w", k, err)
+		}
+		name := fmt.Sprintf("k=%d%%", int(k*100+0.5))
+		if k >= 1 {
+			name = "implicit(100%)"
+		}
+		series, err := metrics.NewSeries(name, tr.Duration()/time.Duration(cfg.Buckets))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cov.Series {
+			if p.Requests > 0 {
+				series.Add(p.Time-1, p.Fraction())
+			}
+		}
+		res.Series = append(res.Series, series)
+		res.Steady = append(res.Steady, cov.SteadyStateFraction())
+	}
+	return res, nil
+}
+
+// Render formats the figure for the terminal: the ASCII chart plus the
+// steady-state table compared against the paper's reported bands.
+func (r *Fig1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString(metrics.AsciiChart(
+		"Figure 1 — request coverage vs evaluation coverage (time →)",
+		72, 16, r.Series...))
+	sb.WriteString("\nsteady-state coverage:\n")
+	for i, s := range r.Series {
+		fmt.Fprintf(&sb, "  %-16s %.3f\n", s.Name(), r.Steady[i])
+	}
+	fmt.Fprintf(&sb, "trace: %d peers, %d files, %d downloads over %.0f days\n",
+		r.TraceStats.Peers, r.TraceStats.Files, r.TraceStats.Downloads,
+		r.TraceStats.Duration.Hours()/24)
+	return sb.String()
+}

@@ -1,0 +1,171 @@
+package identity
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateAndSignVerify(t *testing.T) {
+	id, err := Generate(NewDeterministicReader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("evaluation of file 42: 0.9")
+	sig := id.Sign(msg)
+	if err := Verify(id.ID(), id.PublicKey(), msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	id, err := Generate(NewDeterministicReader(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := id.Sign([]byte("eval 0.9"))
+	if err := Verify(id.ID(), id.PublicKey(), []byte("eval 0.1"), sig); err != ErrBadSignature {
+		t.Fatalf("tampered message: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongID(t *testing.T) {
+	a, err := Generate(NewDeterministicReader(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(NewDeterministicReader(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	sig := a.Sign(msg)
+	// Valid signature from a, but claimed under b's ID.
+	if err := Verify(b.ID(), a.PublicKey(), msg, sig); err != ErrIDMismatch {
+		t.Fatalf("ID mismatch: err = %v, want ErrIDMismatch", err)
+	}
+}
+
+func TestDeterministicIdentities(t *testing.T) {
+	a, err := Generate(NewDeterministicReader(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(NewDeterministicReader(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != b.ID() {
+		t.Fatal("same seed produced different identities")
+	}
+	c, err := Generate(NewDeterministicReader(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() == c.ID() {
+		t.Fatal("different seeds produced identical identities")
+	}
+}
+
+func TestGenerateWithNilRandUsesCryptoRand(t *testing.T) {
+	id, err := Generate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id.ID()) != 2*IDLen {
+		t.Fatalf("ID length %d, want %d", len(id.ID()), 2*IDLen)
+	}
+}
+
+func TestDirectoryRegisterLookup(t *testing.T) {
+	d := NewDirectory()
+	id, err := Generate(NewDeterministicReader(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := d.Register(id.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid != id.ID() {
+		t.Fatalf("Register returned %s, want %s", pid, id.ID())
+	}
+	pub, ok := d.Lookup(pid)
+	if !ok || !bytes.Equal(pub, id.PublicKey()) {
+		t.Fatal("Lookup did not return registered key")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDirectoryRegisterIdempotent(t *testing.T) {
+	d := NewDirectory()
+	id, err := Generate(NewDeterministicReader(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Register(id.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Register(id.PublicKey()); err != nil {
+		t.Fatalf("re-registering same key failed: %v", err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d after double register", d.Len())
+	}
+}
+
+func TestDirectoryVerifyWith(t *testing.T) {
+	d := NewDirectory()
+	id, err := Generate(NewDeterministicReader(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Register(id.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello")
+	sig := id.Sign(msg)
+	if err := d.VerifyWith(id.ID(), msg, sig); err != nil {
+		t.Fatalf("VerifyWith rejected valid record: %v", err)
+	}
+	if err := d.VerifyWith("deadbeef", msg, sig); err == nil {
+		t.Fatal("VerifyWith accepted unknown peer")
+	}
+}
+
+func TestDirectoryKeyCopied(t *testing.T) {
+	d := NewDirectory()
+	id, err := Generate(NewDeterministicReader(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := id.PublicKey()
+	mutable := make([]byte, len(pub))
+	copy(mutable, pub)
+	pid, err := d.Register(mutable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutable[0] ^= 0xff // caller mutates its slice after registration
+	stored, _ := d.Lookup(pid)
+	if !bytes.Equal(stored, pub) {
+		t.Fatal("Directory stored a reference to the caller's slice")
+	}
+}
+
+func TestDeterministicReaderStreamsDiffer(t *testing.T) {
+	a := NewDeterministicReader(1)
+	b := NewDeterministicReader(2)
+	bufA := make([]byte, 32)
+	bufB := make([]byte, 32)
+	if _, err := a.Read(bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA, bufB) {
+		t.Fatal("different seeds produced identical keystreams")
+	}
+}

@@ -1,0 +1,340 @@
+// Package incentive implements the trust-based incentive mechanism of
+// §3.4: service differentiation keyed on the requester's reputation.
+// High-reputation requesters "add to their request time a negative offset
+// whose magnitude grows with their reputation", moving them forward in the
+// upload queue; low-reputation requesters are throttled by a bandwidth
+// quota. Because reputation rises with uploading real files, voting,
+// honest ranking and fast fake-file deletion, the differentiation closes
+// the loop that makes users feed the trust system.
+package incentive
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Policy maps reputation to queueing offset and bandwidth quota.
+type Policy struct {
+	// MaxOffset is the largest negative queueing offset (granted at
+	// reputation >= RefReputation).
+	MaxOffset time.Duration
+	// RefReputation is the reputation granting the full offset; offsets
+	// scale linearly below it. Reputations here are RM row values, which
+	// are small (they sum to <= 1 across all peers), so the reference is
+	// correspondingly small.
+	RefReputation float64
+	// QuotaThreshold is the reputation below which the bandwidth quota
+	// applies.
+	QuotaThreshold float64
+	// FullBandwidth is the per-transfer bandwidth (bytes/sec) granted to
+	// requesters above the threshold.
+	FullBandwidth float64
+	// MinBandwidthFraction floors the quota so zero-reputation newcomers
+	// can still bootstrap (a strict zero would re-create the free-rider
+	// cold-start problem).
+	MinBandwidthFraction float64
+}
+
+// DefaultPolicy returns the experiment defaults: up to 10 minutes of queue
+// advantage and a quota down to 10% of full bandwidth.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxOffset:            10 * time.Minute,
+		RefReputation:        0.05,
+		QuotaThreshold:       0.005,
+		FullBandwidth:        1 << 20, // 1 MiB/s
+		MinBandwidthFraction: 0.1,
+	}
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.MaxOffset < 0 {
+		return errors.New("incentive: negative max offset")
+	}
+	if p.RefReputation <= 0 {
+		return errors.New("incentive: non-positive reference reputation")
+	}
+	if p.QuotaThreshold < 0 {
+		return errors.New("incentive: negative quota threshold")
+	}
+	if p.FullBandwidth <= 0 {
+		return errors.New("incentive: non-positive bandwidth")
+	}
+	if p.MinBandwidthFraction < 0 || p.MinBandwidthFraction > 1 {
+		return errors.New("incentive: bandwidth fraction outside [0,1]")
+	}
+	return nil
+}
+
+// Offset returns the negative queueing offset for a reputation: zero at
+// reputation zero, growing linearly to MaxOffset at RefReputation.
+func (p Policy) Offset(reputation float64) time.Duration {
+	if reputation <= 0 {
+		return 0
+	}
+	frac := reputation / p.RefReputation
+	if frac > 1 {
+		frac = 1
+	}
+	return time.Duration(float64(p.MaxOffset) * frac)
+}
+
+// Bandwidth returns the granted transfer bandwidth (bytes/sec) for a
+// reputation. Above the threshold the full bandwidth applies; below it the
+// quota scales linearly down to the floor.
+func (p Policy) Bandwidth(reputation float64) float64 {
+	if reputation >= p.QuotaThreshold {
+		return p.FullBandwidth
+	}
+	floor := p.FullBandwidth * p.MinBandwidthFraction
+	if p.QuotaThreshold <= 0 {
+		return p.FullBandwidth
+	}
+	frac := reputation / p.QuotaThreshold
+	if frac < 0 {
+		frac = 0
+	}
+	return floor + (p.FullBandwidth-floor)*frac
+}
+
+// TransferTime returns how long size bytes take at the reputation's quota.
+func (p Policy) TransferTime(reputation float64, size int64) time.Duration {
+	bw := p.Bandwidth(reputation)
+	return time.Duration(float64(size) / bw * float64(time.Second))
+}
+
+// Request is a pending download request at a serving peer.
+type Request struct {
+	// Requester is the peer asking for the upload.
+	Requester int
+	// File names the requested file (opaque to the queue).
+	File string
+	// Size is the requested bytes.
+	Size int64
+	// Arrival is the request's arrival time at the server.
+	Arrival time.Duration
+	// Reputation is the server's reputation view of the requester at
+	// enqueue time.
+	Reputation float64
+	// effective = Arrival − Offset(Reputation); the queue orders on it.
+	effective time.Duration
+	seq       uint64
+	index     int
+}
+
+// Effective returns the reputation-adjusted queue position time.
+func (r *Request) Effective() time.Duration { return r.effective }
+
+// Queue is the server-side upload queue: a priority queue on effective
+// request time, so a high-reputation requester arriving late can overtake
+// earlier low-reputation requests, exactly the differentiation of §3.4.
+type Queue struct {
+	policy Policy
+	seq    uint64
+	heap   requestHeap
+}
+
+// NewQueue builds an empty queue under the given policy.
+func NewQueue(policy Policy) (*Queue, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &Queue{policy: policy}, nil
+}
+
+// Policy returns the queue's policy.
+func (q *Queue) Policy() Policy { return q.policy }
+
+// Len returns the number of waiting requests.
+func (q *Queue) Len() int { return q.heap.Len() }
+
+// Push enqueues a request, computing its effective time.
+func (q *Queue) Push(r Request) error {
+	if r.Size < 0 {
+		return fmt.Errorf("incentive: negative size %d", r.Size)
+	}
+	r.effective = r.Arrival - q.policy.Offset(r.Reputation)
+	q.seq++
+	r.seq = q.seq
+	rc := r
+	heap.Push(&q.heap, &rc)
+	return nil
+}
+
+// Pop dequeues the request with the earliest effective time; ok is false
+// when the queue is empty.
+func (q *Queue) Pop() (Request, bool) {
+	if q.heap.Len() == 0 {
+		return Request{}, false
+	}
+	r, ok := heap.Pop(&q.heap).(*Request)
+	if !ok {
+		return Request{}, false
+	}
+	return *r, true
+}
+
+// Peek returns the next request without removing it.
+func (q *Queue) Peek() (Request, bool) {
+	if q.heap.Len() == 0 {
+		return Request{}, false
+	}
+	return *q.heap[0], true
+}
+
+type requestHeap []*Request
+
+func (h requestHeap) Len() int { return len(h) }
+
+func (h requestHeap) Less(i, j int) bool {
+	if h[i].effective != h[j].effective {
+		return h[i].effective < h[j].effective
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h requestHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *requestHeap) Push(x any) {
+	r, ok := x.(*Request)
+	if !ok {
+		return
+	}
+	r.index = len(*h)
+	*h = append(*h, r)
+}
+
+func (h *requestHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+// Server simulates one uploader serving its queue sequentially at the
+// per-requester quota bandwidth; it reports per-request completion times
+// so experiments can measure the delay split between classes (E2).
+type Server struct {
+	queue *Queue
+	// busyUntil is when the current transfer finishes.
+	busyUntil time.Duration
+}
+
+// NewServer wraps a queue.
+func NewServer(policy Policy) (*Server, error) {
+	q, err := NewQueue(policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{queue: q}, nil
+}
+
+// Enqueue adds a request.
+func (s *Server) Enqueue(r Request) error { return s.queue.Push(r) }
+
+// Completion is the outcome of serving one request.
+type Completion struct {
+	Request Request
+	// Start is when the transfer began.
+	Start time.Duration
+	// Finish is when the transfer completed.
+	Finish time.Duration
+}
+
+// Wait returns the queueing delay experienced by the requester.
+func (c Completion) Wait() time.Duration { return c.Start - c.Request.Arrival }
+
+// ServeAll drains the queue, serving one transfer at a time in effective
+// (reputation-adjusted) order, and returns completions in service order.
+// Each transfer starts at the later of the previous finish and its own
+// arrival, so a periodic caller reconstructs the schedule a continuously
+// serving uploader would have produced.
+func (s *Server) ServeAll() []Completion {
+	out := make([]Completion, 0, s.queue.Len())
+	for {
+		r, ok := s.queue.Pop()
+		if !ok {
+			return out
+		}
+		start := s.busyUntil
+		if r.Arrival > start {
+			start = r.Arrival
+		}
+		finish := start + s.queue.Policy().TransferTime(r.Reputation, r.Size)
+		s.busyUntil = finish
+		out = append(out, Completion{Request: r, Start: start, Finish: finish})
+	}
+}
+
+// TokenBucket enforces a bandwidth quota over time: tokens are bytes,
+// refilled at the granted rate up to a burst cap. Uploaders use one bucket
+// per low-reputation requester to hold them to Policy.Bandwidth even
+// across many small transfers.
+type TokenBucket struct {
+	rate   float64 // bytes per second
+	burst  float64 // max accumulated bytes
+	tokens float64
+	last   time.Duration
+}
+
+// NewTokenBucket builds a bucket with the given rate (bytes/sec) and
+// burst (bytes); it starts full.
+func NewTokenBucket(rate, burst float64) (*TokenBucket, error) {
+	if rate <= 0 {
+		return nil, errors.New("incentive: non-positive rate")
+	}
+	if burst <= 0 {
+		return nil, errors.New("incentive: non-positive burst")
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}, nil
+}
+
+// refill advances the bucket to now.
+func (b *TokenBucket) refill(now time.Duration) {
+	if now <= b.last {
+		return
+	}
+	b.tokens += b.rate * (now - b.last).Seconds()
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Allow consumes size bytes at virtual time now if the quota permits, and
+// reports whether the transfer may proceed immediately.
+func (b *TokenBucket) Allow(now time.Duration, size int64) bool {
+	b.refill(now)
+	if float64(size) > b.tokens {
+		return false
+	}
+	b.tokens -= float64(size)
+	return true
+}
+
+// DelayUntil returns how long after now the caller must wait before size
+// bytes are available (zero if available immediately).
+func (b *TokenBucket) DelayUntil(now time.Duration, size int64) time.Duration {
+	b.refill(now)
+	missing := float64(size) - b.tokens
+	if missing <= 0 {
+		return 0
+	}
+	return time.Duration(missing / b.rate * float64(time.Second))
+}
+
+// BucketFor returns a bucket enforcing the policy's granted bandwidth for
+// a reputation, with a burst of one second of traffic.
+func (p Policy) BucketFor(reputation float64) (*TokenBucket, error) {
+	bw := p.Bandwidth(reputation)
+	return NewTokenBucket(bw, bw)
+}

@@ -1,0 +1,336 @@
+package incentive
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+	mutations := []func(*Policy){
+		func(p *Policy) { p.MaxOffset = -time.Second },
+		func(p *Policy) { p.RefReputation = 0 },
+		func(p *Policy) { p.QuotaThreshold = -1 },
+		func(p *Policy) { p.FullBandwidth = 0 },
+		func(p *Policy) { p.MinBandwidthFraction = 2 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultPolicy()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestOffsetGrowsWithReputation(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Offset(0) != 0 {
+		t.Fatalf("zero reputation offset = %v", p.Offset(0))
+	}
+	if p.Offset(-1) != 0 {
+		t.Fatalf("negative reputation offset = %v", p.Offset(-1))
+	}
+	half := p.Offset(p.RefReputation / 2)
+	full := p.Offset(p.RefReputation)
+	over := p.Offset(p.RefReputation * 10)
+	if half <= 0 || half >= full {
+		t.Fatalf("offset not increasing: half=%v full=%v", half, full)
+	}
+	if full != p.MaxOffset || over != p.MaxOffset {
+		t.Fatalf("offset not capped: full=%v over=%v", full, over)
+	}
+}
+
+func TestBandwidthQuota(t *testing.T) {
+	p := DefaultPolicy()
+	if got := p.Bandwidth(p.QuotaThreshold); got != p.FullBandwidth {
+		t.Fatalf("at-threshold bandwidth %v, want full", got)
+	}
+	if got := p.Bandwidth(1); got != p.FullBandwidth {
+		t.Fatalf("high-reputation bandwidth %v, want full", got)
+	}
+	zero := p.Bandwidth(0)
+	wantFloor := p.FullBandwidth * p.MinBandwidthFraction
+	if zero != wantFloor {
+		t.Fatalf("zero-reputation bandwidth %v, want floor %v", zero, wantFloor)
+	}
+	mid := p.Bandwidth(p.QuotaThreshold / 2)
+	if mid <= zero || mid >= p.FullBandwidth {
+		t.Fatalf("quota not interpolating: %v", mid)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := DefaultPolicy()
+	fast := p.TransferTime(1, 1<<20)
+	slow := p.TransferTime(0, 1<<20)
+	if fast >= slow {
+		t.Fatalf("high reputation transfer (%v) not faster than low (%v)", fast, slow)
+	}
+	if fast != time.Second {
+		t.Fatalf("1 MiB at 1 MiB/s = %v, want 1s", fast)
+	}
+}
+
+func TestQueueFIFOAtEqualReputation(t *testing.T) {
+	q, err := NewQueue(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		err := q.Push(Request{Requester: i, Arrival: time.Duration(i) * time.Second, Reputation: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		r, ok := q.Pop()
+		if !ok || r.Requester != i {
+			t.Fatalf("pop %d: got %+v", i, r)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestQueueHighReputationOvertakes(t *testing.T) {
+	p := DefaultPolicy()
+	q, err := NewQueue(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low-reputation request arrives first; high-reputation request
+	// arrives 5 minutes later but carries a 10-minute offset.
+	if err := q.Push(Request{Requester: 1, Arrival: 0, Reputation: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(Request{Requester: 2, Arrival: 5 * time.Minute, Reputation: p.RefReputation}); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := q.Pop()
+	if first.Requester != 2 {
+		t.Fatalf("high-reputation requester did not overtake: first = %d", first.Requester)
+	}
+	if first.Effective() != 5*time.Minute-p.MaxOffset {
+		t.Fatalf("effective time = %v", first.Effective())
+	}
+}
+
+func TestQueueOffsetBounded(t *testing.T) {
+	p := DefaultPolicy()
+	q, err := NewQueue(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A request arriving much earlier cannot be overtaken even by max
+	// reputation.
+	if err := q.Push(Request{Requester: 1, Arrival: 0, Reputation: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(Request{Requester: 2, Arrival: time.Hour, Reputation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := q.Pop()
+	if first.Requester != 1 {
+		t.Fatal("offset exceeded MaxOffset")
+	}
+}
+
+func TestQueuePeekAndLen(t *testing.T) {
+	q, err := NewQueue(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+	if err := q.Push(Request{Requester: 7}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := q.Peek()
+	if !ok || r.Requester != 7 {
+		t.Fatalf("peek = %+v, %v", r, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after peek", q.Len())
+	}
+}
+
+func TestQueueRejectsNegativeSize(t *testing.T) {
+	q, err := NewQueue(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(Request{Size: -1}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestServerServiceDifferentiation(t *testing.T) {
+	p := DefaultPolicy()
+	s, err := NewServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical requests except reputation; the trusted one arrives
+	// slightly later yet finishes first and transfers faster.
+	if err := s.Enqueue(Request{Requester: 1, Size: 10 << 20, Arrival: 0, Reputation: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(Request{Requester: 2, Size: 10 << 20, Arrival: time.Minute, Reputation: p.RefReputation}); err != nil {
+		t.Fatal(err)
+	}
+	done := s.ServeAll()
+	if len(done) != 2 {
+		t.Fatalf("served %d requests", len(done))
+	}
+	if done[0].Request.Requester != 2 {
+		t.Fatalf("trusted requester served second: %+v", done[0].Request)
+	}
+	trustedXfer := done[0].Finish - done[0].Start
+	untrustedXfer := done[1].Finish - done[1].Start
+	if trustedXfer >= untrustedXfer {
+		t.Fatalf("quota inert: trusted %v, untrusted %v", trustedXfer, untrustedXfer)
+	}
+}
+
+func TestServerSequentialNoOverlap(t *testing.T) {
+	s, err := NewServer(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Enqueue(Request{Requester: i, Size: 1 << 20, Reputation: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := s.ServeAll()
+	for i := 1; i < len(done); i++ {
+		if done[i].Start < done[i-1].Finish {
+			t.Fatalf("transfers overlap: %+v then %+v", done[i-1], done[i])
+		}
+	}
+}
+
+func TestServerRespectsArrivalTime(t *testing.T) {
+	s, err := NewServer(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(Request{Requester: 1, Size: 1 << 20, Arrival: time.Hour, Reputation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	done := s.ServeAll()
+	if done[0].Start != time.Hour {
+		t.Fatalf("transfer started at %v before request arrived", done[0].Start)
+	}
+	if w := done[0].Wait(); w != 0 {
+		t.Fatalf("wait = %v, want 0", w)
+	}
+}
+
+func TestTokenBucketStartsFull(t *testing.T) {
+	b, err := NewTokenBucket(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Allow(0, 1000) {
+		t.Fatal("full bucket denied its burst")
+	}
+	if b.Allow(0, 1) {
+		t.Fatal("empty bucket allowed a transfer")
+	}
+}
+
+func TestTokenBucketRefills(t *testing.T) {
+	b, err := NewTokenBucket(100, 1000) // 100 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Allow(0, 1000) {
+		t.Fatal("initial burst denied")
+	}
+	if b.Allow(time.Second, 200) {
+		t.Fatal("allowed more than refilled (100 B after 1s)")
+	}
+	if !b.Allow(2*time.Second, 200) {
+		t.Fatal("denied after sufficient refill")
+	}
+}
+
+func TestTokenBucketBurstCap(t *testing.T) {
+	b, err := NewTokenBucket(100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Allow(0, 500) {
+		t.Fatal("burst denied")
+	}
+	// A very long idle period must not accumulate beyond the burst.
+	if b.Allow(time.Hour, 501) {
+		t.Fatal("bucket exceeded burst cap")
+	}
+}
+
+func TestTokenBucketDelayUntil(t *testing.T) {
+	b, err := NewTokenBucket(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Allow(0, 100) {
+		t.Fatal("burst denied")
+	}
+	d := b.DelayUntil(0, 50)
+	if d != 500*time.Millisecond {
+		t.Fatalf("DelayUntil = %v, want 500ms", d)
+	}
+	if d := b.DelayUntil(10*time.Second, 50); d != 0 {
+		t.Fatalf("refilled bucket reports delay %v", d)
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	if _, err := NewTokenBucket(0, 10); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(10, 0); err == nil {
+		t.Fatal("zero burst accepted")
+	}
+}
+
+func TestTokenBucketTimeNeverRewinds(t *testing.T) {
+	b, err := NewTokenBucket(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Allow(10*time.Second, 100) {
+		t.Fatal("burst denied")
+	}
+	// An out-of-order earlier timestamp must not mint tokens.
+	if b.Allow(5*time.Second, 50) {
+		t.Fatal("rewound clock minted tokens")
+	}
+}
+
+func TestPolicyBucketFor(t *testing.T) {
+	p := DefaultPolicy()
+	full, err := p.BucketFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttled, err := p.BucketFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One second of traffic at each quota.
+	if !full.Allow(0, int64(p.FullBandwidth)) {
+		t.Fatal("full-reputation bucket too small")
+	}
+	if throttled.Allow(0, int64(p.FullBandwidth)) {
+		t.Fatal("throttled bucket allowed full-bandwidth burst")
+	}
+}

@@ -1,0 +1,253 @@
+// Package metrics provides the measurement plumbing of the benchmark
+// harness: time-bucketed series, streaming counters and summaries, CSV
+// export, and ASCII charts for terminal output of the reproduced figures.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series is a time-bucketed ratio series (e.g. fake-download ratio per
+// day, request coverage per bucket).
+type Series struct {
+	name      string
+	bucketLen time.Duration
+	num       []float64
+	den       []float64
+}
+
+// NewSeries builds a series with the given bucket length.
+func NewSeries(name string, bucketLen time.Duration) (*Series, error) {
+	if bucketLen <= 0 {
+		return nil, errors.New("metrics: non-positive bucket length")
+	}
+	return &Series{name: name, bucketLen: bucketLen}, nil
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Observe adds a denominator event at time t, counting toward the
+// numerator when hit is true.
+func (s *Series) Observe(t time.Duration, hit bool) {
+	b := int(t / s.bucketLen)
+	if b < 0 {
+		b = 0
+	}
+	for len(s.num) <= b {
+		s.num = append(s.num, 0)
+		s.den = append(s.den, 0)
+	}
+	s.den[b]++
+	if hit {
+		s.num[b]++
+	}
+}
+
+// Add accumulates an arbitrary numerator/denominator pair at time t (for
+// means rather than ratios of counts).
+func (s *Series) Add(t time.Duration, value float64) {
+	b := int(t / s.bucketLen)
+	if b < 0 {
+		b = 0
+	}
+	for len(s.num) <= b {
+		s.num = append(s.num, 0)
+		s.den = append(s.den, 0)
+	}
+	s.den[b]++
+	s.num[b] += value
+}
+
+// Len returns the number of buckets.
+func (s *Series) Len() int { return len(s.num) }
+
+// At returns the ratio (or mean) of bucket b; empty buckets are NaN.
+func (s *Series) At(b int) float64 {
+	if b < 0 || b >= len(s.num) || s.den[b] == 0 {
+		return math.NaN()
+	}
+	return s.num[b] / s.den[b]
+}
+
+// Points returns (bucket end time, value) pairs, skipping empty buckets.
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, len(s.num))
+	for b := range s.num {
+		if s.den[b] == 0 {
+			continue
+		}
+		out = append(out, Point{Time: s.bucketLen * time.Duration(b+1), Value: s.num[b] / s.den[b]})
+	}
+	return out
+}
+
+// Overall returns the ratio across all buckets.
+func (s *Series) Overall() float64 {
+	var n, d float64
+	for b := range s.num {
+		n += s.num[b]
+		d += s.den[b]
+	}
+	if d == 0 {
+		return math.NaN()
+	}
+	return n / d
+}
+
+// Point is one series sample.
+type Point struct {
+	Time  time.Duration
+	Value float64
+}
+
+// Summary accumulates streaming scalar observations.
+type Summary struct {
+	values []float64
+	sum    float64
+}
+
+// Observe adds a value.
+func (s *Summary) Observe(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return len(s.values) }
+
+// Mean returns the average (NaN when empty).
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) by nearest rank; NaN when
+// empty.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(s.values))
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Max returns the maximum (NaN when empty).
+func (s *Summary) Max() float64 { return s.Quantile(1) }
+
+// WriteCSV writes the named series side by side, one row per bucket, using
+// the union of bucket indices. Missing values render empty.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return errors.New("metrics: no series")
+	}
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "time_hours")
+	maxLen := 0
+	for _, s := range series {
+		header = append(header, s.name)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	bucketLen := series[0].bucketLen
+	for b := 0; b < maxLen; b++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%.2f", (time.Duration(b+1)*bucketLen).Hours()))
+		for _, s := range series {
+			v := s.At(b)
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", v))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsciiChart renders series as a fixed-size terminal chart with one symbol
+// per series, y in [0, 1] by default or scaled to the data maximum.
+func AsciiChart(title string, width, height int, series ...*Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	symbols := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	maxVal := 1.0
+	maxBuckets := 0
+	for _, s := range series {
+		for _, p := range s.Points() {
+			if p.Value > maxVal {
+				maxVal = p.Value
+			}
+		}
+		if s.Len() > maxBuckets {
+			maxBuckets = s.Len()
+		}
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		sym := symbols[si%len(symbols)]
+		for b := 0; b < s.Len(); b++ {
+			v := s.At(b)
+			if math.IsNaN(v) {
+				continue
+			}
+			col := 0
+			if maxBuckets > 1 {
+				col = b * (width - 1) / (maxBuckets - 1)
+			}
+			row := height - 1 - int(v/maxVal*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = sym
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	for r, line := range grid {
+		yVal := maxVal * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&sb, "%5.2f |%s|\n", yVal, string(line))
+	}
+	sb.WriteString("      +" + strings.Repeat("-", width) + "+\n")
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", symbols[si%len(symbols)], s.name))
+	}
+	sb.WriteString("      " + strings.Join(legend, "   ") + "\n")
+	return sb.String()
+}

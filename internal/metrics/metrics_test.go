@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesObserve(t *testing.T) {
+	s, err := NewSeries("cov", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(10*time.Minute, true)
+	s.Observe(20*time.Minute, false)
+	s.Observe(90*time.Minute, true)
+	if got := s.At(0); got != 0.5 {
+		t.Fatalf("bucket 0 = %v, want 0.5", got)
+	}
+	if got := s.At(1); got != 1.0 {
+		t.Fatalf("bucket 1 = %v, want 1.0", got)
+	}
+	if !math.IsNaN(s.At(5)) {
+		t.Fatal("missing bucket not NaN")
+	}
+	if got := s.Overall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Overall = %v", got)
+	}
+}
+
+func TestSeriesAddMean(t *testing.T) {
+	s, err := NewSeries("delay", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(0, 10)
+	s.Add(time.Minute, 20)
+	if got := s.At(0); got != 15 {
+		t.Fatalf("mean bucket = %v, want 15", got)
+	}
+}
+
+func TestSeriesPointsSkipEmpty(t *testing.T) {
+	s, err := NewSeries("x", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(30*time.Minute, true)
+	s.Observe(5*time.Hour, true)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("Points = %v", pts)
+	}
+	if pts[0].Time != time.Hour || pts[1].Time != 6*time.Hour {
+		t.Fatalf("point times: %v", pts)
+	}
+}
+
+func TestSeriesRejectsBadBucket(t *testing.T) {
+	if _, err := NewSeries("x", 0); err == nil {
+		t.Fatal("zero bucket accepted")
+	}
+}
+
+func TestSeriesNegativeTimeClamped(t *testing.T) {
+	s, err := NewSeries("x", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(-time.Hour, true)
+	if got := s.At(0); got != 1 {
+		t.Fatalf("negative-time observation lost: %v", got)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty summary not NaN")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Quantile(0) != 1 || s.Max() != 5 {
+		t.Fatalf("extremes: %v, %v", s.Quantile(0), s.Max())
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Fatalf("median = %v", s.Quantile(0.5))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a, err := NewSeries("a", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSeries("b", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(0, true)
+	a.Observe(90*time.Minute, false)
+	b.Observe(0, true)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines: %q", out)
+	}
+	if lines[0] != "time_hours,a,b" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1.0000,1.0000") {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	// Bucket 2 has no b data → trailing empty field.
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Fatalf("row 2 should end with empty field: %q", lines[2])
+	}
+}
+
+func TestWriteCSVNoSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb); err == nil {
+		t.Fatal("empty series list accepted")
+	}
+}
+
+func TestAsciiChartRenders(t *testing.T) {
+	s, err := NewSeries("coverage", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 24; h++ {
+		s.Observe(time.Duration(h)*time.Hour, h%2 == 0)
+	}
+	out := AsciiChart("Figure 1", 40, 10, s)
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* coverage") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data points rendered")
+	}
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Fatal("chart too short")
+	}
+}
+
+func TestAsciiChartClampsTinyDimensions(t *testing.T) {
+	s, err := NewSeries("x", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(0, true)
+	out := AsciiChart("t", 1, 1, s)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+}

@@ -1,0 +1,112 @@
+// Package multitier implements the multi-trust tier scheme of Q. Lian et
+// al. (§2): from a one-step direct trust matrix, a requester's tier as
+// seen by a server is the smallest power k of the matrix whose (server,
+// requester) entry is non-zero — immediate friends are tier 1, friends of
+// friends tier 2, and so on. Service differentiation ranks requesters
+// first by tier (smaller is better), then by the trust value within that
+// tier's matrix. The paper adopts this scheme and fixes its "one-step
+// sparse matrix problem" with denser multi-dimensional direct trust.
+package multitier
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mdrep/internal/sparse"
+)
+
+// Unreachable is the tier assigned when no power up to MaxTier connects
+// the pair.
+const Unreachable = 1 << 30
+
+// Classifier assigns tiers against a fixed one-step trust matrix.
+type Classifier struct {
+	maxTier int
+	powers  []*sparse.Matrix // powers[k-1] = tm^k
+}
+
+// NewClassifier precomputes the first maxTier powers of tm.
+func NewClassifier(tm *sparse.Matrix, maxTier int) (*Classifier, error) {
+	if tm == nil {
+		return nil, errors.New("multitier: nil trust matrix")
+	}
+	if maxTier < 1 {
+		return nil, fmt.Errorf("multitier: maxTier %d, want >= 1", maxTier)
+	}
+	c := &Classifier{maxTier: maxTier, powers: make([]*sparse.Matrix, maxTier)}
+	cur := tm.Clone()
+	c.powers[0] = cur
+	for k := 1; k < maxTier; k++ {
+		next, err := cur.Mul(tm)
+		if err != nil {
+			return nil, err
+		}
+		c.powers[k] = next
+		cur = next
+	}
+	return c, nil
+}
+
+// MaxTier returns the deepest tier the classifier resolves.
+func (c *Classifier) MaxTier() int { return c.maxTier }
+
+// Tier returns requester's tier as seen by server and the trust value in
+// that tier's matrix. Unreachable pairs return (Unreachable, 0).
+func (c *Classifier) Tier(server, requester int) (int, float64) {
+	for k, m := range c.powers {
+		if v := m.Get(server, requester); v > 0 {
+			return k + 1, v
+		}
+	}
+	return Unreachable, 0
+}
+
+// Ranked is a requester annotated with its tier and in-tier trust.
+type Ranked struct {
+	Peer  int
+	Tier  int
+	Trust float64
+}
+
+// Rank orders requesters by (tier ascending, in-tier trust descending),
+// the multi-tier incentive rule: "the smaller level the user belongs to,
+// the higher priority they are given; within the same tier, two peers will
+// be ranked according to their values in the matrix of that tier."
+func (c *Classifier) Rank(server int, requesters []int) []Ranked {
+	out := make([]Ranked, 0, len(requesters))
+	for _, r := range requesters {
+		tier, v := c.Tier(server, r)
+		out = append(out, Ranked{Peer: r, Tier: tier, Trust: v})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Tier != out[b].Tier {
+			return out[a].Tier < out[b].Tier
+		}
+		return out[a].Trust > out[b].Trust
+	})
+	return out
+}
+
+// Coverage returns the fraction of the given (server, requester) pairs
+// reachable within maxTier steps — how the tier scheme's request coverage
+// grows with depth, experiment E5's comparison axis.
+func (c *Classifier) Coverage(pairs [][2]int) []float64 {
+	out := make([]float64, c.maxTier)
+	if len(pairs) == 0 {
+		return out
+	}
+	for _, p := range pairs {
+		tier, _ := c.Tier(p[0], p[1])
+		if tier == Unreachable {
+			continue
+		}
+		for k := tier; k <= c.maxTier; k++ {
+			out[k-1]++
+		}
+	}
+	for k := range out {
+		out[k] /= float64(len(pairs))
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package multitier
+
+import (
+	"testing"
+
+	"mdrep/internal/sparse"
+)
+
+// chainMatrix builds 0→1→2→3→… with unit trust.
+func chainMatrix(n int) *sparse.Matrix {
+	m := sparse.New(n)
+	for i := 0; i+1 < n; i++ {
+		m.Set(i, i+1, 1)
+	}
+	return m.RowNormalize()
+}
+
+func TestTierDepth(t *testing.T) {
+	c, err := NewClassifier(chainMatrix(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := 1; want <= 4; want++ {
+		tier, trust := c.Tier(0, want)
+		if tier != want {
+			t.Fatalf("Tier(0,%d) = %d, want %d", want, tier, want)
+		}
+		if trust <= 0 {
+			t.Fatalf("Tier(0,%d) trust = %v", want, trust)
+		}
+	}
+}
+
+func TestTierUnreachable(t *testing.T) {
+	c, err := NewClassifier(chainMatrix(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, trust := c.Tier(0, 4) // 4 hops away, maxTier 2
+	if tier != Unreachable || trust != 0 {
+		t.Fatalf("Tier = %d, %v, want Unreachable", tier, trust)
+	}
+	if tier, _ := c.Tier(3, 0); tier != Unreachable { // chain is directed
+		t.Fatalf("reverse direction reachable: tier %d", tier)
+	}
+}
+
+func TestRankPrefersLowerTier(t *testing.T) {
+	// Server 0: peer 1 is tier 1, peer 2 is tier 2, peer 4 unreachable.
+	c, err := NewClassifier(chainMatrix(5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := c.Rank(0, []int{4, 2, 1})
+	if ranked[0].Peer != 1 || ranked[1].Peer != 2 || ranked[2].Peer != 4 {
+		t.Fatalf("Rank order: %+v", ranked)
+	}
+	if ranked[2].Tier != Unreachable {
+		t.Fatalf("unreachable peer tier: %d", ranked[2].Tier)
+	}
+}
+
+func TestRankWithinTierByTrust(t *testing.T) {
+	m := sparse.New(4)
+	m.Set(0, 1, 3) // stronger direct trust
+	m.Set(0, 2, 1)
+	m.RowNormalize()
+	c, err := NewClassifier(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := c.Rank(0, []int{2, 1})
+	if ranked[0].Peer != 1 {
+		t.Fatalf("within-tier rank ignored trust values: %+v", ranked)
+	}
+}
+
+func TestCoverageGrowsWithDepth(t *testing.T) {
+	c, err := NewClassifier(chainMatrix(6), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}
+	cov := c.Coverage(pairs)
+	if len(cov) != 5 {
+		t.Fatalf("coverage length %d", len(cov))
+	}
+	for k := 1; k < len(cov); k++ {
+		if cov[k] < cov[k-1] {
+			t.Fatalf("coverage not monotone: %v", cov)
+		}
+	}
+	if cov[0] != 0.2 || cov[4] != 1.0 {
+		t.Fatalf("coverage endpoints: %v", cov)
+	}
+}
+
+func TestCoverageEmptyPairs(t *testing.T) {
+	c, err := NewClassifier(chainMatrix(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := c.Coverage(nil)
+	for _, v := range cov {
+		if v != 0 {
+			t.Fatalf("coverage of no pairs: %v", cov)
+		}
+	}
+}
+
+func TestNewClassifierValidation(t *testing.T) {
+	if _, err := NewClassifier(nil, 2); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := NewClassifier(sparse.New(2), 0); err == nil {
+		t.Fatal("maxTier 0 accepted")
+	}
+}
+
+func TestClassifierDoesNotMutateInput(t *testing.T) {
+	m := chainMatrix(4)
+	before := m.Entries()
+	if _, err := NewClassifier(m, 3); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Entries()
+	if len(before) != len(after) {
+		t.Fatal("classifier mutated input matrix")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("classifier mutated input matrix")
+		}
+	}
+}

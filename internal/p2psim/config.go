@@ -1,0 +1,224 @@
+// Package p2psim is the end-to-end file-sharing simulator behind
+// experiments E1 (fake-file suppression), E2 (service differentiation) and
+// E3 (collusion resistance): a population of honest peers, free-riders,
+// polluters and liars exchanging real and fake file versions under a
+// pluggable reputation scheme, with the incentive queue of §3.4 at every
+// uploader.
+package p2psim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mdrep/internal/core"
+	"mdrep/internal/incentive"
+)
+
+// Behavior classifies a peer's strategy.
+type Behavior int
+
+// The peer strategies modelled in the paper's threat discussion.
+const (
+	// Honest peers share, evaluate truthfully, vote with VoteProb, and
+	// delete fake files quickly.
+	Honest Behavior = iota + 1
+	// FreeRider peers download but never share and never vote (the
+	// incentive problem).
+	FreeRider
+	// Polluter peers inject fake versions of popular titles, keep them,
+	// and vote them up (the trust problem; KaZaA/Maze pollution).
+	Polluter
+	// Liar peers share honestly-obtained files but invert their votes,
+	// poisoning naive vote aggregation.
+	Liar
+)
+
+// String renders the behaviour name.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case FreeRider:
+		return "free-rider"
+	case Polluter:
+		return "polluter"
+	case Liar:
+		return "liar"
+	default:
+		return fmt.Sprintf("behavior(%d)", int(b))
+	}
+}
+
+// Scheme selects the file-judgement mechanism under test.
+type Scheme int
+
+// The judgement schemes compared in E1.
+const (
+	// SchemeMDRep uses the paper's reputation-weighted file judgement
+	// (Eq. 9 over multi-trust reputations).
+	SchemeMDRep Scheme = iota + 1
+	// SchemeNone downloads the version with the most owners (popularity
+	// only, no defence) — the pollution-prone default of real systems.
+	SchemeNone
+	// SchemeNaiveVoting averages all published evaluations unweighted,
+	// the defence the paper argues is poisoned by liars and polluters.
+	SchemeNaiveVoting
+	// SchemeLIP ranks versions by lifetime × popularity mass (Feng & Dai,
+	// IPTPS 2007): the sum of owner-retention durations. It needs no
+	// evaluations at all, but "cannot identify the quality of a file
+	// accurately when its number of owners is too small" and is blind to
+	// a patient attacker's accumulated holdings.
+	SchemeLIP
+)
+
+// String renders the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeMDRep:
+		return "mdrep"
+	case SchemeNone:
+		return "none"
+	case SchemeNaiveVoting:
+		return "naive-voting"
+	case SchemeLIP:
+		return "lip"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Peers is the population size.
+	Peers int
+	// Titles is the number of distinct titles (each may have real and
+	// fake versions).
+	Titles int
+	// Requests is the number of download requests to simulate.
+	Requests int
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// FreeRiderFrac, PolluterFrac, LiarFrac partition the population;
+	// the remainder is honest.
+	FreeRiderFrac, PolluterFrac, LiarFrac float64
+	// VoteProb is the probability an honest (or liar) peer casts an
+	// explicit vote after a download.
+	VoteProb float64
+	// PollutedTitles is how many of the most popular titles polluters
+	// fake.
+	PollutedTitles int
+	// PatientPolluters gives fake versions the same holding pre-history
+	// as real ones — the patient attacker that defeats lifetime-based
+	// heuristics (LIP) while leaving behaviour-based trust unaffected.
+	PatientPolluters bool
+	// ZipfExponent is title-popularity skew.
+	ZipfExponent float64
+	// MeanFileSize is the mean file size in bytes.
+	MeanFileSize int64
+	// Scheme selects the defence under test.
+	Scheme Scheme
+	// Reputation configures the trust engine (used by SchemeMDRep).
+	Reputation core.Config
+	// Policy configures the incentive queue at uploaders.
+	Policy incentive.Policy
+	// EpochLen is how often the trust matrix is rebuilt and queues are
+	// drained.
+	EpochLen time.Duration
+	// OnlineFraction is the probability a peer is online at any instant
+	// (memoryless session churn). Offline peers neither request nor
+	// serve; 1.0 disables churn.
+	OnlineFraction float64
+}
+
+// DefaultConfig returns the E1/E2 base scenario: 500 peers over 14 days,
+// 20% polluters, 20% free-riders, 5% liars.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Peers:          500,
+		Titles:         800,
+		Requests:       30000,
+		Duration:       14 * 24 * time.Hour,
+		FreeRiderFrac:  0.2,
+		PolluterFrac:   0.2,
+		LiarFrac:       0.05,
+		VoteProb:       0.3,
+		PollutedTitles: 200,
+		ZipfExponent:   1.0,
+		MeanFileSize:   64 << 20,
+		Scheme:         SchemeMDRep,
+		Reputation:     core.DefaultConfig(),
+		Policy:         defaultSimPolicy(),
+		EpochLen:       12 * time.Hour,
+		OnlineFraction: 1.0,
+	}
+}
+
+// IncentiveConfig returns the E2 scenario: the free-rider problem in
+// isolation (no pollution), with two-step multi-trust so a requester's
+// upload record — DM edges held by the peers it served — propagates to
+// uploaders that never met it. This is the configuration in which the
+// paper's service differentiation shows its full effect.
+func IncentiveConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PolluterFrac = 0
+	cfg.PollutedTitles = 0
+	cfg.LiarFrac = 0
+	cfg.FreeRiderFrac = 0.3
+	cfg.Reputation.Steps = 2
+	return cfg
+}
+
+// defaultSimPolicy adapts the incentive policy to the simulator's
+// population-normalised reputation axis (1.0 = the uniform trust share):
+// peers holding twice the average trust earn the full queue offset; peers
+// below 80% of the average fall under the bandwidth quota.
+func defaultSimPolicy() incentive.Policy {
+	p := incentive.DefaultPolicy()
+	p.MaxOffset = 4 * time.Hour
+	p.RefReputation = 2.0
+	p.QuotaThreshold = 0.8
+	return p
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Peers < 4:
+		return errors.New("p2psim: need at least 4 peers")
+	case c.Titles < 1:
+		return errors.New("p2psim: need at least 1 title")
+	case c.Requests < 0:
+		return errors.New("p2psim: negative request count")
+	case c.Duration <= 0:
+		return errors.New("p2psim: non-positive duration")
+	case c.FreeRiderFrac < 0 || c.PolluterFrac < 0 || c.LiarFrac < 0:
+		return errors.New("p2psim: negative behaviour fraction")
+	case c.FreeRiderFrac+c.PolluterFrac+c.LiarFrac > 0.95:
+		return errors.New("p2psim: behaviour fractions leave too few honest peers")
+	case c.VoteProb < 0 || c.VoteProb > 1:
+		return errors.New("p2psim: vote probability outside [0,1]")
+	case c.PollutedTitles < 0 || c.PollutedTitles > c.Titles:
+		return errors.New("p2psim: polluted titles outside [0, titles]")
+	case c.ZipfExponent < 0:
+		return errors.New("p2psim: negative Zipf exponent")
+	case c.MeanFileSize <= 0:
+		return errors.New("p2psim: non-positive file size")
+	case c.EpochLen <= 0:
+		return errors.New("p2psim: non-positive epoch length")
+	case c.OnlineFraction <= 0 || c.OnlineFraction > 1:
+		return errors.New("p2psim: online fraction outside (0,1]")
+	}
+	switch c.Scheme {
+	case SchemeMDRep, SchemeNone, SchemeNaiveVoting, SchemeLIP:
+	default:
+		return fmt.Errorf("p2psim: unknown scheme %d", int(c.Scheme))
+	}
+	if err := c.Reputation.Validate(); err != nil {
+		return err
+	}
+	return c.Policy.Validate()
+}

@@ -1,0 +1,395 @@
+package p2psim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mdrep/internal/core"
+)
+
+// e1Config is the scaled-down E1 scenario used throughout the tests.
+func e1Config(scheme Scheme) Config {
+	cfg := DefaultConfig()
+	cfg.Peers = 300
+	cfg.Titles = 400
+	cfg.Requests = 15000
+	cfg.Scheme = scheme
+	return cfg
+}
+
+func runScheme(t *testing.T, scheme Scheme) *Result {
+	t.Helper()
+	res, err := Run(e1Config(scheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Peers = 2 },
+		func(c *Config) { c.Titles = 0 },
+		func(c *Config) { c.Requests = -1 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.FreeRiderFrac = -0.1 },
+		func(c *Config) { c.FreeRiderFrac, c.PolluterFrac = 0.6, 0.6 },
+		func(c *Config) { c.VoteProb = 1.5 },
+		func(c *Config) { c.PollutedTitles = c.Titles + 1 },
+		func(c *Config) { c.ZipfExponent = -1 },
+		func(c *Config) { c.MeanFileSize = 0 },
+		func(c *Config) { c.EpochLen = 0 },
+		func(c *Config) { c.Scheme = Scheme(99) },
+		func(c *Config) { c.OnlineFraction = 0 },
+		func(c *Config) { c.OnlineFraction = 1.5 },
+		func(c *Config) { c.Reputation.Steps = 0 },
+		func(c *Config) { c.Policy.FullBandwidth = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBehaviorAssignmentFractions(t *testing.T) {
+	cfg := e1Config(SchemeMDRep)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[Behavior]int)
+	for _, b := range s.behaviors {
+		counts[b]++
+	}
+	if counts[FreeRider] != int(float64(cfg.Peers)*cfg.FreeRiderFrac) {
+		t.Fatalf("free riders = %d", counts[FreeRider])
+	}
+	if counts[Polluter] != int(float64(cfg.Peers)*cfg.PolluterFrac) {
+		t.Fatalf("polluters = %d", counts[Polluter])
+	}
+	if counts[Honest] == 0 {
+		t.Fatal("no honest peers")
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	names := map[Behavior]string{
+		Honest: "honest", FreeRider: "free-rider", Polluter: "polluter",
+		Liar: "liar", Behavior(42): "behavior(42)",
+	}
+	for b, want := range names {
+		if b.String() != want {
+			t.Fatalf("String(%d) = %q", int(b), b.String())
+		}
+	}
+	if SchemeMDRep.String() != "mdrep" || Scheme(9).String() != "scheme(9)" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runScheme(t, SchemeMDRep)
+	b := runScheme(t, SchemeMDRep)
+	if a.TotalDownloads != b.TotalDownloads || a.FakeDownloads != b.FakeDownloads {
+		t.Fatalf("runs differ: %d/%d vs %d/%d",
+			a.FakeDownloads, a.TotalDownloads, b.FakeDownloads, b.TotalDownloads)
+	}
+}
+
+// TestE1FakeSuppression is the E1 headline: the paper's scheme suppresses
+// pollution that an undefended system sustains.
+func TestE1FakeSuppression(t *testing.T) {
+	mdrep := runScheme(t, SchemeMDRep)
+	none := runScheme(t, SchemeNone)
+
+	if none.FakeFraction() < 0.7 {
+		t.Fatalf("undefended fake ratio %v; pollution model too weak", none.FakeFraction())
+	}
+	if mdrep.FakeFraction() >= none.FakeFraction()-0.15 {
+		t.Fatalf("mdrep (%v) does not clearly beat no defence (%v)",
+			mdrep.FakeFraction(), none.FakeFraction())
+	}
+
+	// The ratio must decline over time under mdrep (the system learns)
+	// and stay flat without a defence.
+	mdrepPts := mdrep.FakeRatio.Points()
+	q := len(mdrepPts) / 4
+	first, last := 0.0, 0.0
+	for _, p := range mdrepPts[:q] {
+		first += p.Value
+	}
+	for _, p := range mdrepPts[len(mdrepPts)-q:] {
+		last += p.Value
+	}
+	first /= float64(q)
+	last /= float64(q)
+	if last >= first-0.2 {
+		t.Fatalf("mdrep fake ratio not declining: first quarter %v, last quarter %v", first, last)
+	}
+}
+
+// TestE1NaiveVotingPoisoned shows why unweighted voting is not enough:
+// vote-stuffing polluters keep the fake ratio high and force mass
+// rejection of real files.
+func TestE1NaiveVotingPoisoned(t *testing.T) {
+	mdrep := runScheme(t, SchemeMDRep)
+	naive := runScheme(t, SchemeNaiveVoting)
+	if naive.FakeFraction() <= mdrep.FakeFraction() {
+		t.Fatalf("naive voting (%v) unexpectedly beats reputation weighting (%v) under vote stuffing",
+			naive.FakeFraction(), mdrep.FakeFraction())
+	}
+}
+
+// TestReputationSeparatesClasses is E2's precondition: honest peers end up
+// with more reputation than free-riders, and polluters end up near zero.
+func TestReputationSeparatesClasses(t *testing.T) {
+	res := runScheme(t, SchemeMDRep)
+	rep := res.ReputationByClass
+	if rep[Honest] <= rep[FreeRider] {
+		t.Fatalf("honest (%v) not above free-rider (%v)", rep[Honest], rep[FreeRider])
+	}
+	// The margin over polluters varies with the seed (polluters keep some
+	// implicit-agreement trust from unpolluted titles); direction plus a
+	// clear gap is the robust invariant.
+	if rep[Honest] <= 1.2*rep[Polluter] {
+		t.Fatalf("honest (%v) not clearly above polluter (%v)", rep[Honest], rep[Polluter])
+	}
+}
+
+// TestE2ServiceDifferentiation: in the incentive scenario, honest sharers
+// see better granted bandwidth and shorter queueing than free-riders.
+func TestE2ServiceDifferentiation(t *testing.T) {
+	cfg := IncentiveConfig()
+	cfg.Peers = 300
+	cfg.Titles = 400
+	cfg.Requests = 15000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honestBW := res.BandwidthByClass[Honest].Mean()
+	freeBW := res.BandwidthByClass[FreeRider].Mean()
+	if honestBW <= 1.2*freeBW {
+		t.Fatalf("honest bandwidth %v not clearly above free-rider %v", honestBW, freeBW)
+	}
+	honestWait := res.WaitByClass[Honest].Mean()
+	freeWait := res.WaitByClass[FreeRider].Mean()
+	if honestWait >= freeWait {
+		t.Fatalf("honest wait %vs not below free-rider %vs", honestWait, freeWait)
+	}
+	if res.WaitByClass[Honest].Count() == 0 || res.WaitByClass[FreeRider].Count() == 0 {
+		t.Fatal("no wait observations recorded")
+	}
+}
+
+func TestFreeRidersNeverOwn(t *testing.T) {
+	cfg := e1Config(SchemeMDRep)
+	cfg.Requests = 3000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, versions := range s.titles {
+		for _, v := range versions {
+			for _, o := range v.owners {
+				if s.behaviors[o] == FreeRider {
+					t.Fatalf("free rider %d owns %s", o, v.id)
+				}
+			}
+		}
+	}
+}
+
+func TestHonestPeersNeverKeepFakes(t *testing.T) {
+	cfg := e1Config(SchemeNone) // no defence: plenty of fake downloads
+	cfg.Requests = 3000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, versions := range s.titles {
+		for _, v := range versions {
+			if !v.fake {
+				continue
+			}
+			for _, o := range v.owners {
+				if s.behaviors[o] == Honest {
+					t.Fatalf("honest peer %d still owns fake %s", o, v.id)
+				}
+			}
+		}
+	}
+}
+
+func TestRunWithZeroRequests(t *testing.T) {
+	cfg := e1Config(SchemeMDRep)
+	cfg.Requests = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalDownloads != 0 {
+		t.Fatalf("downloads = %d with zero requests", res.TotalDownloads)
+	}
+}
+
+func TestNoPolluters(t *testing.T) {
+	cfg := e1Config(SchemeMDRep)
+	cfg.PolluterFrac = 0
+	cfg.PollutedTitles = 0
+	cfg.Requests = 3000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FakeDownloads != 0 {
+		t.Fatalf("fake downloads %d without polluters", res.FakeDownloads)
+	}
+	if res.TotalDownloads == 0 {
+		t.Fatal("no downloads in clean system")
+	}
+}
+
+// TestE5StepsAmplifyStuffing documents the multi-trust depth trade-off
+// found in this reproduction: under vote-stuffing, the stuffers form a
+// perfect-similarity clique, and powers n > 1 of TM leak trust into it —
+// so the paper's n = 1 choice for a dense one-step matrix is also the
+// collusion-safe one.
+func TestE5StepsAmplifyStuffing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-step run is slow")
+	}
+	one := runScheme(t, SchemeMDRep)
+	cfg := e1Config(SchemeMDRep)
+	cfg.Reputation.Steps = 2
+	two, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.FakeFraction() < one.FakeFraction() {
+		t.Fatalf("2-step (%v) beats 1-step (%v); clique amplification expected under stuffing",
+			two.FakeFraction(), one.FakeFraction())
+	}
+}
+
+func TestEpochLengthInsensitivity(t *testing.T) {
+	cfg := e1Config(SchemeMDRep)
+	cfg.Requests = 5000
+	cfg.EpochLen = 6 * time.Hour
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.EpochLen = 24 * time.Hour
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faster rebuilds may help but must not change the qualitative
+	// outcome.
+	if a.TotalDownloads == 0 || b.TotalDownloads == 0 {
+		t.Fatal("no downloads")
+	}
+	if diff := a.FakeFraction() - b.FakeFraction(); diff > 0.25 || diff < -0.25 {
+		t.Fatalf("epoch length flipped the outcome: %v vs %v", a.FakeFraction(), b.FakeFraction())
+	}
+}
+
+func TestResultFakeFractionEmpty(t *testing.T) {
+	r := &Result{}
+	if r.FakeFraction() != 0 {
+		t.Fatal("empty result fraction not 0")
+	}
+}
+
+func TestRejectsInvalidReputationConfig(t *testing.T) {
+	cfg := e1Config(SchemeMDRep)
+	cfg.Reputation = core.Config{}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero reputation config accepted")
+	}
+}
+
+func TestLIPMassAccounting(t *testing.T) {
+	v := &version{id: "x", ownerSet: make(map[int]struct{})}
+	v.addOwner(1, -24*time.Hour) // held for a day before t=0
+	v.addOwner(2, 0)
+	now := 12 * time.Hour
+	got := v.lipMass(9, now)
+	want := 36.0 + 12.0 // hours held by owners 1 and 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("lipMass = %v, want %v", got, want)
+	}
+	// The requester's own holding is excluded.
+	if got := v.lipMass(1, now); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("lipMass excluding requester = %v, want 12", got)
+	}
+}
+
+func TestLIPBeatsNoneUnderFreshAttack(t *testing.T) {
+	lip := runScheme(t, SchemeLIP)
+	none := runScheme(t, SchemeNone)
+	if lip.FakeFraction() >= none.FakeFraction()-0.2 {
+		t.Fatalf("LIP (%v) does not clearly beat no defence (%v) against fresh fakes",
+			lip.FakeFraction(), none.FakeFraction())
+	}
+}
+
+func TestPatientAttackCollapsesLIPNotMDRep(t *testing.T) {
+	lipCfg := e1Config(SchemeLIP)
+	lipCfg.PatientPolluters = true
+	lipPatient, err := Run(lipCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lipFresh := runScheme(t, SchemeLIP)
+	if lipPatient.FakeFraction() < lipFresh.FakeFraction()+0.3 {
+		t.Fatalf("patient attack did not collapse LIP: %v vs fresh %v",
+			lipPatient.FakeFraction(), lipFresh.FakeFraction())
+	}
+	mdrepCfg := e1Config(SchemeMDRep)
+	mdrepCfg.PatientPolluters = true
+	mdrepPatient, err := Run(mdrepCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdrepFresh := runScheme(t, SchemeMDRep)
+	if diff := mdrepPatient.FakeFraction() - mdrepFresh.FakeFraction(); diff > 0.05 || diff < -0.05 {
+		t.Fatalf("patient attack moved mdrep by %v", diff)
+	}
+}
+
+func TestChurnDoesNotFlipE1(t *testing.T) {
+	cfg := e1Config(SchemeMDRep)
+	cfg.OnlineFraction = 0.6
+	churned, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churned.TotalDownloads == 0 {
+		t.Fatal("no downloads under churn")
+	}
+	noneCfg := e1Config(SchemeNone)
+	noneCfg.OnlineFraction = 0.6
+	none, err := Run(noneCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churned.FakeFraction() >= none.FakeFraction() {
+		t.Fatalf("under churn mdrep (%v) not below none (%v)",
+			churned.FakeFraction(), none.FakeFraction())
+	}
+}

@@ -1,0 +1,55 @@
+package peer
+
+import (
+	"fmt"
+	"sync"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+)
+
+// Exchange is the in-memory Network: a registry through which peers serve
+// each other their signed evaluation lists. It also lets tests interpose
+// adversarial responders (mimics, garbage relays).
+type Exchange struct {
+	mu      sync.RWMutex
+	serving map[identity.PeerID]func() ([]eval.Info, error)
+}
+
+// NewExchange returns an empty exchange.
+func NewExchange() *Exchange {
+	return &Exchange{serving: make(map[identity.PeerID]func() ([]eval.Info, error))}
+}
+
+// Register attaches a peer so others can fetch its evaluation list.
+func (e *Exchange) Register(p *Peer) {
+	e.RegisterFunc(p.ID(), p.SignedEvaluations)
+}
+
+// RegisterFunc attaches an arbitrary responder under an ID; tests use it
+// to model forgers and unreachable peers.
+func (e *Exchange) RegisterFunc(id identity.PeerID, fn func() ([]eval.Info, error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.serving[id] = fn
+}
+
+// Unregister detaches a peer (it left the network).
+func (e *Exchange) Unregister(id identity.PeerID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.serving, id)
+}
+
+// FetchEvaluations implements Network.
+func (e *Exchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, error) {
+	e.mu.RLock()
+	fn, ok := e.serving[target]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("peer: %s unreachable", target)
+	}
+	return fn()
+}
+
+var _ Network = (*Exchange)(nil)

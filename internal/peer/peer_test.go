@@ -1,0 +1,398 @@
+package peer
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+)
+
+// testnet builds n peers on a shared exchange and PKI directory.
+func testnet(t *testing.T, n int, cfg Config) ([]*Peer, *Exchange, *Directory) {
+	t.Helper()
+	dir := identity.NewDirectory()
+	ex := NewExchange()
+	peers := make([]*Peer, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := identity.Generate(identity.NewDeterministicReader(uint64(1000 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dir.Register(id.PublicKey()); err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(id, dir, ex, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.Register(p)
+		peers = append(peers, p)
+	}
+	return peers, ex, dir
+}
+
+func TestNewValidation(t *testing.T) {
+	id, err := identity.Generate(identity.NewDeterministicReader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := identity.NewDirectory()
+	ex := NewExchange()
+	if _, err := New(nil, dir, ex, DefaultConfig()); err == nil {
+		t.Fatal("nil identity accepted")
+	}
+	if _, err := New(id, nil, ex, DefaultConfig()); err == nil {
+		t.Fatal("nil directory accepted")
+	}
+	if _, err := New(id, dir, nil, DefaultConfig()); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	bad := DefaultConfig()
+	bad.Reputation.Steps = 0
+	if _, err := New(id, dir, ex, bad); err == nil {
+		t.Fatal("invalid reputation config accepted")
+	}
+}
+
+func TestSignedEvaluationsVerify(t *testing.T) {
+	peers, _, dir := testnet(t, 1, DefaultConfig())
+	p := peers[0]
+	p.AdvanceTo(time.Hour)
+	p.Vote("a", 0.8)
+	p.ObserveRetention("b", 10*24*time.Hour, false)
+	infos, err := p.SignedEvaluations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("signed %d evaluations", len(infos))
+	}
+	for _, in := range infos {
+		if err := in.Verify(dir); err != nil {
+			t.Fatalf("own evaluation fails verification: %v", err)
+		}
+	}
+}
+
+func TestSyncPeerBuildsFileTrust(t *testing.T) {
+	peers, _, _ := testnet(t, 2, DefaultConfig())
+	a, b := peers[0], peers[1]
+	// Same opinions on two files.
+	for _, p := range peers {
+		p.Vote("x", 0.9)
+		p.Vote("y", 0.2)
+	}
+	n, err := a.SyncPeer(b.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("synced %d entries", n)
+	}
+	row := a.TrustRow()
+	if row[b.ID()] <= 0 {
+		t.Fatalf("no trust after agreeing history: %v", row)
+	}
+}
+
+func TestSyncPeerSelfRejected(t *testing.T) {
+	peers, _, _ := testnet(t, 1, DefaultConfig())
+	if _, err := peers[0].SyncPeer(peers[0].ID()); err == nil {
+		t.Fatal("self-sync accepted")
+	}
+}
+
+func TestSyncPeerDropsForgedEntries(t *testing.T) {
+	peers, ex, _ := testnet(t, 2, DefaultConfig())
+	a, b := peers[0], peers[1]
+	b.Vote("x", 0.9)
+	// A man-in-the-middle serves b's list with one tampered and one
+	// honestly signed entry.
+	ex.RegisterFunc(b.ID(), func() ([]eval.Info, error) {
+		infos, err := b.SignedEvaluations()
+		if err != nil {
+			return nil, err
+		}
+		forged := infos[0]
+		forged.FileID = "evil"
+		return append(infos, forged), nil
+	})
+	n, err := a.SyncPeer(b.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("accepted %d entries, want only the honestly signed one", n)
+	}
+}
+
+func TestTrustRowDimensions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reputation.Blend = eval.Blend{Eta: 0, Rho: 1}
+	peers, _, _ := testnet(t, 4, cfg)
+	a, b, c, d := peers[0], peers[1], peers[2], peers[3]
+
+	// FM evidence: a and b agree.
+	a.Vote("x", 0.9)
+	b.Vote("x", 0.9)
+	if _, err := a.SyncPeer(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// DM evidence: a downloaded a good file from c.
+	if err := a.RecordDownload(c.ID(), "dl", 1000); err != nil {
+		t.Fatal(err)
+	}
+	a.Vote("dl", 1.0)
+	// UM evidence: a rates d.
+	if err := a.RateUser(d.ID(), 0.7); err != nil {
+		t.Fatal(err)
+	}
+
+	row := a.TrustRow()
+	for _, target := range []*Peer{b, c, d} {
+		if row[target.ID()] <= 0 {
+			t.Fatalf("dimension missing for %s: %v", target.ID(), row)
+		}
+	}
+	// All three dimensions have one entry each, so the row must sum to
+	// α+β+γ = 1.
+	sum := 0.0
+	for _, v := range row {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("trust row sums to %v", sum)
+	}
+}
+
+func TestBlacklistRemovesTrust(t *testing.T) {
+	peers, _, _ := testnet(t, 2, DefaultConfig())
+	a, b := peers[0], peers[1]
+	a.Vote("x", 0.9)
+	b.Vote("x", 0.9)
+	if _, err := a.SyncPeer(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RateUser(b.ID(), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	a.Blacklist(b.ID())
+	row := a.TrustRow()
+	if row[b.ID()] != 0 {
+		t.Fatalf("blacklisted peer retains trust %v", row[b.ID()])
+	}
+	if err := a.RateUser(b.ID(), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if a.TrustRow()[b.ID()] != 0 {
+		t.Fatal("post-blacklist rating restored trust")
+	}
+	if !a.IsBlacklisted(b.ID()) {
+		t.Fatal("blacklist not reported")
+	}
+}
+
+func TestJudgeFileEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reputation.Blend = eval.Blend{Eta: 0, Rho: 1}
+	peers, _, _ := testnet(t, 3, cfg)
+	a, friend, liar := peers[0], peers[1], peers[2]
+	// a trusts friend (agreeing history), not liar.
+	a.Vote("h1", 0.9)
+	friend.Vote("h1", 0.95)
+	liar.Vote("h1", 0.05)
+	for _, other := range []*Peer{friend, liar} {
+		if _, err := a.SyncPeer(other.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The file's DHT records: friend says fake, liar promotes.
+	friend.Vote("newfile", 0.05)
+	liar.Vote("newfile", 1.0)
+	var records []eval.Info
+	for _, other := range []*Peer{friend, liar} {
+		infos, err := other.SignedEvaluations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range infos {
+			if in.FileID == "newfile" {
+				records = append(records, in)
+			}
+		}
+	}
+	j, err := a.JudgeFile(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Known || !j.Fake {
+		t.Fatalf("fake not identified: %+v", j)
+	}
+}
+
+func TestJudgeFileIgnoresForgedRecords(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reputation.Blend = eval.Blend{Eta: 0, Rho: 1} // votes carry full weight
+	peers, _, _ := testnet(t, 2, cfg)
+	a, b := peers[0], peers[1]
+	a.Vote("h", 0.9)
+	b.Vote("h", 0.9)
+	if _, err := a.SyncPeer(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	b.Vote("f", 0.9)
+	infos, err := b.SignedEvaluations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec eval.Info
+	for _, in := range infos {
+		if in.FileID == "f" {
+			rec = in
+		}
+	}
+	forged := rec
+	forged.Evaluation = 0.0 // tampered: signature now invalid
+	j, err := a.JudgeFile([]eval.Info{forged, rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Known || j.Fake {
+		t.Fatalf("forged record influenced judgement: %+v", j)
+	}
+	if math.Abs(j.Reputation-0.9) > 1e-9 {
+		t.Fatalf("R_f = %v, want 0.9 from the genuine record alone", j.Reputation)
+	}
+}
+
+func TestJudgeFileUnknownWithoutTrust(t *testing.T) {
+	peers, _, _ := testnet(t, 2, DefaultConfig())
+	a, b := peers[0], peers[1]
+	b.Vote("f", 0.9)
+	infos, err := b.SignedEvaluations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := a.JudgeFile(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Known {
+		t.Fatalf("judgement from untrusted evaluator: %+v", j)
+	}
+}
+
+func TestExaminerFlagsMimicAndBans(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExaminerMinOverlap = 2
+	peers, ex, _ := testnet(t, 2, cfg)
+	a := peers[0]
+	mimicID, err := identity.Generate(identity.NewDeterministicReader(7777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.dir.Register(mimicID.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	// The mimic signs whatever list it currently wants to present —
+	// valid signatures, inconsistent content.
+	phase := 0
+	ex.RegisterFunc(mimicID.ID(), func() ([]eval.Info, error) {
+		vals := []float64{0.95, 0.05}
+		out := make([]eval.Info, 0, 2)
+		for _, f := range []eval.FileID{"m1", "m2"} {
+			in := eval.Info{FileID: f, OwnerID: mimicID.ID(), Evaluation: vals[phase], Timestamp: time.Duration(phase)}
+			if err := in.Sign(mimicID); err != nil {
+				return nil, err
+			}
+			out = append(out, in)
+		}
+		return out, nil
+	})
+	if _, err := a.SyncPeer(mimicID.ID()); err != nil {
+		t.Fatal(err)
+	}
+	phase = 1 // wholesale rewrite between examinations
+	_, err = a.SyncPeer(mimicID.ID())
+	if err == nil || !strings.Contains(err.Error(), "forger") {
+		t.Fatalf("mimic not flagged: %v", err)
+	}
+	if !a.IsBlacklisted(mimicID.ID()) {
+		t.Fatal("flagged mimic not banned")
+	}
+}
+
+func TestUploadQueuePrefersTrusted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy.MaxOffset = time.Hour
+	cfg.Policy.RefReputation = 0.5
+	peers, _, _ := testnet(t, 3, cfg)
+	a, trusted, stranger := peers[0], peers[1], peers[2]
+	a.Vote("x", 0.9)
+	trusted.Vote("x", 0.9)
+	if _, err := a.SyncPeer(trusted.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnqueueUpload(stranger.ID(), "f", 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnqueueUpload(trusted.ID(), "f", 1<<20, 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingUploads() != 2 {
+		t.Fatalf("queue depth %d", a.PendingUploads())
+	}
+	first, ok := a.NextUpload()
+	if !ok {
+		t.Fatal("empty queue")
+	}
+	if first.Arrival != 30*time.Minute {
+		t.Fatalf("trusted requester did not overtake: first arrival %v", first.Arrival)
+	}
+}
+
+func TestRecordDownloadValidation(t *testing.T) {
+	peers, _, _ := testnet(t, 1, DefaultConfig())
+	p := peers[0]
+	if err := p.RecordDownload(p.ID(), "f", 1); err == nil {
+		t.Fatal("self-download accepted")
+	}
+	if err := p.RecordDownload("other", "f", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if err := p.RateUser("other", 1.5); err == nil {
+		t.Fatal("out-of-range rating accepted")
+	}
+}
+
+func TestUnreachablePeer(t *testing.T) {
+	peers, ex, _ := testnet(t, 2, DefaultConfig())
+	a, b := peers[0], peers[1]
+	ex.Unregister(b.ID())
+	if _, err := a.SyncPeer(b.ID()); err == nil {
+		t.Fatal("sync with unreachable peer succeeded")
+	}
+}
+
+func TestWindowExpiryInTrustRow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reputation.Window = time.Hour
+	peers, _, _ := testnet(t, 2, cfg)
+	a, b := peers[0], peers[1]
+	a.Vote("x", 0.9)
+	b.Vote("x", 0.9)
+	if _, err := a.SyncPeer(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if a.TrustRow()[b.ID()] <= 0 {
+		t.Fatal("no trust before expiry")
+	}
+	a.AdvanceTo(3 * time.Hour)
+	// a's own evaluation expired, so the intersection is empty.
+	if v := a.TrustRow()[b.ID()]; v != 0 {
+		t.Fatalf("trust %v from expired evaluations", v)
+	}
+}

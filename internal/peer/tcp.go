@@ -1,0 +1,194 @@
+package peer
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+	"mdrep/internal/wire"
+)
+
+// The TCP exchange lets participants fetch each other's signed evaluation
+// lists over the network (§4.1 step 4). The protocol is a single
+// request/response per connection using internal/wire framing:
+//
+//	→ {"method":"evaluations"}
+//	← {"evaluations":[EvaluationInfo…]} | {"error":"…"}
+//
+// Addresses are resolved through a Resolver (peer ID → host:port); in a
+// deployment this mapping rides on the DHT like any other record.
+
+type exchangeRequest struct {
+	Method string `json:"method"`
+}
+
+type exchangeResponse struct {
+	Error       string      `json:"error,omitempty"`
+	Evaluations []eval.Info `json:"evaluations,omitempty"`
+}
+
+// Resolver maps peer IDs to transport addresses.
+type Resolver interface {
+	// Resolve returns the host:port serving the peer's evaluation list.
+	Resolve(id identity.PeerID) (string, error)
+}
+
+// StaticResolver is a fixed ID → address table.
+type StaticResolver struct {
+	mu    sync.RWMutex
+	addrs map[identity.PeerID]string
+}
+
+// NewStaticResolver returns an empty resolver.
+func NewStaticResolver() *StaticResolver {
+	return &StaticResolver{addrs: make(map[identity.PeerID]string)}
+}
+
+// Set binds an ID to an address.
+func (r *StaticResolver) Set(id identity.PeerID, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addrs[id] = addr
+}
+
+// Resolve implements Resolver.
+func (r *StaticResolver) Resolve(id identity.PeerID) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	addr, ok := r.addrs[id]
+	if !ok {
+		return "", fmt.Errorf("peer: no address for %s", id)
+	}
+	return addr, nil
+}
+
+var _ Resolver = (*StaticResolver)(nil)
+
+// TCPExchange implements Network over TCP.
+type TCPExchange struct {
+	resolver Resolver
+	// DialTimeout and CallTimeout bound each fetch.
+	DialTimeout, CallTimeout time.Duration
+}
+
+// NewTCPExchange returns a client with 2s dial and 5s call timeouts.
+func NewTCPExchange(resolver Resolver) *TCPExchange {
+	return &TCPExchange{resolver: resolver, DialTimeout: 2 * time.Second, CallTimeout: 5 * time.Second}
+}
+
+// FetchEvaluations implements Network.
+func (e *TCPExchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, error) {
+	addr, err := e.resolver.Resolve(target)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, e.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("peer: dial %s (%s): %w", target, addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := conn.SetDeadline(time.Now().Add(e.CallTimeout)); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, exchangeRequest{Method: "evaluations"}); err != nil {
+		return nil, fmt.Errorf("peer: send to %s: %w", target, err)
+	}
+	var resp exchangeResponse
+	if err := wire.ReadFrame(conn, &resp); err != nil {
+		return nil, fmt.Errorf("peer: recv from %s: %w", target, err)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("peer: %s: %s", target, resp.Error)
+	}
+	return resp.Evaluations, nil
+}
+
+var _ Network = (*TCPExchange)(nil)
+
+// ExchangeServer serves one peer's evaluation list over TCP.
+type ExchangeServer struct {
+	listener net.Listener
+	source   func() ([]eval.Info, error)
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
+	wg      sync.WaitGroup
+}
+
+// ServeExchange listens on addr (":0" for ephemeral) and serves the
+// evaluation list produced by source — typically (*Peer).SignedEvaluations.
+func ServeExchange(addr string, source func() ([]eval.Info, error)) (*ExchangeServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("peer: listen %s: %w", addr, err)
+	}
+	s := &ExchangeServer{listener: ln, source: source, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *ExchangeServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and waits for in-flight requests.
+func (s *ExchangeServer) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *ExchangeServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *ExchangeServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	var req exchangeRequest
+	if err := wire.ReadFrame(conn, &req); err != nil {
+		return
+	}
+	if req.Method != "evaluations" {
+		_ = wire.WriteFrame(conn, exchangeResponse{Error: fmt.Sprintf("unknown method %q", req.Method)})
+		return
+	}
+	infos, err := s.source()
+	if err != nil {
+		_ = wire.WriteFrame(conn, exchangeResponse{Error: err.Error()})
+		return
+	}
+	_ = wire.WriteFrame(conn, exchangeResponse{Evaluations: infos})
+}

@@ -1,0 +1,122 @@
+package peer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+	"mdrep/internal/wire"
+
+	"net"
+)
+
+// tcpTestnet builds two peers connected over real TCP exchange servers.
+func tcpTestnet(t *testing.T) (alice, bob *Peer, resolver *StaticResolver) {
+	t.Helper()
+	dir := identity.NewDirectory()
+	resolver = NewStaticResolver()
+	network := NewTCPExchange(resolver)
+
+	mk := func(seed uint64) *Peer {
+		t.Helper()
+		id, err := identity.Generate(identity.NewDeterministicReader(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dir.Register(id.PublicKey()); err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(id, dir, network, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeExchange("127.0.0.1:0", p.SignedEvaluations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		resolver.Set(p.ID(), srv.Addr())
+		return p
+	}
+	return mk(31), mk(32), resolver
+}
+
+func TestTCPExchangeSyncAndJudge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP exchange test")
+	}
+	alice, bob, _ := tcpTestnet(t)
+	alice.Vote("shared", 0.9)
+	bob.Vote("shared", 0.88)
+	n, err := alice.SyncPeer(bob.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("synced %d entries over TCP", n)
+	}
+	if alice.TrustRow()[bob.ID()] <= 0 {
+		t.Fatal("no trust after TCP sync")
+	}
+}
+
+func TestTCPExchangeUnknownPeer(t *testing.T) {
+	alice, _, _ := tcpTestnet(t)
+	ghost, err := identity.Generate(identity.NewDeterministicReader(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.SyncPeer(ghost.ID()); err == nil {
+		t.Fatal("sync with unresolvable peer succeeded")
+	}
+}
+
+func TestTCPExchangeUnknownMethod(t *testing.T) {
+	srv, err := ServeExchange("127.0.0.1:0", func() ([]eval.Info, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, exchangeRequest{Method: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp exchangeResponse
+	if err := wire.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Error, "unknown method") {
+		t.Fatalf("response: %+v", resp)
+	}
+}
+
+func TestStaticResolver(t *testing.T) {
+	r := NewStaticResolver()
+	if _, err := r.Resolve("nobody"); err == nil {
+		t.Fatal("unknown ID resolved")
+	}
+	r.Set("someone", "127.0.0.1:1234")
+	addr, err := r.Resolve("someone")
+	if err != nil || addr != "127.0.0.1:1234" {
+		t.Fatalf("Resolve = %q, %v", addr, err)
+	}
+}
+
+func TestTCPExchangeDialFailure(t *testing.T) {
+	r := NewStaticResolver()
+	r.Set("dead", "127.0.0.1:1")
+	e := NewTCPExchange(r)
+	e.DialTimeout = 200 * time.Millisecond
+	if _, err := e.FetchEvaluations("dead"); err == nil {
+		t.Fatal("fetch from closed port succeeded")
+	}
+}

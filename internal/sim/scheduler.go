@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now time.Duration)
+
+type scheduledEvent struct {
+	at    time.Duration
+	seq   uint64 // tie-breaker: FIFO among events at the same instant
+	fn    Event
+	index int
+}
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*scheduledEvent)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrStopped is returned by Run when the scheduler was stopped explicitly
+// before the horizon or the event queue drained.
+var ErrStopped = errors.New("sim: scheduler stopped")
+
+// Scheduler executes events in virtual-time order. It is single-threaded:
+// events run on the goroutine that calls Run or Step.
+type Scheduler struct {
+	clock   Clock
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// Executed counts events run since construction; useful for cost
+	// accounting in benchmarks.
+	Executed uint64
+}
+
+// NewScheduler returns an empty scheduler at virtual time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.clock.Now() }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time at. Events scheduled in
+// the past run at the current time (the clock never rewinds).
+func (s *Scheduler) At(at time.Duration, fn Event) {
+	if at < s.clock.Now() {
+		at = s.clock.Now()
+	}
+	s.seq++
+	heap.Push(&s.queue, &scheduledEvent{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay after the current virtual time.
+func (s *Scheduler) After(delay time.Duration, fn Event) {
+	s.At(s.clock.Now()+delay, fn)
+}
+
+// Every schedules fn to run now+interval, then every interval thereafter,
+// until the scheduler stops or the horizon passes. fn may return false to
+// cancel the series.
+func (s *Scheduler) Every(interval time.Duration, fn func(now time.Duration) bool) {
+	var tick Event
+	tick = func(now time.Duration) {
+		if !fn(now) {
+			return
+		}
+		s.After(interval, tick)
+	}
+	s.After(interval, tick)
+}
+
+// Stop halts Run after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 || s.stopped {
+		return false
+	}
+	ev, ok := heap.Pop(&s.queue).(*scheduledEvent)
+	if !ok {
+		return false
+	}
+	s.clock.advance(ev.at)
+	s.Executed++
+	ev.fn(s.clock.Now())
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or virtual
+// time would pass horizon (a zero horizon means no limit). It returns
+// ErrStopped only for an explicit Stop; draining or reaching the horizon
+// is normal completion.
+func (s *Scheduler) Run(horizon time.Duration) error {
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		if horizon > 0 && s.queue[0].at > horizon {
+			s.clock.advance(horizon)
+			return nil
+		}
+		s.Step()
+	}
+	if horizon > 0 {
+		s.clock.advance(horizon)
+	}
+	return nil
+}

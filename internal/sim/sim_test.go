@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestDeriveStreamIndependence(t *testing.T) {
+	root := NewRNG(7)
+	s1 := root.DeriveStream("alpha")
+	s2 := root.DeriveStream("beta")
+	s1again := NewRNG(7).DeriveStream("alpha")
+	for i := 0; i < 100; i++ {
+		v := s1.Uint64()
+		if v != s1again.Uint64() {
+			t.Fatal("derived stream not reproducible")
+		}
+		if v == s2.Uint64() {
+			t.Fatal("derived streams with different names coincide")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential draw negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Fatalf("exponential mean %v too far from 1", mean)
+	}
+}
+
+func TestSchedulerOrdersEvents(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30*time.Second, func(time.Duration) { order = append(order, 3) })
+	s.At(10*time.Second, func(time.Duration) { order = append(order, 1) })
+	s.At(20*time.Second, func(time.Duration) { order = append(order, 2) })
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if s.Now() != 30*time.Second {
+		t.Fatalf("clock at %v, want 30s", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerHorizon(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.At(time.Hour, func(time.Duration) { ran = true })
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("event past horizon was executed")
+	}
+	if s.Now() != time.Minute {
+		t.Fatalf("clock at %v, want horizon 1m", s.Now())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("pending events = %d, want 1", s.Len())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	s.At(time.Second, func(time.Duration) { count++; s.Stop() })
+	s.At(2*time.Second, func(time.Duration) { count++ })
+	err := s.Run(0)
+	if err != ErrStopped {
+		t.Fatalf("Run err = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", count)
+	}
+}
+
+func TestSchedulerAfterNesting(t *testing.T) {
+	s := NewScheduler()
+	var times []time.Duration
+	s.After(time.Second, func(now time.Duration) {
+		times = append(times, now)
+		s.After(time.Second, func(now time.Duration) {
+			times = append(times, now)
+		})
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("nested After times = %v", times)
+	}
+}
+
+func TestSchedulerEvery(t *testing.T) {
+	s := NewScheduler()
+	ticks := 0
+	s.Every(time.Minute, func(time.Duration) bool {
+		ticks++
+		return ticks < 5
+	})
+	if err := s.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestSchedulerPastEventRunsNow(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*time.Second, func(now time.Duration) {
+		s.At(time.Second, func(now time.Duration) {
+			if now != 10*time.Second {
+				t.Errorf("past event ran at %v, want clamped to 10s", now)
+			}
+		})
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerExecutedCount(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 25; i++ {
+		s.At(time.Duration(i)*time.Second, func(time.Duration) {})
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Executed != 25 {
+		t.Fatalf("Executed = %d, want 25", s.Executed)
+	}
+}

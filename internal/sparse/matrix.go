@@ -1,0 +1,361 @@
+// Package sparse implements the sparse row-oriented matrices behind the
+// paper's trust algebra: row normalisation (Eq. 3, 5, 6), weighted
+// integration TM = α·FM + β·DM + γ·UM (Eq. 7), and the multi-trust power
+// RM = TM^n (Eq. 8), evaluated either as full sparse matrix products or as
+// repeated row-vector products for single-peer queries.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is an n×n sparse matrix stored as one map per row. Absent entries
+// are zero. Matrices in this package are square because trust matrices
+// relate peers to peers.
+type Matrix struct {
+	n    int
+	rows []map[int]float64
+}
+
+// New returns an n×n zero matrix.
+func New(n int) *Matrix {
+	if n < 0 {
+		n = 0
+	}
+	return &Matrix{n: n, rows: make([]map[int]float64, n)}
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// NNZ returns the number of explicitly stored entries.
+func (m *Matrix) NNZ() int {
+	total := 0
+	for _, row := range m.rows {
+		total += len(row)
+	}
+	return total
+}
+
+// Get returns entry (i, j); out-of-range indices read as zero.
+func (m *Matrix) Get(i, j int) float64 {
+	if i < 0 || i >= m.n || m.rows[i] == nil {
+		return 0
+	}
+	return m.rows[i][j]
+}
+
+// Set stores entry (i, j). Setting zero removes the entry. Out-of-range
+// indices are ignored (the trust engine validates indices at its boundary).
+func (m *Matrix) Set(i, j int, v float64) {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		return
+	}
+	if v == 0 {
+		if m.rows[i] != nil {
+			delete(m.rows[i], j)
+		}
+		return
+	}
+	if m.rows[i] == nil {
+		m.rows[i] = make(map[int]float64)
+	}
+	m.rows[i][j] = v
+}
+
+// Add accumulates v into entry (i, j).
+func (m *Matrix) Add(i, j int, v float64) {
+	m.Set(i, j, m.Get(i, j)+v)
+}
+
+// Row returns the non-zero entries of row i as a map; the returned map is
+// the internal storage and must not be mutated by callers that want the
+// matrix unchanged. RowCopy returns a safe copy.
+func (m *Matrix) Row(i int) map[int]float64 {
+	if i < 0 || i >= m.n {
+		return nil
+	}
+	return m.rows[i]
+}
+
+// RowCopy returns a copy of row i safe for the caller to mutate.
+func (m *Matrix) RowCopy(i int) map[int]float64 {
+	src := m.Row(i)
+	dst := make(map[int]float64, len(src))
+	for j, v := range src {
+		dst[j] = v
+	}
+	return dst
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.n)
+	for i, row := range m.rows {
+		if len(row) == 0 {
+			continue
+		}
+		nr := make(map[int]float64, len(row))
+		for j, v := range row {
+			nr[j] = v
+		}
+		c.rows[i] = nr
+	}
+	return c
+}
+
+// RowSum returns the sum of row i.
+func (m *Matrix) RowSum(i int) float64 {
+	sum := 0.0
+	for _, v := range m.Row(i) {
+		sum += v
+	}
+	return sum
+}
+
+// RowNormalize divides each non-empty row by its sum, producing the
+// row-stochastic matrices of Eq. (3), (5) and (6). Rows whose sum is zero
+// or negative are cleared: a peer with no direct trust expresses none.
+// It returns the receiver for chaining.
+func (m *Matrix) RowNormalize() *Matrix {
+	for i, row := range m.rows {
+		if len(row) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if sum <= 0 {
+			m.rows[i] = nil
+			continue
+		}
+		for j, v := range row {
+			row[j] = v / sum
+		}
+	}
+	return m
+}
+
+// AddScaled accumulates s·other into the receiver, implementing the
+// weighted integration of Eq. (7). It returns an error on dimension
+// mismatch.
+func (m *Matrix) AddScaled(s float64, other *Matrix) error {
+	if other == nil {
+		return errors.New("sparse: AddScaled with nil matrix")
+	}
+	if other.n != m.n {
+		return fmt.Errorf("sparse: dimension mismatch %d vs %d", m.n, other.n)
+	}
+	if s == 0 {
+		return nil
+	}
+	for i, row := range other.rows {
+		for j, v := range row {
+			m.Add(i, j, s*v)
+		}
+	}
+	return nil
+}
+
+// Scale multiplies every entry by s in place and returns the receiver.
+func (m *Matrix) Scale(s float64) *Matrix {
+	if s == 0 {
+		for i := range m.rows {
+			m.rows[i] = nil
+		}
+		return m
+	}
+	for _, row := range m.rows {
+		for j, v := range row {
+			row[j] = v * s
+		}
+	}
+	return m
+}
+
+// MulVec returns m · x (treating x as a column vector). It returns an
+// error on dimension mismatch.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.n {
+		return nil, fmt.Errorf("sparse: vector length %d, want %d", len(x), m.n)
+	}
+	y := make([]float64, m.n)
+	for i, row := range m.rows {
+		sum := 0.0
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+	return y, nil
+}
+
+// VecMul returns xᵀ · m (treating x as a row vector): the propagation step
+// of distributed multi-trust, where a peer pushes its trust weights one hop
+// forward.
+func (m *Matrix) VecMul(x []float64) ([]float64, error) {
+	if len(x) != m.n {
+		return nil, fmt.Errorf("sparse: vector length %d, want %d", len(x), m.n)
+	}
+	y := make([]float64, m.n)
+	for i, row := range m.rows {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+	return y, nil
+}
+
+// Mul returns m · other as a new matrix. Cost is O(nnz(m) · avg row nnz of
+// other); both operands are unchanged.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if other == nil {
+		return nil, errors.New("sparse: Mul with nil matrix")
+	}
+	if other.n != m.n {
+		return nil, fmt.Errorf("sparse: dimension mismatch %d vs %d", m.n, other.n)
+	}
+	out := New(m.n)
+	for i, row := range m.rows {
+		if len(row) == 0 {
+			continue
+		}
+		acc := make(map[int]float64)
+		for k, mv := range row {
+			for j, ov := range other.Row(k) {
+				acc[j] += mv * ov
+			}
+		}
+		if len(acc) > 0 {
+			out.rows[i] = acc
+		}
+	}
+	return out, nil
+}
+
+// Pow returns m^k for k >= 1 by repeated squaring. Powers of sparse
+// stochastic matrices densify quickly, so this is intended for the modest
+// n of the multi-trust step sweep (n ≤ ~6 in the paper's setting).
+func (m *Matrix) Pow(k int) (*Matrix, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sparse: Pow needs k >= 1, got %d", k)
+	}
+	result := m.Clone()
+	base := m
+	k--
+	first := true
+	// Square-and-multiply over the remaining exponent.
+	sq := base.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			var err error
+			if first {
+				result, err = m.Mul(sq)
+				first = false
+			} else {
+				result, err = result.Mul(sq)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		k >>= 1
+		if k > 0 {
+			var err error
+			sq, err = sq.Mul(sq)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return result, nil
+}
+
+// RowVecPow returns eᵢᵀ · m^k: row i of the k-th power, computed with k
+// sparse row-vector products. This is how a single peer evaluates its
+// multi-trust view without materialising m^k.
+func (m *Matrix) RowVecPow(i, k int) (map[int]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sparse: RowVecPow needs k >= 1, got %d", k)
+	}
+	if i < 0 || i >= m.n {
+		return nil, fmt.Errorf("sparse: row %d out of range [0, %d)", i, m.n)
+	}
+	cur := m.RowCopy(i)
+	for step := 1; step < k; step++ {
+		next := make(map[int]float64, len(cur))
+		for mid, w := range cur {
+			if w == 0 {
+				continue
+			}
+			for j, v := range m.Row(mid) {
+				next[j] += w * v
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// MaxRowSumDelta returns the largest |rowSum - 1| over non-empty rows; a
+// row-stochastic matrix has delta ~ 0. Empty rows are skipped because they
+// represent peers with no outgoing trust.
+func (m *Matrix) MaxRowSumDelta() float64 {
+	max := 0.0
+	for i, row := range m.rows {
+		if len(row) == 0 {
+			continue
+		}
+		d := math.Abs(m.RowSum(i) - 1)
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Entries returns all non-zero entries sorted by (row, col); used by tests
+// and serialisation.
+func (m *Matrix) Entries() []Entry {
+	out := make([]Entry, 0, m.NNZ())
+	for i, row := range m.rows {
+		for j, v := range row {
+			out = append(out, Entry{Row: i, Col: j, Val: v})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Row != out[b].Row {
+			return out[a].Row < out[b].Row
+		}
+		return out[a].Col < out[b].Col
+	})
+	return out
+}
+
+// Entry is one non-zero matrix element.
+type Entry struct {
+	Row int     `json:"row"`
+	Col int     `json:"col"`
+	Val float64 `json:"val"`
+}
+
+// Dense returns the matrix as a dense [][]float64; intended for tests on
+// small matrices.
+func (m *Matrix) Dense() [][]float64 {
+	out := make([][]float64, m.n)
+	for i := range out {
+		out[i] = make([]float64, m.n)
+		for j, v := range m.Row(i) {
+			out[i][j] = v
+		}
+	}
+	return out
+}

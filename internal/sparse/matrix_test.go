@@ -1,0 +1,403 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mdrep/internal/sim"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSetGet(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 2.5)
+	m.Set(2, 2, -1)
+	if got := m.Get(0, 1); got != 2.5 {
+		t.Fatalf("Get(0,1) = %v", got)
+	}
+	if got := m.Get(2, 2); got != -1 {
+		t.Fatalf("Get(2,2) = %v", got)
+	}
+	if got := m.Get(1, 1); got != 0 {
+		t.Fatalf("Get(1,1) = %v, want 0", got)
+	}
+}
+
+func TestSetZeroRemovesEntry(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 0, 0)
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ = %d after zeroing", m.NNZ())
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	m := New(2)
+	m.Set(-1, 0, 1)
+	m.Set(0, 5, 1)
+	m.Set(5, 0, 1)
+	if m.NNZ() != 0 {
+		t.Fatal("out-of-range Set stored an entry")
+	}
+	if m.Get(-1, 0) != 0 || m.Get(0, 9) != 0 {
+		t.Fatal("out-of-range Get non-zero")
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	m := New(2)
+	m.Add(1, 0, 1.5)
+	m.Add(1, 0, 2.5)
+	if got := m.Get(1, 0); got != 4 {
+		t.Fatalf("Add accumulated to %v, want 4", got)
+	}
+}
+
+func TestRowNormalize(t *testing.T) {
+	m := New(3)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 6)
+	m.Set(1, 2, 5)
+	m.RowNormalize()
+	if !almostEqual(m.Get(0, 0), 0.25) || !almostEqual(m.Get(0, 1), 0.75) {
+		t.Fatalf("row 0 normalised to %v, %v", m.Get(0, 0), m.Get(0, 1))
+	}
+	if !almostEqual(m.Get(1, 2), 1) {
+		t.Fatalf("row 1 normalised to %v", m.Get(1, 2))
+	}
+	if m.MaxRowSumDelta() > 1e-9 {
+		t.Fatalf("MaxRowSumDelta = %v after normalise", m.MaxRowSumDelta())
+	}
+}
+
+func TestRowNormalizeClearsNonPositiveRows(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, -1)
+	m.RowNormalize()
+	if len(m.Row(0)) != 0 {
+		t.Fatal("non-positive row not cleared")
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := New(2)
+	a.Set(0, 0, 1)
+	b := New(2)
+	b.Set(0, 0, 2)
+	b.Set(1, 1, 4)
+	if err := a.AddScaled(0.5, b); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a.Get(0, 0), 2) || !almostEqual(a.Get(1, 1), 2) {
+		t.Fatalf("AddScaled result: %v, %v", a.Get(0, 0), a.Get(1, 1))
+	}
+}
+
+func TestAddScaledDimensionMismatch(t *testing.T) {
+	a := New(2)
+	b := New(3)
+	if err := a.AddScaled(1, b); err == nil {
+		t.Fatal("dimension mismatch not detected")
+	}
+	if err := a.AddScaled(1, nil); err == nil {
+		t.Fatal("nil matrix not detected")
+	}
+}
+
+func TestConvexCombinationPreservesStochasticity(t *testing.T) {
+	// alpha*FM + beta*DM + gamma*UM with alpha+beta+gamma=1 must be
+	// row-stochastic when all three share the same non-empty row support.
+	rng := sim.NewRNG(42)
+	n := 20
+	mk := func() *Matrix {
+		m := New(n)
+		for i := 0; i < n; i++ {
+			for k := 0; k < 5; k++ {
+				m.Set(i, rng.Intn(n), rng.Float64()+0.01)
+			}
+		}
+		return m.RowNormalize()
+	}
+	fm, dm, um := mk(), mk(), mk()
+	tm := New(n)
+	if err := tm.AddScaled(0.5, fm); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.AddScaled(0.3, dm); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.AddScaled(0.2, um); err != nil {
+		t.Fatal(err)
+	}
+	if d := tm.MaxRowSumDelta(); d > 1e-9 {
+		t.Fatalf("convex combination not row-stochastic: delta %v", d)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	y, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(y[0], 3) || !almostEqual(y[1], 3) {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestVecMul(t *testing.T) {
+	m := New(2)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	y, err := m.VecMul([]float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(y[0], 30) || !almostEqual(y[1], 2) {
+		t.Fatalf("VecMul = %v", y)
+	}
+	if _, err := m.VecMul(nil); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestMulMatchesDense(t *testing.T) {
+	rng := sim.NewRNG(7)
+	n := 8
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				a.Set(i, j, rng.Float64())
+			}
+			if rng.Float64() < 0.4 {
+				b.Set(i, j, rng.Float64())
+			}
+		}
+	}
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := a.Dense(), b.Dense()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for k := 0; k < n; k++ {
+				want += da[i][k] * db[k][j]
+			}
+			if !almostEqual(c.Get(i, j), want) {
+				t.Fatalf("Mul(%d,%d) = %v, want %v", i, j, c.Get(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMulErrors(t *testing.T) {
+	a := New(2)
+	if _, err := a.Mul(nil); err == nil {
+		t.Fatal("nil operand not detected")
+	}
+	if _, err := a.Mul(New(3)); err == nil {
+		t.Fatal("dimension mismatch not detected")
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	rng := sim.NewRNG(9)
+	n := 6
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				m.Set(i, j, rng.Float64())
+			}
+		}
+	}
+	m.RowNormalize()
+	want := m.Clone()
+	for k := 1; k <= 5; k++ {
+		got, err := m.Pow(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(got.Get(i, j)-want.Get(i, j)) > 1e-9 {
+					t.Fatalf("Pow(%d) mismatch at (%d,%d): %v vs %v",
+						k, i, j, got.Get(i, j), want.Get(i, j))
+				}
+			}
+		}
+		var err2 error
+		want, err2 = want.Mul(m)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+	}
+}
+
+func TestPowRejectsBadExponent(t *testing.T) {
+	if _, err := New(2).Pow(0); err == nil {
+		t.Fatal("Pow(0) succeeded")
+	}
+}
+
+func TestStochasticPowerStaysStochastic(t *testing.T) {
+	// TM row-stochastic with fully supported rows implies TM^n
+	// row-stochastic: reputations remain a probability distribution over
+	// peers at every multi-trust depth.
+	rng := sim.NewRNG(21)
+	n := 12
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			m.Set(i, rng.Intn(n), rng.Float64()+0.05)
+		}
+	}
+	m.RowNormalize()
+	// Ensure full support: every column reachable (add a weak uniform row
+	// for row 0 to avoid dangling columns breaking the invariant check).
+	p, err := m.Pow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if len(p.Row(i)) == 0 {
+			continue
+		}
+		if math.Abs(p.RowSum(i)-1) > 1e-9 {
+			t.Fatalf("row %d of TM^4 sums to %v", i, p.RowSum(i))
+		}
+	}
+}
+
+func TestRowVecPowMatchesPow(t *testing.T) {
+	rng := sim.NewRNG(23)
+	n := 10
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			m.Set(i, rng.Intn(n), rng.Float64())
+		}
+	}
+	m.RowNormalize()
+	for _, k := range []int{1, 2, 3, 4} {
+		full, err := m.Pow(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			row, err := m.RowVecPow(i, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < n; j++ {
+				if math.Abs(row[j]-full.Get(i, j)) > 1e-9 {
+					t.Fatalf("RowVecPow(%d,%d)[%d] = %v, want %v",
+						i, k, j, row[j], full.Get(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestRowVecPowErrors(t *testing.T) {
+	m := New(3)
+	if _, err := m.RowVecPow(0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := m.RowVecPow(5, 1); err == nil {
+		t.Fatal("row out of range accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New(2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.Get(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestRowCopyIsSafe(t *testing.T) {
+	m := New(2)
+	m.Set(0, 1, 3)
+	row := m.RowCopy(0)
+	row[1] = 99
+	if m.Get(0, 1) != 3 {
+		t.Fatal("RowCopy shares storage")
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := New(2)
+	m.Set(0, 1, 4)
+	m.Scale(0.25)
+	if !almostEqual(m.Get(0, 1), 1) {
+		t.Fatalf("Scale result %v", m.Get(0, 1))
+	}
+	m.Scale(0)
+	if m.NNZ() != 0 {
+		t.Fatal("Scale(0) left entries")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	m := New(3)
+	m.Set(2, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(0, 1, 3)
+	e := m.Entries()
+	if len(e) != 3 {
+		t.Fatalf("Entries len %d", len(e))
+	}
+	if e[0] != (Entry{0, 1, 3}) || e[1] != (Entry{0, 2, 2}) || e[2] != (Entry{2, 0, 1}) {
+		t.Fatalf("Entries order: %+v", e)
+	}
+}
+
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	rng := sim.NewRNG(31)
+	f := func(seed uint16) bool {
+		r := rng.DeriveStream(string(rune(seed)))
+		n := 5 + r.Intn(10)
+		m := New(n)
+		for i := 0; i < n; i++ {
+			for k := 0; k < 3; k++ {
+				m.Set(i, r.Intn(n), r.Float64())
+			}
+		}
+		m.RowNormalize()
+		before := m.Entries()
+		m.RowNormalize()
+		after := m.Entries()
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i].Row != after[i].Row || before[i].Col != after[i].Col {
+				return false
+			}
+			if math.Abs(before[i].Val-after[i].Val) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mdrep/internal/dist"
+	"mdrep/internal/sim"
+)
+
+// GenConfig parameterises the synthetic Maze-like workload. The defaults
+// are scaled down from the paper's trace (115k users, 24.6M downloads)
+// while preserving the skew ratios that determine request coverage.
+type GenConfig struct {
+	// Seed drives all randomness; equal seeds give identical traces.
+	Seed uint64
+	// Peers is the population size.
+	Peers int
+	// Files is the catalogue size.
+	Files int
+	// Downloads is the number of download records to produce.
+	Downloads int
+	// Duration is the log length (the paper uses 30 days).
+	Duration time.Duration
+	// ZipfExponent is the file-popularity skew (≈1.0 in measured P2P
+	// systems).
+	ZipfExponent float64
+	// ActivityAlpha is the bounded-Pareto shape of per-peer activity;
+	// smaller is heavier-tailed.
+	ActivityAlpha float64
+	// ActivityMax is the ratio between the heaviest and lightest peer.
+	ActivityMax float64
+	// SeedersPerFile is the mean number of initial owners per file.
+	SeedersPerFile int
+	// ColdStartFraction is the fraction of files already published at
+	// time zero; the remainder are born uniformly over the run (file
+	// churn).
+	ColdStartFraction float64
+	// MeanFileLifetime bounds how long a file stays downloadable after
+	// birth ("most files have a small life cycle", §4.3). Zero disables
+	// file death.
+	MeanFileLifetime time.Duration
+	// MinFileSize and MaxFileSize bound the bounded-Pareto file sizes.
+	MinFileSize, MaxFileSize int64
+}
+
+// DefaultGenConfig returns the configuration used by the Figure 1
+// reproduction: 2 000 peers, 10 000 files, 30 days.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:              1,
+		Peers:             2000,
+		Files:             10000,
+		Downloads:         200000,
+		Duration:          30 * 24 * time.Hour,
+		ZipfExponent:      1.0,
+		ActivityAlpha:     0.9,
+		ActivityMax:       500,
+		SeedersPerFile:    2,
+		ColdStartFraction: 0.6,
+		MeanFileLifetime:  20 * 24 * time.Hour,
+		MinFileSize:       1 << 20, // 1 MiB
+		MaxFileSize:       1 << 32, // 4 GiB
+	}
+}
+
+// Validate checks the configuration.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.Peers < 2:
+		return errors.New("trace: need at least 2 peers")
+	case c.Files < 1:
+		return errors.New("trace: need at least 1 file")
+	case c.Downloads < 0:
+		return errors.New("trace: negative download count")
+	case c.Duration <= 0:
+		return errors.New("trace: non-positive duration")
+	case c.ZipfExponent < 0:
+		return errors.New("trace: negative Zipf exponent")
+	case c.ActivityAlpha <= 0 || c.ActivityMax <= 1:
+		return errors.New("trace: invalid activity distribution")
+	case c.SeedersPerFile < 1:
+		return errors.New("trace: need at least 1 seeder per file")
+	case c.ColdStartFraction < 0 || c.ColdStartFraction > 1:
+		return errors.New("trace: cold-start fraction outside [0,1]")
+	case c.MinFileSize <= 0 || c.MaxFileSize < c.MinFileSize:
+		return errors.New("trace: invalid file size bounds")
+	}
+	return nil
+}
+
+// Generate produces a synthetic trace. Generation is single-pass: events
+// arrive on a Poisson process; each picks an active file by Zipf
+// popularity, a downloader by Pareto activity, and an uploader among the
+// file's current owners, then the downloader joins the owner set — the
+// replication dynamic that makes popular files widely co-owned and drives
+// up co-evaluation coverage, exactly as in Maze.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(cfg.Seed)
+
+	// Per-peer activity weights (heavy-tailed).
+	activity, err := dist.NewBoundedPareto(cfg.ActivityAlpha, 1, cfg.ActivityMax)
+	if err != nil {
+		return nil, fmt.Errorf("trace: activity dist: %w", err)
+	}
+	actRNG := rng.DeriveStream("activity")
+	weights := make([]float64, cfg.Peers)
+	for i := range weights {
+		weights[i] = activity.Sample(actRNG)
+	}
+	peerPicker, err := dist.NewWeighted(weights)
+	if err != nil {
+		return nil, fmt.Errorf("trace: peer picker: %w", err)
+	}
+
+	// File popularity, sizes, lifetimes.
+	pop, err := dist.NewZipf(cfg.Files, cfg.ZipfExponent)
+	if err != nil {
+		return nil, fmt.Errorf("trace: popularity dist: %w", err)
+	}
+	sizeDist, err := dist.NewBoundedPareto(1.1, float64(cfg.MinFileSize), float64(cfg.MaxFileSize))
+	if err != nil {
+		return nil, fmt.Errorf("trace: size dist: %w", err)
+	}
+	fileRNG := rng.DeriveStream("files")
+	sizes := make([]int64, cfg.Files)
+	birth := make([]time.Duration, cfg.Files)
+	death := make([]time.Duration, cfg.Files)
+	coldStart := int(float64(cfg.Files) * cfg.ColdStartFraction)
+	for f := 0; f < cfg.Files; f++ {
+		sizes[f] = int64(sizeDist.Sample(fileRNG))
+		if f >= coldStart {
+			birth[f] = time.Duration(fileRNG.Int63n(int64(cfg.Duration)))
+		}
+		if cfg.MeanFileLifetime > 0 {
+			life := time.Duration(fileRNG.ExpFloat64() * float64(cfg.MeanFileLifetime))
+			death[f] = birth[f] + life
+		} else {
+			death[f] = birth[f] + 2*cfg.Duration // never dies within the run
+		}
+	}
+
+	// Initial owners: heavy peers seed more files, matching Maze where a
+	// few dedicated sharers hold most content.
+	ownRNG := rng.DeriveStream("owners")
+	owners := make([][]int32, cfg.Files)
+	isOwner := make([]map[int32]struct{}, cfg.Files)
+	addOwner := func(f int, p int32) {
+		if isOwner[f] == nil {
+			isOwner[f] = make(map[int32]struct{}, 4)
+		}
+		if _, ok := isOwner[f][p]; ok {
+			return
+		}
+		isOwner[f][p] = struct{}{}
+		owners[f] = append(owners[f], p)
+	}
+	for f := 0; f < cfg.Files; f++ {
+		n := 1 + ownRNG.Intn(2*cfg.SeedersPerFile-1)
+		for k := 0; k < n; k++ {
+			addOwner(f, int32(peerPicker.Index(ownRNG)))
+		}
+	}
+
+	// Poisson arrivals over the duration.
+	evRNG := rng.DeriveStream("events")
+	records := make([]Record, 0, cfg.Downloads)
+	var now time.Duration
+	meanGap := float64(cfg.Duration) / float64(cfg.Downloads+1)
+	for len(records) < cfg.Downloads {
+		now += time.Duration(evRNG.ExpFloat64() * meanGap)
+		if now > cfg.Duration {
+			break
+		}
+		// Pick an active file by popularity; resample on inactive files.
+		file := -1
+		for try := 0; try < 64; try++ {
+			f := pop.Rank(evRNG)
+			if birth[f] <= now && now < death[f] && len(owners[f]) > 0 {
+				file = f
+				break
+			}
+		}
+		if file < 0 {
+			continue // catalogue momentarily thin; skip this arrival
+		}
+		downloader := peerPicker.Index(evRNG)
+		// Pick an uploader among current owners other than the
+		// downloader.
+		own := owners[file]
+		uploader := -1
+		for try := 0; try < 8; try++ {
+			cand := int(own[evRNG.Intn(len(own))])
+			if cand != downloader {
+				uploader = cand
+				break
+			}
+		}
+		if uploader < 0 {
+			continue // downloader is effectively the only owner
+		}
+		records = append(records, Record{
+			Time:       now,
+			Uploader:   uploader,
+			Downloader: downloader,
+			File:       file,
+			Size:       sizes[file],
+		})
+		addOwner(file, int32(downloader))
+	}
+
+	tr := &Trace{Peers: cfg.Peers, Files: cfg.Files, FileSizes: sizes, Records: records}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: generated invalid trace: %w", err)
+	}
+	return tr, nil
+}

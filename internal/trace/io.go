@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The on-disk schema mirrors the Maze log server's fields (§3.2:
+// "uploading user-id, downloading user-id, global time, files content
+// hash, and filename") as tab-separated lines:
+//
+//	H	<peers>	<files>                          header
+//	F	<hash>	<name>	<size>                   one per file, in index order
+//	D	<uploader>	<downloader>	<timeNanos>	<hash>	<name>	<size>
+//
+// User IDs are "u%06d"; content hashes are SHA-1 of the synthetic file
+// name. A real Maze log converts into this schema with a one-line awk.
+
+// PeerName formats a peer index as its log user-id.
+func PeerName(i int) string { return fmt.Sprintf("u%06d", i) }
+
+// FileName formats a file index as its log filename.
+func FileName(f int) string { return fmt.Sprintf("file-%06d.dat", f) }
+
+// FileHash returns the content hash of file index f.
+func FileHash(f int) string {
+	sum := sha1.Sum([]byte(FileName(f)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Write serialises the trace.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "H\t%d\t%d\n", t.Peers, t.Files); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for f := 0; f < t.Files; f++ {
+		if _, err := fmt.Fprintf(bw, "F\t%s\t%s\t%d\n", FileHash(f), FileName(f), t.FileSizes[f]); err != nil {
+			return fmt.Errorf("trace: write file %d: %w", f, err)
+		}
+	}
+	for i, r := range t.Records {
+		if _, err := fmt.Fprintf(bw, "D\t%s\t%s\t%d\t%s\t%s\t%d\n",
+			PeerName(r.Uploader), PeerName(r.Downloader), int64(r.Time),
+			FileHash(r.File), FileName(r.File), r.Size); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write (or converted from a real log).
+// Unknown line types are skipped so logs may carry comments.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var t Trace
+	hashToFile := make(map[string]int)
+	nameToPeer := make(map[string]int)
+	peerIndex := func(name string) (int, error) {
+		if i, ok := nameToPeer[name]; ok {
+			return i, nil
+		}
+		// Accept only ids we can map densely; synthetic ids embed the
+		// index, foreign ids get the next free slot.
+		i := len(nameToPeer)
+		if strings.HasPrefix(name, "u") {
+			if v, err := strconv.Atoi(name[1:]); err == nil {
+				i = v
+			}
+		}
+		if i >= t.Peers {
+			return 0, fmt.Errorf("trace: peer %q outside declared population %d", name, t.Peers)
+		}
+		nameToPeer[name] = i
+		return i, nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "H":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: malformed header", lineNo)
+			}
+			peers, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: peers: %w", lineNo, err)
+			}
+			files, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: files: %w", lineNo, err)
+			}
+			t.Peers, t.Files = peers, files
+			t.FileSizes = make([]int64, 0, files)
+		case "F":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: malformed file entry", lineNo)
+			}
+			size, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: size: %w", lineNo, err)
+			}
+			hashToFile[fields[1]] = len(t.FileSizes)
+			t.FileSizes = append(t.FileSizes, size)
+		case "D":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("trace: line %d: malformed download entry", lineNo)
+			}
+			up, err := peerIndex(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			down, err := peerIndex(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			ns, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: time: %w", lineNo, err)
+			}
+			file, ok := hashToFile[fields[4]]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown content hash %s", lineNo, fields[4])
+			}
+			size, err := strconv.ParseInt(fields[6], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: size: %w", lineNo, err)
+			}
+			t.Records = append(t.Records, Record{
+				Time:       time.Duration(ns),
+				Uploader:   up,
+				Downloader: down,
+				File:       file,
+				Size:       size,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,161 @@
+// Package trace models the Maze download log that drives the paper's
+// Figure 1 experiment.
+//
+// The real Maze log (30 days, ~115k users, 24.6M downloads) is
+// proprietary, so this package supplies the substitution documented in
+// DESIGN.md §3: a synthetic generator with the structural properties that
+// determine request coverage — Zipf file popularity, heavy-tailed user
+// activity, user session churn, and file birth/death — plus a reader and
+// writer for the paper's log schema (uploader id, downloader id, global
+// time, content hash, filename) so a real log can be replayed unchanged.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Record is one download action from the log. Peers and files are dense
+// integer indices; the I/O layer maps them to the textual IDs and content
+// hashes of the on-disk schema.
+type Record struct {
+	// Time is the global time of the download relative to the log start.
+	Time time.Duration
+	// Uploader is the serving peer.
+	Uploader int
+	// Downloader is the requesting peer.
+	Downloader int
+	// File is the downloaded file.
+	File int
+	// Size is the file size in bytes.
+	Size int64
+}
+
+// Trace is an ordered download log with its population sizes.
+type Trace struct {
+	// Peers is the number of distinct peers (indices [0, Peers)).
+	Peers int
+	// Files is the number of distinct files (indices [0, Files)).
+	Files int
+	// FileSizes holds the size in bytes of each file.
+	FileSizes []int64
+	// Records are the downloads in non-decreasing time order.
+	Records []Record
+}
+
+// Validate checks index ranges and time ordering.
+func (t *Trace) Validate() error {
+	if t.Peers <= 0 || t.Files <= 0 {
+		return fmt.Errorf("trace: empty population (peers=%d files=%d)", t.Peers, t.Files)
+	}
+	if len(t.FileSizes) != t.Files {
+		return fmt.Errorf("trace: %d file sizes for %d files", len(t.FileSizes), t.Files)
+	}
+	var prev time.Duration
+	for i, r := range t.Records {
+		if r.Uploader < 0 || r.Uploader >= t.Peers ||
+			r.Downloader < 0 || r.Downloader >= t.Peers {
+			return fmt.Errorf("trace: record %d has peer out of range", i)
+		}
+		if r.File < 0 || r.File >= t.Files {
+			return fmt.Errorf("trace: record %d has file out of range", i)
+		}
+		if r.Uploader == r.Downloader {
+			return fmt.Errorf("trace: record %d is a self-download", i)
+		}
+		if r.Time < prev {
+			return fmt.Errorf("trace: record %d out of time order", i)
+		}
+		prev = r.Time
+	}
+	return nil
+}
+
+// Duration returns the time of the last record (zero for an empty trace).
+func (t *Trace) Duration() time.Duration {
+	if len(t.Records) == 0 {
+		return 0
+	}
+	return t.Records[len(t.Records)-1].Time
+}
+
+// Stats summarises the structural properties that drive request coverage.
+type Stats struct {
+	Peers          int
+	Files          int
+	Downloads      int
+	Duration       time.Duration
+	ActivePeers    int     // peers appearing at least once
+	ActiveFiles    int     // files downloaded at least once
+	TopFileShare   float64 // fraction of downloads going to the top 1% of files
+	TopPeerShare   float64 // fraction of downloads issued by the top 1% of peers
+	MeanPerPeer    float64 // mean downloads per active peer
+	MedianPerPeer  float64
+	MeanOwnersFile float64 // mean distinct downloaders per active file
+}
+
+// ComputeStats scans the trace once and returns its summary.
+func (t *Trace) ComputeStats() Stats {
+	s := Stats{Peers: t.Peers, Files: t.Files, Downloads: len(t.Records), Duration: t.Duration()}
+	perPeer := make([]int, t.Peers)
+	perFile := make([]int, t.Files)
+	owners := make(map[int]map[int]struct{})
+	for _, r := range t.Records {
+		perPeer[r.Downloader]++
+		perFile[r.File]++
+		m := owners[r.File]
+		if m == nil {
+			m = make(map[int]struct{})
+			owners[r.File] = m
+		}
+		m[r.Downloader] = struct{}{}
+	}
+	active := make([]int, 0, t.Peers)
+	for _, c := range perPeer {
+		if c > 0 {
+			active = append(active, c)
+		}
+	}
+	s.ActivePeers = len(active)
+	sort.Sort(sort.Reverse(sort.IntSlice(active)))
+	s.TopPeerShare = topShare(active, len(t.Records))
+	if len(active) > 0 {
+		s.MeanPerPeer = float64(len(t.Records)) / float64(len(active))
+		s.MedianPerPeer = float64(active[len(active)/2])
+	}
+	fileCounts := make([]int, 0, t.Files)
+	for _, c := range perFile {
+		if c > 0 {
+			fileCounts = append(fileCounts, c)
+		}
+	}
+	s.ActiveFiles = len(fileCounts)
+	sort.Sort(sort.Reverse(sort.IntSlice(fileCounts)))
+	s.TopFileShare = topShare(fileCounts, len(t.Records))
+	if len(owners) > 0 {
+		total := 0
+		for _, m := range owners {
+			total += len(m)
+		}
+		s.MeanOwnersFile = float64(total) / float64(len(owners))
+	}
+	return s
+}
+
+// topShare returns the fraction of total mass held by the top 1% (at least
+// one) of the sorted-descending counts.
+func topShare(sorted []int, total int) float64 {
+	if len(sorted) == 0 || total == 0 {
+		return 0
+	}
+	k := len(sorted) / 100
+	if k < 1 {
+		k = 1
+	}
+	sum := 0
+	for _, c := range sorted[:k] {
+		sum += c
+	}
+	return float64(sum) / float64(total)
+}

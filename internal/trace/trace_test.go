@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Peers = 100
+	cfg.Files = 500
+	cfg.Downloads = 5000
+	return cfg
+}
+
+func TestGenerateValidTrace(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) < 4000 {
+		t.Fatalf("generated only %d records, want ≳4000 of 5000 requested", len(tr.Records))
+	}
+	if tr.Duration() > 30*24*time.Hour {
+		t.Fatalf("trace exceeds duration: %v", tr.Duration())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	for i := 0; i < n; i++ {
+		if a.Records[i] == b.Records[i] {
+			same++
+		}
+	}
+	if same > n/10 {
+		t.Fatalf("different seeds share %d/%d records", same, n)
+	}
+}
+
+func TestGenerateSkewMatchesMaze(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.ComputeStats()
+	// The top 1% of files should carry a large share of downloads (Zipf
+	// 1.0 over 500 files gives the top 5 files roughly 20-40%).
+	if s.TopFileShare < 0.10 {
+		t.Fatalf("top-file share %v too low for Zipf workload", s.TopFileShare)
+	}
+	// Heavy-tailed peers: the top 1% of peers issue well above 1% of
+	// downloads.
+	if s.TopPeerShare < 0.02 {
+		t.Fatalf("top-peer share %v shows no activity skew", s.TopPeerShare)
+	}
+	if s.MeanOwnersFile < 1 {
+		t.Fatalf("mean owners per file %v", s.MeanOwnersFile)
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	mutations := []func(*GenConfig){
+		func(c *GenConfig) { c.Peers = 1 },
+		func(c *GenConfig) { c.Files = 0 },
+		func(c *GenConfig) { c.Downloads = -1 },
+		func(c *GenConfig) { c.Duration = 0 },
+		func(c *GenConfig) { c.ZipfExponent = -1 },
+		func(c *GenConfig) { c.ActivityAlpha = 0 },
+		func(c *GenConfig) { c.ActivityMax = 1 },
+		func(c *GenConfig) { c.SeedersPerFile = 0 },
+		func(c *GenConfig) { c.ColdStartFraction = 1.5 },
+		func(c *GenConfig) { c.MinFileSize = 0 },
+		func(c *GenConfig) { c.MaxFileSize = 1 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultGenConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestValidateCatchesBadTraces(t *testing.T) {
+	good := &Trace{
+		Peers:     2,
+		Files:     1,
+		FileSizes: []int64{100},
+		Records: []Record{
+			{Time: 1, Uploader: 0, Downloader: 1, File: 0, Size: 100},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+	bad := []*Trace{
+		{Peers: 0, Files: 1, FileSizes: []int64{1}},
+		{Peers: 2, Files: 2, FileSizes: []int64{1}},
+		{Peers: 2, Files: 1, FileSizes: []int64{1},
+			Records: []Record{{Uploader: 5, Downloader: 1, File: 0}}},
+		{Peers: 2, Files: 1, FileSizes: []int64{1},
+			Records: []Record{{Uploader: 0, Downloader: 0, File: 0}}},
+		{Peers: 2, Files: 1, FileSizes: []int64{1},
+			Records: []Record{{Uploader: 0, Downloader: 1, File: 3}}},
+		{Peers: 2, Files: 1, FileSizes: []int64{1}, Records: []Record{
+			{Time: 5, Uploader: 0, Downloader: 1, File: 0},
+			{Time: 2, Uploader: 0, Downloader: 1, File: 0},
+		}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Fatalf("bad trace %d validated", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Downloads = 1000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Peers != tr.Peers || got.Files != tr.Files {
+		t.Fatalf("population mismatch: %d/%d vs %d/%d", got.Peers, got.Files, tr.Peers, tr.Files)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("record count %d vs %d", len(got.Records), len(tr.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+	for f := range got.FileSizes {
+		if got.FileSizes[f] != tr.FileSizes[f] {
+			t.Fatalf("file %d size %d vs %d", f, got.FileSizes[f], tr.FileSizes[f])
+		}
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	in := "# converted from maze log\nH\t2\t1\nF\t" + FileHash(0) + "\t" + FileName(0) + "\t100\n" +
+		"D\tu000000\tu000001\t5\t" + FileHash(0) + "\t" + FileName(0) + "\t100\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"H\t2\n",
+		"H\t2\t1\nF\tabc\tname\n",
+		"H\t2\t1\nF\tabc\tname\tNaNsize\n",
+		"H\t2\t1\nF\t" + FileHash(0) + "\t" + FileName(0) + "\t10\nD\tu000000\tu000001\t5\tWRONGHASH\tx\t10\n",
+		"H\t2\t1\nF\t" + FileHash(0) + "\t" + FileName(0) + "\t10\nD\tu000000\tu000009\t5\t" + FileHash(0) + "\tx\t10\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("malformed input %d accepted", i)
+		}
+	}
+}
+
+func TestComputeStatsEmptyTrace(t *testing.T) {
+	tr := &Trace{Peers: 5, Files: 3, FileSizes: []int64{1, 2, 3}}
+	s := tr.ComputeStats()
+	if s.Downloads != 0 || s.ActivePeers != 0 || s.ActiveFiles != 0 {
+		t.Fatalf("empty trace stats: %+v", s)
+	}
+}
+
+func TestFileHashStable(t *testing.T) {
+	if FileHash(1) != FileHash(1) {
+		t.Fatal("FileHash not deterministic")
+	}
+	if FileHash(1) == FileHash(2) {
+		t.Fatal("FileHash collision between adjacent indices")
+	}
+	if len(FileHash(0)) != 40 {
+		t.Fatalf("FileHash length %d, want 40 hex chars", len(FileHash(0)))
+	}
+}

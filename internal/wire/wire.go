@@ -1,0 +1,50 @@
+// Package wire provides the length-prefixed JSON framing shared by the
+// project's TCP protocols (the DHT transport and the peer evaluation
+// exchange): a 4-byte big-endian length followed by a JSON body, with a
+// hard frame-size cap against memory exhaustion.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds inbound and outbound frames.
+const MaxFrame = 4 << 20
+
+// WriteFrame marshals v and writes one frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal frame: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame and unmarshals it into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: inbound frame too large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,173 @@
+package mdrep
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mdrep/internal/incentive"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 10 {
+		t.Fatalf("N = %d", sys.N())
+	}
+}
+
+func TestNewSystemOptionValidation(t *testing.T) {
+	cases := [][]Option{
+		{WithWeights(0.5, 0.5, 0.5)},
+		{WithBlend(0.9, 0.9)},
+		{WithSteps(0)},
+		{WithWindow(-time.Second)},
+		{WithFakeThreshold(2)},
+		{WithIncentivePolicy(incentive.Policy{})},
+	}
+	for i, opts := range cases {
+		if _, err := NewSystem(5, opts...); err == nil {
+			t.Fatalf("option set %d accepted", i)
+		}
+	}
+}
+
+func TestSystemEndToEndJudgement(t *testing.T) {
+	sys, err := NewSystem(4,
+		WithWeights(1, 0, 0),
+		WithBlend(0, 1),
+		WithSteps(1),
+		WithFakeThreshold(0.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peers 0 and 1 agree on history; peer 2 is a liar.
+	now := time.Duration(0)
+	mustVote := func(p int, f FileID, v float64) {
+		t.Helper()
+		if err := sys.Vote(p, f, v, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustVote(0, "shared-a", 0.9)
+	mustVote(1, "shared-a", 0.9)
+	mustVote(2, "shared-a", 0.1)
+
+	owners := []OwnerEvaluation{
+		{Owner: 1, Value: 0.1}, // trusted peer says fake
+		{Owner: 2, Value: 1.0}, // liar promotes
+	}
+	j, err := sys.JudgeFile(0, owners, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Known || !j.Fake {
+		t.Fatalf("fake not identified: %+v", j)
+	}
+}
+
+func TestSystemReputationsAndRetention(t *testing.T) {
+	sys, err := NewSystem(3, WithRetention(24*time.Hour, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	if err := sys.RecordDownload(0, 1, "f", 1000, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ObserveRetention(0, "f", 48*time.Hour, false, now); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := sys.Evaluation(0, "f", now)
+	if !ok || v != 1 {
+		t.Fatalf("retention evaluation = %v, %v", v, ok)
+	}
+	reps, err := sys.Reputations(0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[1] <= 0 {
+		t.Fatalf("download earned no trust: %v", reps)
+	}
+}
+
+func TestSystemUserRatings(t *testing.T) {
+	sys, err := NewSystem(3, WithWeights(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddFriend(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RateUser(0, 2, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Blacklist(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := sys.Reputations(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reps[1]-1) > 1e-9 {
+		t.Fatalf("friend reputation %v, want 1 after blacklist", reps[1])
+	}
+	if reps[2] != 0 {
+		t.Fatalf("blacklisted reputation %v", reps[2])
+	}
+}
+
+func TestSystemWindowCompact(t *testing.T) {
+	sys, err := NewSystem(2, WithWindow(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Vote(0, "f", 0.8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.Evaluation(0, "f", 2*time.Hour); ok {
+		t.Fatal("expired evaluation visible")
+	}
+	sys.Compact(2 * time.Hour)
+	got := sys.CollectOwnerEvaluations("f", []int{0}, 2*time.Hour)
+	if len(got) != 0 {
+		t.Fatalf("expired evaluation collected: %+v", got)
+	}
+}
+
+func TestSystemUploadQueue(t *testing.T) {
+	sys, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.NewUploadQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(incentive.Request{Requester: 1, Arrival: 0, Reputation: 0}); err != nil {
+		t.Fatal(err)
+	}
+	pol := sys.Policy()
+	if err := q.Push(incentive.Request{
+		Requester: 2, Arrival: pol.MaxOffset / 2, Reputation: pol.RefReputation,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := q.Pop()
+	if !ok || first.Requester != 2 {
+		t.Fatalf("reputation offset inert: first = %+v", first)
+	}
+	srv, err := sys.NewUploadServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Enqueue(incentive.Request{Requester: 1, Size: 1 << 20, Reputation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if done := srv.ServeAll(); len(done) != 1 {
+		t.Fatalf("served %d", len(done))
+	}
+}
