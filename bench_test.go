@@ -9,6 +9,7 @@
 package mdrep_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"mdrep/internal/eval"
 	"mdrep/internal/experiments"
 	"mdrep/internal/identity"
+	"mdrep/internal/journal"
 	"mdrep/internal/p2psim"
 	"mdrep/internal/sim"
 	"mdrep/internal/sparse"
@@ -354,6 +356,169 @@ func BenchmarkSignVerify(b *testing.B) {
 		if err := info.Verify(dir); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Journal ---------------------------------------------------------------
+
+// journalWorkload returns a deterministic stream of valid engine events
+// with the mix a live peer journals: retention re-observations dominate
+// (they overwrite store records, so state stays bounded while the log
+// grows), with downloads and votes sprinkled in.
+func journalWorkload(peers, count int) []core.Event {
+	rng := sim.NewRNG(7)
+	events := make([]core.Event, 0, count)
+	for i := 0; len(events) < count; i++ {
+		now := time.Duration(i) * time.Second
+		p := rng.Intn(peers)
+		f := eval.FileID(fmt.Sprintf("f-%d", rng.Intn(peers)))
+		events = append(events, core.Event{Kind: core.EventSetImplicit, I: p, File: f, Value: rng.Float64(), Time: now})
+		if i%8 == 0 {
+			to := rng.Intn(peers - 1)
+			if to >= p {
+				to++
+			}
+			events = append(events, core.Event{Kind: core.EventDownload, I: p, J: to, File: f, Size: 1 << 20, Time: now})
+		}
+		if i%5 == 0 {
+			events = append(events, core.Event{Kind: core.EventVote, I: p, File: f, Value: rng.Float64(), Time: now})
+		}
+	}
+	return events[:count]
+}
+
+// BenchmarkJournalAppend measures the durable write path — apply + encode +
+// WAL append — at two fsync batch sizes. The gap between sync=1 and
+// sync=64 is the price of per-event durability.
+func BenchmarkJournalAppend(b *testing.B) {
+	const peers = 100
+	for _, syncEvery := range []int{1, 64} {
+		b.Run(fmt.Sprintf("sync=%d", syncEvery), func(b *testing.B) {
+			jcfg := journal.Config{SyncEvery: syncEvery, SnapshotEvery: 0, KeepSnapshots: 2}
+			jeng, _, err := journal.OpenEngine(b.TempDir(), peers, core.DefaultConfig(), jcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events := journalWorkload(peers, 4096)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := events[i%len(events)]
+				ev.Time = time.Duration(i) * time.Second
+				if err := jeng.Apply(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := jeng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// journalState adapts a core engine to journal.State so BenchmarkRecovery
+// can reopen a prepared data dir without mutating it (Log.Close takes no
+// snapshot, unlike the typed engine wrapper's Close).
+type journalState struct {
+	eng *core.Engine
+	n   int
+}
+
+func (s *journalState) Apply(payload []byte) error {
+	ev, err := journal.DecodeEvent(payload)
+	if err != nil {
+		return err
+	}
+	return s.eng.ApplyEvent(ev)
+}
+
+func (s *journalState) Snapshot() ([]byte, error) {
+	return json.Marshal(s.eng.ExportState())
+}
+
+func (s *journalState) Restore(snapshot []byte) error {
+	var st core.EngineState
+	if err := json.Unmarshal(snapshot, &st); err != nil {
+		return err
+	}
+	eng, err := core.NewEngineFromState(&st, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	s.eng = eng
+	return nil
+}
+
+// buildJournalDir writes a 100k-event journal into dir, snapshotting at
+// the configured interval (0 = never, leaving a WAL that must be fully
+// replayed).
+func buildJournalDir(b *testing.B, dir string, events []core.Event, snapshotEvery uint64) {
+	b.Helper()
+	eng, err := core.NewEngine(100, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := journal.Config{SyncEvery: 1024, SnapshotEvery: snapshotEvery, KeepSnapshots: 2}
+	state := &journalState{eng: eng, n: 100}
+	log, _, err := journal.Open(dir, cfg, state)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := eng.ApplyEvent(ev); err != nil {
+			b.Fatal(err)
+		}
+		if err := log.Append(journal.EncodeEvent(ev)); err != nil {
+			b.Fatal(err)
+		}
+		if log.SnapshotDue() {
+			if err := log.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := log.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRecovery measures crash recovery of a 100k-event journal. The
+// full-replay case re-applies every event; the snapshot case loads the
+// newest snapshot (taken at 90k with a 15k interval) and replays only the
+// 10k-event tail — bounded by SnapshotEvery regardless of history length.
+func BenchmarkRecovery(b *testing.B) {
+	events := journalWorkload(100, 100_000)
+	for _, tc := range []struct {
+		name          string
+		snapshotEvery uint64
+	}{
+		{"full-replay", 0},
+		{"snapshot-tail", 15_000},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			buildJournalDir(b, dir, events, tc.snapshotEvery)
+			cfg := journal.Config{SyncEvery: 1024, SnapshotEvery: tc.snapshotEvery, KeepSnapshots: 2}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, err := core.NewEngine(100, core.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				log, info, err := journal.Open(dir, cfg, &journalState{eng: eng, n: 100})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if info.SnapshotSeq+info.Replayed != uint64(len(events)) {
+					b.Fatalf("recovered %d+%d events, want %d", info.SnapshotSeq, info.Replayed, len(events))
+				}
+				if err := log.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

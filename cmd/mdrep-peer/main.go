@@ -6,13 +6,19 @@
 // each other; a real deployment would persist keys and resolve addresses
 // through the DHT.
 //
+// With -data-dir the participant's own evidence — votes, retention
+// signals, downloads, ratings, blacklist — is made durable through a
+// write-ahead log plus snapshots (internal/journal): a peer killed and
+// restarted from the same data dir resumes with its trust history intact
+// instead of whitewashing itself.
+//
 // Usage:
 //
 //	mdrep-peer id    -seed 1
 //	mdrep-peer serve -seed 1 -listen 127.0.0.1:9100 \
-//	                 [-vote FILE=0.9,OTHER=0.1]
+//	                 [-vote FILE=0.9,OTHER=0.1] [-data-dir DIR]
 //	mdrep-peer trust -seed 2 -vote FILE=0.9 \
-//	                 -sync SEED@HOST:PORT[,SEED@HOST:PORT…]
+//	                 -sync SEED@HOST:PORT[,SEED@HOST:PORT…] [-data-dir DIR]
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/journal"
 	"mdrep/internal/peer"
 )
 
@@ -64,6 +71,44 @@ func makeIdentity(seed uint64, dir *identity.Directory) (*identity.Identity, err
 		return nil, err
 	}
 	return id, nil
+}
+
+// openJournal recovers the peer's durable state from dataDir; an empty
+// dataDir disables persistence and returns a nil journal.
+func openJournal(dataDir string, p *peer.Peer) (*journal.Peer, error) {
+	if dataDir == "" {
+		return nil, nil
+	}
+	jp, info, err := journal.OpenPeer(dataDir, p, journal.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if info.TruncatedTail {
+		fmt.Println("journal: dropped a torn trailing record (crash mid-write)")
+	}
+	if info.SnapshotFallback {
+		fmt.Println("journal: newest snapshot unreadable, recovered from an older generation")
+	}
+	if total := info.SnapshotSeq + info.Replayed; total > 0 {
+		fmt.Printf("journal: recovered %d events (%d from snapshot, %d replayed) from %s\n",
+			total, info.SnapshotSeq, info.Replayed, dataDir)
+	}
+	return jp, nil
+}
+
+// applyVotes records votes through the journal when persistence is on,
+// directly otherwise.
+func applyVotes(p *peer.Peer, jp *journal.Peer, votes map[eval.FileID]float64) error {
+	for f, v := range votes {
+		if jp == nil {
+			p.Vote(f, v)
+			continue
+		}
+		if err := jp.Vote(f, v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseVotes parses "file=0.9,other=0.1".
@@ -106,6 +151,7 @@ func serve(args []string) error {
 	seed := fs.Uint64("seed", 1, "identity seed")
 	listen := fs.String("listen", "127.0.0.1:9100", "address to serve the evaluation list on")
 	votes := fs.String("vote", "", "comma-separated FILE=VALUE evaluations to publish")
+	dataDir := fs.String("data-dir", "", "directory for the durable journal (empty = in-memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,24 +165,53 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	jp, err := openJournal(*dataDir, p)
+	if err != nil {
+		return err
+	}
 	parsed, err := parseVotes(*votes)
 	if err != nil {
 		return err
 	}
-	for f, v := range parsed {
-		p.Vote(f, v)
+	if err := applyVotes(p, jp, parsed); err != nil {
+		return err
+	}
+	if jp != nil {
+		// The startup votes are a one-shot batch that would otherwise sit
+		// below the fsync threshold until shutdown; a hard kill must not
+		// lose them.
+		if err := jp.Sync(); err != nil {
+			return err
+		}
 	}
 	srv, err := peer.ServeExchange(*listen, p.SignedEvaluations)
 	if err != nil {
 		return err
 	}
-	defer func() { _ = srv.Close() }()
-	fmt.Printf("peer %s serving %d evaluations on %s\n", p.ID(), len(parsed), srv.Addr())
+	serving, err := p.SignedEvaluations()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("peer %s serving %d evaluations on %s\n", p.ID(), len(serving), srv.Addr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("shutting down")
+
+	// Graceful shutdown: stop accepting exchange requests first so no new
+	// evidence arrives, then flush the journal and take a final snapshot so
+	// the next start recovers instantly.
+	fmt.Println("shutting down: closing exchange listener")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mdrep-peer: exchange close:", err)
+	}
+	if jp != nil {
+		fmt.Println("shutting down: flushing journal and taking final snapshot")
+		if err := jp.Close(); err != nil {
+			return fmt.Errorf("journal close: %w", err)
+		}
+	}
+	fmt.Println("shutdown complete")
 	return nil
 }
 
@@ -145,6 +220,7 @@ func trust(args []string) error {
 	seed := fs.Uint64("seed", 2, "identity seed")
 	votes := fs.String("vote", "", "comma-separated FILE=VALUE evaluations of our own")
 	syncSpec := fs.String("sync", "", "comma-separated SEED@HOST:PORT peers to sync with")
+	dataDir := fs.String("data-dir", "", "directory for the durable journal (empty = in-memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,12 +237,16 @@ func trust(args []string) error {
 	if err != nil {
 		return err
 	}
+	jp, err := openJournal(*dataDir, p)
+	if err != nil {
+		return err
+	}
 	parsed, err := parseVotes(*votes)
 	if err != nil {
 		return err
 	}
-	for f, v := range parsed {
-		p.Vote(f, v)
+	if err := applyVotes(p, jp, parsed); err != nil {
+		return err
 	}
 
 	names := make(map[identity.PeerID]string)
@@ -205,6 +285,11 @@ func trust(args []string) error {
 	fmt.Println("\ntrust row:")
 	for _, e := range entries {
 		fmt.Printf("  %-24s %.3f\n", e.name, e.trust)
+	}
+	if jp != nil {
+		if err := jp.Close(); err != nil {
+			return fmt.Errorf("journal close: %w", err)
+		}
 	}
 	return nil
 }

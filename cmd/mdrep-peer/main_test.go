@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/peer"
 )
 
 func newTestDirectory() *identity.Directory { return identity.NewDirectory() }
@@ -39,6 +41,71 @@ func TestRunUnknownSubcommand(t *testing.T) {
 func TestTrustRequiresSync(t *testing.T) {
 	if err := trust([]string{"-seed", "2"}); err == nil {
 		t.Fatal("trust without -sync accepted")
+	}
+}
+
+func newCLIPeer(t *testing.T, seed uint64) *peer.Peer {
+	t.Helper()
+	dir := newTestDirectory()
+	id, err := makeIdentity(seed, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := peer.New(id, dir, peer.NewTCPExchange(peer.NewStaticResolver()), peer.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDataDirPersistsVotes mirrors what serve/trust do with -data-dir:
+// votes recorded in one run survive into the next run's peer state.
+func TestDataDirPersistsVotes(t *testing.T) {
+	dataDir := t.TempDir()
+
+	jp, err := openJournal(dataDir, newCLIPeer(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jp == nil {
+		t.Fatal("openJournal returned nil for a non-empty data dir")
+	}
+	votes := map[eval.FileID]float64{"a": 0.9, "b": 0.1}
+	if err := applyVotes(jp.Base(), jp, votes); err != nil {
+		t.Fatal(err)
+	}
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := openJournal(dataDir, newCLIPeer(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Base().ExportState()
+	for f, want := range votes {
+		rec, ok := got.Records[f]
+		if !ok || !rec.Voted || math.Abs(rec.Explicit-want) > 1e-12 {
+			t.Fatalf("vote on %q not restored: %+v", f, got.Records[f])
+		}
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenJournalDisabled(t *testing.T) {
+	jp, err := openJournal("", newCLIPeer(t, 8))
+	if err != nil || jp != nil {
+		t.Fatalf("empty data dir should disable persistence: %v, %v", jp, err)
+	}
+	// applyVotes must fall back to direct application.
+	p := newCLIPeer(t, 9)
+	if err := applyVotes(p, nil, map[eval.FileID]float64{"x": 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.ExportState().Records["x"]; !ok {
+		t.Fatal("direct vote not applied")
 	}
 }
 

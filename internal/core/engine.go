@@ -90,12 +90,7 @@ func (e *Engine) indexEvaluator(f eval.FileID, p int) {
 // SetImplicit records peer p's implicit (retention-derived) evaluation of
 // file f.
 func (e *Engine) SetImplicit(p int, f eval.FileID, value float64, now time.Duration) error {
-	if err := e.checkPeer(p); err != nil {
-		return err
-	}
-	e.stores[p].SetImplicit(f, value, now)
-	e.indexEvaluator(f, p)
-	return nil
+	return e.ApplyEvent(Event{Kind: EventSetImplicit, I: p, File: f, Value: value, Time: now})
 }
 
 // ObserveRetention records an implicit evaluation computed from the
@@ -106,12 +101,7 @@ func (e *Engine) ObserveRetention(p int, f eval.FileID, retention time.Duration,
 
 // Vote records peer p's explicit evaluation of file f.
 func (e *Engine) Vote(p int, f eval.FileID, value float64, now time.Duration) error {
-	if err := e.checkPeer(p); err != nil {
-		return err
-	}
-	e.stores[p].Vote(f, value, now)
-	e.indexEvaluator(f, p)
-	return nil
+	return e.ApplyEvent(Event{Kind: EventVote, I: p, File: f, Value: value, Time: now})
 }
 
 // Evaluation returns peer p's blended evaluation of f, if live.
@@ -128,52 +118,13 @@ func (e *Engine) Evaluation(p int, f eval.FileID, now time.Duration) (float64, b
 // retroactively re-weights the volume — sharing a file the downloader
 // ends up judging fake earns no download-volume trust.
 func (e *Engine) RecordDownload(downloader, uploader int, f eval.FileID, size int64, now time.Duration) error {
-	if err := e.checkPeer(downloader); err != nil {
-		return err
-	}
-	if err := e.checkPeer(uploader); err != nil {
-		return err
-	}
-	if downloader == uploader {
-		return fmt.Errorf("core: self-download by peer %d", downloader)
-	}
-	if size < 0 {
-		return fmt.Errorf("core: negative size %d", size)
-	}
-	m := e.downloads[downloader]
-	if m == nil {
-		m = make(map[int][]downloadEntry)
-		e.downloads[downloader] = m
-	}
-	m[uploader] = append(m[uploader], downloadEntry{file: f, size: size})
-	return nil
+	return e.ApplyEvent(Event{Kind: EventDownload, I: downloader, J: uploader, File: f, Size: size, Time: now})
 }
 
 // RateUser records UT_ij = value (Eq. 6). Blacklisted targets stay at
 // zero.
 func (e *Engine) RateUser(i, j int, value float64) error {
-	if err := e.checkPeer(i); err != nil {
-		return err
-	}
-	if err := e.checkPeer(j); err != nil {
-		return err
-	}
-	if i == j {
-		return fmt.Errorf("core: self-rating by peer %d", i)
-	}
-	if value < 0 || value > 1 {
-		return fmt.Errorf("core: user rating %v outside [0,1]", value)
-	}
-	if bl := e.blacklist[i]; bl != nil {
-		if _, banned := bl[j]; banned {
-			return nil
-		}
-	}
-	if e.userTrust[i] == nil {
-		e.userTrust[i] = make(map[int]float64)
-	}
-	e.userTrust[i][j] = value
-	return nil
+	return e.ApplyEvent(Event{Kind: EventRateUser, I: i, J: j, Value: value})
 }
 
 // AddFriend assigns the configured friend-list trust to j (§3.1.3).
@@ -184,20 +135,7 @@ func (e *Engine) AddFriend(i, j int) error {
 // Blacklist sets UT_ij to zero permanently for i's view of j (§3.1.3:
 // "the users in the blacklist … should be assigned with zero").
 func (e *Engine) Blacklist(i, j int) error {
-	if err := e.checkPeer(i); err != nil {
-		return err
-	}
-	if err := e.checkPeer(j); err != nil {
-		return err
-	}
-	if e.blacklist[i] == nil {
-		e.blacklist[i] = make(map[int]struct{})
-	}
-	e.blacklist[i][j] = struct{}{}
-	if e.userTrust[i] != nil {
-		delete(e.userTrust[i], j)
-	}
-	return nil
+	return e.ApplyEvent(Event{Kind: EventBlacklist, I: i, J: j})
 }
 
 // BuildFM constructs the file-based one-step matrix (Eq. 2–3) from live
@@ -221,7 +159,17 @@ func (e *Engine) BuildFM(now time.Duration) *sparse.Matrix {
 		return snaps[p]
 	}
 	maxEval := e.cfg.MaxEvaluatorsPerFile
-	for f, peers := range e.evaluators {
+	// Iterate files in sorted order and evaluators in peer order so the
+	// floating-point accumulation below is deterministic: a journal replay
+	// (internal/journal) must rebuild bit-identical matrices.
+	files := make([]string, 0, len(e.evaluators))
+	for f := range e.evaluators {
+		files = append(files, string(f))
+	}
+	sort.Strings(files)
+	for _, fs := range files {
+		f := eval.FileID(fs)
+		peers := e.evaluators[f]
 		// Collect live evaluators of f.
 		live := make([]int, 0, len(peers))
 		vals := make([]float64, 0, len(peers))
@@ -231,11 +179,11 @@ func (e *Engine) BuildFM(now time.Duration) *sparse.Matrix {
 				vals = append(vals, v)
 			}
 		}
+		sort.Sort(&evaluatorsByPeer{peers: live, vals: vals})
 		if maxEval > 0 && len(live) > maxEval {
-			// Deterministic sample: order by peer index, then keep a
-			// strided subset so the kept set is stable across rebuilds
-			// and spans the index range.
-			sort.Sort(&evaluatorsByPeer{peers: live, vals: vals})
+			// Deterministic sample: keep a strided subset of the ordered
+			// evaluators so the kept set is stable across rebuilds and
+			// spans the index range.
 			stride := float64(len(live)) / float64(maxEval)
 			for k := 0; k < maxEval; k++ {
 				i := int(float64(k) * stride)
@@ -356,8 +304,14 @@ func (e *Engine) ReputationsFromTM(tm *sparse.Matrix, i int) (map[int]float64, e
 }
 
 // Compact drops expired evaluations from every store and prunes the
-// inverted index; call periodically in long simulations.
+// inverted index; call periodically in long simulations. Compaction is an
+// event because it changes state: a journaled engine must replay it at
+// the same point in the sequence to reproduce the same matrices.
 func (e *Engine) Compact(now time.Duration) {
+	_ = e.ApplyEvent(Event{Kind: EventCompact, Time: now})
+}
+
+func (e *Engine) compact(now time.Duration) {
 	for _, s := range e.stores {
 		s.Compact(now)
 	}

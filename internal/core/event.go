@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mdrep/internal/eval"
+)
+
+// The engine's mutation surface is an event model: every state change is
+// expressed as a serializable Event and applied through ApplyEvent. The
+// public mutating methods (Vote, RecordDownload, …) are thin constructors
+// over it. This is what makes the engine journal-able — internal/journal
+// appends the encoded event to a write-ahead log before applying it, and
+// crash recovery replays the same events through the same code path, so a
+// restored engine is the engine that crashed.
+
+// EventKind discriminates engine events. Values are part of the on-disk
+// journal format — append new kinds, never renumber.
+type EventKind uint8
+
+const (
+	// EventSetImplicit records an implicit (retention-derived) evaluation:
+	// I = peer, File, Value, Time.
+	EventSetImplicit EventKind = 1
+	// EventVote records an explicit evaluation: I = peer, File, Value, Time.
+	EventVote EventKind = 2
+	// EventDownload records a completed transfer: I = downloader,
+	// J = uploader, File, Size, Time.
+	EventDownload EventKind = 3
+	// EventRateUser records UT_ij: I, J, Value.
+	EventRateUser EventKind = 4
+	// EventBlacklist permanently zeroes UT_ij: I, J.
+	EventBlacklist EventKind = 5
+	// EventCompact drops expired evaluations as of Time.
+	EventCompact EventKind = 6
+)
+
+// String names the kind for diagnostics.
+func (k EventKind) String() string {
+	switch k {
+	case EventSetImplicit:
+		return "set-implicit"
+	case EventVote:
+		return "vote"
+	case EventDownload:
+		return "download"
+	case EventRateUser:
+		return "rate-user"
+	case EventBlacklist:
+		return "blacklist"
+	case EventCompact:
+		return "compact"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one serializable engine mutation. Unused fields are zero for
+// kinds that do not need them.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// I is the acting peer; J the target peer where one exists.
+	I int `json:"i"`
+	J int `json:"j,omitempty"`
+	// File is the subject file for evaluation and download events.
+	File eval.FileID `json:"file,omitempty"`
+	// Value is the evaluation or rating in [0,1].
+	Value float64 `json:"value,omitempty"`
+	// Size is the transfer size in bytes for download events.
+	Size int64 `json:"size,omitempty"`
+	// Time is the virtual time the event occurred at.
+	Time time.Duration `json:"time,omitempty"`
+}
+
+// ApplyEvent applies one event to the engine. It is deterministic: the
+// same events applied in the same order to the same initial state produce
+// the same engine state, which is what journal replay depends on.
+func (e *Engine) ApplyEvent(ev Event) error {
+	switch ev.Kind {
+	case EventSetImplicit:
+		if err := e.checkPeer(ev.I); err != nil {
+			return err
+		}
+		e.stores[ev.I].SetImplicit(ev.File, ev.Value, ev.Time)
+		e.indexEvaluator(ev.File, ev.I)
+		return nil
+	case EventVote:
+		if err := e.checkPeer(ev.I); err != nil {
+			return err
+		}
+		e.stores[ev.I].Vote(ev.File, ev.Value, ev.Time)
+		e.indexEvaluator(ev.File, ev.I)
+		return nil
+	case EventDownload:
+		return e.applyDownload(ev)
+	case EventRateUser:
+		return e.applyRateUser(ev)
+	case EventBlacklist:
+		return e.applyBlacklist(ev)
+	case EventCompact:
+		e.compact(ev.Time)
+		return nil
+	default:
+		return fmt.Errorf("core: unknown event kind %d", ev.Kind)
+	}
+}
+
+func (e *Engine) applyDownload(ev Event) error {
+	if err := e.checkPeer(ev.I); err != nil {
+		return err
+	}
+	if err := e.checkPeer(ev.J); err != nil {
+		return err
+	}
+	if ev.I == ev.J {
+		return fmt.Errorf("core: self-download by peer %d", ev.I)
+	}
+	if ev.Size < 0 {
+		return fmt.Errorf("core: negative size %d", ev.Size)
+	}
+	m := e.downloads[ev.I]
+	if m == nil {
+		m = make(map[int][]downloadEntry)
+		e.downloads[ev.I] = m
+	}
+	m[ev.J] = append(m[ev.J], downloadEntry{file: ev.File, size: ev.Size})
+	return nil
+}
+
+func (e *Engine) applyRateUser(ev Event) error {
+	if err := e.checkPeer(ev.I); err != nil {
+		return err
+	}
+	if err := e.checkPeer(ev.J); err != nil {
+		return err
+	}
+	if ev.I == ev.J {
+		return fmt.Errorf("core: self-rating by peer %d", ev.I)
+	}
+	if ev.Value < 0 || ev.Value > 1 {
+		return fmt.Errorf("core: user rating %v outside [0,1]", ev.Value)
+	}
+	if bl := e.blacklist[ev.I]; bl != nil {
+		if _, banned := bl[ev.J]; banned {
+			return nil
+		}
+	}
+	if e.userTrust[ev.I] == nil {
+		e.userTrust[ev.I] = make(map[int]float64)
+	}
+	e.userTrust[ev.I][ev.J] = ev.Value
+	return nil
+}
+
+func (e *Engine) applyBlacklist(ev Event) error {
+	if err := e.checkPeer(ev.I); err != nil {
+		return err
+	}
+	if err := e.checkPeer(ev.J); err != nil {
+		return err
+	}
+	if e.blacklist[ev.I] == nil {
+		e.blacklist[ev.I] = make(map[int]struct{})
+	}
+	e.blacklist[ev.I][ev.J] = struct{}{}
+	if e.userTrust[ev.I] != nil {
+		delete(e.userTrust[ev.I], ev.J)
+	}
+	return nil
+}

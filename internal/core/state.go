@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mdrep/internal/eval"
+)
+
+// EngineState is the full serializable state of an Engine — the snapshot
+// half of the durable-state subsystem (internal/journal). It captures
+// everything ApplyEvent can mutate; configuration is deliberately not
+// part of it (the owner supplies the Config at restore time, exactly as
+// at construction time). The inverted evaluator index is not stored
+// either: it is derivable from the stores and rebuilt on restore.
+type EngineState struct {
+	// N is the population size; restore fails on mismatch rather than
+	// silently renumbering peers.
+	N int `json:"n"`
+	// Stores holds each peer's raw evaluation records, including expired
+	// entries not yet compacted — a snapshot is the state as-is.
+	Stores []map[eval.FileID]eval.Record `json:"stores"`
+	// Downloads mirrors Engine.downloads; entry order within a slice is
+	// the append (event) order and must be preserved.
+	Downloads []map[int][]DownloadState `json:"downloads"`
+	// UserTrust mirrors Engine.userTrust.
+	UserTrust []map[int]float64 `json:"user_trust"`
+	// Blacklist holds each peer's banned targets, sorted.
+	Blacklist [][]int `json:"blacklist"`
+}
+
+// DownloadState is one serialized download ledger entry.
+type DownloadState struct {
+	File eval.FileID `json:"file"`
+	Size int64       `json:"size"`
+}
+
+// ExportState returns a deep copy of the engine's state.
+func (e *Engine) ExportState() *EngineState {
+	st := &EngineState{
+		N:         e.n,
+		Stores:    make([]map[eval.FileID]eval.Record, e.n),
+		Downloads: make([]map[int][]DownloadState, e.n),
+		UserTrust: make([]map[int]float64, e.n),
+		Blacklist: make([][]int, e.n),
+	}
+	for i, s := range e.stores {
+		st.Stores[i] = s.Export()
+	}
+	for i, per := range e.downloads {
+		if per == nil {
+			continue
+		}
+		m := make(map[int][]DownloadState, len(per))
+		for j, entries := range per {
+			out := make([]DownloadState, len(entries))
+			for k, d := range entries {
+				out[k] = DownloadState{File: d.file, Size: d.size}
+			}
+			m[j] = out
+		}
+		st.Downloads[i] = m
+	}
+	for i, per := range e.userTrust {
+		if per == nil {
+			continue
+		}
+		m := make(map[int]float64, len(per))
+		for j, v := range per {
+			m[j] = v
+		}
+		st.UserTrust[i] = m
+	}
+	for i, per := range e.blacklist {
+		if per == nil {
+			continue
+		}
+		out := make([]int, 0, len(per))
+		for j := range per {
+			out = append(out, j)
+		}
+		sort.Ints(out)
+		st.Blacklist[i] = out
+	}
+	return st
+}
+
+// NewEngineFromState rebuilds an engine from an exported state and the
+// owner's configuration. The state is deep-copied; mutating it afterwards
+// does not affect the engine.
+func NewEngineFromState(st *EngineState, cfg Config) (*Engine, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil engine state")
+	}
+	e, err := NewEngine(st.N, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Stores) != st.N || len(st.Downloads) != st.N ||
+		len(st.UserTrust) != st.N || len(st.Blacklist) != st.N {
+		return nil, fmt.Errorf("core: engine state slices disagree with population %d", st.N)
+	}
+	for i, records := range st.Stores {
+		e.stores[i].Import(records)
+		for f := range records {
+			e.indexEvaluator(f, i)
+		}
+	}
+	for i, per := range st.Downloads {
+		if len(per) == 0 {
+			continue
+		}
+		m := make(map[int][]downloadEntry, len(per))
+		for j, entries := range per {
+			if j < 0 || j >= st.N {
+				return nil, fmt.Errorf("core: download target %d outside [0, %d)", j, st.N)
+			}
+			out := make([]downloadEntry, len(entries))
+			for k, d := range entries {
+				out[k] = downloadEntry{file: d.File, size: d.Size}
+			}
+			m[j] = out
+		}
+		e.downloads[i] = m
+	}
+	for i, per := range st.UserTrust {
+		if len(per) == 0 {
+			continue
+		}
+		m := make(map[int]float64, len(per))
+		for j, v := range per {
+			if j < 0 || j >= st.N {
+				return nil, fmt.Errorf("core: rating target %d outside [0, %d)", j, st.N)
+			}
+			m[j] = v
+		}
+		e.userTrust[i] = m
+	}
+	for i, per := range st.Blacklist {
+		if len(per) == 0 {
+			continue
+		}
+		m := make(map[int]struct{}, len(per))
+		for _, j := range per {
+			if j < 0 || j >= st.N {
+				return nil, fmt.Errorf("core: blacklist target %d outside [0, %d)", j, st.N)
+			}
+			m[j] = struct{}{}
+		}
+		e.blacklist[i] = m
+	}
+	return e, nil
+}

@@ -1,0 +1,99 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"mdrep/internal/core"
+	"mdrep/internal/eval"
+)
+
+// The engine event codec: a compact, deterministic binary encoding of
+// core.Event used as WAL record payloads. Layout (record framing already
+// carries the total length and checksum):
+//
+//	[kind u8][i uvarint][j uvarint][value f64 bits, 8 bytes LE]
+//	[size zigzag varint][time zigzag varint][file id, rest of payload]
+//
+// The decoder is hostile-input safe: every read is bounds-checked and it
+// never panics (see FuzzDecodeEvent).
+
+// ErrBadEvent reports a payload that is not a valid encoded event.
+var ErrBadEvent = errors.New("journal: malformed event payload")
+
+// EncodeEvent serializes one engine event.
+func EncodeEvent(ev core.Event) []byte {
+	buf := make([]byte, 0, 40+len(ev.File))
+	buf = append(buf, byte(ev.Kind))
+	buf = binary.AppendUvarint(buf, uint64(ev.I))
+	buf = binary.AppendUvarint(buf, uint64(ev.J))
+	var vb [8]byte
+	binary.LittleEndian.PutUint64(vb[:], math.Float64bits(ev.Value))
+	buf = append(buf, vb[:]...)
+	buf = binary.AppendVarint(buf, ev.Size)
+	buf = binary.AppendVarint(buf, int64(ev.Time))
+	buf = append(buf, ev.File...)
+	return buf
+}
+
+// DecodeEvent parses an encoded engine event. It returns ErrBadEvent on
+// any malformed input and never panics.
+func DecodeEvent(payload []byte) (core.Event, error) {
+	var ev core.Event
+	if len(payload) < 1 {
+		return ev, fmt.Errorf("%w: empty", ErrBadEvent)
+	}
+	ev.Kind = core.EventKind(payload[0])
+	rest := payload[1:]
+
+	i, rest, err := readUvarint(rest)
+	if err != nil {
+		return ev, err
+	}
+	j, rest, err := readUvarint(rest)
+	if err != nil {
+		return ev, err
+	}
+	if i > math.MaxInt32 || j > math.MaxInt32 {
+		return ev, fmt.Errorf("%w: peer index overflow", ErrBadEvent)
+	}
+	ev.I, ev.J = int(i), int(j)
+
+	if len(rest) < 8 {
+		return ev, fmt.Errorf("%w: truncated value", ErrBadEvent)
+	}
+	ev.Value = math.Float64frombits(binary.LittleEndian.Uint64(rest[:8]))
+	rest = rest[8:]
+
+	size, rest, err := readVarint(rest)
+	if err != nil {
+		return ev, err
+	}
+	ev.Size = size
+	t, rest, err := readVarint(rest)
+	if err != nil {
+		return ev, err
+	}
+	ev.Time = time.Duration(t)
+	ev.File = eval.FileID(rest)
+	return ev, nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrBadEvent)
+	}
+	return v, b[n:], nil
+}
+
+func readVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrBadEvent)
+	}
+	return v, b[n:], nil
+}

@@ -1,0 +1,71 @@
+package journal
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"mdrep/internal/core"
+)
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	events := []core.Event{
+		{Kind: core.EventSetImplicit, I: 3, File: "file-a", Value: 0.75, Time: 90 * time.Minute},
+		{Kind: core.EventVote, I: 0, File: "", Value: 0, Time: 0},
+		{Kind: core.EventDownload, I: 7, J: 12, File: "hash:deadbeef", Size: 1 << 30, Time: time.Hour},
+		{Kind: core.EventRateUser, I: 1, J: 2, Value: 1},
+		{Kind: core.EventBlacklist, I: 5, J: 9},
+		{Kind: core.EventCompact, Time: 30 * 24 * time.Hour},
+		{Kind: core.EventVote, I: math.MaxInt32, File: "x", Value: math.SmallestNonzeroFloat64, Time: -time.Second},
+	}
+	for _, want := range events {
+		got, err := DecodeEvent(EncodeEvent(want))
+		if err != nil {
+			t.Fatalf("%v: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeEventMalformed(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		{},
+		{byte(core.EventVote)},
+		{byte(core.EventVote), 0x80},          // unterminated uvarint
+		{byte(core.EventVote), 1, 2, 0, 0, 0}, // truncated value
+	} {
+		if _, err := DecodeEvent(bad); err == nil {
+			t.Fatalf("malformed payload %v accepted", bad)
+		}
+	}
+}
+
+// FuzzDecodeEvent: hostile event payloads must never panic, and anything
+// accepted must round-trip through the encoder.
+func FuzzDecodeEvent(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeEvent(core.Event{Kind: core.EventVote, I: 1, File: "f", Value: 0.5, Time: time.Hour}))
+	f.Add(EncodeEvent(core.Event{Kind: core.EventDownload, I: 2, J: 3, File: "g", Size: 1024}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeEvent(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeEvent(EncodeEvent(ev))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		// NaN values compare unequal to themselves; compare bit patterns.
+		if math.Float64bits(ev.Value) != math.Float64bits(back.Value) {
+			t.Fatalf("value bits changed: %x vs %x", math.Float64bits(ev.Value), math.Float64bits(back.Value))
+		}
+		ev.Value, back.Value = 0, 0
+		if !reflect.DeepEqual(ev, back) {
+			t.Fatalf("round trip changed event: %+v vs %+v", ev, back)
+		}
+	})
+}

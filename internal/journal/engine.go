@@ -1,0 +1,165 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mdrep/internal/core"
+	"mdrep/internal/eval"
+)
+
+// Engine is a core.Engine whose every mutation is made durable through a
+// Log before the call returns. Reads go through Core(); mutations go
+// through the mirrored methods here, which validate-by-applying and then
+// append the event, so the log only ever contains events that replay
+// cleanly. Like core.Engine it is not safe for concurrent use.
+type Engine struct {
+	eng *core.Engine
+	log *Log
+}
+
+// engineState adapts a core engine to the journal State interface with
+// binary event payloads and JSON snapshots.
+type engineState struct {
+	je  *Engine
+	n   int
+	cfg core.Config
+}
+
+func (s *engineState) Apply(payload []byte) error {
+	ev, err := DecodeEvent(payload)
+	if err != nil {
+		return err
+	}
+	return s.je.eng.ApplyEvent(ev)
+}
+
+func (s *engineState) Snapshot() ([]byte, error) {
+	return json.Marshal(s.je.eng.ExportState())
+}
+
+func (s *engineState) Restore(snapshot []byte) error {
+	var st core.EngineState
+	if err := json.Unmarshal(snapshot, &st); err != nil {
+		return err
+	}
+	if st.N != s.n {
+		return fmt.Errorf("journal: snapshot population %d, engine configured for %d", st.N, s.n)
+	}
+	eng, err := core.NewEngineFromState(&st, s.cfg)
+	if err != nil {
+		return err
+	}
+	s.je.eng = eng // atomic swap: a failed restore leaves the engine untouched
+	return nil
+}
+
+// OpenEngine recovers (or bootstraps) a journal-backed engine for n peers
+// from dataDir: it loads the newest valid snapshot, replays the log tail
+// and positions the log for appending.
+func OpenEngine(dataDir string, n int, cfg core.Config, jcfg Config) (*Engine, RecoveryInfo, error) {
+	eng, err := core.NewEngine(n, cfg)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	je := &Engine{eng: eng}
+	log, info, err := Open(dataDir, jcfg, &engineState{je: je, n: n, cfg: cfg})
+	if err != nil {
+		return nil, info, err
+	}
+	je.log = log
+	return je, info, nil
+}
+
+// Core returns the underlying engine for reads (BuildTM, Reputations,
+// JudgeFile, …). Mutating it directly bypasses the journal; use the
+// Engine's own mutators.
+func (e *Engine) Core() *core.Engine { return e.eng }
+
+// Seq returns the number of events recorded across the journal's life.
+func (e *Engine) Seq() uint64 { return e.log.Seq() }
+
+// record applies then journals one event, and takes the automatic
+// snapshot when the interval has passed. Applying first keeps invalid
+// events (bad peer index, out-of-range rating) out of the log entirely —
+// replay must never fail on validation. A crash between apply and append
+// only loses an event the caller was never told was durable.
+func (e *Engine) record(ev core.Event) error {
+	if err := e.eng.ApplyEvent(ev); err != nil {
+		return err
+	}
+	if err := e.log.Append(EncodeEvent(ev)); err != nil {
+		return err
+	}
+	if e.log.SnapshotDue() {
+		return e.log.Snapshot()
+	}
+	return nil
+}
+
+// Apply durably records an already-constructed event: it is validated by
+// application, then journaled. The typed mutators below are conveniences
+// over this.
+func (e *Engine) Apply(ev core.Event) error { return e.record(ev) }
+
+// SetImplicit mirrors core.Engine.SetImplicit, durably.
+func (e *Engine) SetImplicit(p int, f eval.FileID, value float64, now time.Duration) error {
+	return e.record(core.Event{Kind: core.EventSetImplicit, I: p, File: f, Value: value, Time: now})
+}
+
+// ObserveRetention mirrors core.Engine.ObserveRetention. The computed
+// implicit value is what gets journaled, so replay is independent of
+// later retention-model changes.
+func (e *Engine) ObserveRetention(p int, f eval.FileID, retention time.Duration, deleted bool, now time.Duration) error {
+	v := e.eng.Config().Retention.Implicit(retention, deleted)
+	return e.SetImplicit(p, f, v, now)
+}
+
+// Vote mirrors core.Engine.Vote, durably.
+func (e *Engine) Vote(p int, f eval.FileID, value float64, now time.Duration) error {
+	return e.record(core.Event{Kind: core.EventVote, I: p, File: f, Value: value, Time: now})
+}
+
+// RecordDownload mirrors core.Engine.RecordDownload, durably.
+func (e *Engine) RecordDownload(downloader, uploader int, f eval.FileID, size int64, now time.Duration) error {
+	return e.record(core.Event{Kind: core.EventDownload, I: downloader, J: uploader, File: f, Size: size, Time: now})
+}
+
+// RateUser mirrors core.Engine.RateUser, durably.
+func (e *Engine) RateUser(i, j int, value float64) error {
+	return e.record(core.Event{Kind: core.EventRateUser, I: i, J: j, Value: value})
+}
+
+// AddFriend mirrors core.Engine.AddFriend, durably.
+func (e *Engine) AddFriend(i, j int) error {
+	return e.RateUser(i, j, e.eng.Config().FriendTrust)
+}
+
+// Blacklist mirrors core.Engine.Blacklist, durably.
+func (e *Engine) Blacklist(i, j int) error {
+	return e.record(core.Event{Kind: core.EventBlacklist, I: i, J: j})
+}
+
+// Compact mirrors core.Engine.Compact, durably: compaction mutates state,
+// so replay must repeat it at the same point in the event sequence.
+func (e *Engine) Compact(now time.Duration) error {
+	return e.record(core.Event{Kind: core.EventCompact, Time: now})
+}
+
+// Sync forces buffered appends to disk immediately.
+func (e *Engine) Sync() error { return e.log.Sync() }
+
+// Snapshot forces a snapshot + log truncation now.
+func (e *Engine) Snapshot() error { return e.log.Snapshot() }
+
+// Close takes a final snapshot and closes the log, so the next Open
+// recovers instantly with no replay. Use Sync+drop (no Close) to simulate
+// a crash in tests.
+func (e *Engine) Close() error {
+	if err := e.log.Snapshot(); err != nil {
+		_ = e.log.Close()
+		return err
+	}
+	return e.log.Close()
+}

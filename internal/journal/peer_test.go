@@ -1,0 +1,124 @@
+package journal
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+	"mdrep/internal/peer"
+)
+
+// stubNet satisfies peer.Network for tests that never hit the wire.
+type stubNet struct{}
+
+func (stubNet) FetchEvaluations(identity.PeerID) ([]eval.Info, error) {
+	return nil, nil
+}
+
+func newTestPeer(t *testing.T, seed uint64) *peer.Peer {
+	t.Helper()
+	id, err := identity.Generate(identity.NewDeterministicReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := identity.NewDirectory()
+	if _, err := dir.Register(id.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := peer.New(id, dir, stubNet{}, peer.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func otherID(t *testing.T, seed uint64) identity.PeerID {
+	t.Helper()
+	id, err := identity.Generate(identity.NewDeterministicReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id.ID()
+}
+
+// TestPeerJournalRoundTrip: a CLI participant's votes, downloads, ratings
+// and blacklist survive a restart from its data dir.
+func TestPeerJournalRoundTrip(t *testing.T) {
+	dataDir := t.TempDir()
+	target := otherID(t, 99)
+	banned := otherID(t, 100)
+
+	jp, info, err := OpenPeer(dataDir, newTestPeer(t, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed != 0 || info.SnapshotSeq != 0 {
+		t.Fatalf("fresh dir recovery = %+v", info)
+	}
+	steps := []func() error{
+		func() error { return jp.AdvanceTo(2 * time.Hour) },
+		func() error { return jp.Vote("file-a", 0.9) },
+		func() error { return jp.ObserveRetention("file-b", 0.7) },
+		func() error { return jp.RecordDownload(target, "file-a", 1<<20) },
+		func() error { return jp.RateUser(target, 0.8) },
+		func() error { return jp.Blacklist(banned) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	want := jp.Base().ExportState()
+	if err := jp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, info, err := OpenPeer(dataDir, newTestPeer(t, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotSeq != uint64(len(steps)) || info.Replayed != 0 {
+		t.Fatalf("clean-shutdown recovery = %+v", info)
+	}
+	if got := restored.Base().ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored state diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if !restored.Base().IsBlacklisted(banned) {
+		t.Fatal("blacklist entry lost across restart")
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeerJournalCrash: a flushed-but-not-closed journal replays the tail.
+func TestPeerJournalCrash(t *testing.T) {
+	dataDir := t.TempDir()
+	jp, _, err := OpenPeer(dataDir, newTestPeer(t, 2), Config{SyncEvery: 1, SnapshotEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jp.AdvanceTo(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := jp.Vote("crash-file", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	want := jp.Base().ExportState()
+	// Crash: no Close, no snapshot — state must come back from the WAL.
+	restored, info, err := OpenPeer(dataDir, newTestPeer(t, 2), Config{SyncEvery: 1, SnapshotEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed != 2 {
+		t.Fatalf("replayed %d events, want 2", info.Replayed)
+	}
+	if got := restored.Base().ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored state diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

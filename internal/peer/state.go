@@ -1,0 +1,171 @@
+package peer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+)
+
+// A Peer's own evidence — its evaluation store, download ledger, user
+// ratings and blacklist — is expressed as a serializable event model so
+// internal/journal can make it durable. Synced evaluation lists and
+// examiner state are deliberately *not* part of it: they are caches of
+// other peers' claims, re-fetched over the network, and re-trusting them
+// across a restart would let a since-flagged forger ride back in.
+
+// EventKind discriminates peer events. Values are part of the on-disk
+// journal format — append new kinds, never renumber.
+type EventKind uint8
+
+const (
+	// EventAdvance moves the peer's virtual clock to Time.
+	EventAdvance EventKind = 1
+	// EventVote records an explicit evaluation: File, Value, Time.
+	EventVote EventKind = 2
+	// EventSetImplicit records a retention-derived evaluation: File,
+	// Value, Time.
+	EventSetImplicit EventKind = 3
+	// EventDownload records a completed transfer: Target (uploader),
+	// File, Size.
+	EventDownload EventKind = 4
+	// EventRateUser records a user rating: Target, Value.
+	EventRateUser EventKind = 5
+	// EventBlacklist permanently bans Target.
+	EventBlacklist EventKind = 6
+)
+
+// Event is one serializable peer mutation.
+type Event struct {
+	Kind   EventKind       `json:"kind"`
+	Target identity.PeerID `json:"target,omitempty"`
+	File   eval.FileID     `json:"file,omitempty"`
+	Value  float64         `json:"value,omitempty"`
+	Size   int64           `json:"size,omitempty"`
+	Time   time.Duration   `json:"time,omitempty"`
+}
+
+// Now returns the peer's current virtual time.
+func (p *Peer) Now() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.now
+}
+
+// ApplyEvent applies one event. It is deterministic, so journal replay
+// reproduces the peer's evidence exactly.
+func (p *Peer) ApplyEvent(ev Event) error {
+	switch ev.Kind {
+	case EventAdvance:
+		p.AdvanceTo(ev.Time)
+		return nil
+	case EventVote:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.store.Vote(ev.File, ev.Value, ev.Time)
+		return nil
+	case EventSetImplicit:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.store.SetImplicit(ev.File, ev.Value, ev.Time)
+		return nil
+	case EventDownload:
+		if ev.Target == p.ID() {
+			return fmt.Errorf("peer: self-download")
+		}
+		if ev.Size < 0 {
+			return fmt.Errorf("peer: negative size %d", ev.Size)
+		}
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.downBy[ev.Target] = append(p.downBy[ev.Target], downloadEntry{file: ev.File, size: ev.Size})
+		return nil
+	case EventRateUser:
+		return p.RateUser(ev.Target, ev.Value)
+	case EventBlacklist:
+		p.Blacklist(ev.Target)
+		return nil
+	default:
+		return fmt.Errorf("peer: unknown event kind %d", ev.Kind)
+	}
+}
+
+// State is the serializable own-evidence state of a Peer.
+type State struct {
+	Now     time.Duration                    `json:"now"`
+	Records map[eval.FileID]eval.Record      `json:"records"`
+	DownBy  map[identity.PeerID][]DownRecord `json:"down_by"`
+	Ratings map[identity.PeerID]float64      `json:"ratings"`
+	Banned  []identity.PeerID                `json:"banned"`
+}
+
+// DownRecord is one serialized download ledger entry.
+type DownRecord struct {
+	File eval.FileID `json:"file"`
+	Size int64       `json:"size"`
+}
+
+// ExportState returns a deep copy of the peer's own evidence.
+func (p *Peer) ExportState() *State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := &State{
+		Now:     p.now,
+		Records: p.store.Export(),
+		DownBy:  make(map[identity.PeerID][]DownRecord, len(p.downBy)),
+		Ratings: make(map[identity.PeerID]float64, len(p.rating)),
+		Banned:  make([]identity.PeerID, 0, len(p.banned)),
+	}
+	for target, entries := range p.downBy {
+		out := make([]DownRecord, len(entries))
+		for i, d := range entries {
+			out[i] = DownRecord{File: d.file, Size: d.size}
+		}
+		st.DownBy[target] = out
+	}
+	for target, v := range p.rating {
+		st.Ratings[target] = v
+	}
+	for target := range p.banned {
+		st.Banned = append(st.Banned, target)
+	}
+	sort.Slice(st.Banned, func(i, j int) bool { return st.Banned[i] < st.Banned[j] })
+	return st
+}
+
+// RestoreState replaces the peer's own evidence with st. Caches (synced
+// lists, examiner history) are left empty — they refill from the network.
+func (p *Peer) RestoreState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("peer: nil state")
+	}
+	downBy := make(map[identity.PeerID][]downloadEntry, len(st.DownBy))
+	for target, entries := range st.DownBy {
+		out := make([]downloadEntry, len(entries))
+		for i, d := range entries {
+			out[i] = downloadEntry{file: d.File, size: d.Size}
+		}
+		downBy[target] = out
+	}
+	rating := make(map[identity.PeerID]float64, len(st.Ratings))
+	for target, v := range st.Ratings {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("peer: restored rating %v outside [0,1]", v)
+		}
+		rating[target] = v
+	}
+	banned := make(map[identity.PeerID]struct{}, len(st.Banned))
+	for _, target := range st.Banned {
+		banned[target] = struct{}{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = st.Now
+	p.store.Import(st.Records)
+	p.downBy = downBy
+	p.rating = rating
+	p.banned = banned
+	return nil
+}

@@ -116,6 +116,20 @@ func (m *Matrix) RowSum(i int) float64 {
 	return sum
 }
 
+// sortedCols returns a row's column indices in ascending order. The trust
+// algebra iterates rows in this order wherever floating-point sums
+// accumulate, so results do not depend on Go's randomised map iteration —
+// a crash-recovered engine (internal/journal) must rebuild bit-identical
+// matrices.
+func sortedCols(row map[int]float64) []int {
+	cols := make([]int, 0, len(row))
+	for j := range row {
+		cols = append(cols, j)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
 // RowNormalize divides each non-empty row by its sum, producing the
 // row-stochastic matrices of Eq. (3), (5) and (6). Rows whose sum is zero
 // or negative are cleared: a peer with no direct trust expresses none.
@@ -126,8 +140,8 @@ func (m *Matrix) RowNormalize() *Matrix {
 			continue
 		}
 		sum := 0.0
-		for _, v := range row {
-			sum += v
+		for _, j := range sortedCols(row) {
+			sum += row[j]
 		}
 		if sum <= 0 {
 			m.rows[i] = nil
@@ -229,7 +243,8 @@ func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 			continue
 		}
 		acc := make(map[int]float64)
-		for k, mv := range row {
+		for _, k := range sortedCols(row) {
+			mv := row[k]
 			for j, ov := range other.Row(k) {
 				acc[j] += mv * ov
 			}
@@ -292,7 +307,8 @@ func (m *Matrix) RowVecPow(i, k int) (map[int]float64, error) {
 	cur := m.RowCopy(i)
 	for step := 1; step < k; step++ {
 		next := make(map[int]float64, len(cur))
-		for mid, w := range cur {
+		for _, mid := range sortedCols(cur) {
+			w := cur[mid]
 			if w == 0 {
 				continue
 			}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("the quick brown fox"),
+		bytes.Repeat([]byte{0xAB}, 100_000),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteRecord(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range payloads {
+		got, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadRecord(r); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestRecordTornWrite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	intact := buf.Len()
+	if err := WriteRecord(&buf, []byte("this one is torn")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut the stream at every point inside the second record: the first
+	// must still read, the second must report a torn write.
+	for cut := intact + 1; cut < len(full); cut++ {
+		r := bytes.NewReader(full[:cut])
+		if _, err := ReadRecord(r); err != nil {
+			t.Fatalf("cut %d: first record: %v", cut, err)
+		}
+		if _, err := ReadRecord(r); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: torn record: got %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestRecordCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, []byte("checksummed payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit anywhere in the CRC or payload: must be detected.
+	for i := 4; i < buf.Len(); i++ {
+		raw := append([]byte(nil), buf.Bytes()...)
+		raw[i] ^= 0x01
+		if _, err := ReadRecord(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: got %v, want ErrChecksum", i, err)
+		}
+	}
+}
+
+func TestRecordHostileLength(t *testing.T) {
+	// A header declaring MaxRecord+1 must be rejected before any read.
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MaxRecord+1)
+	if _, err := ReadRecord(bytes.NewReader(hdr[:])); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversize: got %v, want ErrRecordTooLarge", err)
+	}
+	// A header declaring MaxRecord on an 8-byte stream must fail with a
+	// torn-write error, not attempt a 64MB read into memory it trusts.
+	binary.BigEndian.PutUint32(hdr[0:4], MaxRecord)
+	if _, err := ReadRecord(bytes.NewReader(hdr[:])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("hostile length: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriteRecordTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, make([]byte, MaxRecord+1)); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("got %v, want ErrRecordTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("oversize write left bytes in the stream")
+	}
+}
