@@ -260,6 +260,98 @@ func BenchmarkSparseMatMul(b *testing.B) {
 	}
 }
 
+// randomStochastic builds an n×n row-stochastic matrix at Maze density
+// (~20 nnz/row), the same fill as BenchmarkSparseMatMul.
+func randomStochastic(seed uint64, n int) *sparse.Matrix {
+	rng := sim.NewRNG(seed)
+	m := sparse.New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 20; k++ {
+			m.Set(i, rng.Intn(n), rng.Float64())
+		}
+	}
+	return m.RowNormalize()
+}
+
+// BenchmarkRMPowParallel compares RM = TM^k (Eq. 8) on the seed's
+// map-backed Pow against the CSR worker-pool Pow. k = 2 keeps the power
+// sparse enough (~400 nnz/row) that the map path fits in memory at
+// n = 10k; higher powers densify and only widen the gap.
+func BenchmarkRMPowParallel(b *testing.B) {
+	const steps = 2
+	for _, n := range []int{1000, 10000} {
+		m := randomStochastic(uint64(n), n)
+		c := m.Freeze()
+		b.Run(fmt.Sprintf("map/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Pow(steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("csr/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Pow(steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildTMIncremental compares the per-event cost of refreshing
+// TM: the incremental path re-derives only the rows dirtied by one new
+// evaluation, the full path recomputes every row from the same evidence.
+func BenchmarkBuildTMIncremental(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		engine, err := core.NewEngine(n, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var now time.Duration
+		for _, ev := range journalWorkload(n, n*20) {
+			if err := engine.ApplyEvent(ev); err != nil {
+				b.Fatal(err)
+			}
+			if ev.Time > now {
+				now = ev.Time
+			}
+		}
+		if _, err := engine.BuildTM(now); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("full/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.InvalidateCaches()
+				if _, err := engine.BuildTM(now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := core.Event{
+					Kind:  core.EventSetImplicit,
+					I:     i % n,
+					File:  eval.FileID(fmt.Sprintf("f-%d", i%n)),
+					Value: 0.5,
+					Time:  now,
+				}
+				if err := engine.ApplyEvent(ev); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := engine.BuildTM(now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEigenTrust measures the baseline's power iteration at n=1000.
 func BenchmarkEigenTrust(b *testing.B) {
 	rng := sim.NewRNG(2)

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/sparse"
+)
+
+// Concurrent wraps an Engine behind an RWMutex so one engine can serve
+// many goroutines: events take the write lock, while reputation queries
+// share the read lock and then run the multi-trust walk against the
+// frozen, immutable CSR snapshot entirely outside any lock. This is the
+// single concurrency boundary for the reputation core — callers (the
+// public mdrep.System, the journal wrapper, the peer node) layer on top of
+// it instead of rolling their own serialisation.
+//
+// The caveat in the locking scheme is that building a trust matrix
+// mutates the engine's caches, so a read that misses the TM cache must
+// upgrade to the write lock to rebuild. Under a steady query load with
+// occasional events this is exactly the behaviour wanted: the first query
+// after a change pays for the (incremental) rebuild, every other query
+// runs lock-free against the frozen matrix.
+type Concurrent struct {
+	mu  sync.RWMutex
+	eng *Engine
+}
+
+// NewConcurrent wraps an existing engine. The caller must not use eng
+// directly afterwards.
+func NewConcurrent(eng *Engine) *Concurrent { return &Concurrent{eng: eng} }
+
+// NewConcurrentEngine builds a fresh engine for n peers and wraps it.
+func NewConcurrentEngine(n int, cfg Config) (*Concurrent, error) {
+	eng, err := NewEngine(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewConcurrent(eng), nil
+}
+
+// engine loads the wrapped engine pointer under the read lock; Swap makes
+// the bare field racy. Callers may use the snapshot's immutable parts
+// (population size, configuration, frozen matrices) outside the lock, but
+// not its mutable state.
+func (c *Concurrent) engine() *Engine {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng
+}
+
+// N returns the population size.
+func (c *Concurrent) N() int { return c.engine().N() }
+
+// Config returns the engine configuration.
+func (c *Concurrent) Config() Config { return c.engine().Config() }
+
+// Epoch returns the TM rebuild counter.
+func (c *Concurrent) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.Epoch()
+}
+
+// --- mutations (write lock) -------------------------------------------------
+
+// ApplyEvent applies one event under the write lock.
+func (c *Concurrent) ApplyEvent(ev Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.ApplyEvent(ev)
+}
+
+// SetImplicit mirrors Engine.SetImplicit.
+func (c *Concurrent) SetImplicit(p int, f eval.FileID, value float64, now time.Duration) error {
+	return c.ApplyEvent(Event{Kind: EventSetImplicit, I: p, File: f, Value: value, Time: now})
+}
+
+// ObserveRetention mirrors Engine.ObserveRetention.
+func (c *Concurrent) ObserveRetention(p int, f eval.FileID, retention time.Duration, deleted bool, now time.Duration) error {
+	return c.SetImplicit(p, f, c.Config().Retention.Implicit(retention, deleted), now)
+}
+
+// Vote mirrors Engine.Vote.
+func (c *Concurrent) Vote(p int, f eval.FileID, value float64, now time.Duration) error {
+	return c.ApplyEvent(Event{Kind: EventVote, I: p, File: f, Value: value, Time: now})
+}
+
+// RecordDownload mirrors Engine.RecordDownload.
+func (c *Concurrent) RecordDownload(downloader, uploader int, f eval.FileID, size int64, now time.Duration) error {
+	return c.ApplyEvent(Event{Kind: EventDownload, I: downloader, J: uploader, File: f, Size: size, Time: now})
+}
+
+// RateUser mirrors Engine.RateUser.
+func (c *Concurrent) RateUser(i, j int, value float64) error {
+	return c.ApplyEvent(Event{Kind: EventRateUser, I: i, J: j, Value: value})
+}
+
+// AddFriend mirrors Engine.AddFriend.
+func (c *Concurrent) AddFriend(i, j int) error {
+	return c.RateUser(i, j, c.Config().FriendTrust)
+}
+
+// Blacklist mirrors Engine.Blacklist.
+func (c *Concurrent) Blacklist(i, j int) error {
+	return c.ApplyEvent(Event{Kind: EventBlacklist, I: i, J: j})
+}
+
+// Compact mirrors Engine.Compact.
+func (c *Concurrent) Compact(now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eng.Compact(now)
+}
+
+// Swap replaces the wrapped engine — the journal's restore path, which
+// rebuilds an engine from a snapshot and must install it atomically.
+func (c *Concurrent) Swap(eng *Engine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eng = eng
+}
+
+// Locked runs fn with exclusive access to the wrapped engine. It is the
+// escape hatch for compound operations (journal apply+append ordering,
+// state export for snapshots) that must observe or mutate the engine
+// without interleaving; fn must not retain the engine.
+func (c *Concurrent) Locked(fn func(*Engine) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn(c.eng)
+}
+
+// --- reads ------------------------------------------------------------------
+
+// TM returns the frozen trust matrix for time now. The fast path takes
+// only the read lock (cache hit against the last build); a miss upgrades
+// to the write lock and rebuilds incrementally.
+func (c *Concurrent) TM(now time.Duration) (*sparse.CSR, error) {
+	c.mu.RLock()
+	tm, ok := c.eng.CachedTM(now)
+	c.mu.RUnlock()
+	if ok {
+		return tm, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.BuildTM(now)
+}
+
+// BuildRM mirrors Engine.BuildRM; the power chain runs outside the lock.
+func (c *Concurrent) BuildRM(now time.Duration) (*sparse.CSR, error) {
+	tm, err := c.TM(now)
+	if err != nil {
+		return nil, err
+	}
+	return tm.Pow(c.Config().Steps)
+}
+
+// Reputations returns row i of RM. Only the TM fetch synchronises; the
+// k-step walk runs against the immutable snapshot outside any lock.
+func (c *Concurrent) Reputations(i int, now time.Duration) (map[int]float64, error) {
+	eng := c.engine()
+	if err := eng.checkPeer(i); err != nil {
+		return nil, err
+	}
+	tm, err := c.TM(now)
+	if err != nil {
+		return nil, err
+	}
+	return tm.RowVecPow(i, eng.Config().Steps)
+}
+
+// ReputationsFromTM runs the multi-trust walk against a caller-held frozen
+// matrix; no lock is held during the walk.
+func (c *Concurrent) ReputationsFromTM(tm *sparse.CSR, i int) (map[int]float64, error) {
+	eng := c.engine()
+	if err := eng.checkPeer(i); err != nil {
+		return nil, err
+	}
+	return tm.RowVecPow(i, eng.Config().Steps)
+}
+
+// Evaluation mirrors Engine.Evaluation under the read lock.
+func (c *Concurrent) Evaluation(p int, f eval.FileID, now time.Duration) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.Evaluation(p, f, now)
+}
+
+// JudgeFile mirrors Engine.JudgeFile: reputations via the shared TM path,
+// then the threshold decision (pure, configuration-only).
+func (c *Concurrent) JudgeFile(i int, owners []OwnerEvaluation, now time.Duration) (Judgement, error) {
+	reps, err := c.Reputations(i, now)
+	if err != nil {
+		return Judgement{}, err
+	}
+	return c.engine().judgeWith(reps, owners)
+}
+
+// JudgeFileFromTM mirrors Engine.JudgeFileFromTM; no lock is held during
+// the walk.
+func (c *Concurrent) JudgeFileFromTM(tm *sparse.CSR, i int, owners []OwnerEvaluation) (Judgement, error) {
+	return c.engine().JudgeFileFromTM(tm, i, owners)
+}
+
+// CollectOwnerEvaluations mirrors Engine.CollectOwnerEvaluations under the
+// read lock.
+func (c *Concurrent) CollectOwnerEvaluations(f eval.FileID, owners []int, now time.Duration) []OwnerEvaluation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.CollectOwnerEvaluations(f, owners, now)
+}
+
+// ExportState deep-copies the engine state under the read lock.
+func (c *Concurrent) ExportState() *EngineState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.ExportState()
+}

@@ -106,7 +106,7 @@ func TestBuildFMEquation2(t *testing.T) {
 		t.Fatalf("FM_01 = %v, want 1 (sole entry normalised)", got)
 	}
 	// Peer 2 evaluated nothing: empty row.
-	if len(fm.Row(2)) != 0 {
+	if fm.RowNNZ(2) != 0 {
 		t.Fatal("peer with no evaluations has FM entries")
 	}
 }
@@ -450,7 +450,7 @@ func TestMaxEvaluatorsPerFileCapsPairing(t *testing.T) {
 	maxRowLen := 0
 	rows := 0
 	for i := 0; i < 50; i++ {
-		if l := len(fm.Row(i)); l > 0 {
+		if l := fm.RowNNZ(i); l > 0 {
 			rows++
 			if l > maxRowLen {
 				maxRowLen = l

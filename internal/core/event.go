@@ -76,6 +76,11 @@ type Event struct {
 // ApplyEvent applies one event to the engine. It is deterministic: the
 // same events applied in the same order to the same initial state produce
 // the same engine state, which is what journal replay depends on.
+//
+// Each event also invalidates exactly the cached dimension rows it can
+// affect (see Engine): an evaluation dirties the FM rows of the file's
+// co-evaluators and the evaluator's DM row, a download one DM row, a
+// rating or blacklisting one UM row.
 func (e *Engine) ApplyEvent(ev Event) error {
 	switch ev.Kind {
 	case EventSetImplicit:
@@ -84,6 +89,7 @@ func (e *Engine) ApplyEvent(ev Event) error {
 		}
 		e.stores[ev.I].SetImplicit(ev.File, ev.Value, ev.Time)
 		e.indexEvaluator(ev.File, ev.I)
+		e.dirtyEvaluation(ev.I, ev.File)
 		return nil
 	case EventVote:
 		if err := e.checkPeer(ev.I); err != nil {
@@ -91,6 +97,7 @@ func (e *Engine) ApplyEvent(ev Event) error {
 		}
 		e.stores[ev.I].Vote(ev.File, ev.Value, ev.Time)
 		e.indexEvaluator(ev.File, ev.I)
+		e.dirtyEvaluation(ev.I, ev.File)
 		return nil
 	case EventDownload:
 		return e.applyDownload(ev)
@@ -125,6 +132,7 @@ func (e *Engine) applyDownload(ev Event) error {
 		e.downloads[ev.I] = m
 	}
 	m[ev.J] = append(m[ev.J], downloadEntry{file: ev.File, size: ev.Size})
+	e.dm.markRow(ev.I)
 	return nil
 }
 
@@ -150,6 +158,7 @@ func (e *Engine) applyRateUser(ev Event) error {
 		e.userTrust[ev.I] = make(map[int]float64)
 	}
 	e.userTrust[ev.I][ev.J] = ev.Value
+	e.um.markRow(ev.I)
 	return nil
 }
 
@@ -167,5 +176,6 @@ func (e *Engine) applyBlacklist(ev Event) error {
 	if e.userTrust[ev.I] != nil {
 		delete(e.userTrust[ev.I], ev.J)
 	}
+	e.um.markRow(ev.I)
 	return nil
 }

@@ -74,7 +74,7 @@ func (e *Engine) JudgeFile(i int, owners []OwnerEvaluation, now time.Duration) (
 
 // JudgeFileFromTM is JudgeFile against a prebuilt TM, amortising matrix
 // construction across many judgements.
-func (e *Engine) JudgeFileFromTM(tm *sparse.Matrix, i int, owners []OwnerEvaluation) (Judgement, error) {
+func (e *Engine) JudgeFileFromTM(tm *sparse.CSR, i int, owners []OwnerEvaluation) (Judgement, error) {
 	reps, err := tm.RowVecPow(i, e.cfg.Steps)
 	if err != nil {
 		return Judgement{}, err

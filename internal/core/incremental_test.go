@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/sim"
+	"mdrep/internal/sparse"
+)
+
+// The incremental build path must be indistinguishable from a from-scratch
+// rebuild — not approximately: bit-for-bit, entry-for-entry. These tests
+// drive an engine through randomised event streams interleaved with builds
+// at moving (and occasionally reversed) virtual times, compactions and
+// window expiry, and after every build compare the patched CSR matrices
+// against the map-backed reference builders, which still construct
+// everything from scratch.
+
+// mustMatchRef fails unless the CSR equals the reference matrix exactly.
+func mustMatchRef(t *testing.T, label string, ref *sparse.Matrix, got *sparse.CSR) {
+	t.Helper()
+	want := ref.Entries()
+	have := got.Entries()
+	if len(want) != len(have) {
+		t.Fatalf("%s: %d entries, want %d", label, len(have), len(want))
+	}
+	for k := range want {
+		if want[k] != have[k] {
+			t.Fatalf("%s: entry %d = %+v, want %+v", label, k, have[k], want[k])
+		}
+	}
+}
+
+// checkAllDims builds every dimension incrementally and compares against
+// the from-scratch references.
+func checkAllDims(t *testing.T, e *Engine, now time.Duration, label string) {
+	t.Helper()
+	mustMatchRef(t, label+"/FM", e.buildFMRef(now), e.BuildFM(now))
+	mustMatchRef(t, label+"/DM", e.buildDMRef(now), e.BuildDM(now))
+	mustMatchRef(t, label+"/UM", e.buildUMRef(), e.BuildUM())
+	refTM, err := e.buildTMRef(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := e.BuildTM(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustMatchRef(t, label+"/TM", refTM, tm)
+}
+
+// applyRandomEvent applies one random valid event and returns a description.
+func applyRandomEvent(t *testing.T, e *Engine, r *sim.RNG, n int, now time.Duration) {
+	t.Helper()
+	i, j := r.Intn(n), r.Intn(n)
+	fid := eval.FileID(fmt.Sprintf("f%d", r.Intn(12)))
+	var err error
+	switch r.Intn(6) {
+	case 0:
+		err = e.Vote(i, fid, r.Float64(), now)
+	case 1:
+		err = e.SetImplicit(i, fid, r.Float64(), now)
+	case 2:
+		if i == j {
+			return
+		}
+		err = e.RecordDownload(i, j, fid, int64(r.Intn(1<<20)+1), now)
+	case 3:
+		if i == j {
+			return
+		}
+		err = e.RateUser(i, j, r.Float64())
+	case 4:
+		if i == j {
+			return
+		}
+		err = e.Blacklist(i, j)
+	case 5:
+		e.Compact(now)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalMatchesReference is the main differential property test:
+// random event streams, builds at advancing times, windows short enough
+// that evaluations expire mid-run, and periodic compaction.
+func TestIncrementalMatchesReference(t *testing.T) {
+	rng := sim.NewRNG(211)
+	for trial := 0; trial < 8; trial++ {
+		r := rng.DeriveStream(fmt.Sprintf("trial-%d", trial))
+		n := 4 + r.Intn(14)
+		cfg := DefaultConfig()
+		if trial%2 == 0 {
+			// Short window: records expire between builds.
+			cfg.Window = 30 * time.Minute
+		}
+		if trial%3 == 0 {
+			cfg.MaxEvaluatorsPerFile = 3
+		}
+		e, err := NewEngine(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := time.Duration(0)
+		for step := 0; step < 120; step++ {
+			now += time.Duration(r.Intn(10)) * time.Minute
+			applyRandomEvent(t, e, r, n, now)
+			if step%17 == 0 {
+				checkAllDims(t, e, now, fmt.Sprintf("trial %d step %d", trial, step))
+			}
+		}
+		// Builds strictly after the last event, far enough ahead that the
+		// whole window drains.
+		checkAllDims(t, e, now+time.Hour, fmt.Sprintf("trial %d post", trial))
+		checkAllDims(t, e, now+48*time.Hour, fmt.Sprintf("trial %d drained", trial))
+	}
+}
+
+// TestIncrementalExpiryWithoutEvents pins the pure-time invalidation path:
+// rows must change when evaluations expire even though no event arrives
+// between builds.
+func TestIncrementalExpiryWithoutEvents(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = time.Hour
+	e, err := NewEngine(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(0, "f", 0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(1, "f", 0.8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(2, "f", 0.7, 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	checkAllDims(t, e, 0, "fresh")
+	if e.BuildFM(0).NNZ() == 0 {
+		t.Fatal("no FM entries while evaluations are live")
+	}
+	// 0 and 1 expire at t > 1h; 2 survives until t > 1h30m.
+	checkAllDims(t, e, 61*time.Minute, "partial expiry")
+	checkAllDims(t, e, 2*time.Hour, "full expiry")
+	if e.BuildFM(2*time.Hour).NNZ() != 0 {
+		t.Fatal("FM entries survived the window")
+	}
+}
+
+// TestIncrementalTimeBackwards pins the full-invalidation path: building
+// at an earlier time than the previous build must still agree with the
+// reference (liveness is evaluated at build time).
+func TestIncrementalTimeBackwards(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = time.Hour
+	e, err := NewEngine(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(0, "f", 0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(1, "f", 0.4, 50*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	checkAllDims(t, e, 100*time.Minute, "late") // vote at 0 has expired
+	checkAllDims(t, e, 10*time.Minute, "early") // …and is live again here
+	if e.BuildFM(10*time.Minute).NNZ() == 0 {
+		t.Fatal("rewound build lost the early evaluation")
+	}
+}
+
+// TestIncrementalCompactionInvalidates pins compaction dirtying: compact
+// at a late time removes records outright, which must invalidate builds at
+// earlier times too (the record would have been live there).
+func TestIncrementalCompactionInvalidates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = time.Hour
+	e, err := NewEngine(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(0, "f", 0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(1, "f", 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkAllDims(t, e, 0, "before compact")
+	e.Compact(2 * time.Hour) // drops both votes
+	checkAllDims(t, e, 0, "after compact")
+	if e.BuildFM(0).NNZ() != 0 {
+		t.Fatal("compacted records still contribute at an earlier build time")
+	}
+}
+
+// TestCachedTM pins the read-path cache contract: a hit returns the exact
+// frozen matrix of the last build, and any event or time change with a
+// live window misses.
+func TestCachedTM(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = time.Hour
+	e, err := NewEngine(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.CachedTM(0); ok {
+		t.Fatal("cache hit before any build")
+	}
+	if err := e.Vote(0, "f", 0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := e.BuildTM(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.CachedTM(0)
+	if !ok || got != tm {
+		t.Fatal("cache miss immediately after build")
+	}
+	if _, ok := e.CachedTM(time.Minute); ok {
+		t.Fatal("cache hit at a different time with a live window")
+	}
+	if err := e.Vote(1, "f", 0.4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.CachedTM(0); ok {
+		t.Fatal("cache hit after an event dirtied rows")
+	}
+	epoch := e.Epoch()
+	if _, err := e.BuildTM(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Epoch() == epoch {
+		t.Fatal("epoch did not advance on a changed rebuild")
+	}
+}
+
+// TestCachedTMWindowless pins the Window == 0 fast path: with no expiry
+// the matrices are time-independent, so the cache hits at any now.
+func TestCachedTMWindowless(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 0
+	e, err := NewEngine(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(0, "f", 0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := e.BuildTM(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.CachedTM(5 * time.Hour)
+	if !ok || got != tm {
+		t.Fatal("windowless cache missed at a different time")
+	}
+}
+
+// TestBuildTMStableAcrossNoOpRebuilds: repeated builds with no changes
+// return the identical *sparse.CSR and keep the epoch fixed.
+func TestBuildTMStableAcrossNoOpRebuilds(t *testing.T) {
+	e, err := NewEngine(4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Vote(0, "f", 0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	tm1, err := e.BuildTM(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := e.Epoch()
+	tm2, err := e.BuildTM(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm1 != tm2 {
+		t.Fatal("no-op rebuild allocated a new TM")
+	}
+	if e.Epoch() != epoch {
+		t.Fatal("no-op rebuild advanced the epoch")
+	}
+}
+
+// TestRestoredEngineMatchesOriginal: an engine rebuilt from an exported
+// state produces bit-identical matrices (the journal snapshot contract).
+func TestRestoredEngineMatchesOriginal(t *testing.T) {
+	rng := sim.NewRNG(223)
+	cfg := DefaultConfig()
+	cfg.Window = 45 * time.Minute
+	e, err := NewEngine(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for step := 0; step < 80; step++ {
+		now += time.Duration(rng.Intn(5)) * time.Minute
+		applyRandomEvent(t, e, rng, 8, now)
+	}
+	// Build mid-stream so the original's caches are warm (the restored
+	// engine starts cold — the comparison crosses cache states).
+	if _, err := e.BuildTM(now); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewEngineFromState(e.ExportState(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []time.Duration{now, now + 30*time.Minute, now + 3*time.Hour} {
+		want, err := e.BuildTM(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.BuildTM(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustMatchRef(t, fmt.Sprintf("restore at %v", at), want.Thaw(), got)
+	}
+}

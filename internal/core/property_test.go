@@ -127,11 +127,12 @@ func TestEngineRowsSubStochastic(t *testing.T) {
 		}
 		for i := 0; i < n; i++ {
 			sum := 0.0
-			for j, v := range tm.Row(i) {
-				if v < 0 || j < 0 || j >= n {
+			cols, vals := tm.Row(i)
+			for k, j := range cols {
+				if vals[k] < 0 || j < 0 || int(j) >= n {
 					return false
 				}
-				sum += v
+				sum += vals[k]
 			}
 			if sum > 1+1e-9 {
 				return false

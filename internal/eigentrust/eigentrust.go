@@ -103,7 +103,7 @@ func Compute(c *sparse.Matrix, cfg Config) (*Result, error) {
 
 	danglingRows := make([]int, 0)
 	for i := 0; i < n; i++ {
-		if len(c.Row(i)) == 0 {
+		if c.RowNNZ(i) == 0 {
 			danglingRows = append(danglingRows, i)
 		}
 	}
@@ -160,11 +160,11 @@ func LocalTrustFromSatisfaction(sat, unsat *sparse.Matrix) (*sparse.Matrix, erro
 	}
 	c := sparse.New(sat.N())
 	for i := 0; i < sat.N(); i++ {
-		for j, s := range sat.Row(i) {
+		sat.ForEachRow(i, func(j int, s float64) {
 			if v := s - unsat.Get(i, j); v > 0 {
 				c.Set(i, j, v)
 			}
-		}
+		})
 	}
 	return c.RowNormalize(), nil
 }

@@ -186,6 +186,39 @@ func (s *Store) expired(r Record, now time.Duration) bool {
 // compacted.
 func (s *Store) Len() int { return len(s.records) }
 
+// ExpiredBetween returns the files whose evaluations were live at prev
+// but have expired by now (prev < now). The engine's incremental matrix
+// cache uses this to find rows invalidated purely by the passage of
+// virtual time — an expiry changes FM and DM rows without any event
+// being applied.
+func (s *Store) ExpiredBetween(prev, now time.Duration) []FileID {
+	if s.window <= 0 || now <= prev {
+		return nil
+	}
+	var out []FileID
+	for f, r := range s.records {
+		if !s.expired(r, prev) && s.expired(r, now) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ExpiredFiles returns the files whose evaluations have expired as of
+// now — exactly the records Compact(now) would drop.
+func (s *Store) ExpiredFiles(now time.Duration) []FileID {
+	if s.window <= 0 {
+		return nil
+	}
+	var out []FileID
+	for f, r := range s.records {
+		if s.expired(r, now) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // Compact drops expired records and returns how many were removed.
 func (s *Store) Compact(now time.Duration) int {
 	removed := 0

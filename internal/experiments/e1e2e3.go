@@ -227,7 +227,7 @@ func E3Collusion(cfg E3Config) (*E3Result, error) {
 	}
 
 	repCfg := core.DefaultConfig()
-	engine, err := core.NewEngine(n, repCfg)
+	engine, err := core.NewConcurrentEngine(n, repCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +270,10 @@ func E3Collusion(cfg E3Config) (*E3Result, error) {
 	}
 	cliqueCfg := cfg.Clique
 	cliqueCfg.Members = clique
-	if _, err := security.InjectClique(engine, cliqueCfg, rng.DeriveStream("clique"), tr.Duration()); err != nil {
+	if err := engine.Locked(func(e *core.Engine) error {
+		_, err := security.InjectClique(e, cliqueCfg, rng.DeriveStream("clique"), tr.Duration())
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	// Colluders also stuff the EigenTrust satisfaction ledger.
@@ -286,7 +289,7 @@ func E3Collusion(cfg E3Config) (*E3Result, error) {
 
 	// MDRep: honest observer panel, 1-step and 2-step.
 	now := tr.Duration()
-	tm, err := engine.BuildTM(now)
+	tm, err := engine.TM(now)
 	if err != nil {
 		return nil, err
 	}
@@ -335,12 +338,12 @@ func E3Collusion(cfg E3Config) (*E3Result, error) {
 	// Tit-for-Tat: the panel's private credit toward the clique.
 	var tftClique, tftTotal float64
 	for _, obs := range panel {
-		for j, v := range sat.Row(obs) {
+		sat.ForEachRow(obs, func(j int, v float64) {
 			tftTotal += v
 			if j >= cliqueStart {
 				tftClique += v
 			}
-		}
+		})
 	}
 	if tftTotal > 0 {
 		res.TitForTatShare = tftClique / tftTotal

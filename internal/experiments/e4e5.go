@@ -168,7 +168,7 @@ func E5Steps(cfg E5Config) (*E5Result, error) {
 	// the multi-tier scheme was built for.
 	repCfg.Blend = eval.Blend{Eta: 0, Rho: 1}
 	repCfg.Alpha, repCfg.Beta, repCfg.Gamma = 1, 0, 0
-	engine, err := core.NewEngine(cfg.Peers, repCfg)
+	engine, err := core.NewConcurrentEngine(cfg.Peers, repCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +197,7 @@ func E5Steps(cfg E5Config) (*E5Result, error) {
 			}
 		}
 	}
-	tm, err := engine.BuildTM(tr.Duration())
+	tm, err := engine.TM(tr.Duration())
 	if err != nil {
 		return nil, err
 	}

@@ -3,19 +3,24 @@ package journal
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"mdrep/internal/core"
 	"mdrep/internal/eval"
 )
 
-// Engine is a core.Engine whose every mutation is made durable through a
-// Log before the call returns. Reads go through Core(); mutations go
-// through the mirrored methods here, which validate-by-applying and then
-// append the event, so the log only ever contains events that replay
-// cleanly. Like core.Engine it is not safe for concurrent use.
+// Engine is a reputation engine whose every mutation is made durable
+// through a Log before the call returns. Reads go through Core() — a
+// core.Concurrent, so queries may run from any goroutine against frozen
+// matrix snapshots. Mutations go through the mirrored methods here, which
+// validate-by-applying and then append the event, so the log only ever
+// contains events that replay cleanly; mu serialises the apply+append
+// pair, guaranteeing the WAL records events in exactly the order they
+// were applied — the invariant deterministic replay rests on.
 type Engine struct {
-	eng *core.Engine
+	mu  sync.Mutex
+	c   *core.Concurrent
 	log *Log
 }
 
@@ -32,11 +37,11 @@ func (s *engineState) Apply(payload []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.je.eng.ApplyEvent(ev)
+	return s.je.c.ApplyEvent(ev)
 }
 
 func (s *engineState) Snapshot() ([]byte, error) {
-	return json.Marshal(s.je.eng.ExportState())
+	return json.Marshal(s.je.c.ExportState())
 }
 
 func (s *engineState) Restore(snapshot []byte) error {
@@ -51,7 +56,7 @@ func (s *engineState) Restore(snapshot []byte) error {
 	if err != nil {
 		return err
 	}
-	s.je.eng = eng // atomic swap: a failed restore leaves the engine untouched
+	s.je.c.Swap(eng) // atomic swap: a failed restore leaves the engine untouched
 	return nil
 }
 
@@ -63,7 +68,7 @@ func OpenEngine(dataDir string, n int, cfg core.Config, jcfg Config) (*Engine, R
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
-	je := &Engine{eng: eng}
+	je := &Engine{c: core.NewConcurrent(eng)}
 	log, info, err := Open(dataDir, jcfg, &engineState{je: je, n: n, cfg: cfg})
 	if err != nil {
 		return nil, info, err
@@ -72,10 +77,10 @@ func OpenEngine(dataDir string, n int, cfg core.Config, jcfg Config) (*Engine, R
 	return je, info, nil
 }
 
-// Core returns the underlying engine for reads (BuildTM, Reputations,
-// JudgeFile, …). Mutating it directly bypasses the journal; use the
-// Engine's own mutators.
-func (e *Engine) Core() *core.Engine { return e.eng }
+// Core returns the concurrency-safe engine facade for reads (TM,
+// Reputations, JudgeFile, …), callable from any goroutine. Mutating it
+// directly bypasses the journal; use the Engine's own mutators.
+func (e *Engine) Core() *core.Concurrent { return e.c }
 
 // Seq returns the number of events recorded across the journal's life.
 func (e *Engine) Seq() uint64 { return e.log.Seq() }
@@ -84,9 +89,13 @@ func (e *Engine) Seq() uint64 { return e.log.Seq() }
 // snapshot when the interval has passed. Applying first keeps invalid
 // events (bad peer index, out-of-range rating) out of the log entirely —
 // replay must never fail on validation. A crash between apply and append
-// only loses an event the caller was never told was durable.
+// only loses an event the caller was never told was durable. The wrapper
+// mutex spans both steps so concurrent mutators cannot interleave an
+// apply/append pair — the log records events in apply order.
 func (e *Engine) record(ev core.Event) error {
-	if err := e.eng.ApplyEvent(ev); err != nil {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.c.ApplyEvent(ev); err != nil {
 		return err
 	}
 	if err := e.log.Append(EncodeEvent(ev)); err != nil {
@@ -112,7 +121,7 @@ func (e *Engine) SetImplicit(p int, f eval.FileID, value float64, now time.Durat
 // implicit value is what gets journaled, so replay is independent of
 // later retention-model changes.
 func (e *Engine) ObserveRetention(p int, f eval.FileID, retention time.Duration, deleted bool, now time.Duration) error {
-	v := e.eng.Config().Retention.Implicit(retention, deleted)
+	v := e.c.Config().Retention.Implicit(retention, deleted)
 	return e.SetImplicit(p, f, v, now)
 }
 
@@ -133,7 +142,7 @@ func (e *Engine) RateUser(i, j int, value float64) error {
 
 // AddFriend mirrors core.Engine.AddFriend, durably.
 func (e *Engine) AddFriend(i, j int) error {
-	return e.RateUser(i, j, e.eng.Config().FriendTrust)
+	return e.RateUser(i, j, e.c.Config().FriendTrust)
 }
 
 // Blacklist mirrors core.Engine.Blacklist, durably.
@@ -148,15 +157,25 @@ func (e *Engine) Compact(now time.Duration) error {
 }
 
 // Sync forces buffered appends to disk immediately.
-func (e *Engine) Sync() error { return e.log.Sync() }
+func (e *Engine) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.log.Sync()
+}
 
 // Snapshot forces a snapshot + log truncation now.
-func (e *Engine) Snapshot() error { return e.log.Snapshot() }
+func (e *Engine) Snapshot() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.log.Snapshot()
+}
 
 // Close takes a final snapshot and closes the log, so the next Open
 // recovers instantly with no replay. Use Sync+drop (no Close) to simulate
 // a crash in tests.
 func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.log.Snapshot(); err != nil {
 		_ = e.log.Close()
 		return err

@@ -120,7 +120,7 @@ func buildUninterrupted(t *testing.T, n int, events []core.Event) *core.Engine {
 
 // checkEnginesIdentical asserts bit-identical TM and RM and equal
 // exported state between two engines.
-func checkEnginesIdentical(t *testing.T, want, got *core.Engine, now time.Duration) {
+func checkEnginesIdentical(t *testing.T, want *core.Engine, got *core.Concurrent, now time.Duration) {
 	t.Helper()
 	if !reflect.DeepEqual(want.ExportState(), got.ExportState()) {
 		t.Fatal("engine state diverged after recovery")
@@ -129,7 +129,7 @@ func checkEnginesIdentical(t *testing.T, want, got *core.Engine, now time.Durati
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotTM, err := got.BuildTM(now)
+	gotTM, err := got.TM(now)
 	if err != nil {
 		t.Fatal(err)
 	}

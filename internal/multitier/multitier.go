@@ -20,22 +20,24 @@ import (
 // the pair.
 const Unreachable = 1 << 30
 
-// Classifier assigns tiers against a fixed one-step trust matrix.
+// Classifier assigns tiers against a fixed one-step trust matrix. The
+// powers are immutable CSR matrices, so a classifier may be shared across
+// concurrent readers.
 type Classifier struct {
 	maxTier int
-	powers  []*sparse.Matrix // powers[k-1] = tm^k
+	powers  []*sparse.CSR // powers[k-1] = tm^k
 }
 
 // NewClassifier precomputes the first maxTier powers of tm.
-func NewClassifier(tm *sparse.Matrix, maxTier int) (*Classifier, error) {
+func NewClassifier(tm *sparse.CSR, maxTier int) (*Classifier, error) {
 	if tm == nil {
 		return nil, errors.New("multitier: nil trust matrix")
 	}
 	if maxTier < 1 {
 		return nil, fmt.Errorf("multitier: maxTier %d, want >= 1", maxTier)
 	}
-	c := &Classifier{maxTier: maxTier, powers: make([]*sparse.Matrix, maxTier)}
-	cur := tm.Clone()
+	c := &Classifier{maxTier: maxTier, powers: make([]*sparse.CSR, maxTier)}
+	cur := tm
 	c.powers[0] = cur
 	for k := 1; k < maxTier; k++ {
 		next, err := cur.Mul(tm)

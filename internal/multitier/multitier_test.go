@@ -7,12 +7,12 @@ import (
 )
 
 // chainMatrix builds 0→1→2→3→… with unit trust.
-func chainMatrix(n int) *sparse.Matrix {
+func chainMatrix(n int) *sparse.CSR {
 	m := sparse.New(n)
 	for i := 0; i+1 < n; i++ {
 		m.Set(i, i+1, 1)
 	}
-	return m.RowNormalize()
+	return m.RowNormalize().Freeze()
 }
 
 func TestTierDepth(t *testing.T) {
@@ -64,8 +64,7 @@ func TestRankWithinTierByTrust(t *testing.T) {
 	m := sparse.New(4)
 	m.Set(0, 1, 3) // stronger direct trust
 	m.Set(0, 2, 1)
-	m.RowNormalize()
-	c, err := NewClassifier(m, 2)
+	c, err := NewClassifier(m.RowNormalize().Freeze(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +111,7 @@ func TestNewClassifierValidation(t *testing.T) {
 	if _, err := NewClassifier(nil, 2); err == nil {
 		t.Fatal("nil matrix accepted")
 	}
-	if _, err := NewClassifier(sparse.New(2), 0); err == nil {
+	if _, err := NewClassifier(sparse.New(2).Freeze(), 0); err == nil {
 		t.Fatal("maxTier 0 accepted")
 	}
 }
@@ -130,6 +129,37 @@ func TestClassifierDoesNotMutateInput(t *testing.T) {
 	for i := range before {
 		if before[i] != after[i] {
 			t.Fatal("classifier mutated input matrix")
+		}
+	}
+}
+
+// TestClassifierMatchesMapPowers cross-checks the CSR power chain against
+// map-backed multiplication.
+func TestClassifierMatchesMapPowers(t *testing.T) {
+	m := sparse.New(5)
+	m.Set(0, 1, 0.5)
+	m.Set(0, 2, 0.5)
+	m.Set(1, 3, 1)
+	m.Set(2, 4, 1)
+	m.Set(3, 0, 1)
+	norm := m.RowNormalize()
+	c, err := NewClassifier(norm.Freeze(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := norm.Clone()
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if got, want := c.powers[k].Get(i, j), ref.Get(i, j); got != want {
+					t.Fatalf("power %d entry (%d,%d) = %v, want %v", k+1, i, j, got, want)
+				}
+			}
+		}
+		var err error
+		ref, err = ref.Mul(norm)
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -108,11 +108,11 @@ func (r *Result) FakeFraction() float64 {
 type Sim struct {
 	cfg       Config
 	rng       *sim.RNG
-	engine    *core.Engine
+	engine    *core.Concurrent
 	behaviors []Behavior
 	titles    [][]*version
 	servers   []*incentive.Server
-	tm        *sparse.Matrix
+	tm        *sparse.CSR
 	repCache  map[int]map[int]float64
 	res       *Result
 }
@@ -124,7 +124,7 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	engine, err := core.NewEngine(cfg.Peers, cfg.Reputation)
+	engine, err := core.NewConcurrentEngine(cfg.Peers, cfg.Reputation)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +322,7 @@ func (s *Sim) reputations(p int) (map[int]float64, error) {
 
 func (s *Sim) rebuildEpoch(now time.Duration) error {
 	s.engine.Compact(now)
-	tm, err := s.engine.BuildTM(now)
+	tm, err := s.engine.TM(now)
 	if err != nil {
 		return err
 	}

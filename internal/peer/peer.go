@@ -82,7 +82,11 @@ type Peer struct {
 	dir *Directory
 	net Network
 
-	mu     sync.Mutex
+	// mu is a reader/writer lock: evidence mutations and cache updates
+	// take the write lock, while the serving paths (TrustRow, JudgeFile,
+	// SignedEvaluations, state export) share the read lock, so concurrent
+	// requests do not serialise behind each other.
+	mu     sync.RWMutex
 	store  *eval.Store
 	now    time.Duration
 	downBy map[identity.PeerID][]downloadEntry
@@ -214,10 +218,10 @@ func (p *Peer) Blacklist(target identity.PeerID) {
 // EvaluationInfo records — what it serves to other peers (and publishes
 // to the DHT with its file index entries).
 func (p *Peer) SignedEvaluations() ([]eval.Info, error) {
-	p.mu.Lock()
+	p.mu.RLock()
 	snap := p.store.Snapshot(p.now)
 	now := p.now
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	out := make([]eval.Info, 0, len(snap))
 	for f, v := range snap {
 		info := eval.Info{FileID: f, OwnerID: p.ID(), Evaluation: v, Timestamp: now}
@@ -301,8 +305,8 @@ func (p *Peer) fileTrustLocked(list map[eval.FileID]float64) float64 {
 // evidence and the synced evaluation lists, normalised per dimension.
 // Blacklisted and flagged peers are excluded.
 func (p *Peer) TrustRow() map[identity.PeerID]float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 
 	ft := make(map[identity.PeerID]float64, len(p.lists))
 	var ftTotal float64
@@ -413,16 +417,16 @@ func (p *Peer) NextUpload() (incentive.Request, bool) {
 
 // PendingUploads returns the queue depth.
 func (p *Peer) PendingUploads() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.queue.Len()
 }
 
 // IsBlacklisted reports whether the peer has banned target (explicitly or
 // via the examiner).
 func (p *Peer) IsBlacklisted(target identity.PeerID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	_, bad := p.banned[target]
 	return bad
 }

@@ -49,8 +49,8 @@ type Event struct {
 
 // Now returns the peer's current virtual time.
 func (p *Peer) Now() time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.now
 }
 
@@ -109,8 +109,8 @@ type DownRecord struct {
 
 // ExportState returns a deep copy of the peer's own evidence.
 func (p *Peer) ExportState() *State {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	st := &State{
 		Now:     p.now,
 		Records: p.store.Export(),

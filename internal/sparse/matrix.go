@@ -71,15 +71,33 @@ func (m *Matrix) Add(i, j int, v float64) {
 	m.Set(i, j, m.Get(i, j)+v)
 }
 
-// Row returns the non-zero entries of row i as a map; the returned map is
-// the internal storage and must not be mutated by callers that want the
-// matrix unchanged. RowCopy returns a safe copy.
+// Row returns the non-zero entries of row i as a map. The returned map
+// IS the internal storage: callers must treat it as strictly read-only —
+// mutating it corrupts the matrix and, worse, silently desynchronises any
+// cached derived state (the engine's incremental dimension caches, a
+// journal replay's bit-identical rebuild). Callers that need to mutate
+// must use RowCopy; callers that only iterate should prefer ForEachRow,
+// which also fixes the iteration order.
 func (m *Matrix) Row(i int) map[int]float64 {
 	if i < 0 || i >= m.n {
 		return nil
 	}
 	return m.rows[i]
 }
+
+// ForEachRow calls fn for every stored entry of row i in ascending column
+// order. It is the safe, deterministic alternative to Row for read-only
+// iteration: no internal storage escapes, and the order does not depend
+// on Go's randomised map iteration.
+func (m *Matrix) ForEachRow(i int, fn func(col int, val float64)) {
+	row := m.Row(i)
+	for _, j := range sortedCols(row) {
+		fn(j, row[j])
+	}
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *Matrix) RowNNZ(i int) int { return len(m.Row(i)) }
 
 // RowCopy returns a copy of row i safe for the caller to mutate.
 func (m *Matrix) RowCopy(i int) map[int]float64 {

@@ -91,9 +91,12 @@ func WithIncentivePolicy(p incentive.Policy) Option {
 }
 
 // System is the public face of the reputation system for a population of
-// peers indexed [0, n). It is not safe for concurrent use.
+// peers indexed [0, n). It is safe for concurrent use: mutations
+// serialise behind a writer lock while reputation queries share a reader
+// lock and then walk an immutable frozen snapshot of the trust matrix, so
+// queries from many goroutines proceed in parallel.
 type System struct {
-	engine *core.Engine
+	engine *core.Concurrent
 	policy incentive.Policy
 }
 
@@ -106,7 +109,7 @@ func NewSystem(n int, opts ...Option) (*System, error) {
 			return nil, fmt.Errorf("mdrep: %w", err)
 		}
 	}
-	engine, err := core.NewEngine(n, o.rep)
+	engine, err := core.NewConcurrentEngine(n, o.rep)
 	if err != nil {
 		return nil, err
 	}
