@@ -1,0 +1,42 @@
+# Targets mirror the CI jobs (.github/workflows/ci.yml); keep them in sync.
+
+GO      ?= go
+BIN     ?= bin
+VETTOOL := $(BIN)/mdrep-lint
+
+.PHONY: all build test race lint vet fmt bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint builds the repo's own go/analysis suite (cmd/mdrep-lint) and runs
+# it through the go vet vettool protocol, then standard vet and gofmt.
+lint: $(VETTOOL) vet fmt
+	$(GO) vet -vettool=$(VETTOOL) ./...
+
+$(VETTOOL): FORCE
+	@mkdir -p $(BIN)
+	$(GO) build -o $(VETTOOL) ./cmd/mdrep-lint
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	rm -rf $(BIN)
+
+FORCE:

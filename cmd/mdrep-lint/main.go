@@ -1,0 +1,26 @@
+// mdrep-lint is the project's custom static-analysis suite packaged as a
+// vet tool. It enforces the invariants the reputation engine's
+// correctness rests on but the compiler cannot check: bit-identical float
+// accumulation for journal replay (detfloat), the sparse.Matrix.Row
+// aliasing contract (rowalias), injected clocks and seeded randomness in
+// deterministic packages (wallclock), and the core.Concurrent locking
+// discipline (locksafe). See DESIGN.md §10.
+//
+// Run it through the go tool so package loading, caching and test files
+// are handled exactly as in a normal vet invocation:
+//
+//	go build -o bin/mdrep-lint ./cmd/mdrep-lint
+//	go vet -vettool=bin/mdrep-lint ./...
+//
+// or simply `make lint`.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"mdrep/internal/analysis/suite"
+)
+
+func main() {
+	unitchecker.Main(suite.Analyzers()...)
+}

@@ -1,0 +1,252 @@
+// Package analyzertest runs a go/analysis analyzer over fixture packages
+// and checks its diagnostics against inline expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which is not vendored with
+// the toolchain; this is a dependency-free replacement built directly on
+// go/parser and go/types).
+//
+// Fixtures live in GOPATH-style trees:
+//
+//	testdata/src/<pkg>/<files>.go
+//
+// and are loaded with the package path "<pkg>" — analyzers that gate on
+// mdrep package names (lintutil.IsPackage) therefore see fixture packages
+// named like the real ones ("core", "sparse", ...). Imports between
+// fixture packages resolve within the tree; standard-library imports are
+// type-checked from GOROOT source.
+//
+// Expected diagnostics are written on the offending line:
+//
+//	sum += v // want `nondeterministic float accumulation`
+//
+// Each string after "want" (quoted or backquoted) is a regexp that must
+// match one diagnostic reported on that line; diagnostics without a
+// matching expectation, and expectations without a matching diagnostic,
+// fail the test.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each named fixture package beneath testdata/src, applies the
+// analyzer, and checks diagnostics against // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			loaded, err := ld.load(pkg)
+			if err != nil {
+				t.Fatalf("loading fixture package %q: %v", pkg, err)
+			}
+			diags, err := execute(t, a, loaded, ld.fset)
+			if err != nil {
+				t.Fatalf("running %s on %q: %v", a.Name, pkg, err)
+			}
+			check(t, ld.fset, loaded.files, diags)
+		})
+	}
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	pkgs    map[string]*loaded
+}
+
+func newLoader(srcRoot string) *loader {
+	l := &loader{
+		fset:    token.NewFileSet(),
+		srcRoot: srcRoot,
+		pkgs:    map[string]*loaded{},
+	}
+	// The source importer type-checks std packages from GOROOT source —
+	// no compiled export data needed, and it works offline.
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := &types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		if fi, err := os.Stat(filepath.Join(l.srcRoot, p)); err == nil && fi.IsDir() {
+			fixture, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return fixture.pkg, nil
+		}
+		return l.std.Import(p)
+	})}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = ld
+	return ld, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// execute runs a (and, recursively, its Requires) over the loaded package
+// and returns the root analyzer's diagnostics.
+func execute(t *testing.T, a *analysis.Analyzer, ld *loaded, fset *token.FileSet) ([]analysis.Diagnostic, error) {
+	t.Helper()
+	results := map[*analysis.Analyzer]interface{}{}
+	var run func(a *analysis.Analyzer, collect bool) ([]analysis.Diagnostic, error)
+	run = func(a *analysis.Analyzer, collect bool) ([]analysis.Diagnostic, error) {
+		for _, req := range a.Requires {
+			if _, done := results[req]; !done {
+				if _, err := run(req, false); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      ld.files,
+			Pkg:        ld.pkg,
+			TypesInfo:  ld.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile: os.ReadFile,
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		results[a] = res
+		return diags, nil
+	}
+	return run(a, true)
+}
+
+// expectation is one // want regexp at a (file, line).
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// check matches diagnostics against // want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1) {
+					pattern := m[1]
+					if m[2] != "" || pattern == "" {
+						var err error
+						pattern, err = strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want string: %v", pos, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

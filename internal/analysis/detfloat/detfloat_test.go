@@ -1,0 +1,12 @@
+package detfloat_test
+
+import (
+	"testing"
+
+	"mdrep/internal/analysis/analyzertest"
+	"mdrep/internal/analysis/detfloat"
+)
+
+func TestDetFloat(t *testing.T) {
+	analyzertest.Run(t, "testdata", detfloat.Analyzer, "core", "simpkg")
+}

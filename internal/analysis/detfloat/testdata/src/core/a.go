@@ -1,0 +1,107 @@
+// Positive fixture: package path "core" is in detfloat's deterministic
+// set, so order-sensitive float accumulation over map iteration must be
+// diagnosed.
+package core
+
+import "sort"
+
+func mapSum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `nondeterministic float accumulation into sum`
+	}
+	return sum
+}
+
+func explicitForm(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `nondeterministic float accumulation into total`
+	}
+	return total
+}
+
+type stats struct{ sum float64 }
+
+func selectorTarget(m map[int]float64) float64 {
+	var s stats
+	for _, v := range m {
+		s.sum += v // want `nondeterministic float accumulation into s\.sum`
+	}
+	return s.sum
+}
+
+func nestedSliceLoop(m map[int][]float64) float64 {
+	// The inner loop is over a slice, but the accumulator crosses the
+	// iterations of the outer map range, so order still leaks in.
+	sum := 0.0
+	for _, vs := range m {
+		for _, v := range vs {
+			sum += v // want `nondeterministic float accumulation into sum`
+		}
+	}
+	return sum
+}
+
+func subtraction(m map[int]float64) float64 {
+	d := 1.0
+	for _, v := range m {
+		d -= v // want `nondeterministic float accumulation into d`
+	}
+	return d
+}
+
+// --- compliant patterns -----------------------------------------------------
+
+func keyedAccumulator(a, b map[int]float64) map[int]float64 {
+	// Each key owns its accumulator: iteration order cannot matter.
+	out := make(map[int]float64, len(a))
+	for j, v := range a {
+		out[j] += v * 2
+	}
+	for j, v := range b {
+		out[j] = out[j] + v
+	}
+	return out
+}
+
+func sortedIteration(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func intAccumulator(m map[int]int) int {
+	n := 0
+	for _, v := range m { // integer addition is exact: order-independent
+		n += v
+	}
+	return n
+}
+
+func perIterationAccumulator(m map[int][]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for j, entries := range m {
+		vd := 0.0 // reset every iteration: order cannot accumulate
+		for _, e := range entries {
+			vd += e
+		}
+		out[j] = vd
+	}
+	return out
+}
+
+func maxReduction(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //mdrep:allow detfloat fixture demonstrating suppression
+	}
+	return sum
+}

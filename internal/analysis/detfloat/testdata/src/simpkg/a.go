@@ -1,0 +1,11 @@
+// Clean-negative fixture: package "simpkg" is outside detfloat's
+// deterministic set, so identical code produces no diagnostics.
+package simpkg
+
+func mapSum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,114 @@
+// Package lintutil holds the shared plumbing of the mdrep analyzer suite
+// (internal/analysis/...): package-set matching, test-file filtering and
+// the //mdrep:allow suppression directive.
+//
+// Every analyzer in the suite reports through Report, which gives the
+// whole suite one uniform escape hatch: a comment
+//
+//	//mdrep:allow <analyzer> <reason>
+//
+// on the flagged line (or the line directly above it) silences that
+// analyzer for that line. The reason is free text but mandatory by
+// convention — a suppression without a stated reason should not survive
+// review.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AllowDirective is the comment prefix that suppresses a finding.
+const AllowDirective = "mdrep:allow"
+
+// IsPackage reports whether path denotes one of the named mdrep packages.
+// It matches both the real module location ("mdrep/internal/core") and the
+// bare fixture location used by the analyzertest harness ("core"), so the
+// same analyzer logic runs unchanged against testdata packages.
+func IsPackage(path string, names ...string) bool {
+	for _, name := range names {
+		if path == name || strings.HasSuffix(path, "/"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// InTestFile reports whether pos sits in a *_test.go file. The suite
+// guards production invariants; tests may freely use wall clocks, global
+// randomness and direct engine access.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	f := pass.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// Suppressed reports whether the line containing pos, or the line directly
+// above it, carries an "//mdrep:allow <name>" directive.
+func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	file := enclosingFile(pass, pos)
+	if file == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			cl := pass.Fset.Position(c.Pos()).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			text := strings.TrimSpace(strings.TrimLeft(strings.TrimPrefix(c.Text, "//"), "/ "))
+			if !strings.HasPrefix(text, AllowDirective) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, AllowDirective))
+			if len(fields) > 0 && fields[0] == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Report emits a diagnostic at pos unless it sits in a test file or is
+// suppressed by an //mdrep:allow directive for the named analyzer.
+func Report(pass *analysis.Pass, pos token.Pos, name, format string, args ...interface{}) {
+	if InTestFile(pass, pos) || Suppressed(pass, pos, name) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// enclosingFile returns the syntax file of pass containing pos.
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// RootIdent unwraps selector, index, star and paren chains down to the
+// base identifier: RootIdent(`s.cache[i]`) == `s`. It returns nil when the
+// base is not a plain identifier (e.g. a call result).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package locksafe guards the two locking conventions of the concurrent
+// reputation engine.
+//
+// Re-entrancy (all packages): core.Concurrent — and every other
+// mutex-guarded facade in the tree (peer.Peer, dht.Storage, ...) — wraps
+// its state in a sync.Mutex/RWMutex field named mu. Go mutexes are not
+// re-entrant: a method that holds c.mu for its whole body (the
+// `c.mu.Lock(); defer c.mu.Unlock()` idiom) and then calls another method
+// of the same receiver that acquires c.mu deadlocks itself — or, for
+// RLock→RLock, deadlocks as soon as a writer is queued between the two
+// acquisitions. The analyzer computes, per receiver type, which methods
+// (transitively) acquire mu, and flags same-receiver calls to them made
+// while the caller still holds the lock.
+//
+// Facade bypass (packages outside core and journal): core.Engine is not
+// safe for concurrent use — even read-looking calls patch its caches — so
+// everything outside the core must route through core.Concurrent. The
+// analyzer flags direct *core.Engine method calls unless the engine
+// arrived as a function parameter (the caller owns the locking contract,
+// e.g. security.InjectClique) or the call happens inside a closure passed
+// to Concurrent.Locked, the sanctioned escape hatch.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"mdrep/internal/analysis/lintutil"
+)
+
+// enginePackages are allowed to touch core.Engine directly: the defining
+// package and the journal, whose restore path rebuilds engines before
+// atomically installing them via Concurrent.Swap.
+var enginePackages = []string{"core", "journal"}
+
+// engineImmutable are Engine methods that only read construction-time
+// state and are safe without the facade.
+var engineImmutable = map[string]bool{"N": true, "Config": true}
+
+// name is the analyzer name, also the token accepted by //mdrep:allow.
+const name = "locksafe"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag re-entrant mutex acquisition and core.Engine facade bypass\n\n" +
+		"A method holding its receiver's mu (Lock-then-defer-Unlock idiom) must\n" +
+		"not call another method of the same receiver that acquires mu: Go\n" +
+		"mutexes are not re-entrant. Outside core and journal, *core.Engine\n" +
+		"must be driven through core.Concurrent (or its Locked escape hatch) —\n" +
+		"the bare engine is not safe for concurrent use.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	checkReentrancy(pass, ins)
+	if !lintutil.IsPackage(pass.Pkg.Path(), enginePackages...) {
+		checkFacadeBypass(pass, ins)
+	}
+	return nil, nil
+}
+
+// --- re-entrant acquisition -------------------------------------------------
+
+// selfCall is a call to a method of the enclosing method's own receiver.
+type selfCall struct {
+	name string
+	pos  token.Pos
+}
+
+// methodFacts summarises one method's interaction with its receiver's mu.
+type methodFacts struct {
+	locksMu bool // contains recv.mu.Lock() or recv.mu.RLock()
+	// heldFrom is the position of the first Lock/RLock appearing as a
+	// top-level statement of a method body that also defers the matching
+	// unlock — the `mu.Lock(); defer mu.Unlock()` idiom, where the lock is
+	// held from here to every return. Locks nested inside branches (e.g.
+	// per-case locking in an event-dispatch switch) do not cover the
+	// sibling branches, so they never establish heldFrom.
+	heldFrom token.Pos
+	// released are positions of explicit (non-deferred) Unlock/RUnlock
+	// calls; a self-call after one of these is not made under the lock.
+	released  []token.Pos
+	selfCalls []selfCall
+}
+
+func checkReentrancy(pass *analysis.Pass, ins *inspector.Inspector) {
+	// facts[T][method] for every method whose receiver type T has a
+	// sync.Mutex or sync.RWMutex field named mu.
+	facts := map[*types.Named]map[string]*methodFacts{}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		named, recv := mutexGuardedReceiver(pass, decl)
+		if named == nil {
+			return
+		}
+		if facts[named] == nil {
+			facts[named] = map[string]*methodFacts{}
+		}
+		facts[named][decl.Name.Name] = collectFacts(pass, decl, named, recv)
+	})
+
+	for named, methods := range facts {
+		acquires := transitiveAcquirers(methods)
+		for method, f := range methods {
+			if f.heldFrom == token.NoPos {
+				continue
+			}
+			for _, call := range f.selfCalls {
+				if call.pos < f.heldFrom || !acquires[call.name] {
+					continue
+				}
+				if releasedBefore(f, call.pos) {
+					continue
+				}
+				lintutil.Report(pass, call.pos, name,
+					"%s.%s calls %s while holding mu (held from the Lock/defer-Unlock above); %s acquires mu and Go mutexes are not re-entrant — self-deadlock",
+					named.Obj().Name(), method, call.name, call.name)
+			}
+		}
+	}
+}
+
+// mutexGuardedReceiver returns the receiver's named struct type and
+// receiver variable when decl is a method on a struct with a
+// sync.Mutex/sync.RWMutex field named mu.
+func mutexGuardedReceiver(pass *analysis.Pass, decl *ast.FuncDecl) (*types.Named, *types.Var) {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 || decl.Body == nil {
+		return nil, nil
+	}
+	field := decl.Recv.List[0]
+	if len(field.Names) != 1 || field.Names[0].Name == "_" {
+		return nil, nil
+	}
+	recv, ok := pass.TypesInfo.ObjectOf(field.Names[0]).(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if fld.Name() != "mu" {
+			continue
+		}
+		if tn, ok := fld.Type().(*types.Named); ok {
+			obj := tn.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				return named, recv
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collectFacts scans one method body for mu operations on recv and calls
+// to other methods of the same receiver.
+func collectFacts(pass *analysis.Pass, decl *ast.FuncDecl, named *types.Named, recv *types.Var) *methodFacts {
+	f := &methodFacts{}
+	deferredUnlock := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if op, onRecv := muOp(pass, d.Call, recv); onRecv {
+				if op == "Unlock" || op == "RUnlock" {
+					deferredUnlock = true
+				}
+				// Skip the children: the deferred mu call must not also be
+				// recorded as an explicit (pre-return) release below.
+				return false
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, onRecv := muOp(pass, call, recv); onRecv {
+			switch op {
+			case "Lock", "RLock":
+				f.locksMu = true
+			case "Unlock", "RUnlock":
+				f.released = append(f.released, call.Pos())
+			}
+			return true
+		}
+		if name, ok := sameReceiverCall(pass, call, named, recv); ok {
+			f.selfCalls = append(f.selfCalls, selfCall{name: name, pos: call.Pos()})
+		}
+		return true
+	})
+	// heldFrom only when the lock is a top-level statement of the body: a
+	// lock inside one branch of a switch/if does not cover its siblings.
+	if deferredUnlock {
+		for _, stmt := range decl.Body.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if op, onRecv := muOp(pass, call, recv); onRecv && (op == "Lock" || op == "RLock") {
+				f.heldFrom = call.Pos()
+				break
+			}
+		}
+	}
+	return f
+}
+
+// muOp matches recv.mu.<op>() and returns the operation name.
+func muOp(pass *analysis.Pass, call *ast.CallExpr, recv *types.Var) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "mu" {
+		return "", false
+	}
+	base, ok := inner.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(base) != types.Object(recv) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// sameReceiverCall matches recv.Method(...) where Method is defined on the
+// same named type.
+func sameReceiverCall(pass *analysis.Pass, call *ast.CallExpr, named *types.Named, recv *types.Var) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(base) != types.Object(recv) {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if t != types.Type(named) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// transitiveAcquirers closes the "acquires mu" property over same-receiver
+// calls: SetImplicit → ApplyEvent → Lock means SetImplicit acquires.
+func transitiveAcquirers(methods map[string]*methodFacts) map[string]bool {
+	acquires := map[string]bool{}
+	for name, f := range methods {
+		if f.locksMu {
+			acquires[name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, f := range methods {
+			if acquires[name] {
+				continue
+			}
+			for _, call := range f.selfCalls {
+				if acquires[call.name] {
+					acquires[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return acquires
+}
+
+// releasedBefore reports whether an explicit unlock sits between the lock
+// acquisition and pos (linear position approximation, not a CFG).
+func releasedBefore(f *methodFacts, pos token.Pos) bool {
+	for _, rel := range f.released {
+		if f.heldFrom < rel && rel < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// --- facade bypass ----------------------------------------------------------
+
+func checkFacadeBypass(pass *analysis.Pass, ins *inspector.Inspector) {
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || !isEngineMethod(fn) || engineImmutable[fn.Name()] {
+			return true
+		}
+		if insideLockedCallback(stack) || receiverIsParameter(pass, call, stack) {
+			return true
+		}
+		lintutil.Report(pass, call.Pos(), name,
+			"direct (*core.Engine).%s outside the core: the bare engine is not safe for concurrent use — route through core.Concurrent (or a Concurrent.Locked callback)",
+			fn.Name())
+		return true
+	})
+}
+
+func isEngineMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Engine" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "core"
+}
+
+// insideLockedCallback reports whether the call sits in a function literal
+// passed to a method named Locked — Concurrent's compound-operation escape
+// hatch, which supplies the engine under the write lock.
+func insideLockedCallback(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			outer, ok := stack[j].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if sel, ok := outer.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Locked" {
+				for _, arg := range outer.Args {
+					if arg == ast.Expr(lit) {
+						return true
+					}
+				}
+			}
+			break
+		}
+	}
+	return false
+}
+
+// receiverIsParameter reports whether the engine receiver of call is (or
+// is reached through) a parameter of the enclosing function — the
+// InjectClique contract: the caller supplies an engine it already guards.
+func receiverIsParameter(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	root := lintutil.RootIdent(sel.X)
+	if root == nil {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			ft = fn.Type
+		case *ast.FuncDecl:
+			ft = fn.Type
+			if fn.Recv != nil && fn.Recv.Pos() <= obj.Pos() && obj.Pos() <= fn.Recv.End() {
+				return true
+			}
+		default:
+			continue
+		}
+		if ft.Params != nil && ft.Params.Pos() <= obj.Pos() && obj.Pos() <= ft.Params.End() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+// Clean-negative fixture: package path "journal" is in locksafe's
+// enginePackages, so its privileged direct engine use (rebuilding a fresh
+// engine during replay, before publication) is not flagged.
+package journal
+
+import "core"
+
+func Replay(events []float64) *core.Engine {
+	eng := core.NewEngine(len(events), core.Config{})
+	for i, v := range events {
+		_ = eng.ApplyEvent(i, v)
+	}
+	return eng
+}

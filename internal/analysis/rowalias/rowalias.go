@@ -1,0 +1,284 @@
+// Package rowalias enforces the sparse.Matrix.Row aliasing contract.
+//
+// Matrix.Row returns the matrix's internal row map (internal/sparse
+// matrix.go): callers must treat it as strictly read-only and must not
+// let it outlive the call site. Mutating the alias corrupts the matrix
+// silently; retaining it desynchronises the engine's incremental caches
+// and breaks bit-identical journal replay. Callers that need ownership
+// must use RowCopy; read-only iteration should prefer ForEachRow, which
+// also fixes the iteration order.
+//
+// The analyzer flags call sites outside the sparse package where the map
+// returned by Row is
+//
+//   - returned from the enclosing function,
+//   - stored into a field, map/slice element, pointer target or global,
+//   - mutated in place (row[k] = v, row[k] += v, delete(row, k)),
+//
+// either directly on the call expression or through a local variable the
+// result was assigned to. Passing the map to another function is not
+// tracked (the callee is out of scope for a per-package analyzer); such
+// handoffs must either copy first or carry an //mdrep:allow rowalias
+// suppression naming the callee's read-only guarantee.
+package rowalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mdrep/internal/analysis/lintutil"
+)
+
+// name is the analyzer name, also the token accepted by //mdrep:allow.
+const name = "rowalias"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag retention or mutation of the internal map returned by sparse.Matrix.Row\n\n" +
+		"Row aliases the matrix's internal storage. Mutating or retaining the\n" +
+		"returned map corrupts cached derived state; use RowCopy to own a row and\n" +
+		"ForEachRow for deterministic read-only iteration.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The defining package owns the storage: its internal uses (RowCopy,
+	// ForEachRow, direct row plumbing) are the implementation of the
+	// contract, not subject to it.
+	if pass.Pkg.Name() == "sparse" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !reported[pos] {
+			reported[pos] = true
+			lintutil.Report(pass, pos, name, format, args...)
+		}
+	}
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		if !isMatrixRow(pass, call) {
+			return true
+		}
+		parent := parentNode(stack)
+		switch p := parent.(type) {
+		case *ast.ReturnStmt:
+			report(call.Pos(), "returning the internal row map of sparse.Matrix.Row; return RowCopy instead")
+		case *ast.AssignStmt:
+			lhs := assignTarget(p, call)
+			if lhs == nil {
+				return true
+			}
+			if id, ok := lhs.(*ast.Ident); ok {
+				if id.Name == "_" {
+					return true
+				}
+				fn := enclosingFunc(stack)
+				if obj, isLocal := localVar(pass, id, fn); isLocal {
+					checkLocalUses(pass, obj, funcBody(fn), report)
+					return true
+				}
+				report(call.Pos(), "storing the internal row map of sparse.Matrix.Row in %s, which outlives the call; use RowCopy", id.Name)
+				return true
+			}
+			report(call.Pos(), "storing the internal row map of sparse.Matrix.Row into %s; use RowCopy", types.ExprString(lhs))
+		case *ast.IndexExpr:
+			// m.Row(i)[j] — reading an element is fine; writing is not.
+			if isAssignLHS(stack, p) {
+				report(call.Pos(), "writing through the internal row map of sparse.Matrix.Row; use Matrix.Set (or RowCopy)")
+			}
+		case *ast.CallExpr:
+			if callee, ok := p.Fun.(*ast.Ident); ok && callee.Name == "delete" {
+				report(call.Pos(), "deleting from the internal row map of sparse.Matrix.Row; use Matrix.Set(i, j, 0)")
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isMatrixRow reports whether call invokes the map-returning Row method of
+// a type named Matrix defined in a package named sparse.
+func isMatrixRow(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Name() != "Row" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	if _, isMap := sig.Results().At(0).Type().Underlying().(*types.Map); !isMap {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Matrix" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "sparse"
+}
+
+// parentNode returns the syntactic parent of the top of stack, skipping
+// parens.
+func parentNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}
+
+// assignTarget maps a RHS expression of assign to its LHS partner.
+func assignTarget(assign *ast.AssignStmt, rhs ast.Expr) ast.Expr {
+	for i, r := range assign.Rhs {
+		if r == rhs {
+			if len(assign.Lhs) == len(assign.Rhs) {
+				return assign.Lhs[i]
+			}
+			if len(assign.Lhs) > 0 {
+				return assign.Lhs[0]
+			}
+		}
+	}
+	return nil
+}
+
+// localVar reports whether id denotes a variable declared inside fn
+// (body or parameter list — both die with the call frame).
+func localVar(pass *analysis.Pass, id *ast.Ident, fn ast.Node) (*types.Var, bool) {
+	obj, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || fn == nil {
+		return nil, false
+	}
+	return obj, fn.Pos() <= obj.Pos() && obj.Pos() <= fn.End()
+}
+
+// isAssignLHS reports whether e (an element of stack) is used as an
+// assignment target.
+func isAssignLHS(stack []ast.Node, e ast.Expr) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr, *ast.IndexExpr:
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if containsExpr(lhs, e) {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return containsExpr(p.X, e)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func containsExpr(root ast.Node, target ast.Expr) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == ast.Node(target) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLocalUses scans the enclosing function for uses of a Row-aliased
+// local variable that violate the contract: in-place mutation, deletion,
+// returning it, or storing it somewhere that outlives the function.
+func checkLocalUses(pass *analysis.Pass, obj *types.Var, body *ast.BlockStmt, report func(token.Pos, string, ...interface{})) {
+	if body == nil {
+		return
+	}
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.ObjectOf(id) == types.Object(obj)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isObj(idx.X) {
+					report(s.Pos(), "mutating %s, an alias of sparse.Matrix internal row storage; use RowCopy (or Matrix.Set)", obj.Name())
+				}
+			}
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				break
+			}
+			for i, rhs := range s.Rhs {
+				if !isObj(rhs) || i >= len(s.Lhs) {
+					continue
+				}
+				switch lhs := s.Lhs[i].(type) {
+				case *ast.Ident:
+					// Re-aliasing to another local is out of scope; storing
+					// into a package-level variable is not.
+					if v, ok := pass.TypesInfo.ObjectOf(lhs).(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+						report(s.Pos(), "storing %s (alias of sparse.Matrix internal row storage) in package variable %s; use RowCopy", obj.Name(), lhs.Name)
+					}
+				default:
+					report(s.Pos(), "storing %s (alias of sparse.Matrix internal row storage) into %s, which outlives the call; use RowCopy", obj.Name(), types.ExprString(s.Lhs[i]))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if isObj(res) {
+					report(s.Pos(), "returning %s, an alias of sparse.Matrix internal row storage; return RowCopy instead", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if callee, ok := s.Fun.(*ast.Ident); ok && callee.Name == "delete" && len(s.Args) > 0 && isObj(s.Args[0]) {
+				report(s.Pos(), "deleting from %s, an alias of sparse.Matrix internal row storage; use Matrix.Set(i, j, 0)", obj.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package rowalias_test
+
+import (
+	"testing"
+
+	"mdrep/internal/analysis/analyzertest"
+	"mdrep/internal/analysis/rowalias"
+)
+
+func TestRowAlias(t *testing.T) {
+	analyzertest.Run(t, "testdata", rowalias.Analyzer, "consumer", "cleanconsumer")
+}

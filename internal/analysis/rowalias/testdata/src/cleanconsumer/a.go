@@ -1,0 +1,32 @@
+// Clean-negative fixture: the sanctioned ways to consume rows produce
+// no diagnostics.
+package cleanconsumer
+
+import "sparse"
+
+func sum(m *sparse.Matrix) float64 {
+	total := 0.0
+	m.ForEachRow(0, func(j int, v float64) {
+		total += v
+	})
+	return total
+}
+
+func owned(m *sparse.Matrix) map[int]float64 {
+	c := m.RowCopy(1) // caller owns the copy: mutate and return freely
+	c[2] = 1.0
+	return c
+}
+
+func readElement(m *sparse.Matrix) float64 {
+	return m.Row(0)[2] // reading through the alias is fine
+}
+
+func rowLen(m *sparse.Matrix) int {
+	return len(m.Row(0))
+}
+
+func transientLocal(m *sparse.Matrix) float64 {
+	row := m.Row(3) // read-only local alias that dies with the frame
+	return row[0] + row[1]
+}

@@ -1,0 +1,51 @@
+// Positive fixture: every way of retaining or mutating the map returned
+// by sparse.Matrix.Row that the analyzer tracks.
+package consumer
+
+import "sparse"
+
+type cache struct {
+	row map[int]float64
+}
+
+var leaked map[int]float64
+
+func returnDirect(m *sparse.Matrix) map[int]float64 {
+	return m.Row(0) // want `returning the internal row map`
+}
+
+func storeField(c *cache, m *sparse.Matrix) {
+	c.row = m.Row(1) // want `storing the internal row map of sparse\.Matrix\.Row into c\.row`
+}
+
+func writeThrough(m *sparse.Matrix) {
+	m.Row(0)[3] = 1 // want `writing through the internal row map`
+}
+
+func deleteDirect(m *sparse.Matrix) {
+	delete(m.Row(0), 3) // want `deleting from the internal row map`
+}
+
+func storeGlobal(m *sparse.Matrix) {
+	leaked = m.Row(0) // want `storing the internal row map of sparse\.Matrix\.Row in leaked`
+}
+
+func mutateLocal(m *sparse.Matrix) {
+	row := m.Row(2)
+	row[1] = 0.5 // want `mutating row, an alias of sparse\.Matrix internal row storage`
+}
+
+func returnLocal(m *sparse.Matrix) map[int]float64 {
+	r := m.Row(2)
+	return r // want `returning r, an alias of sparse\.Matrix internal row storage`
+}
+
+func deleteLocal(m *sparse.Matrix) {
+	r := m.Row(1)
+	delete(r, 0) // want `deleting from r, an alias of sparse\.Matrix internal row storage`
+}
+
+func stashLocal(m *sparse.Matrix, dst map[int]map[int]float64) {
+	r := m.Row(0)
+	dst[0] = r // want `storing r \(alias of sparse\.Matrix internal row storage\) into dst\[0\]`
+}

@@ -1,0 +1,38 @@
+// Stub of mdrep's internal/sparse package: just enough surface for the
+// rowalias fixtures. The analyzer matches on (package name "sparse",
+// type "Matrix", method "Row" returning a map), so this stands in for
+// the real package.
+package sparse
+
+type Matrix struct {
+	rows []map[int]float64
+}
+
+func New(n int) *Matrix {
+	return &Matrix{rows: make([]map[int]float64, n)}
+}
+
+// Row returns the internal row map; callers must not mutate or retain it.
+func (m *Matrix) Row(i int) map[int]float64 { return m.rows[i] }
+
+// RowCopy returns a caller-owned copy of row i.
+func (m *Matrix) RowCopy(i int) map[int]float64 {
+	out := make(map[int]float64, len(m.rows[i]))
+	for j, v := range m.rows[i] {
+		out[j] = v
+	}
+	return out
+}
+
+func (m *Matrix) Set(i, j int, v float64) {
+	if m.rows[i] == nil {
+		m.rows[i] = make(map[int]float64)
+	}
+	m.rows[i][j] = v
+}
+
+func (m *Matrix) ForEachRow(i int, fn func(j int, v float64)) {
+	for j, v := range m.rows[i] {
+		fn(j, v)
+	}
+}

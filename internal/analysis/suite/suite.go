@@ -1,0 +1,25 @@
+// Package suite enumerates the mdrep analyzer suite: the custom
+// go/analysis passes that mechanically enforce the engine's determinism,
+// aliasing and locking conventions (DESIGN.md §10). cmd/mdrep-lint wires
+// the suite into `go vet -vettool`; the meta-test in this package asserts
+// the suite is clean on the repository itself.
+package suite
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"mdrep/internal/analysis/detfloat"
+	"mdrep/internal/analysis/locksafe"
+	"mdrep/internal/analysis/rowalias"
+	"mdrep/internal/analysis/wallclock"
+)
+
+// Analyzers returns the full mdrep lint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detfloat.Analyzer,
+		rowalias.Analyzer,
+		wallclock.Analyzer,
+		locksafe.Analyzer,
+	}
+}

@@ -1,0 +1,41 @@
+// Positive fixture: package path "journal" is in wallclock's
+// deterministic set, so ambient time and global randomness are flagged.
+package journal
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	_ = rand.Intn(10)        // want `rand\.Intn draws from the globally seeded source`
+	_ = rand.Float64()       // want `rand\.Float64 draws from the globally seeded source`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+type clocked struct {
+	now func() time.Time
+}
+
+// newClocked demonstrates the sanctioned injectable-clock default:
+// referencing time.Now without calling it is fine.
+func newClocked() *clocked {
+	return &clocked{now: time.Now}
+}
+
+func good(virtual time.Duration) float64 {
+	rng := rand.New(rand.NewSource(42)) // seeded constructor: allowed
+	_ = rng.Intn(10)                    // method on seeded generator: allowed
+	t := time.Unix(0, int64(virtual))   // pure conversion: allowed
+	_ = t.Add(time.Second)
+	return rng.Float64()
+}
+
+type conn interface {
+	SetDeadline(time.Time) error
+}
+
+func deadline(c conn) error {
+	return c.SetDeadline(time.Now().Add(3 * time.Second)) //mdrep:allow wallclock I/O deadline, not replayed state
+}

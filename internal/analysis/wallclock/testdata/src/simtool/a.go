@@ -1,0 +1,14 @@
+// Clean-negative fixture: package "simtool" is outside wallclock's
+// deterministic set, so wall-clock reads produce no diagnostics.
+package simtool
+
+import (
+	"math/rand"
+	"time"
+)
+
+func elapsed() time.Duration {
+	start := time.Now()
+	_ = rand.Intn(10)
+	return time.Since(start)
+}

@@ -1,0 +1,93 @@
+// Package wallclock forbids ambient time and randomness sources in the
+// packages whose behaviour must be reproducible.
+//
+// The replay-deterministic packages (core, sparse, journal, wire, eval)
+// and the networked services that embed them (dht, peer) must derive all
+// state-affecting time from injected clocks — the virtual time.Duration
+// the engine threads through every event, or the `now func() time.Time`
+// field pattern of dht.Storage — and all randomness from seeded
+// generators (sim.RNG, rand.New(rand.NewSource(seed))). A stray
+// time.Now() or global rand.Intn() makes behaviour differ between a live
+// run and its journal replay, and makes tests depend on wall-clock
+// sleeps.
+//
+// Calls to time.Now and time.Since are flagged; so are the package-level
+// (globally seeded) functions of math/rand and math/rand/v2. Constructing
+// an explicitly seeded generator (rand.New, rand.NewSource, ...) is
+// allowed, as is referencing time.Now without calling it — the injectable
+// clock idiom `now: time.Now` in a constructor default. Genuine
+// wall-clock uses, such as network I/O deadlines, carry an
+// //mdrep:allow wallclock suppression naming the reason.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"mdrep/internal/analysis/lintutil"
+)
+
+// Packages is the set of packages that must not read ambient time or
+// global randomness.
+var Packages = []string{"core", "sparse", "journal", "wire", "eval", "dht", "peer"}
+
+// allowedRandFuncs construct explicitly seeded generators and are the
+// sanctioned alternative to the global source.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// name is the analyzer name, also the token accepted by //mdrep:allow.
+const name = "wallclock"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid time.Now/time.Since and global math/rand in deterministic packages\n\n" +
+		"Deterministic packages must take time from injected clocks (the virtual\n" +
+		"now threaded through events, or a `now func() time.Time` field like\n" +
+		"dht.Storage's) and randomness from seeded generators, so journal replay\n" +
+		"and tests reproduce live behaviour exactly.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.IsPackage(pass.Pkg.Path(), Packages...) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // methods (e.g. (*rand.Rand).Intn, time.Time.Sub) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				lintutil.Report(pass, call.Pos(), name,
+					"time.%s reads the wall clock in a deterministic package; inject a clock (virtual now, or a `now func() time.Time` field as in dht.Storage)",
+					fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRandFuncs[fn.Name()] {
+				lintutil.Report(pass, call.Pos(), name,
+					"%s.%s draws from the globally seeded source in a deterministic package; use an injected, explicitly seeded generator",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+	})
+	return nil, nil
+}

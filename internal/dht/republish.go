@@ -17,6 +17,11 @@ type Republisher struct {
 	node *Node
 	id   *identity.Identity
 
+	// now is the clock used to stamp republished records, injectable so
+	// tests can drive rounds without wall-clock sleeps (same pattern as
+	// Storage.now).
+	now func() time.Time
+
 	mu      sync.Mutex
 	records map[eval.FileID]float64
 
@@ -29,6 +34,7 @@ func NewRepublisher(node *Node, id *identity.Identity) *Republisher {
 	return &Republisher{
 		node:    node,
 		id:      id,
+		now:     time.Now,
 		records: make(map[eval.FileID]float64),
 	}
 }
@@ -88,8 +94,8 @@ func (r *Republisher) RepublishNow(now time.Duration) error {
 }
 
 // Start launches a background loop republishing every interval, stamping
-// records with the wall-clock offset since start. Call Stop to halt it;
-// Start after Stop is not supported.
+// records with the clock offset since start. Call Stop to halt it; Start
+// after Stop is not supported.
 func (r *Republisher) Start(interval time.Duration) {
 	r.stop = make(chan struct{})
 	r.done = make(chan struct{})
@@ -97,18 +103,22 @@ func (r *Republisher) Start(interval time.Duration) {
 		defer close(r.done)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
-		epoch := time.Now()
+		epoch := r.now()
 		for {
 			select {
 			case <-ticker.C:
-				// Errors are transient ring conditions; the next round
-				// retries.
-				_ = r.RepublishNow(time.Since(epoch))
+				r.tick(epoch)
 			case <-r.stop:
 				return
 			}
 		}
 	}()
+}
+
+// tick runs one republication round against epoch. Errors are transient
+// ring conditions; the next round retries.
+func (r *Republisher) tick(epoch time.Time) {
+	_ = r.RepublishNow(r.now().Sub(epoch))
 }
 
 // Stop halts the background loop and waits for it to exit.

@@ -149,6 +149,30 @@ func TestRepublisherBackgroundLoop(t *testing.T) {
 	t.Fatal("background republisher never published")
 }
 
+func TestRepublisherInjectedClock(t *testing.T) {
+	// The republisher stamps records via its injectable clock, so a round
+	// can be driven — and its timestamps asserted — without sleeping.
+	ring, rep, _ := newRepublisherRing(t, 0)
+	epoch := time.Unix(9000, 0)
+	now := epoch
+	rep.now = func() time.Time { return now }
+
+	rep.SetEvaluation("clocked", 0.4)
+	now = now.Add(42 * time.Second)
+	rep.tick(epoch)
+
+	recs, err := ring.Nodes[2].Retrieve(HashKey("clocked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if got := recs[0].Info.Timestamp; got != 42*time.Second {
+		t.Fatalf("timestamp %v, want 42s", got)
+	}
+}
+
 func TestRepublisherStopIdempotent(t *testing.T) {
 	_, rep, _ := newRepublisherRing(t, 0)
 	rep.Stop() // never started: no-op

@@ -50,7 +50,7 @@ func (c *TCPClient) call(addr string, req wireRequest) (*wireResponse, error) {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeUnreachable, addr, err)
 	}
 	defer func() { _ = conn.Close() }()
-	if err := conn.SetDeadline(time.Now().Add(c.CallTimeout)); err != nil {
+	if err := conn.SetDeadline(time.Now().Add(c.CallTimeout)); err != nil { //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
 		return nil, err
 	}
 	if err := wire.WriteFrame(conn, req); err != nil {
@@ -205,7 +205,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second)) //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
 	var req wireRequest
 	if err := wire.ReadFrame(conn, &req); err != nil {
 		return

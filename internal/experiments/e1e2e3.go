@@ -301,10 +301,17 @@ func E3Collusion(cfg E3Config) (*E3Result, error) {
 			if err != nil {
 				return 0, err
 			}
-			for p, v := range row {
-				total += v
+			// Accumulate in ascending peer order: float sums over map
+			// iteration would differ run to run.
+			peers := make([]int, 0, len(row))
+			for p := range row {
+				peers = append(peers, p)
+			}
+			sort.Ints(peers)
+			for _, p := range peers {
+				total += row[p]
 				if p >= cliqueStart {
-					cliqueMass += v
+					cliqueMass += row[p]
 				}
 			}
 		}

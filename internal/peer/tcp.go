@@ -90,7 +90,7 @@ func (e *TCPExchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, err
 		return nil, fmt.Errorf("peer: dial %s (%s): %w", target, addr, err)
 	}
 	defer func() { _ = conn.Close() }()
-	if err := conn.SetDeadline(time.Now().Add(e.CallTimeout)); err != nil {
+	if err := conn.SetDeadline(time.Now().Add(e.CallTimeout)); err != nil { //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
 		return nil, err
 	}
 	if err := wire.WriteFrame(conn, exchangeRequest{Method: "evaluations"}); err != nil {
@@ -176,7 +176,7 @@ func (s *ExchangeServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second)) //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
 	var req exchangeRequest
 	if err := wire.ReadFrame(conn, &req); err != nil {
 		return

@@ -125,11 +125,13 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
-// RowSum returns the sum of row i.
+// RowSum returns the sum of row i, accumulated in ascending column order
+// so the result is independent of map iteration order.
 func (m *Matrix) RowSum(i int) float64 {
+	row := m.Row(i)
 	sum := 0.0
-	for _, v := range m.Row(i) {
-		sum += v
+	for _, j := range sortedCols(row) {
+		sum += row[j]
 	}
 	return sum
 }
@@ -218,8 +220,8 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 	y := make([]float64, m.n)
 	for i, row := range m.rows {
 		sum := 0.0
-		for j, v := range row {
-			sum += v * x[j]
+		for _, j := range sortedCols(row) {
+			sum += row[j] * x[j]
 		}
 		y[i] = sum
 	}
