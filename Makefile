@@ -4,7 +4,7 @@ GO      ?= go
 BIN     ?= bin
 VETTOOL := $(BIN)/mdrep-lint
 
-.PHONY: all build test race lint vet fmt bench clean
+.PHONY: all build test race chaos lint vet fmt bench clean
 
 all: build lint test
 
@@ -32,6 +32,18 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# chaos runs the fault-schedule resilience suite under the race detector
+# twice over (shaking out ordering flakes) and enforces the coverage gate
+# on the DHT and chaos packages.
+chaos:
+	$(GO) test -race -count=2 \
+		-coverprofile=chaos.cover -coverpkg=mdrep/internal/dht,mdrep/internal/chaos \
+		mdrep/internal/chaos mdrep/internal/dht
+	@total="$$($(GO) tool cover -func=chaos.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "combined coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || { \
+		echo "coverage $$total% is below the 80% gate" >&2; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -61,7 +61,7 @@ func serve(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	client := dht.NewTCPClient()
+	client := dht.NewRetryClient(dht.NewTCPClient(), dht.DefaultRetryPolicy(), uint64(os.Getpid()))
 	cfg := dht.DefaultNodeConfig()
 	cfg.Storage = dht.NewStorage(*ttl, nil)
 	srv, err := dht.ServeTCPNode(*listen, client, cfg)
@@ -116,7 +116,7 @@ func put(args []string) error {
 	if err := info.Sign(owner); err != nil {
 		return err
 	}
-	client := dht.NewTCPClient()
+	client := dht.NewRetryClient(dht.NewTCPClient(), dht.DefaultRetryPolicy(), uint64(os.Getpid()))
 	key := dht.HashKey(*file)
 	root, err := client.FindSuccessor(*node, key)
 	if err != nil {
@@ -139,7 +139,7 @@ func get(args []string) error {
 	if *file == "" {
 		return fmt.Errorf("get: -file is required")
 	}
-	client := dht.NewTCPClient()
+	client := dht.NewRetryClient(dht.NewTCPClient(), dht.DefaultRetryPolicy(), uint64(os.Getpid()))
 	key := dht.HashKey(*file)
 	root, err := client.FindSuccessor(*node, key)
 	if err != nil {
@@ -168,7 +168,7 @@ func demo(args []string) error {
 	if *nodes < 2 {
 		return fmt.Errorf("demo needs at least 2 nodes")
 	}
-	client := dht.NewTCPClient()
+	client := dht.NewRetryClient(dht.NewTCPClient(), dht.DefaultRetryPolicy(), uint64(os.Getpid()))
 	ring := make([]*dht.TCPNodeServer, 0, *nodes)
 	defer func() {
 		for _, srv := range ring {

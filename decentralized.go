@@ -3,8 +3,11 @@ package mdrep
 import (
 	"io"
 
+	"mdrep/internal/dht"
 	"mdrep/internal/eval"
+	"mdrep/internal/fault"
 	"mdrep/internal/identity"
+	"mdrep/internal/metrics"
 	"mdrep/internal/peer"
 )
 
@@ -62,4 +65,65 @@ func NewParticipant(id *Identity, dir *PKIDirectory, network PeerNetwork) (*Part
 // configuration.
 func NewParticipantWithConfig(id *Identity, dir *PKIDirectory, network PeerNetwork, cfg ParticipantConfig) (*Participant, error) {
 	return peer.New(id, dir, network, cfg)
+}
+
+// RecordSource supplies the signed evaluation records published for a
+// file — normally backed by a DHT node's replicated record store.
+type RecordSource interface {
+	FileEvaluations(f FileID) ([]EvaluationInfo, error)
+}
+
+// EventCounter is a monotonic, concurrency-safe counter; the resilience
+// layer exposes its degraded-mode decisions through these.
+type EventCounter = metrics.Counter
+
+// dhtRecordSource adapts a DHT node's Retrieve to RecordSource.
+type dhtRecordSource struct{ node *dht.Node }
+
+// DHTRecordSource reads a file's evaluation records from the given DHT
+// node (consulting replicas when the root's answer is missing).
+func DHTRecordSource(node *dht.Node) RecordSource {
+	return dhtRecordSource{node: node}
+}
+
+func (s dhtRecordSource) FileEvaluations(f FileID) ([]EvaluationInfo, error) {
+	records, err := s.node.Retrieve(dht.HashKey(string(f)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EvaluationInfo, 0, len(records))
+	for _, rec := range records {
+		if rec.Info.FileID == f {
+			out = append(out, rec.Info)
+		}
+	}
+	return out, nil
+}
+
+// ResilientJudge is the degradation policy for pre-download judgement
+// (§4.1 step 5): judge from DHT records when the network answers, and
+// fall back to the participant's locally cached evaluation lists when
+// the DHT is unreachable. Terminal errors — anything that is not a
+// transport failure — still propagate, so protocol violations are never
+// papered over.
+type ResilientJudge struct {
+	Participant *Participant
+	Source      RecordSource
+	// Fallbacks counts judgements served from the local cache because
+	// the record source was unreachable.
+	Fallbacks EventCounter
+}
+
+// Judge returns the R_f verdict for f, degrading to the local trust
+// view on retryable source failures.
+func (r *ResilientJudge) Judge(f FileID) (Judgement, error) {
+	records, err := r.Source.FileEvaluations(f)
+	if err != nil {
+		if fault.Retryable(err) {
+			r.Fallbacks.Inc()
+			return r.Participant.JudgeFileFromCache(f), nil
+		}
+		return Judgement{}, err
+	}
+	return r.Participant.JudgeFile(records)
 }

@@ -1,8 +1,10 @@
 package mdrep
 
 import (
+	"errors"
 	"testing"
 
+	"mdrep/internal/fault"
 	"mdrep/internal/identity"
 )
 
@@ -69,5 +71,96 @@ func TestNewParticipantWithConfigValidates(t *testing.T) {
 	cfg := ParticipantConfig{} // zero config is invalid
 	if _, err := NewParticipantWithConfig(id, dir, NewEvaluationExchange(), cfg); err == nil {
 		t.Fatal("zero config accepted")
+	}
+}
+
+// recordSourceFunc adapts a function to RecordSource.
+type recordSourceFunc func(f FileID) ([]EvaluationInfo, error)
+
+func (fn recordSourceFunc) FileEvaluations(f FileID) ([]EvaluationInfo, error) { return fn(f) }
+
+func TestResilientJudgeFallsBackToLocalTrustView(t *testing.T) {
+	dir := NewPKIDirectory()
+	exchange := NewEvaluationExchange()
+	mk := func(seed uint64) *Participant {
+		t.Helper()
+		id, err := NewIdentity(identity.NewDeterministicReader(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dir.Register(id.PublicKey()); err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewParticipant(id, dir, exchange)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exchange.Register(p)
+		return p
+	}
+	alice, bob := mk(11), mk(12)
+
+	// Shared taste builds trust, then bob rates the file under judgement
+	// and alice caches his list — the local trust view.
+	alice.Vote("classic", 0.9)
+	bob.Vote("classic", 0.92)
+	bob.Vote("target", 0.95)
+	if _, err := alice.SyncPeer(bob.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	working := recordSourceFunc(func(f FileID) ([]EvaluationInfo, error) {
+		infos, err := bob.SignedEvaluations()
+		if err != nil {
+			return nil, err
+		}
+		var out []EvaluationInfo
+		for _, in := range infos {
+			if in.FileID == f {
+				out = append(out, in)
+			}
+		}
+		return out, nil
+	})
+	unreachable := recordSourceFunc(func(FileID) ([]EvaluationInfo, error) {
+		return nil, fault.Unreachable(errors.New("dht: all replicas down"))
+	})
+	terminal := recordSourceFunc(func(FileID) ([]EvaluationInfo, error) {
+		return nil, errors.New("record signature rejected")
+	})
+
+	judge := &ResilientJudge{Participant: alice, Source: working}
+	healthy, err := judge.Judge("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !healthy.Known {
+		t.Fatalf("healthy path verdict unknown: %+v", healthy)
+	}
+	if got := judge.Fallbacks.Load(); got != 0 {
+		t.Fatalf("healthy path bumped fallback counter to %d", got)
+	}
+
+	// DHT unreachable: the verdict must come from the cached lists and
+	// the degradation must be observable on the counter.
+	judge.Source = unreachable
+	degraded, err := judge.Judge("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded.Known {
+		t.Fatalf("fallback verdict unknown despite cached evaluation: %+v", degraded)
+	}
+	if got := judge.Fallbacks.Load(); got != 1 {
+		t.Fatalf("fallbacks = %d after one degraded judgement, want 1", got)
+	}
+
+	// Terminal failures are not a reason to degrade.
+	judge.Source = terminal
+	if _, err := judge.Judge("target"); err == nil {
+		t.Fatal("terminal source error swallowed by fallback")
+	}
+	if got := judge.Fallbacks.Load(); got != 1 {
+		t.Fatalf("terminal error bumped fallback counter to %d", got)
 	}
 }

@@ -34,7 +34,7 @@ import (
 
 // Packages is the set of packages that must not read ambient time or
 // global randomness.
-var Packages = []string{"core", "sparse", "journal", "wire", "eval", "dht", "peer"}
+var Packages = []string{"core", "sparse", "journal", "wire", "eval", "dht", "peer", "chaos"}
 
 // allowedRandFuncs construct explicitly seeded generators and are the
 // sanctioned alternative to the global source.

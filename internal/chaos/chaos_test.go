@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"mdrep/internal/dht"
+	"mdrep/internal/fault"
+)
+
+// fakeClient records every RPC that actually reaches the transport.
+type fakeClient struct {
+	calls []string
+	err   error
+}
+
+func (f *fakeClient) record(op, addr string) error {
+	f.calls = append(f.calls, op+"->"+addr)
+	return f.err
+}
+
+func (f *fakeClient) FindSuccessor(addr string, id dht.ID) (dht.NodeRef, error) {
+	return dht.NodeRef{Addr: addr}, f.record("find", addr)
+}
+func (f *fakeClient) Successors(addr string) ([]dht.NodeRef, error) {
+	return nil, f.record("succs", addr)
+}
+func (f *fakeClient) Predecessor(addr string) (dht.NodeRef, bool, error) {
+	return dht.NodeRef{}, false, f.record("pred", addr)
+}
+func (f *fakeClient) Notify(addr string, self dht.NodeRef) error {
+	return f.record("notify", addr)
+}
+func (f *fakeClient) Ping(addr string) error { return f.record("ping", addr) }
+func (f *fakeClient) Store(addr string, recs []dht.StoredRecord, replicate bool) error {
+	return f.record("store", addr)
+}
+func (f *fakeClient) Retrieve(addr string, key dht.ID) ([]dht.StoredRecord, error) {
+	return nil, f.record("retrieve", addr)
+}
+
+func TestRequestLossBlocksBeforeHandler(t *testing.T) {
+	inner := &fakeClient{}
+	c := New(inner, NewClock(), Config{Seed: 1, RequestLoss: 1})
+	cl := c.ClientFor("a")
+	if err := cl.Ping("b"); !errors.Is(err, dht.ErrNodeUnreachable) {
+		t.Fatalf("ping error = %v, want ErrNodeUnreachable", err)
+	}
+	if !fault.Retryable(cl.Ping("b")) {
+		t.Fatalf("request drop should classify as retryable")
+	}
+	if len(inner.calls) != 0 {
+		t.Fatalf("inner saw %v, want nothing (request dropped)", inner.calls)
+	}
+	if got := c.Counters.RequestDrops.Load(); got != 2 {
+		t.Fatalf("RequestDrops = %d, want 2", got)
+	}
+}
+
+func TestReplyLossAfterSideEffect(t *testing.T) {
+	inner := &fakeClient{}
+	c := New(inner, NewClock(), Config{Seed: 1, ReplyLoss: 1})
+	err := c.ClientFor("a").Store("b", nil, false)
+	if !errors.Is(err, dht.ErrNodeUnreachable) {
+		t.Fatalf("store error = %v, want ErrNodeUnreachable", err)
+	}
+	// The handler ran even though the caller saw a failure: that is the
+	// ambiguity retries must tolerate (stores are idempotent).
+	if want := []string{"store->b"}; !reflect.DeepEqual(inner.calls, want) {
+		t.Fatalf("inner calls = %v, want %v", inner.calls, want)
+	}
+	if got := c.Counters.ReplyDrops.Load(); got != 1 {
+		t.Fatalf("ReplyDrops = %d, want 1", got)
+	}
+}
+
+func TestCrashBlocksBothDirections(t *testing.T) {
+	inner := &fakeClient{}
+	c := New(inner, NewClock(), Config{Seed: 1})
+	c.Crash("b")
+	if err := c.ClientFor("a").Ping("b"); !errors.Is(err, dht.ErrNodeUnreachable) {
+		t.Fatalf("call to crashed node: %v, want ErrNodeUnreachable", err)
+	}
+	if err := c.ClientFor("b").Ping("a"); !errors.Is(err, dht.ErrNodeUnreachable) {
+		t.Fatalf("call from crashed node: %v, want ErrNodeUnreachable", err)
+	}
+	if got := c.Counters.CrashBlocks.Load(); got != 2 {
+		t.Fatalf("CrashBlocks = %d, want 2", got)
+	}
+	c.Restart("b")
+	if err := c.ClientFor("a").Ping("b"); err != nil {
+		t.Fatalf("ping after restart: %v", err)
+	}
+	if len(inner.calls) != 1 {
+		t.Fatalf("inner calls = %v, want exactly the post-restart ping", inner.calls)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	inner := &fakeClient{}
+	c := New(inner, NewClock(), Config{Seed: 1})
+	c.SetPartition(map[string]int{"a": 0, "b": 1, "c": 1})
+	if err := c.ClientFor("a").Ping("b"); !errors.Is(err, dht.ErrNodeUnreachable) {
+		t.Fatalf("cross-partition ping: %v, want ErrNodeUnreachable", err)
+	}
+	if err := c.ClientFor("b").Ping("c"); err != nil {
+		t.Fatalf("same-group ping: %v", err)
+	}
+	// Addresses missing from the map default to group 0.
+	if err := c.ClientFor("a").Ping("d"); err != nil {
+		t.Fatalf("default-group ping: %v", err)
+	}
+	if got := c.Counters.PartitionBlocks.Load(); got != 1 {
+		t.Fatalf("PartitionBlocks = %d, want 1", got)
+	}
+	c.Heal()
+	if err := c.ClientFor("a").Ping("b"); err != nil {
+		t.Fatalf("ping after heal: %v", err)
+	}
+}
+
+func TestDuplicationRedelivers(t *testing.T) {
+	inner := &fakeClient{}
+	c := New(inner, NewClock(), Config{Seed: 1, DupRate: 1})
+	if err := c.ClientFor("a").Store("b", nil, false); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	want := []string{"store->b", "store->b"}
+	if !reflect.DeepEqual(inner.calls, want) {
+		t.Fatalf("inner calls = %v, want %v", inner.calls, want)
+	}
+	if got := c.Counters.Dups.Load(); got != 1 {
+		t.Fatalf("Dups = %d, want 1", got)
+	}
+}
+
+func TestDeferredStoreDeliversLate(t *testing.T) {
+	inner := &fakeClient{}
+	c := New(inner, NewClock(), Config{Seed: 1, DeferRate: 1, DeferOps: 1})
+	cl := c.ClientFor("a")
+	if err := cl.Store("b", nil, false); err != nil {
+		t.Fatalf("deferred store should report success, got %v", err)
+	}
+	if len(inner.calls) != 0 {
+		t.Fatalf("inner calls = %v, want none yet (store in flight)", inner.calls)
+	}
+	// The next operation trips the due delivery, which runs before it.
+	if err := cl.Ping("c"); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	want := []string{"store->b", "ping->c"}
+	if !reflect.DeepEqual(inner.calls, want) {
+		t.Fatalf("inner calls = %v, want %v", inner.calls, want)
+	}
+	if got := c.Counters.Deferred.Load(); got != 1 {
+		t.Fatalf("Deferred = %d, want 1", got)
+	}
+}
+
+func TestFlushDrainsDeferred(t *testing.T) {
+	inner := &fakeClient{}
+	c := New(inner, NewClock(), Config{Seed: 1, DeferRate: 1, DeferOps: 8})
+	if err := c.ClientFor("a").Store("b", nil, true); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	if len(inner.calls) != 0 {
+		t.Fatalf("inner calls = %v, want none before flush", inner.calls)
+	}
+	c.Flush()
+	if want := []string{"store->b"}; !reflect.DeepEqual(inner.calls, want) {
+		t.Fatalf("inner calls = %v, want %v", inner.calls, want)
+	}
+}
+
+func TestLatencyAdvancesVirtualClock(t *testing.T) {
+	clock := NewClock()
+	c := New(&fakeClient{}, clock, Config{Seed: 1, LatencyBase: 10 * time.Millisecond})
+	cl := c.ClientFor("a")
+	for i := 0; i < 3; i++ {
+		if err := cl.Ping("b"); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	if got := clock.Now(); got != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", got)
+	}
+}
+
+func TestOpTimeoutClassifiesAsTimeout(t *testing.T) {
+	inner := &fakeClient{}
+	c := New(inner, NewClock(), Config{
+		Seed:        1,
+		LatencyBase: 50 * time.Millisecond,
+		OpTimeout:   10 * time.Millisecond,
+	})
+	err := c.ClientFor("a").Ping("b")
+	if !errors.Is(err, fault.ErrTimeout) {
+		t.Fatalf("error = %v, want fault.ErrTimeout", err)
+	}
+	if !fault.Retryable(err) {
+		t.Fatalf("timeout should be retryable")
+	}
+	if len(inner.calls) != 0 {
+		t.Fatalf("inner calls = %v, want none on timeout", inner.calls)
+	}
+	if got := c.Counters.Timeouts.Load(); got != 1 {
+		t.Fatalf("Timeouts = %d, want 1", got)
+	}
+}
+
+// faultTrace runs a fixed RPC sequence against a fresh injector and
+// returns the per-call outcome pattern plus the final counters.
+func faultTrace(seed uint64) string {
+	c := New(&fakeClient{}, NewClock(), Config{
+		Seed:          seed,
+		RequestLoss:   0.2,
+		ReplyLoss:     0.2,
+		DupRate:       0.2,
+		DeferRate:     0.2,
+		LatencyBase:   time.Millisecond,
+		LatencyJitter: 4 * time.Millisecond,
+	})
+	cl := c.ClientFor("a")
+	out := ""
+	for i := 0; i < 200; i++ {
+		var err error
+		switch i % 3 {
+		case 0:
+			err = cl.Ping("b")
+		case 1:
+			err = cl.Store("b", nil, false)
+		default:
+			_, err = cl.Retrieve("b", dht.ID(uint64(i)))
+		}
+		if err != nil {
+			out += "x"
+		} else {
+			out += "."
+		}
+	}
+	return out + " " + fmt.Sprint(c.Counters.Snapshot())
+}
+
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	a, b := faultTrace(42), faultTrace(42)
+	if a != b {
+		t.Fatalf("same seed produced different fault sequences:\n%s\n%s", a, b)
+	}
+	if c := faultTrace(43); c == a {
+		t.Fatalf("different seeds produced the identical 200-call fault sequence")
+	}
+}

@@ -1,0 +1,383 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mdrep/internal/core"
+	"mdrep/internal/dht"
+	"mdrep/internal/eval"
+	"mdrep/internal/identity"
+	"mdrep/internal/metrics"
+)
+
+// churnConfig is the standard chaotic network for the property suite:
+// replication depth k=3, a lossy duplicated reordered transport, and the
+// retry layer backing off on a virtual clock.
+func churnConfig(seed uint64, nodes int) NetworkConfig {
+	rp := dht.DefaultRetryPolicy()
+	return NetworkConfig{
+		Nodes:            nodes,
+		SuccessorListLen: 3,
+		Chaos: Config{
+			Seed:          seed,
+			RequestLoss:   0.03,
+			ReplyLoss:     0.03,
+			DupRate:       0.05,
+			DeferRate:     0.05,
+			LatencyBase:   time.Millisecond,
+			LatencyJitter: 3 * time.Millisecond,
+		},
+		Retry: &rp,
+	}
+}
+
+const (
+	initialTS   = time.Duration(1<<19) * time.Second
+	quiesceTS   = time.Duration(1<<21) * time.Second
+	churnNodes  = 10
+	churnFiles  = 24
+	churnRounds = 5
+)
+
+// quiesce turns faults off, delivers in-flight messages, and lets the
+// ring settle — the "after healing" state the convergence invariants
+// are defined over.
+func quiesce(nw *Network) {
+	nw.Chaos.SetLoss(0, 0)
+	nw.Chaos.Flush()
+	nw.Converge(2*len(nw.Nodes) + 4)
+}
+
+// TestChurnLosesNoRecords is the headline chaos property: with
+// replication k=3, a schedule that crashes two nodes every round (state
+// gone, rejoining empty next round) over a lossy reordering transport
+// loses no records, and the ring re-stabilises once the churn stops —
+// for every one of 50 seeds.
+func TestChurnLosesNoRecords(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			nw, err := NewNetwork(churnConfig(seed, churnNodes))
+			if err != nil {
+				t.Fatalf("build network: %v", err)
+			}
+			recs := MakeRecords(churnFiles, seed)
+			if err := nw.Publish(recs, initialTS); err != nil {
+				t.Fatalf("initial publish: %v", err)
+			}
+			nw.Converge(2)
+
+			sched := Generate(seed, churnNodes, Profile{
+				Rounds:          churnRounds,
+				CrashesPerRound: 2,
+				RestartAfter:    1,
+				Protected:       []int{0},
+			})
+			if err := nw.RunSchedule(sched, recs, 4); err != nil {
+				t.Fatalf("schedule %q: %v", sched.String(), err)
+			}
+
+			quiesce(nw)
+			if err := nw.VerifyRing(); err != nil {
+				t.Fatalf("ring did not re-stabilise: %v", err)
+			}
+			for i, n := range nw.Nodes {
+				if !nw.Live(i) {
+					continue
+				}
+				if err := nw.VerifyRecords(n, recs); err != nil {
+					t.Fatalf("from node %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// outcomeFingerprint runs one full chaotic schedule and serialises
+// everything observable about the run: the schedule itself, the fault
+// counters, the retry totals, the final ring shape and the virtual
+// clock. Two runs of the same seed must produce identical strings.
+func outcomeFingerprint(t *testing.T, seed uint64) string {
+	t.Helper()
+	nw, err := NewNetwork(churnConfig(seed, 8))
+	if err != nil {
+		t.Fatalf("build network: %v", err)
+	}
+	recs := MakeRecords(12, seed)
+	if err := nw.Publish(recs, initialTS); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	sched := Generate(seed, 8, Profile{
+		Rounds:          3,
+		CrashesPerRound: 2,
+		RestartAfter:    1,
+		Protected:       []int{0},
+	})
+	if err := nw.RunSchedule(sched, recs, 3); err != nil {
+		t.Fatalf("run schedule: %v", err)
+	}
+	quiesce(nw)
+
+	var sb strings.Builder
+	sb.WriteString(sched.String())
+	sb.WriteString(metrics.FormatCounters(nw.Chaos.Counters.Snapshot()))
+	var attempts, retries, exhausted uint64
+	for _, rc := range nw.Retries {
+		snap := rc.Metrics.Snapshot()
+		attempts += snap["attempts"]
+		retries += snap["retries"]
+		exhausted += snap["exhausted"]
+	}
+	fmt.Fprintf(&sb, "\nretry attempts=%d retries=%d exhausted=%d", attempts, retries, exhausted)
+	fmt.Fprintf(&sb, "\nclock=%d\n", nw.Clock.Now())
+	for i, n := range nw.Nodes {
+		fmt.Fprintf(&sb, "node %d live=%v succ=%s\n", i, nw.Live(i), n.Successor().Addr)
+	}
+	return sb.String()
+}
+
+// TestSameSeedByteIdenticalOutcome pins the replayability contract: one
+// seed fully determines the fault schedule and its outcome.
+func TestSameSeedByteIdenticalOutcome(t *testing.T) {
+	a := outcomeFingerprint(t, 7)
+	b := outcomeFingerprint(t, 7)
+	if a != b {
+		t.Fatalf("same seed, different outcomes:\n--- run 1:\n%s\n--- run 2:\n%s", a, b)
+	}
+	if c := outcomeFingerprint(t, 8); c == a {
+		t.Fatalf("different seeds produced byte-identical outcomes")
+	}
+}
+
+// TestScheduleGenerationDeterministic pins Generate itself, independent
+// of any network.
+func TestScheduleGenerationDeterministic(t *testing.T) {
+	p := Profile{
+		Rounds:          20,
+		CrashesPerRound: 2,
+		RestartAfter:    2,
+		PartitionProb:   0.3,
+		PartitionRounds: 3,
+		Protected:       []int{0},
+	}
+	a, b := Generate(11, 12, p), Generate(11, 12, p)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if c := Generate(12, 12, p); c.String() == a.String() {
+		t.Fatalf("different seeds produced the identical 20-round schedule")
+	}
+	if len(a.Events) == 0 {
+		t.Fatalf("schedule generated no events")
+	}
+}
+
+// sharedFile builds one file evaluated by several owners, so its
+// records all live under a single DHT key.
+func sharedFile() (dht.ID, []dht.StoredRecord) {
+	f := eval.FileID("chaos-shared-file")
+	key := dht.HashKey(string(f))
+	evals := []float64{0.9, 0.8, 0.2, 0.7, 0.4}
+	recs := make([]dht.StoredRecord, 0, len(evals))
+	for i, e := range evals {
+		recs = append(recs, dht.StoredRecord{
+			Key: key,
+			Info: eval.Info{
+				FileID:     f,
+				OwnerID:    identity.PeerID(fmt.Sprintf("owner-%d", i)),
+				Evaluation: e,
+				Timestamp:  time.Duration(i+1) * time.Second,
+			},
+		})
+	}
+	return key, recs
+}
+
+// judgeThroughNode retrieves the file's records via one node and
+// computes R_f (Eq. 9) with all evaluators equally reputed.
+func judgeThroughNode(t *testing.T, n *dht.Node, key dht.ID, ownerIdx map[identity.PeerID]int) float64 {
+	t.Helper()
+	got, err := n.Retrieve(key)
+	if err != nil {
+		t.Fatalf("retrieve via %s: %v", n.Self().Addr, err)
+	}
+	owners := make([]core.OwnerEvaluation, 0, len(got))
+	for _, r := range got {
+		idx, ok := ownerIdx[r.Info.OwnerID]
+		if !ok {
+			t.Fatalf("retrieve via %s returned unknown owner %s", n.Self().Addr, r.Info.OwnerID)
+		}
+		owners = append(owners, core.OwnerEvaluation{Owner: idx, Value: r.Info.Evaluation})
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i].Owner < owners[j].Owner })
+	reps := make(map[int]float64, len(ownerIdx))
+	for _, idx := range ownerIdx {
+		reps[idx] = 1
+	}
+	rf, err := core.FileReputation(reps, owners)
+	if err != nil {
+		t.Fatalf("R_f via %s: %v", n.Self().Addr, err)
+	}
+	return rf
+}
+
+// TestVerdictMatchesFaultFreeRunAfterHealing asserts the reputation
+// invariant: a network that suffered a partition plus crash-restart
+// churn converges, after healing, to the exact R_f verdict of a network
+// that never saw a fault.
+func TestVerdictMatchesFaultFreeRunAfterHealing(t *testing.T) {
+	clean, err := NewNetwork(NetworkConfig{Nodes: 8, SuccessorListLen: 3, Chaos: Config{Seed: 1}})
+	if err != nil {
+		t.Fatalf("build clean network: %v", err)
+	}
+	dirty, err := NewNetwork(churnConfig(99, 8))
+	if err != nil {
+		t.Fatalf("build chaotic network: %v", err)
+	}
+
+	key, recs := sharedFile()
+	ownerIdx := make(map[identity.PeerID]int, len(recs))
+	for i, r := range recs {
+		ownerIdx[r.Info.OwnerID] = i
+	}
+	for _, nw := range []*Network{clean, dirty} {
+		if err := nw.Publish(recs, initialTS); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		nw.Converge(2)
+	}
+
+	// Partition the chaotic network, crash a node on each side, and let
+	// the halves run divergent stabilisation for a while.
+	dirty.Partition(map[int]int{0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1, 7: 1})
+	dirty.Converge(4)
+	dirty.Crash(2)
+	dirty.Crash(6)
+	dirty.Converge(4)
+	if err := dirty.Restart(6); err != nil {
+		// Node 6's whole group may be unreachable mid-partition; the
+		// rejoin below (after healing) is the one that must succeed.
+		t.Logf("mid-partition restart failed (acceptable): %v", err)
+	}
+
+	// Heal, restart the remaining crashed node, republish, settle.
+	dirty.Chaos.Heal()
+	if err := dirty.Restart(2); err != nil {
+		t.Fatalf("restart node 2 after heal: %v", err)
+	}
+	if dirty.Chaos.Down(dirty.Addr(6)) {
+		if err := dirty.Restart(6); err != nil {
+			t.Fatalf("restart node 6 after heal: %v", err)
+		}
+	}
+	quiesce(dirty)
+	for _, nw := range []*Network{clean, dirty} {
+		if err := nw.Publish(recs, quiesceTS); err != nil {
+			t.Fatalf("republish: %v", err)
+		}
+		nw.Converge(2)
+	}
+
+	want := judgeThroughNode(t, clean.Nodes[0], key, ownerIdx)
+	for i, n := range dirty.Nodes {
+		if got := judgeThroughNode(t, n, key, ownerIdx); got != want {
+			t.Fatalf("node %d judges R_f = %v after healing, fault-free run says %v", i, got, want)
+		}
+	}
+}
+
+// TestLookupSuccessVsLossRate sweeps message loss and measures lookup
+// success with and without the retry layer; EXPERIMENTS.md quotes this
+// table. The retry layer must never do worse than the raw client.
+func TestLookupSuccessVsLossRate(t *testing.T) {
+	rp := dht.DefaultRetryPolicy()
+	raw, err := NewNetwork(NetworkConfig{Nodes: 8, SuccessorListLen: 3, Chaos: Config{Seed: 5}})
+	if err != nil {
+		t.Fatalf("build raw network: %v", err)
+	}
+	retried, err := NewNetwork(NetworkConfig{Nodes: 8, SuccessorListLen: 3, Chaos: Config{Seed: 5}, Retry: &rp})
+	if err != nil {
+		t.Fatalf("build retry network: %v", err)
+	}
+	recs := MakeRecords(40, 5)
+	for _, nw := range []*Network{raw, retried} {
+		if err := nw.Publish(recs, initialTS); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		nw.Converge(2)
+	}
+
+	count := func(nw *Network) int {
+		ok := 0
+		for i, r := range recs {
+			if _, err := nw.Nodes[i%len(nw.Nodes)].Retrieve(r.Key); err == nil {
+				ok++
+			}
+		}
+		return ok
+	}
+
+	t.Logf("%-10s %-12s %-12s", "loss", "raw", "with retry")
+	for _, rate := range []float64{0, 0.05, 0.10, 0.20, 0.30} {
+		raw.Chaos.SetLoss(rate, rate)
+		retried.Chaos.SetLoss(rate, rate)
+		rawOK, retryOK := count(raw), count(retried)
+		t.Logf("%-10.2f %3d/%-8d %3d/%-8d", rate, rawOK, len(recs), retryOK, len(recs))
+		if retryOK < rawOK {
+			t.Fatalf("loss %.2f: retry layer (%d/%d) worse than raw client (%d/%d)",
+				rate, retryOK, len(recs), rawOK, len(recs))
+		}
+		if rate == 0 && (rawOK != len(recs) || retryOK != len(recs)) {
+			t.Fatalf("lossless lookups failed: raw %d, retry %d of %d", rawOK, retryOK, len(recs))
+		}
+	}
+}
+
+// TestE2ECountersObservable runs a chaotic end-to-end workload and
+// asserts the injected faults and the retry layer's work are all
+// visible through the metrics counters.
+func TestE2ECountersObservable(t *testing.T) {
+	nw, err := NewNetwork(churnConfig(3, 8))
+	if err != nil {
+		t.Fatalf("build network: %v", err)
+	}
+	recs := MakeRecords(20, 3)
+	if err := nw.Publish(recs, initialTS); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	nw.Converge(4)
+	for i, r := range recs {
+		if _, err := nw.Nodes[i%len(nw.Nodes)].Retrieve(r.Key); err != nil {
+			t.Fatalf("retrieve %d: %v", i, err)
+		}
+	}
+
+	snap := nw.Chaos.Counters.Snapshot()
+	for _, key := range []string{"request_drops", "reply_drops"} {
+		if snap[key] == 0 {
+			t.Fatalf("counter %s = 0 after lossy workload; snapshot: %v", key, snap)
+		}
+	}
+	var attempts, retries uint64
+	for _, rc := range nw.Retries {
+		attempts += rc.Metrics.Attempts.Load()
+		retries += rc.Metrics.Retries.Load()
+	}
+	if attempts == 0 || retries == 0 {
+		t.Fatalf("retry metrics attempts=%d retries=%d; want both > 0", attempts, retries)
+	}
+	if retries >= attempts {
+		t.Fatalf("retries (%d) should be a strict subset of attempts (%d)", retries, attempts)
+	}
+	formatted := metrics.FormatCounters(snap)
+	for _, key := range []string{"request_drops", "reply_drops", "dups", "deferred"} {
+		if !strings.Contains(formatted, key+"=") {
+			t.Fatalf("FormatCounters output missing %s: %q", key, formatted)
+		}
+	}
+}

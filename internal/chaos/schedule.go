@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdrep/internal/sim"
+)
+
+// Op is one kind of scheduled fault.
+type Op int
+
+const (
+	// OpCrash kills the listed nodes (state lost on restart).
+	OpCrash Op = iota
+	// OpRestart brings the listed nodes back as fresh processes that
+	// rejoin the ring.
+	OpRestart
+	// OpPartition splits the network into the event's groups.
+	OpPartition
+	// OpHeal removes the partition.
+	OpHeal
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Event is one fault at one round.
+type Event struct {
+	Round int
+	Op    Op
+	// Nodes are the targets of a crash/restart.
+	Nodes []int
+	// Groups is the partition layout (node index → group) for
+	// OpPartition.
+	Groups map[int]int
+}
+
+// Profile parameterises schedule generation.
+type Profile struct {
+	// Rounds is the schedule length.
+	Rounds int
+	// CrashesPerRound is how many live nodes each round kills.
+	CrashesPerRound int
+	// RestartAfter is how many rounds later a crashed node restarts
+	// (1 = next round). 0 means crashed nodes stay down.
+	RestartAfter int
+	// PartitionProb is the per-round probability of starting a two-way
+	// partition when none is active.
+	PartitionProb float64
+	// PartitionRounds is how long a partition lasts before healing.
+	PartitionRounds int
+	// Protected nodes (e.g. the bootstrap observer) are never crashed.
+	Protected []int
+}
+
+// Schedule is a deterministic fault script: the same (seed, n, profile)
+// always generates the identical schedule, and String() is its
+// byte-exact canonical form.
+type Schedule struct {
+	Seed   uint64
+	Nodes  int
+	Events []Event
+}
+
+// Generate builds a schedule for n nodes from one seed. Crashed nodes
+// are tracked so a round never kills more nodes than can restart, and
+// at least one unprotected node stays alive.
+func Generate(seed uint64, n int, p Profile) *Schedule {
+	rng := sim.NewRNG(seed).DeriveStream("schedule")
+	s := &Schedule{Seed: seed, Nodes: n}
+	protected := make(map[int]bool, len(p.Protected))
+	for _, i := range p.Protected {
+		protected[i] = true
+	}
+	down := make(map[int]bool, n)
+	partitionLeft := 0
+	var pendingRestarts []Event
+
+	for round := 0; round < p.Rounds; round++ {
+		// Due restarts fire first so the round's crashes can re-kill.
+		for _, ev := range pendingRestarts {
+			if ev.Round == round {
+				s.Events = append(s.Events, ev)
+				for _, i := range ev.Nodes {
+					delete(down, i)
+				}
+			}
+		}
+		pendingRestarts = trimDue(pendingRestarts, round)
+
+		// Partition lifecycle.
+		if partitionLeft > 0 {
+			partitionLeft--
+			if partitionLeft == 0 {
+				s.Events = append(s.Events, Event{Round: round, Op: OpHeal})
+			}
+		} else if p.PartitionProb > 0 && rng.Float64() < p.PartitionProb {
+			groups := make(map[int]int, n)
+			for i := 0; i < n; i++ {
+				groups[i] = rng.Intn(2)
+			}
+			// Protected nodes anchor group 0 so the observer side keeps
+			// a working majority reference.
+			for i := range protected {
+				groups[i] = 0
+			}
+			s.Events = append(s.Events, Event{Round: round, Op: OpPartition, Groups: groups})
+			partitionLeft = p.PartitionRounds
+			if partitionLeft < 1 {
+				partitionLeft = 1
+			}
+		}
+
+		// Crashes: pick distinct live, unprotected victims, keeping at
+		// least one unprotected node alive.
+		var victims []int
+		for len(victims) < p.CrashesPerRound {
+			candidates := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				if !down[i] && !protected[i] {
+					candidates = append(candidates, i)
+				}
+			}
+			if len(candidates) <= 1 {
+				break
+			}
+			v := candidates[rng.Intn(len(candidates))]
+			down[v] = true
+			victims = append(victims, v)
+		}
+		if len(victims) > 0 {
+			sort.Ints(victims)
+			s.Events = append(s.Events, Event{Round: round, Op: OpCrash, Nodes: victims})
+			if p.RestartAfter > 0 {
+				pendingRestarts = append(pendingRestarts, Event{
+					Round: round + p.RestartAfter,
+					Op:    OpRestart,
+					Nodes: append([]int(nil), victims...),
+				})
+			}
+		}
+	}
+	// Any still-pending restarts land one round past the schedule so a
+	// harness that runs Rounds+settling rounds sees everyone return.
+	for _, ev := range pendingRestarts {
+		ev.Round = p.Rounds
+		s.Events = append(s.Events, ev)
+	}
+	return s
+}
+
+func trimDue(events []Event, round int) []Event {
+	kept := events[:0]
+	for _, ev := range events {
+		if ev.Round != round {
+			kept = append(kept, ev)
+		}
+	}
+	return kept
+}
+
+// String renders the schedule canonically: one line per event, group
+// maps in node order. Two schedules are identical iff their strings are.
+func (s *Schedule) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule seed=%d nodes=%d\n", s.Seed, s.Nodes)
+	for _, ev := range s.Events {
+		fmt.Fprintf(&sb, "r%03d %s", ev.Round, ev.Op)
+		if len(ev.Nodes) > 0 {
+			fmt.Fprintf(&sb, " nodes=%v", ev.Nodes)
+		}
+		if len(ev.Groups) > 0 {
+			keys := make([]int, 0, len(ev.Groups))
+			for k := range ev.Groups {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			sb.WriteString(" groups=")
+			for _, k := range keys {
+				fmt.Fprintf(&sb, "%d:%d ", k, ev.Groups[k])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

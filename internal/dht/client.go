@@ -1,6 +1,6 @@
 package dht
 
-import "errors"
+import "mdrep/internal/fault"
 
 // Client is the RPC surface a node uses to talk to other nodes. The
 // in-memory network and the TCP transport both implement it; the node
@@ -24,9 +24,21 @@ type Client interface {
 	Retrieve(addr string, key ID) ([]StoredRecord, error)
 }
 
+// unreachableError is the concrete type behind ErrNodeUnreachable. It
+// classifies as fault.ErrUnreachable so retry loops and the peer
+// exchange share one taxonomy without changing this sentinel's text or
+// the errors.Is(err, ErrNodeUnreachable) checks spread through the ring
+// code.
+type unreachableError struct{}
+
+func (unreachableError) Error() string { return "dht: node unreachable" }
+
+func (unreachableError) Is(target error) bool { return target == fault.ErrUnreachable }
+
 // ErrNodeUnreachable is returned by transports when the remote node is
-// gone; the caller routes around it via the successor list.
-var ErrNodeUnreachable = errors.New("dht: node unreachable")
+// gone; the caller routes around it via the successor list. It is
+// retryable under the internal/fault taxonomy.
+var ErrNodeUnreachable error = unreachableError{}
 
 // handler is the server-side surface; *Node implements it, and both
 // transports dispatch inbound requests through it.

@@ -12,12 +12,18 @@ type MemNet struct {
 	mu     sync.RWMutex
 	nodes  map[string]handler
 	failed map[string]struct{}
-	// lossRate drops that fraction of RPCs (deterministically, from
-	// lossState) to inject message loss.
+	// lossRate drops that fraction of messages (deterministically, from
+	// lossState) to inject loss. Requests and replies are separate
+	// messages: a request drop fails the RPC before the handler runs, a
+	// reply drop fails it after — the remote side effect happened but
+	// the caller cannot tell.
 	lossRate  float64
 	lossState uint64
 	// messages counts every RPC issued over the network.
 	messages atomic.Uint64
+	// requestDrops and replyDrops split injected losses by path.
+	requestDrops atomic.Uint64
+	replyDrops   atomic.Uint64
 }
 
 // NewMemNet returns an empty network.
@@ -57,8 +63,10 @@ func (m *MemNet) Messages() uint64 { return m.messages.Load() }
 // ResetMessages zeroes the RPC counter.
 func (m *MemNet) ResetMessages() { m.messages.Store(0) }
 
-// SetLossRate makes the network drop the given fraction of RPCs
-// (0 disables). Drops are deterministic under a fixed call sequence.
+// SetLossRate makes the network drop the given fraction of messages on
+// each path — request and reply independently — so the effective RPC
+// failure probability is 1-(1-rate)². 0 disables loss. Drops are
+// deterministic under a fixed call sequence and seed (SetLossSeed).
 func (m *MemNet) SetLossRate(rate float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -71,18 +79,39 @@ func (m *MemNet) SetLossRate(rate float64) {
 	m.lossRate = rate
 }
 
+// SetLossSeed repositions the deterministic loss stream; the drop
+// pattern is a pure function of (seed, call sequence).
+func (m *MemNet) SetLossSeed(seed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lossState = seed
+}
+
+// RequestDrops returns the number of request-path messages dropped.
+func (m *MemNet) RequestDrops() uint64 { return m.requestDrops.Load() }
+
+// ReplyDrops returns the number of reply-path messages dropped.
+func (m *MemNet) ReplyDrops() uint64 { return m.replyDrops.Load() }
+
+// dropLocked consumes one draw from the loss stream; callers hold mu.
+func (m *MemNet) dropLocked() bool {
+	if m.lossRate <= 0 {
+		return false
+	}
+	m.lossState += 0x9e3779b97f4a7c15
+	z := m.lossState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < m.lossRate
+}
+
 func (m *MemNet) lookup(addr string) (handler, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.lossRate > 0 {
-		m.lossState += 0x9e3779b97f4a7c15
-		z := m.lossState
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		z ^= z >> 31
-		if float64(z>>11)/(1<<53) < m.lossRate {
-			return nil, ErrNodeUnreachable
-		}
+	if m.dropLocked() {
+		m.requestDrops.Add(1)
+		return nil, ErrNodeUnreachable
 	}
 	if _, down := m.failed[addr]; down {
 		return nil, ErrNodeUnreachable
@@ -94,6 +123,19 @@ func (m *MemNet) lookup(addr string) (handler, error) {
 	return h, nil
 }
 
+// dropReply consumes one loss draw for the reply path. It runs after
+// the handler, so a dropped reply means the remote state change (if
+// any) already happened — exactly the ambiguity a real network has.
+func (m *MemNet) dropReply() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dropLocked() {
+		m.replyDrops.Add(1)
+		return ErrNodeUnreachable
+	}
+	return nil
+}
+
 // FindSuccessor implements Client.
 func (m *MemNet) FindSuccessor(addr string, id ID) (NodeRef, error) {
 	m.messages.Add(1)
@@ -101,7 +143,14 @@ func (m *MemNet) FindSuccessor(addr string, id ID) (NodeRef, error) {
 	if err != nil {
 		return NodeRef{}, err
 	}
-	return h.HandleFindSuccessor(id)
+	ref, err := h.HandleFindSuccessor(id)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	if err := m.dropReply(); err != nil {
+		return NodeRef{}, err
+	}
+	return ref, nil
 }
 
 // Successors implements Client.
@@ -111,7 +160,11 @@ func (m *MemNet) Successors(addr string) ([]NodeRef, error) {
 	if err != nil {
 		return nil, err
 	}
-	return h.HandleSuccessors(), nil
+	refs := h.HandleSuccessors()
+	if err := m.dropReply(); err != nil {
+		return nil, err
+	}
+	return refs, nil
 }
 
 // Predecessor implements Client.
@@ -122,6 +175,9 @@ func (m *MemNet) Predecessor(addr string) (NodeRef, bool, error) {
 		return NodeRef{}, false, err
 	}
 	ref, ok := h.HandlePredecessor()
+	if err := m.dropReply(); err != nil {
+		return NodeRef{}, false, err
+	}
 	return ref, ok, nil
 }
 
@@ -133,14 +189,17 @@ func (m *MemNet) Notify(addr string, self NodeRef) error {
 		return err
 	}
 	h.HandleNotify(self)
-	return nil
+	return m.dropReply()
 }
 
 // Ping implements Client.
 func (m *MemNet) Ping(addr string) error {
 	m.messages.Add(1)
 	_, err := m.lookup(addr)
-	return err
+	if err != nil {
+		return err
+	}
+	return m.dropReply()
 }
 
 // Store implements Client.
@@ -151,7 +210,7 @@ func (m *MemNet) Store(addr string, recs []StoredRecord, replicate bool) error {
 		return err
 	}
 	h.HandleStore(recs, replicate)
-	return nil
+	return m.dropReply()
 }
 
 // Retrieve implements Client.
@@ -161,7 +220,11 @@ func (m *MemNet) Retrieve(addr string, key ID) ([]StoredRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	return h.HandleRetrieve(key), nil
+	recs := h.HandleRetrieve(key)
+	if err := m.dropReply(); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 var _ Client = (*MemNet)(nil)

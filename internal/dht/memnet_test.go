@@ -1,0 +1,101 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// nullHandler accepts every RPC so loss is the only failure source.
+type nullHandler struct{}
+
+func (nullHandler) HandleFindSuccessor(id ID) (NodeRef, error)      { return NodeRef{Addr: "x"}, nil }
+func (nullHandler) HandleSuccessors() []NodeRef                     { return nil }
+func (nullHandler) HandlePredecessor() (NodeRef, bool)              { return NodeRef{}, false }
+func (nullHandler) HandleNotify(candidate NodeRef)                  {}
+func (nullHandler) HandleStore(recs []StoredRecord, replicate bool) {}
+func (nullHandler) HandleRetrieve(key ID) []StoredRecord            { return nil }
+
+// lossTrace pings through a lossy MemNet and returns the outcome
+// pattern plus the split drop counters.
+func lossTrace(seed uint64, rate float64, calls int) string {
+	net := NewMemNet()
+	net.Register("mem://a", nullHandler{})
+	net.SetLossRate(rate)
+	net.SetLossSeed(seed)
+	var sb strings.Builder
+	for i := 0; i < calls; i++ {
+		if err := net.Ping("mem://a"); err != nil {
+			sb.WriteByte('x')
+		} else {
+			sb.WriteByte('.')
+		}
+	}
+	fmt.Fprintf(&sb, " req=%d reply=%d", net.RequestDrops(), net.ReplyDrops())
+	return sb.String()
+}
+
+// TestMemNetLossSequencePinned is a regression pin: the drop pattern is
+// a pure function of (seed, call sequence), and loss is injected on
+// BOTH paths — the reply-path counter must move, not just the request
+// one. If the loss-stream implementation changes, this fails loudly
+// instead of silently re-seeding every downstream experiment.
+func TestMemNetLossSequencePinned(t *testing.T) {
+	got := lossTrace(7, 0.3, 40)
+	const want = "x.x.xx.....x..x..xx.xxx.xx...xxx.......x " +
+		"req=8 reply=9"
+	if got != want {
+		t.Fatalf("loss trace changed:\n got %q\nwant %q", got, want)
+	}
+	if again := lossTrace(7, 0.3, 40); again != got {
+		t.Fatalf("same seed, different trace:\n%q\n%q", got, again)
+	}
+	if other := lossTrace(8, 0.3, 40); other == got {
+		t.Fatalf("different seeds produced the identical trace")
+	}
+}
+
+// TestMemNetReplyLossAfterSideEffect asserts the reply path drops after
+// the handler ran: the caller sees ErrNodeUnreachable, yet the store
+// side effect happened.
+func TestMemNetReplyLossAfterSideEffect(t *testing.T) {
+	net := NewMemNet()
+	stored := 0
+	net.Register("mem://a", storeCounter{&stored})
+	net.SetLossRate(0.5)
+	net.SetLossSeed(3)
+	attempts, failures := 0, 0
+	for net.ReplyDrops() == 0 {
+		attempts++
+		if attempts > 1000 {
+			t.Fatalf("no reply drop within 1000 attempts at 50%% loss")
+		}
+		if err := net.Store("mem://a", nil, false); err != nil {
+			if !errors.Is(err, ErrNodeUnreachable) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failures++
+		}
+	}
+	// Every delivered request reached the handler, including the one
+	// whose reply was then dropped.
+	wantStored := attempts - int(net.RequestDrops())
+	if stored != wantStored {
+		t.Fatalf("handler ran %d times, want %d (attempts %d - request drops %d)",
+			stored, wantStored, attempts, net.RequestDrops())
+	}
+	if failures != int(net.RequestDrops()+net.ReplyDrops()) {
+		t.Fatalf("failures %d != request drops %d + reply drops %d",
+			failures, net.RequestDrops(), net.ReplyDrops())
+	}
+}
+
+type storeCounter struct{ n *int }
+
+func (s storeCounter) HandleFindSuccessor(id ID) (NodeRef, error)      { return NodeRef{}, nil }
+func (s storeCounter) HandleSuccessors() []NodeRef                     { return nil }
+func (s storeCounter) HandlePredecessor() (NodeRef, bool)              { return NodeRef{}, false }
+func (s storeCounter) HandleNotify(candidate NodeRef)                  {}
+func (s storeCounter) HandleStore(recs []StoredRecord, replicate bool) { *s.n++ }
+func (s storeCounter) HandleRetrieve(key ID) []StoredRecord            { return nil }

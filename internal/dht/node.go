@@ -113,10 +113,22 @@ func (n *Node) Join(bootstrap string) error {
 	if err != nil {
 		return fmt.Errorf("dht: join via %s: %w", bootstrap, err)
 	}
+	if succ.Addr == n.self.Addr {
+		// A stale entry for our own address is still circulating (we
+		// crashed and came back); joining "through ourselves" would leave
+		// the node outside the ring.
+		return fmt.Errorf("dht: join via %s resolved to self", bootstrap)
+	}
 	n.mu.Lock()
 	n.succs = []NodeRef{succ}
 	n.hasPred = false
 	n.mu.Unlock()
+	// Deepen the successor list right away: a fresh node with a single
+	// successor is orphaned if that successor dies before the first
+	// stabilisation round. Failure is fine — Stabilize deepens it later.
+	if list, err := n.client.Successors(succ.Addr); err == nil {
+		n.mergeSuccessorList(succ, list)
+	}
 	return nil
 }
 
@@ -219,6 +231,13 @@ func (n *Node) Stabilize() {
 				succ = pred
 			}
 		}
+		if succ.Addr == n.self.Addr {
+			// Still alone with no predecessor: we fell out of the ring
+			// (every successor died during churn). Re-enter through any
+			// live finger instead of waiting for a notify that cannot
+			// come — no other node's successor list names us anymore.
+			succ = n.rejoinViaFinger()
+		}
 	} else {
 		if pred, ok, err := n.client.Predecessor(succ.Addr); err != nil {
 			n.dropSuccessor(succ)
@@ -240,6 +259,28 @@ func (n *Node) Stabilize() {
 		}
 	}
 	n.checkPredecessor()
+}
+
+// rejoinViaFinger resolves our own ID through the first live finger and
+// adopts the result as successor, returning it (or self when no finger
+// helps). Fingers are the only pointers that survive total successor
+// loss, so this is the last resort of an isolated node.
+func (n *Node) rejoinViaFinger() NodeRef {
+	n.mu.RLock()
+	fingers := n.fingers
+	n.mu.RUnlock()
+	for _, f := range fingers {
+		if f.IsZero() || f.Addr == n.self.Addr {
+			continue
+		}
+		succ, err := n.client.FindSuccessor(f.Addr, n.self.ID)
+		if err != nil || succ.IsZero() || succ.Addr == n.self.Addr {
+			continue
+		}
+		n.adoptSuccessor(succ)
+		return succ
+	}
+	return n.self
 }
 
 func (n *Node) adoptSuccessor(s NodeRef) {
@@ -376,14 +417,19 @@ func (n *Node) Retrieve(key ID) ([]StoredRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	var recs []StoredRecord
+	var rootErr error
 	if root.Addr == n.self.Addr {
-		return n.HandleRetrieve(key), nil
+		recs = n.HandleRetrieve(key)
+	} else {
+		recs, rootErr = n.client.Retrieve(root.Addr, key)
 	}
-	recs, err := n.client.Retrieve(root.Addr, key)
-	if err == nil {
+	if rootErr == nil && len(recs) > 0 {
 		return recs, nil
 	}
-	// Root unreachable: ask its replicas via our successor walk.
+	// Root unreachable or empty-handed: an empty answer may just mean
+	// the root rejoined after a crash and has not been repaired yet, so
+	// ask its replicas before concluding the records do not exist.
 	list, lerr := n.client.Successors(root.Addr)
 	if lerr != nil {
 		list = n.SuccessorList()
@@ -392,11 +438,14 @@ func (n *Node) Retrieve(key ID) ([]StoredRecord, error) {
 		if s.Addr == root.Addr || s.Addr == n.self.Addr {
 			continue
 		}
-		if recs, rerr := n.client.Retrieve(s.Addr, key); rerr == nil {
-			return recs, nil
+		if rrecs, rerr := n.client.Retrieve(s.Addr, key); rerr == nil && len(rrecs) > 0 {
+			return rrecs, nil
 		}
 	}
-	return nil, err
+	if rootErr != nil {
+		return nil, rootErr
+	}
+	return recs, nil
 }
 
 // Leave gracefully removes the node from the ring: its stored records are

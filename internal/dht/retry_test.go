@@ -1,0 +1,170 @@
+package dht
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mdrep/internal/fault"
+)
+
+// flakyClient fails the first failures calls of each op, then succeeds.
+type flakyClient struct {
+	failures int
+	calls    int
+	err      error
+}
+
+func (f *flakyClient) attempt() error {
+	f.calls++
+	if f.calls <= f.failures {
+		return f.err
+	}
+	return nil
+}
+
+func (f *flakyClient) FindSuccessor(addr string, id ID) (NodeRef, error) {
+	return NodeRef{Addr: addr}, f.attempt()
+}
+func (f *flakyClient) Successors(addr string) ([]NodeRef, error) { return nil, f.attempt() }
+func (f *flakyClient) Predecessor(addr string) (NodeRef, bool, error) {
+	return NodeRef{}, false, f.attempt()
+}
+func (f *flakyClient) Notify(addr string, self NodeRef) error { return f.attempt() }
+func (f *flakyClient) Ping(addr string) error                 { return f.attempt() }
+func (f *flakyClient) Store(addr string, recs []StoredRecord, replicate bool) error {
+	return f.attempt()
+}
+func (f *flakyClient) Retrieve(addr string, key ID) ([]StoredRecord, error) {
+	return nil, f.attempt()
+}
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	inner := &flakyClient{failures: 2, err: ErrNodeUnreachable}
+	rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}, 1)
+	rc.SetSleep(nil)
+	if err := rc.Ping("a"); err == nil {
+		t.Fatalf("ping is a liveness probe and must not retry")
+	}
+	inner.calls = 0
+	if err := rc.Notify("a", NodeRef{}); err != nil {
+		t.Fatalf("notify should succeed on 3rd attempt, got %v", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner calls = %d, want 3 (two failures + success)", inner.calls)
+	}
+	snap := rc.Metrics.Snapshot()
+	if snap["retries"] != 2 {
+		t.Fatalf("retries = %d, want 2", snap["retries"])
+	}
+	if snap["exhausted"] != 0 {
+		t.Fatalf("exhausted = %d, want 0", snap["exhausted"])
+	}
+}
+
+func TestRetryExhaustionKeepsCause(t *testing.T) {
+	inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}
+	rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 1)
+	rc.SetSleep(nil)
+	err := rc.Store("a", nil, false)
+	if err == nil {
+		t.Fatalf("store should exhaust retries")
+	}
+	if !errors.Is(err, ErrNodeUnreachable) {
+		t.Fatalf("exhausted error %v should still wrap ErrNodeUnreachable", err)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner calls = %d, want MaxAttempts=3", inner.calls)
+	}
+	if got := rc.Metrics.Exhausted.Load(); got != 1 {
+		t.Fatalf("exhausted = %d, want 1", got)
+	}
+}
+
+func TestRetryTerminalErrorPassesThrough(t *testing.T) {
+	terminal := fault.Terminal(errors.New("protocol violation"))
+	inner := &flakyClient{failures: 100, err: terminal}
+	rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}, 1)
+	rc.SetSleep(nil)
+	if _, err := rc.Retrieve("a", 1); !errors.Is(err, terminal) {
+		t.Fatalf("error = %v, want the terminal error itself", err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner calls = %d, want 1 (terminal errors are not retried)", inner.calls)
+	}
+}
+
+func TestRetryBudgetExhaustionClassifiesAsTimeout(t *testing.T) {
+	inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}
+	rc := NewRetryClient(inner, RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   40 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		OpBudget:    100 * time.Millisecond,
+	}, 1)
+	var slept time.Duration
+	rc.SetSleep(func(d time.Duration) { slept += d })
+	err := rc.Notify("a", NodeRef{})
+	if !errors.Is(err, fault.ErrTimeout) {
+		t.Fatalf("error = %v, want fault.ErrTimeout classification", err)
+	}
+	if slept > 100*time.Millisecond {
+		t.Fatalf("slept %v, beyond the 100ms budget", slept)
+	}
+	// 40ms steps: two fit in the budget, the third would exceed it.
+	if inner.calls != 3 {
+		t.Fatalf("inner calls = %d, want 3", inner.calls)
+	}
+}
+
+func TestRetryBackoffScheduleDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}
+		rc := NewRetryClient(inner, RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    80 * time.Millisecond,
+			JitterFrac:  0.5,
+		}, seed)
+		var delays []time.Duration
+		rc.SetSleep(func(d time.Duration) { delays = append(delays, d) })
+		_ = rc.Notify("a", NodeRef{})
+		return delays
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) != 5 {
+		t.Fatalf("delays = %v, want 5 backoffs for 6 attempts", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different backoff schedules: %v vs %v", a, b)
+		}
+	}
+	for i, d := range a {
+		// Undithered doubling: 10, 20, 40, 80, 80 (capped); jitter may
+		// shave up to 50% off but never adds.
+		max := 10 * time.Millisecond << uint(i)
+		if max > 80*time.Millisecond {
+			max = 80 * time.Millisecond
+		}
+		if d > max || d < max/2 {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, max/2, max)
+		}
+	}
+	if c := schedule(43); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatalf("different seeds produced the same jitter draws: %v", c)
+	}
+}
+
+func TestRetryClientPassesResultsThrough(t *testing.T) {
+	inner := &flakyClient{failures: 1, err: ErrNodeUnreachable}
+	rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 1)
+	rc.SetSleep(nil)
+	ref, err := rc.FindSuccessor("addr-x", 7)
+	if err != nil {
+		t.Fatalf("find successor: %v", err)
+	}
+	if ref.Addr != "addr-x" {
+		t.Fatalf("ref.Addr = %q, want the inner result", ref.Addr)
+	}
+}

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestSentinelsAreRetryable(t *testing.T) {
+	for _, err := range []error{ErrUnreachable, ErrTimeout} {
+		if !Retryable(err) {
+			t.Errorf("Retryable(%v) = false, want true", err)
+		}
+	}
+	if Retryable(nil) {
+		t.Error("Retryable(nil) = true")
+	}
+	if Retryable(errors.New("boom")) {
+		t.Error("unclassified error reported retryable")
+	}
+}
+
+func TestTaggingPreservesTextAndChain(t *testing.T) {
+	root := fmt.Errorf("dial 10.0.0.1: %w", io.ErrUnexpectedEOF)
+	tagged := Unreachable(root)
+	if tagged.Error() != root.Error() {
+		t.Errorf("tagging changed text: %q vs %q", tagged.Error(), root.Error())
+	}
+	if !errors.Is(tagged, ErrUnreachable) {
+		t.Error("tagged error lost ErrUnreachable")
+	}
+	if !errors.Is(tagged, io.ErrUnexpectedEOF) {
+		t.Error("tagged error lost the root cause")
+	}
+	if !Retryable(tagged) {
+		t.Error("tagged error not retryable")
+	}
+	// Tagging survives further %w wrapping.
+	outer := fmt.Errorf("peer: fetch p1: %w", tagged)
+	if !Retryable(outer) || !errors.Is(outer, ErrUnreachable) {
+		t.Error("wrapping stripped the taxonomy")
+	}
+}
+
+func TestTimeoutTag(t *testing.T) {
+	err := Timeout(errors.New("op budget exhausted"))
+	if !errors.Is(err, ErrTimeout) || !Retryable(err) {
+		t.Error("Timeout tag not classified")
+	}
+	if Timeout(nil) != ErrTimeout {
+		t.Error("Timeout(nil) should be the bare sentinel")
+	}
+	if Unreachable(nil) != ErrUnreachable {
+		t.Error("Unreachable(nil) should be the bare sentinel")
+	}
+}
+
+func TestTerminalPinsChain(t *testing.T) {
+	err := Terminal(Unreachable(errors.New("node gone, but give up")))
+	if Retryable(err) {
+		t.Error("Terminal error reported retryable")
+	}
+	if !IsTerminal(err) {
+		t.Error("IsTerminal lost the pin")
+	}
+	// The underlying classification is still visible for diagnostics.
+	if !errors.Is(err, ErrUnreachable) {
+		t.Error("Terminal hid the underlying cause")
+	}
+	// Terminal survives wrapping.
+	if Retryable(fmt.Errorf("outer: %w", err)) {
+		t.Error("wrapped Terminal error reported retryable")
+	}
+	if Terminal(nil) != nil {
+		t.Error("Terminal(nil) != nil")
+	}
+}

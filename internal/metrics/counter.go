@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing, concurrency-safe event counter.
+// The resilience layer threads counters through its decorators (retries,
+// injected drops, local-view fallbacks) so tests and operators can assert
+// on what the transport actually did, not just its end result.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// FormatCounters renders a name→count map as a stable, sorted one-line
+// summary ("drops=3 retries=7"), for logs and test failure messages.
+func FormatCounters(counts map[string]uint64) string {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, counts[name]))
+	}
+	return strings.Join(parts, " ")
+}

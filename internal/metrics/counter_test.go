@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Load() = %d, want 8000", got)
+	}
+	c.Add(5)
+	if got := c.Load(); got != 8005 {
+		t.Fatalf("after Add(5): %d", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Reset(): %d", got)
+	}
+}
+
+func TestFormatCountersStable(t *testing.T) {
+	m := map[string]uint64{"retries": 7, "drops": 3, "fallbacks": 1}
+	want := "drops=3 fallbacks=1 retries=7"
+	for i := 0; i < 4; i++ {
+		if got := FormatCounters(m); got != want {
+			t.Fatalf("FormatCounters = %q, want %q", got, want)
+		}
+	}
+	if got := FormatCounters(nil); got != "" {
+		t.Fatalf("FormatCounters(nil) = %q", got)
+	}
+}

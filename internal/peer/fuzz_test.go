@@ -1,0 +1,33 @@
+package peer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"mdrep/internal/wire"
+)
+
+// FuzzExchangeFrameDecode drives the evaluation-exchange codec with
+// arbitrary bytes: both the request the server decodes and the response
+// the client decodes must error on malformed input, never panic.
+func FuzzExchangeFrameDecode(f *testing.F) {
+	var buf bytes.Buffer
+	_ = wire.WriteFrame(&buf, exchangeRequest{Method: "evaluations"})
+	f.Add(buf.Bytes())
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], wire.MaxFrame+1)
+	f.Add(hdr[:])                                       // oversize declaration
+	f.Add([]byte{0, 0})                                 // truncated header
+	f.Add(append([]byte{0, 0, 0, 50}, `{"method":`...)) // truncated body
+	f.Add(append([]byte{0, 0, 0, 2}, `[]`...))          // wrong JSON shape
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req exchangeRequest
+		_ = wire.ReadFrame(bytes.NewReader(data), &req)
+		var resp exchangeResponse
+		_ = wire.ReadFrame(bytes.NewReader(data), &resp)
+		// Reaching here without a panic is the property; decode errors
+		// are the expected outcome for malformed frames.
+	})
+}

@@ -393,6 +393,45 @@ func (p *Peer) JudgeFile(records []eval.Info) (core.Judgement, error) {
 	}, nil
 }
 
+// JudgeFileFromCache computes R_f from the peer's locally cached
+// evaluation lists instead of DHT records — the degraded mode used when
+// the file index is unreachable (§4.1 step 5 fallback). The cached
+// entries were signature-verified when synced. Coverage is limited to
+// peers whose lists this peer has fetched, so the verdict can be
+// Unknown for a file the wider network has evaluated.
+func (p *Peer) JudgeFileFromCache(f eval.FileID) core.Judgement {
+	row := p.TrustRow() // before p.mu: TrustRow takes the same lock
+	p.mu.RLock()
+	targets := make([]identity.PeerID, 0, len(p.lists))
+	for target := range p.lists {
+		targets = append(targets, target)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	var num, den float64
+	for _, target := range targets {
+		e, ok := p.lists[target][f]
+		if !ok || e < 0 || e > 1 {
+			continue
+		}
+		r := row[target]
+		if r <= 0 {
+			continue
+		}
+		num += r * e
+		den += r
+	}
+	p.mu.RUnlock()
+	if den <= 0 {
+		return core.Judgement{}
+	}
+	rf := num / den
+	return core.Judgement{
+		Reputation: rf,
+		Known:      true,
+		Fake:       rf < p.cfg.Reputation.FakeThreshold,
+	}
+}
+
 // EnqueueUpload queues an inbound upload request under the incentive
 // policy, using the peer's current trust in the requester (§4.1 step 6).
 func (p *Peer) EnqueueUpload(requester identity.PeerID, file string, size int64, arrival time.Duration) error {

@@ -396,3 +396,70 @@ func TestWindowExpiryInTrustRow(t *testing.T) {
 		t.Fatalf("trust %v from expired evaluations", v)
 	}
 }
+
+func TestJudgeFileFromCache(t *testing.T) {
+	peers, _, _ := testnet(t, 3, DefaultConfig())
+	a, b, c := peers[0], peers[1], peers[2]
+	// Shared history so a trusts b and c, plus divergent opinions on the
+	// file under judgement.
+	for _, p := range peers {
+		p.Vote("x", 0.9)
+		p.Vote("y", 0.2)
+	}
+	b.Vote("f", 0.8)
+	c.Vote("f", 0.6)
+	if _, err := a.SyncPeer(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SyncPeer(c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	row := a.TrustRow()
+	rb, rc := row[b.ID()], row[c.ID()]
+	if rb <= 0 || rc <= 0 {
+		t.Fatalf("no trust after agreeing history: %v", row)
+	}
+	j := a.JudgeFileFromCache("f")
+	if !j.Known {
+		t.Fatal("cached verdict unknown despite two synced opinions")
+	}
+	// The store blends votes with the retention dimension, so read the
+	// expected evaluations from the signed lists themselves.
+	evalOf := func(p *Peer, f eval.FileID) float64 {
+		t.Helper()
+		infos, err := p.SignedEvaluations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range infos {
+			if in.FileID == f {
+				return in.Evaluation
+			}
+		}
+		t.Fatalf("%s has no evaluation for %s", p.ID(), f)
+		return 0
+	}
+	want := (rb*evalOf(b, "f") + rc*evalOf(c, "f")) / (rb + rc)
+	if math.Abs(j.Reputation-want) > 1e-12 {
+		t.Fatalf("R_f = %v, want trust-weighted mean %v", j.Reputation, want)
+	}
+	if wantFake := want < DefaultConfig().Reputation.FakeThreshold; j.Fake != wantFake {
+		t.Fatalf("Fake = %v for R_f %.3f, want %v", j.Fake, j.Reputation, wantFake)
+	}
+	// A file nobody in the cache evaluated stays unknown.
+	if j := a.JudgeFileFromCache("nobody-voted"); j.Known {
+		t.Fatalf("unknown file got verdict %+v", j)
+	}
+	// A uniformly low-rated file is flagged fake.
+	b.Vote("junk", 0.1)
+	c.Vote("junk", 0.05)
+	if _, err := a.SyncPeer(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SyncPeer(c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if j := a.JudgeFileFromCache("junk"); !j.Known || !j.Fake {
+		t.Fatalf("low-rated file not flagged fake: %+v", j)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mdrep/internal/eval"
+	"mdrep/internal/fault"
 	"mdrep/internal/identity"
 	"mdrep/internal/wire"
 )
@@ -87,18 +88,20 @@ func (e *TCPExchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, err
 	}
 	conn, err := net.DialTimeout("tcp", addr, e.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("peer: dial %s (%s): %w", target, addr, err)
+		// Transport failures are tagged retryable (fault.ErrUnreachable);
+		// an explicit error frame from the peer below stays terminal.
+		return nil, fault.Unreachable(fmt.Errorf("peer: dial %s (%s): %w", target, addr, err))
 	}
 	defer func() { _ = conn.Close() }()
 	if err := conn.SetDeadline(time.Now().Add(e.CallTimeout)); err != nil { //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
 		return nil, err
 	}
 	if err := wire.WriteFrame(conn, exchangeRequest{Method: "evaluations"}); err != nil {
-		return nil, fmt.Errorf("peer: send to %s: %w", target, err)
+		return nil, fault.Unreachable(fmt.Errorf("peer: send to %s: %w", target, err))
 	}
 	var resp exchangeResponse
 	if err := wire.ReadFrame(conn, &resp); err != nil {
-		return nil, fmt.Errorf("peer: recv from %s: %w", target, err)
+		return nil, fault.Unreachable(fmt.Errorf("peer: recv from %s: %w", target, err))
 	}
 	if resp.Error != "" {
 		return nil, fmt.Errorf("peer: %s: %s", target, resp.Error)

@@ -1,0 +1,95 @@
+// Package testutil holds shared test harness helpers. It is imported
+// only from _test files.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// RunMain runs the package's tests and then fails the binary if any
+// goroutine the tests started is still running. Wire it in as
+//
+//	func TestMain(m *testing.M) { testutil.RunMain(m) }
+//
+// Goroutines take a moment to unwind after their work completes
+// (closed listeners, drained channels), so the check polls until
+// either the process is quiet or a deadline expires.
+func RunMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := waitQuiet(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "testutil: %d goroutine(s) leaked by tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// waitQuiet polls for leaked goroutines until none remain or the
+// deadline passes, returning the survivors' stacks.
+func waitQuiet(timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	delay := time.Millisecond
+	for {
+		leaked := leakedGoroutines()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// leakedGoroutines returns the stacks of goroutines that are neither
+// part of the runtime/testing machinery nor this checker itself.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || ignoredGoroutine(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// ignoredGoroutine reports whether a stack belongs to machinery that
+// legitimately outlives the tests.
+func ignoredGoroutine(stack string) bool {
+	for _, marker := range []string{
+		"testutil.leakedGoroutines", // this checker's own goroutine
+		"testing.Main(",
+		"testing.(*M).",
+		"testing.tRunner", // paused parents of parallel subtests
+		"runtime.goexit0",
+		"created by runtime.",
+		"runtime/pprof.",
+		"runtime/trace.",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime.ReadTrace",
+		"runtime.ensureSigM",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -42,8 +42,11 @@ func ReadFrame(r io.Reader, v any) error {
 	if n > MaxFrame {
 		return fmt.Errorf("wire: inbound frame too large (%d bytes)", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	// readBounded grows the buffer as bytes actually arrive: a hostile
+	// 4-byte header must not be able to demand a MaxFrame allocation
+	// against a near-empty stream.
+	body, err := readBounded(r, int(n))
+	if err != nil {
 		return err
 	}
 	return json.Unmarshal(body, v)
