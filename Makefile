@@ -4,7 +4,7 @@ GO      ?= go
 BIN     ?= bin
 VETTOOL := $(BIN)/mdrep-lint
 
-.PHONY: all build test race chaos lint vet fmt bench clean
+.PHONY: all build test race chaos obs lint vet fmt bench clean
 
 all: build lint test
 
@@ -44,6 +44,21 @@ chaos:
 	echo "combined coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || { \
 		echo "coverage $$total% is below the 80% gate" >&2; exit 1; }
+
+# obs runs the observability layer under the race detector — the metrics
+# registry, the tracer, and every instrumented package's obs tests — then
+# the benchmark guard: counter Inc and histogram Observe must stay
+# 0 B/op on the hot path (the TestHotPathZeroAlloc test enforces
+# allocs == 0; the benchmarks here surface the actual ns/op and B/op).
+obs:
+	$(GO) test -race -run 'Obs|Observer|Instrument|Metrics|Histogram|Registry|Span|Tracer|Serve|Exchange|Exported' \
+		mdrep/internal/metrics mdrep/internal/obs mdrep/internal/sparse \
+		mdrep/internal/core mdrep/internal/journal mdrep/internal/dht \
+		mdrep/internal/peer mdrep/internal/chaos mdrep/cmd/mdrep-peer
+	$(GO) test -run '^$$' -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve' \
+		-benchmem mdrep/internal/metrics | tee /dev/stderr | \
+		awk '/^Benchmark/ { if ($$(NF-3) != 0) { \
+			print "FAIL: " $$1 " allocates " $$(NF-3) " B/op on the hot path" > "/dev/stderr"; exit 1 } }'
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mdrep-dht serve -listen 127.0.0.1:9000 [-join HOST:PORT] [-ttl DUR]
+//	                [-metrics-addr HOST:PORT]
 //	mdrep-dht put   -node HOST:PORT -file HASH -value 0.9 [-keyseed N]
 //	mdrep-dht get   -node HOST:PORT -file HASH
 //	mdrep-dht demo  [-nodes N]
@@ -25,6 +26,8 @@ import (
 	"mdrep/internal/dht"
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 )
 
 func main() {
@@ -58,10 +61,22 @@ func serve(args []string) error {
 	join := fs.String("join", "", "address of an existing ring member")
 	ttl := fs.Duration("ttl", time.Hour, "stored record TTL")
 	stabilize := fs.Duration("stabilize", 500*time.Millisecond, "stabilisation interval")
+	metricsAddr := fs.String("metrics-addr", "", "optional introspection address (\":0\" = ephemeral): Prometheus /metrics, expvar, pprof")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	client := dht.NewRetryClient(dht.NewTCPClient(), dht.DefaultRetryPolicy(), uint64(os.Getpid()))
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = msrv.Close() }()
+		client.Instrument(reg, obs.WallClock)
+		fmt.Printf("metrics on http://%s/metrics\n", msrv.Addr())
+	}
 	cfg := dht.DefaultNodeConfig()
 	cfg.Storage = dht.NewStorage(*ttl, nil)
 	srv, err := dht.ServeTCPNode(*listen, client, cfg)
@@ -70,6 +85,7 @@ func serve(args []string) error {
 	}
 	defer func() { _ = srv.Close() }()
 	node := srv.Node()
+	node.Instrument(reg)
 	fmt.Printf("node %s listening on %s\n", node.Self().ID, node.Self().Addr)
 	if *join != "" {
 		if err := node.Join(*join); err != nil {

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	mdrep-fig1 [-scale small|full] [-seed N] [-window DUR] [-csv FILE]
+//
+// The Figure 1 pipeline is a streaming coverage computation
+// (core.MeasureCoverage) that never builds trust matrices, so there is
+// no -metrics flag here; use mdrep-sim -metrics for kernel timing.
 package main
 
 import (

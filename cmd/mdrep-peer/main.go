@@ -16,7 +16,8 @@
 //
 //	mdrep-peer id    -seed 1
 //	mdrep-peer serve -seed 1 -listen 127.0.0.1:9100 \
-//	                 [-vote FILE=0.9,OTHER=0.1] [-data-dir DIR]
+//	                 [-vote FILE=0.9,OTHER=0.1] [-data-dir DIR] \
+//	                 [-metrics-addr HOST:PORT]
 //	mdrep-peer trust -seed 2 -vote FILE=0.9 \
 //	                 -sync SEED@HOST:PORT[,SEED@HOST:PORT…] [-data-dir DIR]
 package main
@@ -34,6 +35,8 @@ import (
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
 	"mdrep/internal/journal"
+	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 	"mdrep/internal/peer"
 )
 
@@ -73,13 +76,34 @@ func makeIdentity(seed uint64, dir *identity.Directory) (*identity.Identity, err
 	return id, nil
 }
 
+// startMetrics starts the opt-in HTTP introspection endpoint: Prometheus
+// text on /metrics, expvar on /debug/vars, pprof under /debug/pprof/. An
+// empty addr disables it and returns a nil registry.
+func startMetrics(addr string) (*metrics.Registry, *obs.Server, error) {
+	if addr == "" {
+		return nil, nil, nil
+	}
+	reg := metrics.NewRegistry()
+	srv, err := obs.Serve(addr, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	return reg, srv, nil
+}
+
 // openJournal recovers the peer's durable state from dataDir; an empty
-// dataDir disables persistence and returns a nil journal.
-func openJournal(dataDir string, p *peer.Peer) (*journal.Peer, error) {
+// dataDir disables persistence and returns a nil journal. With a non-nil
+// registry the journal exports append/fsync/snapshot/recovery metrics.
+func openJournal(dataDir string, p *peer.Peer, reg *metrics.Registry) (*journal.Peer, error) {
 	if dataDir == "" {
 		return nil, nil
 	}
-	jp, info, err := journal.OpenPeer(dataDir, p, journal.DefaultConfig())
+	cfg := journal.DefaultConfig()
+	if reg != nil {
+		cfg.Obs = journal.NewLogObs(reg, obs.WallClock)
+	}
+	jp, info, err := journal.OpenPeer(dataDir, p, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -152,8 +176,16 @@ func serve(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:9100", "address to serve the evaluation list on")
 	votes := fs.String("vote", "", "comma-separated FILE=VALUE evaluations to publish")
 	dataDir := fs.String("data-dir", "", "directory for the durable journal (empty = in-memory only)")
+	metricsAddr := fs.String("metrics-addr", "", "optional introspection address (\":0\" = ephemeral): Prometheus /metrics, expvar, pprof")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	reg, msrv, err := startMetrics(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	if msrv != nil {
+		defer func() { _ = msrv.Close() }()
 	}
 	dir := identity.NewDirectory()
 	id, err := makeIdentity(*seed, dir)
@@ -161,11 +193,14 @@ func serve(args []string) error {
 		return err
 	}
 	resolver := peer.NewStaticResolver()
-	p, err := peer.New(id, dir, peer.NewTCPExchange(resolver), peer.DefaultConfig())
+	network := peer.NewTCPExchange(resolver)
+	xobs := peer.NewExchangeObs(reg)
+	network.Instrument(xobs)
+	p, err := peer.New(id, dir, network, peer.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	jp, err := openJournal(*dataDir, p)
+	jp, err := openJournal(*dataDir, p, reg)
 	if err != nil {
 		return err
 	}
@@ -188,6 +223,7 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	srv.Instrument(xobs)
 	serving, err := p.SignedEvaluations()
 	if err != nil {
 		return err
@@ -237,7 +273,7 @@ func trust(args []string) error {
 	if err != nil {
 		return err
 	}
-	jp, err := openJournal(*dataDir, p)
+	jp, err := openJournal(*dataDir, p, nil)
 	if err != nil {
 		return err
 	}

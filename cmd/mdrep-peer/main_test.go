@@ -63,7 +63,7 @@ func newCLIPeer(t *testing.T, seed uint64) *peer.Peer {
 func TestDataDirPersistsVotes(t *testing.T) {
 	dataDir := t.TempDir()
 
-	jp, err := openJournal(dataDir, newCLIPeer(t, 7))
+	jp, err := openJournal(dataDir, newCLIPeer(t, 7), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestDataDirPersistsVotes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	restored, err := openJournal(dataDir, newCLIPeer(t, 7))
+	restored, err := openJournal(dataDir, newCLIPeer(t, 7), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestDataDirPersistsVotes(t *testing.T) {
 }
 
 func TestOpenJournalDisabled(t *testing.T) {
-	jp, err := openJournal("", newCLIPeer(t, 8))
+	jp, err := openJournal("", newCLIPeer(t, 8), nil)
 	if err != nil || jp != nil {
 		t.Fatalf("empty data dir should disable persistence: %v, %v", jp, err)
 	}

@@ -12,6 +12,12 @@
 // Usage:
 //
 //	mdrep-sim [-exp e1|e1sweep|e2|e3|e4|e5|e6|e7|all] [-scale small|full]
+//	          [-metrics]
+//
+// With -metrics the run instruments the sparse kernels and prints a
+// one-shot metrics report at exit; the per-step RM walk timings there
+// (sparse_rowvecpow_step_seconds) are how to read the cost of the
+// multi-trust depth n (see EXPERIMENTS.md).
 package main
 
 import (
@@ -21,6 +27,9 @@ import (
 	"strings"
 
 	"mdrep/internal/experiments"
+	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
+	"mdrep/internal/sparse"
 )
 
 func main() {
@@ -34,8 +43,17 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("mdrep-sim", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id: e1..e6 or all")
 	scale := fs.String("scale", "small", "experiment scale: small or full")
+	withMetrics := fs.Bool("metrics", false, "instrument the sparse kernels and print a metrics report at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *withMetrics {
+		reg := metrics.NewRegistry()
+		sparse.Instrument(reg, obs.WallClock)
+		defer func() {
+			sparse.Uninstrument()
+			_ = reg.Dump(os.Stderr)
+		}()
 	}
 	sc := experiments.ScaleSmall
 	switch *scale {

@@ -2,6 +2,7 @@ package mdrep
 
 import (
 	"io"
+	"sync"
 
 	"mdrep/internal/dht"
 	"mdrep/internal/eval"
@@ -74,8 +75,17 @@ type RecordSource interface {
 }
 
 // EventCounter is a monotonic, concurrency-safe counter; the resilience
-// layer exposes its degraded-mode decisions through these.
+// layer exposes its degraded-mode decisions through these. Counters are
+// registry instruments (see MetricsRegistry) so they double as exported
+// series.
 type EventCounter = metrics.Counter
+
+// MetricsRegistry collects the library's runtime metrics for export
+// (Prometheus text, expvar, or a one-shot Dump).
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // dhtRecordSource adapts a DHT node's Retrieve to RecordSource.
 type dhtRecordSource struct{ node *dht.Node }
@@ -100,6 +110,31 @@ func (s dhtRecordSource) FileEvaluations(f FileID) ([]EvaluationInfo, error) {
 	return out, nil
 }
 
+// JudgeMetrics breaks judgement verdicts down by outcome. The counters
+// are registry instruments: an un-instrumented judge binds them lazily
+// to a private registry, Instrument rebinds them onto a shared one as
+// judge_verdicts_total{outcome="dht"|"cache_fallback"|"error"}.
+type JudgeMetrics struct {
+	// Judged counts verdicts computed from fresh record-source answers.
+	Judged *EventCounter
+	// Fallbacks counts judgements served from the local cache because
+	// the record source was unreachable.
+	Fallbacks *EventCounter
+	// Errors counts terminal source failures propagated to the caller.
+	Errors *EventCounter
+}
+
+func bindJudgeMetrics(reg *MetricsRegistry, labels []string) *JudgeMetrics {
+	outcome := func(v string) *EventCounter {
+		return reg.Counter("judge_verdicts_total", append([]string{"outcome", v}, labels...)...)
+	}
+	return &JudgeMetrics{
+		Judged:    outcome("dht"),
+		Fallbacks: outcome("cache_fallback"),
+		Errors:    outcome("error"),
+	}
+}
+
 // ResilientJudge is the degradation policy for pre-download judgement
 // (§4.1 step 5): judge from DHT records when the network answers, and
 // fall back to the participant's locally cached evaluation lists when
@@ -109,21 +144,48 @@ func (s dhtRecordSource) FileEvaluations(f FileID) ([]EvaluationInfo, error) {
 type ResilientJudge struct {
 	Participant *Participant
 	Source      RecordSource
-	// Fallbacks counts judgements served from the local cache because
-	// the record source was unreachable.
-	Fallbacks EventCounter
+
+	mu sync.Mutex
+	m  *JudgeMetrics
+}
+
+// Instrument publishes the judge's verdict counters into reg with the
+// given extra label pairs. Call before the judge is shared across
+// goroutines; counts on the lazy private registry are not carried over.
+func (r *ResilientJudge) Instrument(reg *MetricsRegistry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	m := bindJudgeMetrics(reg, labels)
+	r.mu.Lock()
+	r.m = m
+	r.mu.Unlock()
+}
+
+// Metrics returns the judge's verdict counters, binding them to a
+// private registry if Instrument has not been called.
+func (r *ResilientJudge) Metrics() *JudgeMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = bindJudgeMetrics(metrics.NewRegistry(), nil)
+	}
+	return r.m
 }
 
 // Judge returns the R_f verdict for f, degrading to the local trust
 // view on retryable source failures.
 func (r *ResilientJudge) Judge(f FileID) (Judgement, error) {
+	m := r.Metrics()
 	records, err := r.Source.FileEvaluations(f)
 	if err != nil {
 		if fault.Retryable(err) {
-			r.Fallbacks.Inc()
+			m.Fallbacks.Inc()
 			return r.Participant.JudgeFileFromCache(f), nil
 		}
+		m.Errors.Inc()
 		return Judgement{}, err
 	}
+	m.Judged.Inc()
 	return r.Participant.JudgeFile(records)
 }

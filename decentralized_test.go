@@ -137,8 +137,11 @@ func TestResilientJudgeFallsBackToLocalTrustView(t *testing.T) {
 	if !healthy.Known {
 		t.Fatalf("healthy path verdict unknown: %+v", healthy)
 	}
-	if got := judge.Fallbacks.Load(); got != 0 {
+	if got := judge.Metrics().Fallbacks.Load(); got != 0 {
 		t.Fatalf("healthy path bumped fallback counter to %d", got)
+	}
+	if got := judge.Metrics().Judged.Load(); got != 1 {
+		t.Fatalf("judged = %d after one healthy verdict, want 1", got)
 	}
 
 	// DHT unreachable: the verdict must come from the cached lists and
@@ -151,7 +154,7 @@ func TestResilientJudgeFallsBackToLocalTrustView(t *testing.T) {
 	if !degraded.Known {
 		t.Fatalf("fallback verdict unknown despite cached evaluation: %+v", degraded)
 	}
-	if got := judge.Fallbacks.Load(); got != 1 {
+	if got := judge.Metrics().Fallbacks.Load(); got != 1 {
 		t.Fatalf("fallbacks = %d after one degraded judgement, want 1", got)
 	}
 
@@ -160,7 +163,42 @@ func TestResilientJudgeFallsBackToLocalTrustView(t *testing.T) {
 	if _, err := judge.Judge("target"); err == nil {
 		t.Fatal("terminal source error swallowed by fallback")
 	}
-	if got := judge.Fallbacks.Load(); got != 1 {
+	if got := judge.Metrics().Fallbacks.Load(); got != 1 {
 		t.Fatalf("terminal error bumped fallback counter to %d", got)
+	}
+	if got := judge.Metrics().Errors.Load(); got != 1 {
+		t.Fatalf("errors = %d after one terminal failure, want 1", got)
+	}
+}
+
+func TestResilientJudgeInstrument(t *testing.T) {
+	dir := NewPKIDirectory()
+	id, err := NewIdentity(identity.NewDeterministicReader(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Register(id.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParticipant(id, dir, NewEvaluationExchange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unreachable := recordSourceFunc(func(FileID) ([]EvaluationInfo, error) {
+		return nil, fault.Unreachable(errors.New("dht down"))
+	})
+	judge := &ResilientJudge{Participant: p, Source: unreachable}
+	reg := NewMetricsRegistry()
+	judge.Instrument(reg)
+	if _, err := judge.Judge("anything"); err != nil {
+		t.Fatal(err)
+	}
+	// The judge's view and the exported series are the same instrument,
+	// so the cache-fallback rate is scrapeable directly.
+	if got := reg.Counter("judge_verdicts_total", "outcome", "cache_fallback").Load(); got != 1 {
+		t.Fatalf("exported cache_fallback = %d, want 1", got)
+	}
+	if got := judge.Metrics().Fallbacks.Load(); got != 1 {
+		t.Fatalf("judge view fallbacks = %d, want 1", got)
 	}
 }

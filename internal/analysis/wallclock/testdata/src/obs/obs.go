@@ -1,0 +1,38 @@
+// Stub of mdrep/internal/obs for the wallclock fixtures: the same
+// surface (Clock, WallClock, Tracer, Span) under the bare import path
+// "obs", which lintutil.IsPackage matches like the real one.
+package obs
+
+import "time"
+
+type Clock func() time.Time
+
+func WallClock() time.Time { return time.Now() }
+
+type Tracer struct{ clock Clock }
+
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		return nil
+	}
+	return &Tracer{clock: clock}
+}
+
+type Span struct {
+	clock Clock
+	start time.Time
+}
+
+func (t *Tracer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{clock: t.clock, start: t.clock()}
+}
+
+func (s Span) End() time.Duration {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock().Sub(s.start)
+}

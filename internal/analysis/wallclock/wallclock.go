@@ -18,6 +18,13 @@
 // clock idiom `now: time.Now` in a constructor default. Genuine
 // wall-clock uses, such as network I/O deadlines, carry an
 // //mdrep:allow wallclock suppression naming the reason.
+//
+// The observability layer gets the same treatment: any reference to
+// obs.WallClock — even uncalled, e.g. obs.NewTracer(obs.WallClock) — is
+// flagged, because binding the ambient clock to a tracer inside a
+// deterministic package defeats the injected-clock contract. Instrumented
+// packages accept an obs.Clock from their caller (a cmd binary or a
+// test's fake clock) and never choose the clock themselves.
 package wallclock
 
 import (
@@ -88,6 +95,24 @@ func run(pass *analysis.Pass) (interface{}, error) {
 					fn.Pkg().Name(), fn.Name())
 			}
 		}
+	})
+	// References (not just calls) to obs.WallClock: passing the ambient
+	// clock into a tracer is as nondeterministic as calling time.Now, and
+	// the uncalled form is exactly how it would sneak in — as a Clock
+	// argument. The time.Now reference exemption does not extend here:
+	// an instrumented deterministic package must receive its obs.Clock
+	// from the caller, never pick the wall clock itself.
+	ins.Preorder([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node) {
+		id := n.(*ast.Ident)
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Name() != "WallClock" {
+			return
+		}
+		if !lintutil.IsPackage(fn.Pkg().Path(), "obs") {
+			return
+		}
+		lintutil.Report(pass, id.Pos(), name,
+			"obs.WallClock binds the ambient clock inside a deterministic package; accept an injected obs.Clock from the caller instead")
 	})
 	return nil, nil
 }

@@ -8,6 +8,8 @@ import (
 	"mdrep/internal/dht"
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 	"mdrep/internal/sim"
 )
 
@@ -23,6 +25,10 @@ type NetworkConfig struct {
 	// Retry, when non-nil, stacks a dht.RetryClient on every node's
 	// transport; its backoff sleeps advance the virtual clock.
 	Retry *dht.RetryPolicy
+	// Metrics, when non-nil, exports the injector's fault tallies and
+	// every slot's retry/RPC metrics (restarted slots included) into the
+	// registry, timed by the network's virtual clock.
+	Metrics *metrics.Registry
 }
 
 // Network is a MemNet ring whose every RPC flows through the chaos
@@ -63,6 +69,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		cfg:     cfg,
 	}
 	nw.Chaos = New(nw.Mem, nw.Clock, cfg.Chaos)
+	nw.Chaos.Instrument(cfg.Metrics)
 	for i := 0; i < cfg.Nodes; i++ {
 		node, err := nw.spawn(i)
 		if err != nil {
@@ -84,6 +91,12 @@ func (nw *Network) Addr(i int) string {
 	return fmt.Sprintf("chaos://node-%03d", i)
 }
 
+// virtualClock adapts the network's virtual clock to the tracer's clock
+// type, so exported latency spans measure virtual (deterministic) time.
+func (nw *Network) virtualClock() obs.Clock {
+	return func() time.Time { return time.Unix(0, 0).Add(nw.Clock.Now()) }
+}
+
 // spawn builds a fresh node process for slot i and registers it.
 func (nw *Network) spawn(i int) (*dht.Node, error) {
 	addr := nw.Addr(i)
@@ -91,6 +104,11 @@ func (nw *Network) spawn(i int) (*dht.Node, error) {
 	if nw.cfg.Retry != nil {
 		rc := dht.NewRetryClient(client, *nw.cfg.Retry, nw.cfg.Chaos.Seed+uint64(i))
 		rc.SetSleep(nw.Clock.Advance)
+		if nw.cfg.Metrics != nil {
+			// All slots share the unlabelled series, so the exported
+			// totals aggregate the whole ring and survive restarts.
+			rc.Instrument(nw.cfg.Metrics, nw.virtualClock())
+		}
 		nw.Retries[i] = rc
 		client = rc
 	}

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mdrep/internal/metrics"
+)
+
+// scrapeValue finds one series in a Prometheus text exposition and
+// returns its value as an integer count. Missing series count as 0 —
+// a seed that never rolled a fault kind simply exports nothing yet.
+func scrapeValue(t *testing.T, exposition, series string) uint64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		return uint64(v)
+	}
+	return 0
+}
+
+// TestExportedFaultCountsMatchGroundTruth is the exporter's own chaos
+// property: over 50 seeded schedules, every fault count scraped from the
+// registry must equal the injector's independent value-counter tally,
+// and the exported retry totals must match what the retry layers saw.
+func TestExportedFaultCountsMatchGroundTruth(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			reg := metrics.NewRegistry()
+			cfg := churnConfig(seed, 8)
+			cfg.Chaos.OpTimeout = 6 * time.Millisecond // exercise the timeout kind too
+			cfg.Metrics = reg
+			nw, err := NewNetwork(cfg)
+			if err != nil {
+				t.Fatalf("build network: %v", err)
+			}
+			recs := MakeRecords(12, seed)
+			if err := nw.Publish(recs, initialTS); err != nil {
+				t.Fatalf("publish: %v", err)
+			}
+			nw.Converge(2)
+			sched := Generate(seed, 8, Profile{
+				Rounds:          3,
+				CrashesPerRound: 2,
+				RestartAfter:    1,
+				Protected:       []int{0},
+			})
+			if err := nw.RunSchedule(sched, recs, 3); err != nil {
+				t.Fatalf("schedule %q: %v", sched.String(), err)
+			}
+			quiesce(nw)
+
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			exposition := b.String()
+
+			truth := nw.Chaos.Counters.Snapshot()
+			var total uint64
+			for kind, want := range truth {
+				got := scrapeValue(t, exposition, fmt.Sprintf("chaos_faults_total{kind=%q}", kind))
+				if got != want {
+					t.Errorf("exported %s = %d, injector delivered %d", kind, got, want)
+				}
+				total += want
+			}
+			if total == 0 {
+				t.Fatal("schedule delivered no faults; the equality check is vacuous")
+			}
+
+			// Retry layer: the shared exported series must equal the sum
+			// of what the clients saw — same instrument, so any drift
+			// means a rebind lost counts across a restart.
+			attempts := scrapeValue(t, exposition, "dht_rpc_attempts_total")
+			retries := scrapeValue(t, exposition, "dht_rpc_retries_total")
+			if attempts == 0 {
+				t.Fatal("no RPC attempts exported after a full schedule")
+			}
+			if live := nw.Retries[0].Metrics.Attempts.Load(); live != attempts {
+				t.Errorf("client view attempts %d != exported %d", live, attempts)
+			}
+			if retries == 0 {
+				t.Error("lossy schedule exported zero retries")
+			}
+		})
+	}
+}

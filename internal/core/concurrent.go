@@ -25,6 +25,9 @@ import (
 type Concurrent struct {
 	mu  sync.RWMutex
 	eng *Engine
+	// obs is re-attached to whatever engine Swap installs, so journal
+	// restores keep the instrumentation the caller configured.
+	obs *EngineObs
 }
 
 // NewConcurrent wraps an existing engine. The caller must not use eng
@@ -48,6 +51,13 @@ func (c *Concurrent) engine() *Engine {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.eng
+}
+
+// observer loads the attached observer under the read lock.
+func (c *Concurrent) observer() *EngineObs {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.obs
 }
 
 // N returns the population size.
@@ -115,11 +125,22 @@ func (c *Concurrent) Compact(now time.Duration) {
 }
 
 // Swap replaces the wrapped engine — the journal's restore path, which
-// rebuilds an engine from a snapshot and must install it atomically.
+// rebuilds an engine from a snapshot and must install it atomically. The
+// facade's observer carries over to the new engine.
 func (c *Concurrent) Swap(eng *Engine) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	eng.SetObserver(c.obs)
 	c.eng = eng
+}
+
+// SetObserver attaches the metrics observer to the facade and its
+// current engine (nil detaches).
+func (c *Concurrent) SetObserver(o *EngineObs) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs = o
+	c.eng.SetObserver(o)
 }
 
 // Locked runs fn with exclusive access to the wrapped engine. It is the
@@ -169,7 +190,10 @@ func (c *Concurrent) Reputations(i int, now time.Duration) (map[int]float64, err
 	if err != nil {
 		return nil, err
 	}
-	return tm.RowVecPow(i, eng.Config().Steps)
+	sp := c.observer().spanRepWalk()
+	row, err := tm.RowVecPow(i, eng.Config().Steps)
+	sp.End()
+	return row, err
 }
 
 // ReputationsFromTM runs the multi-trust walk against a caller-held frozen

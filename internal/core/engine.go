@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mdrep/internal/eval"
+	"mdrep/internal/obs"
 	"mdrep/internal/sparse"
 )
 
@@ -62,6 +63,10 @@ type Engine struct {
 	// (lastNow, now].
 	lastNow    time.Duration
 	lastNowSet bool
+
+	// obs is the optional metrics observer (see obs.go); nil means
+	// uninstrumented, the default.
+	obs *EngineObs
 }
 
 type downloadEntry struct {
@@ -372,16 +377,43 @@ func (e *Engine) refreshFM(now time.Duration) bool {
 	if !e.fm.stale() {
 		return false
 	}
+	var sp obs.Span
+	if e.obs != nil {
+		e.obs.dirtyFM.Add(e.dirtyCount(&e.fm))
+		sp = e.obs.tracer.Start(e.obs.buildFM)
+	}
 	memo := make(map[eval.FileID]*fileEvaluators)
-	return e.refresh(&e.fm, func(i int) map[int]float64 { return e.fmRow(i, now, memo) })
+	changed := e.refresh(&e.fm, func(i int) map[int]float64 { return e.fmRow(i, now, memo) })
+	sp.End()
+	return changed
 }
 
 func (e *Engine) refreshDM(now time.Duration) bool {
-	return e.refresh(&e.dm, func(i int) map[int]float64 { return e.dmRow(i, now) })
+	if !e.dm.stale() {
+		return false
+	}
+	var sp obs.Span
+	if e.obs != nil {
+		e.obs.dirtyDM.Add(e.dirtyCount(&e.dm))
+		sp = e.obs.tracer.Start(e.obs.buildDM)
+	}
+	changed := e.refresh(&e.dm, func(i int) map[int]float64 { return e.dmRow(i, now) })
+	sp.End()
+	return changed
 }
 
 func (e *Engine) refreshUM() bool {
-	return e.refresh(&e.um, func(i int) map[int]float64 { return e.umRow(i) })
+	if !e.um.stale() {
+		return false
+	}
+	var sp obs.Span
+	if e.obs != nil {
+		e.obs.dirtyUM.Add(e.dirtyCount(&e.um))
+		sp = e.obs.tracer.Start(e.obs.buildUM)
+	}
+	changed := e.refresh(&e.um, func(i int) map[int]float64 { return e.umRow(i) })
+	sp.End()
+	return changed
 }
 
 // --- public build API -------------------------------------------------------
@@ -471,6 +503,10 @@ func (e *Engine) BuildTM(now time.Duration) (*sparse.CSR, error) {
 	e.refreshUM()
 	src := [3]*sparse.CSR{e.fm.frozen, e.dm.frozen, e.um.frozen}
 	if e.tm == nil || src != e.tmSrc {
+		var sp obs.Span
+		if e.obs != nil {
+			sp = e.obs.tracer.Start(e.obs.refreeze)
+		}
 		tm, err := sparse.WeightedSum(e.n, []sparse.Weighted{
 			{Scale: e.cfg.Alpha, M: e.fm.frozen},
 			{Scale: e.cfg.Beta, M: e.dm.frozen},
@@ -482,6 +518,10 @@ func (e *Engine) BuildTM(now time.Duration) (*sparse.CSR, error) {
 		e.tm = tm
 		e.tmSrc = src
 		e.epoch++
+		sp.End()
+		if e.obs != nil {
+			e.obs.refreezes.Inc()
+		}
 	}
 	return e.tm, nil
 }
@@ -521,7 +561,13 @@ func (e *Engine) BuildRM(now time.Duration) (*sparse.CSR, error) {
 	if err != nil {
 		return nil, err
 	}
-	return tm.Pow(e.cfg.Steps)
+	var sp obs.Span
+	if e.obs != nil {
+		sp = e.obs.tracer.Start(e.obs.buildRM)
+	}
+	rm, err := tm.Pow(e.cfg.Steps)
+	sp.End()
+	return rm, err
 }
 
 // Reputations returns row i of RM — peer i's multi-trust reputation view
@@ -534,7 +580,13 @@ func (e *Engine) Reputations(i int, now time.Duration) (map[int]float64, error) 
 	if err != nil {
 		return nil, err
 	}
-	return tm.RowVecPow(i, e.cfg.Steps)
+	var sp obs.Span
+	if e.obs != nil {
+		sp = e.obs.tracer.Start(e.obs.repWalk)
+	}
+	row, err := tm.RowVecPow(i, e.cfg.Steps)
+	sp.End()
+	return row, err
 }
 
 // ReputationsFromTM is Reputations against a prebuilt TM, letting callers

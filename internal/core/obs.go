@@ -1,0 +1,74 @@
+package core
+
+import (
+	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
+)
+
+// EngineObs is the engine's metrics surface: per-dimension build
+// latency and dirty-row volume, TM re-freeze (epoch bump) latency, and
+// reputation power-walk timing. An engine with a nil observer pays one
+// nil check per build call. The observer carries no engine state, so
+// attaching or detaching it cannot perturb replay determinism — the
+// clock is only ever read around builds, never fed into them.
+type EngineObs struct {
+	tracer *obs.Tracer
+
+	buildFM *metrics.Histogram // engine_build_seconds{dim=...}
+	buildDM *metrics.Histogram
+	buildUM *metrics.Histogram
+	buildRM *metrics.Histogram
+	repWalk *metrics.Histogram // Reputations row-walk latency
+
+	refreeze  *metrics.Histogram // TM integration (WeightedSum) latency
+	refreezes *metrics.Counter   // epoch bumps
+
+	dirtyFM *metrics.Counter // engine_dirty_rows_total{dim=...}
+	dirtyDM *metrics.Counter
+	dirtyUM *metrics.Counter
+}
+
+// NewEngineObs registers the engine metric families in reg and returns
+// an observer timed by clock. A nil registry returns a nil (disabled)
+// observer; a nil clock keeps the counters but disables the latency
+// spans, which is what deterministic simulations want.
+func NewEngineObs(reg *metrics.Registry, clock obs.Clock) *EngineObs {
+	if reg == nil {
+		return nil
+	}
+	return &EngineObs{
+		tracer:    obs.NewTracer(clock),
+		buildFM:   reg.Histogram("engine_build_seconds", metrics.DurationBuckets, "dim", "fm"),
+		buildDM:   reg.Histogram("engine_build_seconds", metrics.DurationBuckets, "dim", "dm"),
+		buildUM:   reg.Histogram("engine_build_seconds", metrics.DurationBuckets, "dim", "um"),
+		buildRM:   reg.Histogram("engine_build_seconds", metrics.DurationBuckets, "dim", "rm"),
+		repWalk:   reg.Histogram("engine_reputation_walk_seconds", metrics.DurationBuckets),
+		refreeze:  reg.Histogram("engine_tm_refreeze_seconds", metrics.DurationBuckets),
+		refreezes: reg.Counter("engine_tm_refreeze_total"),
+		dirtyFM:   reg.Counter("engine_dirty_rows_total", "dim", "fm"),
+		dirtyDM:   reg.Counter("engine_dirty_rows_total", "dim", "dm"),
+		dirtyUM:   reg.Counter("engine_dirty_rows_total", "dim", "um"),
+	}
+}
+
+// spanRepWalk starts a reputation-walk span; nil-safe so lock-free query
+// paths can call it unconditionally.
+func (o *EngineObs) spanRepWalk() obs.Span {
+	if o == nil {
+		return obs.Span{}
+	}
+	return o.tracer.Start(o.repWalk)
+}
+
+// SetObserver attaches (or, with nil, detaches) the metrics observer.
+// Not safe for concurrent use with builds — attach at construction, or
+// through Concurrent.SetObserver.
+func (e *Engine) SetObserver(o *EngineObs) { e.obs = o }
+
+// dirtyCount is the number of rows the next refresh of d will recompute.
+func (e *Engine) dirtyCount(d *dimCache) uint64 {
+	if d.all || d.rows == nil {
+		return uint64(e.n)
+	}
+	return uint64(len(d.dirty))
+}

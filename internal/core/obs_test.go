@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mdrep/internal/metrics"
+)
+
+func TestEngineObserverCounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	now := time.Unix(0, 0)
+	o := NewEngineObs(reg, func() time.Time {
+		now = now.Add(time.Microsecond)
+		return now
+	})
+	eng, err := NewEngine(4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetObserver(o)
+
+	if err := eng.Vote(0, "f1", 0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Vote(1, "f1", 0.8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RecordDownload(0, 1, "f1", 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RateUser(0, 1, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.BuildTM(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// First build recomputes all n rows of each dimension.
+	for _, dim := range []string{"fm", "dm", "um"} {
+		if got := reg.Counter("engine_dirty_rows_total", "dim", dim).Load(); got != 4 {
+			t.Errorf("dirty rows %s = %d, want 4", dim, got)
+		}
+		if got := reg.Histogram("engine_build_seconds", metrics.DurationBuckets, "dim", dim).Count(); got != 1 {
+			t.Errorf("build spans %s = %d, want 1", dim, got)
+		}
+	}
+	if got := reg.Counter("engine_tm_refreeze_total").Load(); got != eng.Epoch() {
+		t.Errorf("refreeze count %d != epoch %d", got, eng.Epoch())
+	}
+
+	// An incremental patch recomputes only the dirtied rows.
+	if err := eng.RateUser(2, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.BuildTM(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("engine_dirty_rows_total", "dim", "um").Load(); got != 5 {
+		t.Errorf("um dirty rows after patch = %d, want 4+1", got)
+	}
+
+	if _, err := eng.Reputations(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram("engine_reputation_walk_seconds", metrics.DurationBuckets).Count(); got != 1 {
+		t.Errorf("reputation walk spans = %d, want 1", got)
+	}
+	if _, err := eng.BuildRM(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram("engine_build_seconds", metrics.DurationBuckets, "dim", "rm").Count(); got != 1 {
+		t.Errorf("rm build spans = %d, want 1", got)
+	}
+}
+
+func TestConcurrentObserverSurvivesSwap(t *testing.T) {
+	reg := metrics.NewRegistry()
+	o := NewEngineObs(reg, nil) // counters only; no clock needed
+	c, err := NewConcurrentEngine(3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetObserver(o)
+
+	replacement, err := NewEngine(3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Swap(replacement)
+	if err := c.Vote(0, "f", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TM(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("engine_dirty_rows_total", "dim", "fm").Load(); got == 0 {
+		t.Error("observer lost across Swap: no dirty rows recorded")
+	}
+}

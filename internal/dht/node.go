@@ -53,6 +53,9 @@ type Node struct {
 
 	// Lookups counts FindSuccessor hops served, for experiment E6.
 	lookupHops uint64
+
+	// obs is the optional ring-metrics surface (see Instrument).
+	obs *nodeObs
 }
 
 // NewNode builds a node addressed at addr using the given client.
@@ -160,6 +163,9 @@ func (n *Node) HandleFindSuccessor(id ID) (NodeRef, error) {
 	n.lookupHops++
 	succ := n.succs[0]
 	n.mu.Unlock()
+	if n.obs != nil {
+		n.obs.lookupHops.Inc()
+	}
 	if Between(id, n.self.ID, succ.ID) {
 		return succ, nil
 	}
@@ -221,6 +227,9 @@ var _ handler = (*Node)(nil)
 // adopt a closer one if its predecessor sits between, refresh the
 // successor list, and notify the successor of our existence.
 func (n *Node) Stabilize() {
+	if n.obs != nil {
+		n.obs.stabilizations.Inc()
+	}
 	succ := n.Successor()
 	if succ.Addr == n.self.Addr {
 		// Bootstrap case: a node that is its own successor adopts its
@@ -417,6 +426,12 @@ func (n *Node) Retrieve(key ID) ([]StoredRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	walked := 1 // the root is always consulted
+	defer func() {
+		if n.obs != nil {
+			n.obs.walkDepth.Observe(float64(walked))
+		}
+	}()
 	var recs []StoredRecord
 	var rootErr error
 	if root.Addr == n.self.Addr {
@@ -438,6 +453,7 @@ func (n *Node) Retrieve(key ID) ([]StoredRecord, error) {
 		if s.Addr == root.Addr || s.Addr == n.self.Addr {
 			continue
 		}
+		walked++
 		if rrecs, rerr := n.client.Retrieve(s.Addr, key); rerr == nil && len(rrecs) > 0 {
 			return rrecs, nil
 		}

@@ -46,15 +46,18 @@ func DefaultRetryPolicy() RetryPolicy {
 	}
 }
 
-// RetryMetrics exposes what the retry layer actually did.
+// RetryMetrics exposes what the retry layer actually did. The counters
+// are registry instruments: NewRetryClient binds them to a private
+// registry so an un-instrumented client still counts, and Instrument
+// rebinds them onto a shared registry for export.
 type RetryMetrics struct {
 	// Attempts counts every RPC issued, including first tries.
-	Attempts metrics.Counter
+	Attempts *metrics.Counter
 	// Retries counts re-issued RPCs (attempts beyond the first).
-	Retries metrics.Counter
+	Retries *metrics.Counter
 	// Exhausted counts operations that failed after the last attempt
 	// or ran out of backoff budget.
-	Exhausted metrics.Counter
+	Exhausted *metrics.Counter
 }
 
 // Snapshot returns the counters as a name→count map for logging.
@@ -84,6 +87,9 @@ type RetryClient struct {
 
 	// Metrics counts attempts, retries and exhausted operations.
 	Metrics RetryMetrics
+
+	// obs is the optional per-op latency surface (see Instrument).
+	obs *rpcObs
 }
 
 // NewRetryClient wraps inner with the given policy. The seed drives
@@ -92,11 +98,17 @@ func NewRetryClient(inner Client, policy RetryPolicy, seed uint64) *RetryClient 
 	if policy.MaxAttempts < 1 {
 		policy.MaxAttempts = 1
 	}
+	own := metrics.NewRegistry()
 	return &RetryClient{
 		inner:  inner,
 		policy: policy,
 		rng:    sim.NewRNG(seed),
 		sleep:  time.Sleep,
+		Metrics: RetryMetrics{
+			Attempts:  own.Counter("dht_rpc_attempts_total"),
+			Retries:   own.Counter("dht_rpc_retries_total"),
+			Exhausted: own.Counter("dht_rpc_exhausted_total"),
+		},
 	}
 }
 
@@ -127,7 +139,11 @@ func (c *RetryClient) nextDelay(retry int) time.Duration {
 }
 
 // do runs op with retries. op must capture its own result variables.
+// The latency span covers the whole logical call: every attempt plus the
+// backoff between them.
 func (c *RetryClient) do(name string, op func() error) error {
+	sp := c.obs.span(name)
+	defer sp.End()
 	var spent time.Duration
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -195,6 +211,8 @@ func (c *RetryClient) Notify(addr string, self NodeRef) error {
 // dead nodes, so a failed ping is not retried: stabilisation must see
 // the failure promptly and route around it.
 func (c *RetryClient) Ping(addr string) error {
+	sp := c.obs.span("ping")
+	defer sp.End()
 	c.Metrics.Attempts.Inc()
 	return c.inner.Ping(addr)
 }

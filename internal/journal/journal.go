@@ -62,6 +62,9 @@ type Config struct {
 	// log segments are pruned only once they precede the oldest retained
 	// snapshot.
 	KeepSnapshots int
+	// Obs is the optional metrics observer (see NewLogObs); nil means
+	// uninstrumented.
+	Obs *LogObs
 }
 
 // DefaultConfig keeps two snapshot generations, snapshots every 10k
@@ -169,9 +172,14 @@ func Open(dir string, cfg Config, state State) (*Log, RecoveryInfo, error) {
 		return nil, RecoveryInfo{}, fmt.Errorf("journal: %w", err)
 	}
 	l := &Log{dir: dir, cfg: cfg, state: state}
+	sp := cfg.Obs.spanRecovery()
 	info, err := l.recover()
+	sp.End()
 	if err != nil {
 		return nil, info, err
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.replayed.Add(info.Replayed)
 	}
 	return l, info, nil
 }
@@ -403,11 +411,16 @@ func (l *Log) Append(payload []byte) error {
 	if l.f == nil {
 		return errors.New("journal: log is closed")
 	}
+	sp := l.cfg.Obs.spanAppend()
+	defer sp.End()
 	if err := wire.WriteRecord(l.w, payload); err != nil {
 		return err
 	}
 	l.seq++
 	l.unsynced++
+	if l.cfg.Obs != nil {
+		l.cfg.Obs.appends.Inc()
+	}
 	if l.unsynced >= l.cfg.SyncEvery {
 		return l.Sync()
 	}
@@ -426,6 +439,9 @@ func (l *Log) Sync() error {
 		return err
 	}
 	l.unsynced = 0
+	if l.cfg.Obs != nil {
+		l.cfg.Obs.fsyncs.Inc()
+	}
 	return nil
 }
 
@@ -464,6 +480,10 @@ func (l *Log) Snapshot() error {
 	copy(payload, snapMagic)
 	binary.BigEndian.PutUint64(payload[8:headerLen], l.seq)
 	copy(payload[headerLen:], blob)
+	if l.cfg.Obs != nil {
+		l.cfg.Obs.snapshots.Inc()
+		l.cfg.Obs.snapBytes.Observe(float64(len(payload)))
+	}
 
 	tmp := filepath.Join(l.dir, "snap.tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

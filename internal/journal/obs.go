@@ -1,0 +1,55 @@
+package journal
+
+import (
+	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
+)
+
+// LogObs is the journal's metrics surface: append latency (including
+// the batched fsync when one lands on the call), fsync count, snapshot
+// size and count, and Open-time recovery cost. Threaded in through
+// Config.Obs so the instrumentation is chosen by whoever opens the log;
+// a nil observer costs one nil check per operation.
+type LogObs struct {
+	tracer    *obs.Tracer
+	appendLat *metrics.Histogram // journal_append_seconds
+	appends   *metrics.Counter   // journal_append_total
+	fsyncs    *metrics.Counter   // journal_fsync_total
+	snapBytes *metrics.Histogram // journal_snapshot_bytes
+	snapshots *metrics.Counter   // journal_snapshot_total
+	recovery  *metrics.Histogram // journal_recovery_seconds
+	replayed  *metrics.Counter   // journal_replayed_events_total
+}
+
+// NewLogObs registers the journal metric families in reg, timed by
+// clock. A nil registry returns a nil (disabled) observer; a nil clock
+// keeps the counters and sizes but disables latency spans.
+func NewLogObs(reg *metrics.Registry, clock obs.Clock) *LogObs {
+	if reg == nil {
+		return nil
+	}
+	return &LogObs{
+		tracer:    obs.NewTracer(clock),
+		appendLat: reg.Histogram("journal_append_seconds", metrics.DurationBuckets),
+		appends:   reg.Counter("journal_append_total"),
+		fsyncs:    reg.Counter("journal_fsync_total"),
+		snapBytes: reg.Histogram("journal_snapshot_bytes", metrics.SizeBuckets),
+		snapshots: reg.Counter("journal_snapshot_total"),
+		recovery:  reg.Histogram("journal_recovery_seconds", metrics.DurationBuckets),
+		replayed:  reg.Counter("journal_replayed_events_total"),
+	}
+}
+
+func (o *LogObs) spanAppend() obs.Span {
+	if o == nil {
+		return obs.Span{}
+	}
+	return o.tracer.Start(o.appendLat)
+}
+
+func (o *LogObs) spanRecovery() obs.Span {
+	if o == nil {
+		return obs.Span{}
+	}
+	return o.tracer.Start(o.recovery)
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// Prometheus `le` semantics: a value equal to a bound lands in that
+	// bound's bucket; above the last bound goes to +Inf.
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0.5, 0},
+		{1, 0}, // exactly on the first bound
+		{1.0001, 1},
+		{2, 1}, // exactly on a middle bound
+		{4, 2}, // exactly on the last finite bound
+		{4.0001, 3},
+		{1e12, 3}, // deep overflow
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	want := []uint64{2, 2, 1, 2}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(cases))
+	}
+	var sum float64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %v, want %v", h.Sum(), sum)
+	}
+}
+
+func TestHistogramInvalidBoundsPanic(t *testing.T) {
+	assertPanics(t, "empty bounds", func() { newHistogram(nil) })
+	assertPanics(t, "descending bounds", func() { newHistogram([]float64{2, 1}) })
+	assertPanics(t, "equal bounds", func() { newHistogram([]float64{1, 1}) })
+	assertPanics(t, "+Inf bound", func() { newHistogram([]float64{1, math.Inf(1)}) })
+	assertPanics(t, "NaN bound", func() { newHistogram([]float64{math.NaN()}) })
+}
+
+// TestHistogramConcurrentTotals runs under -race via `make obs`: total
+// count and per-bucket counts must add up exactly with many writers.
+func TestHistogramConcurrentTotals(t *testing.T) {
+	h := newHistogram([]float64{0.25, 0.5, 0.75})
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%4) * 0.25) // 0, .25, .5, .75: one per bucket... and 0 shares bucket 0
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = writers * perWriter
+	if h.Count() != total {
+		t.Fatalf("count = %d, want %d", h.Count(), total)
+	}
+	var bucketSum uint64
+	for i := range h.counts {
+		bucketSum += h.counts[i].Load()
+	}
+	if bucketSum != total {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, total)
+	}
+	// 0 and 0.25 both land in bucket 0; 0.5 in 1; 0.75 in 2; +Inf empty.
+	wantBuckets := []uint64{total / 2, total / 4, total / 4, 0}
+	for i, w := range wantBuckets {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	wantSum := float64(writers) * (perWriter / 4) * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramQuantileSanity checks the interpolated estimate against a
+// known uniform distribution: 10k observations spread evenly over (0,1]
+// with bounds every 0.1 must put the q-quantile within one bucket width
+// of q.
+func TestHistogramQuantileSanity(t *testing.T) {
+	bounds := make([]float64, 10)
+	for i := range bounds {
+		bounds[i] = float64(i+1) / 10
+	}
+	h := newHistogram(bounds)
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i) / n)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if math.Abs(got-q) > 0.1 {
+			t.Errorf("Quantile(%v) = %v, want within 0.1", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("Quantile(1) = %v, want 1", got)
+	}
+	if !math.IsNaN(newHistogram(bounds).Quantile(0.5)) {
+		t.Error("Quantile on empty histogram should be NaN")
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 100; i++ {
+		h.Observe(50) // all in +Inf bucket
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to last bound 2", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	assertPanics(t, "bad factor", func() { ExpBuckets(1, 1, 3) })
+}

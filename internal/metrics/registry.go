@@ -1,0 +1,441 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is the process-wide metrics namespace: named, optionally
+// labeled counters, gauges, and histograms. Registration (Counter /
+// Gauge / Histogram) takes a mutex and may allocate; the returned
+// instruments are lock-free, so hot paths register once at construction
+// and hold the pointer. Lookups are get-or-create: the same
+// (name, labels) always returns the same instrument, which is what makes
+// several RetryClients or chaos injectors share one exported series.
+//
+// Exports (Snapshot, WritePrometheus, Dump, ExpvarMap) order series by
+// name then by canonically sorted labels, so output is byte-stable for
+// tests regardless of registration order.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry    // canonical id -> instrument
+	kinds   map[string]kind      // family name -> kind
+	bounds  map[string][]float64 // family name -> histogram bounds
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type entry struct {
+	name    string
+	labels  string // canonical `{k="v",...}` rendering, "" when unlabeled
+	kind    kind
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries: make(map[string]*entry),
+		kinds:   make(map[string]kind),
+		bounds:  make(map[string][]float64),
+	}
+}
+
+// Counter returns the counter for name with the given label pairs
+// ("key", "value", ...), creating it on first use. Panics on an invalid
+// name, odd label list, or a name already registered as another kind —
+// all programmer errors.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	e := r.lookup(name, kindCounter, nil, labels)
+	return e.counter
+}
+
+// Gauge returns the gauge for name with the given label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	e := r.lookup(name, kindGauge, nil, labels)
+	return e.gauge
+}
+
+// Histogram returns the histogram for name with the given bucket bounds
+// and label pairs. Every histogram of one family must be created with
+// identical bounds so the exported series aggregate.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	e := r.lookup(name, kindHistogram, bounds, labels)
+	return e.hist
+}
+
+func (r *Registry) lookup(name string, k kind, histBounds []float64, labels []string) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	ls := renderLabels(name, labels)
+	id := name + ls
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.kinds[name]; ok && have != k {
+		panic(fmt.Sprintf("metrics: %s already registered as %s, requested as %s", name, have, k))
+	}
+	if e, ok := r.entries[id]; ok {
+		if k == kindHistogram && !equalBounds(r.bounds[name], histBounds) {
+			panic(fmt.Sprintf("metrics: histogram %s re-registered with different bounds", name))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: ls, kind: k}
+	switch k {
+	case kindCounter:
+		e.counter = &Counter{}
+	case kindGauge:
+		e.gauge = &Gauge{}
+	case kindHistogram:
+		if prev, ok := r.bounds[name]; ok {
+			if !equalBounds(prev, histBounds) {
+				panic(fmt.Sprintf("metrics: histogram %s re-registered with different bounds", name))
+			}
+			histBounds = prev
+		} else {
+			histBounds = append([]float64(nil), histBounds...)
+			r.bounds[name] = histBounds
+		}
+		e.hist = newHistogram(histBounds)
+	}
+	r.kinds[name] = k
+	r.entries[id] = e
+	return e
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validName accepts the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels canonicalises label pairs: keys sorted, values escaped,
+// rendered as {k="v",k2="v2"}. Empty labels render as "".
+func renderLabels(name string, labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list (want key, value pairs)", name))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelKey(labels[i]) {
+			panic(fmt.Sprintf("metrics: %s: invalid label key %q", name, labels[i]))
+		}
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].k == pairs[i-1].k {
+			panic(fmt.Sprintf("metrics: %s: duplicate label key %q", name, pairs[i].k))
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// Sample is one exported series in a Snapshot.
+type Sample struct {
+	Name   string
+	Labels string // canonical rendering, "" when unlabeled
+	Kind   string // "counter", "gauge", "histogram"
+
+	Counter uint64             // kind == counter
+	Gauge   float64            // kind == gauge
+	Hist    *HistogramSnapshot // kind == histogram
+}
+
+// Snapshot returns every registered series sorted by name then labels.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].labels < entries[j].labels
+	})
+	out := make([]Sample, 0, len(entries))
+	for _, e := range entries {
+		s := Sample{Name: e.name, Labels: e.labels, Kind: e.kind.String()}
+		switch e.kind {
+		case kindCounter:
+			s.Counter = e.counter.Load()
+		case kindGauge:
+			s.Gauge = e.gauge.Load()
+		case kindHistogram:
+			hs := e.hist.Snapshot()
+			s.Hist = &hs
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family, histograms
+// expanded into cumulative `_bucket{le=...}`, `_sum`, and `_count`
+// series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	var lastFamily string
+	for _, s := range samples {
+		if s.Name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastFamily = s.Name
+		}
+		switch s.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, s.Labels, s.Counter); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, s.Labels, formatFloat(s.Gauge)); err != nil {
+				return err
+			}
+		case "histogram":
+			if err := writePrometheusHist(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePrometheusHist(w io.Writer, s Sample) error {
+	var cum uint64
+	for i, c := range s.Hist.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Hist.Bounds) {
+			le = formatFloat(s.Hist.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, withLabel(s.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, s.Labels, formatFloat(s.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, s.Labels, s.Hist.Count)
+	return err
+}
+
+// withLabel splices one extra label into an already-rendered label set.
+func withLabel(labels, k, v string) string {
+	extra := k + `="` + escapeLabelValue(v) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%.9g", v)
+	// Trim trailing fractional zeros only: "0", "100" and exponent forms
+	// like "1e+12" must pass through untouched.
+	if strings.Contains(s, ".") && !strings.ContainsAny(s, "eE") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+	}
+	return s
+}
+
+// Dump writes a human-readable one-shot report — what the sim and
+// experiment binaries print at exit. Counters and gauges are one line
+// each; histograms show count, mean, and p50/p90/p99 estimates.
+func (r *Registry) Dump(w io.Writer) error {
+	samples := r.Snapshot()
+	if len(samples) == 0 {
+		_, err := fmt.Fprintln(w, "metrics: (none)")
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "metrics:"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		var err error
+		switch s.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "  %s%s = %d\n", s.Name, s.Labels, s.Counter)
+		case "gauge":
+			_, err = fmt.Fprintf(w, "  %s%s = %s\n", s.Name, s.Labels, formatFloat(s.Gauge))
+		case "histogram":
+			h := s.Hist
+			if h.Count == 0 {
+				_, err = fmt.Fprintf(w, "  %s%s: count=0 (no samples)\n", s.Name, s.Labels)
+				break
+			}
+			_, err = fmt.Fprintf(w, "  %s%s: count=%d sum=%s mean=%s p50=%s p90=%s p99=%s\n",
+				s.Name, s.Labels, h.Count, formatFloat(h.Sum), formatFloat(h.Sum/float64(h.Count)),
+				formatFloat(snapshotQuantile(h, 0.50)),
+				formatFloat(snapshotQuantile(h, 0.90)),
+				formatFloat(snapshotQuantile(h, 0.99)))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotQuantile mirrors Histogram.Quantile over an already-taken
+// snapshot.
+func snapshotQuantile(s *HistogramSnapshot, q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if c == 0 {
+			return s.Bounds[i]
+		}
+		within := rank - float64(cum-c)
+		return lo + (s.Bounds[i]-lo)*(within/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// ExpvarMap renders the registry as a JSON-encodable map for the
+// /debug/vars endpoint: counters and gauges by id, histograms as
+// {count, sum, buckets}.
+func (r *Registry) ExpvarMap() map[string]interface{} {
+	out := make(map[string]interface{})
+	for _, s := range r.Snapshot() {
+		id := s.Name + s.Labels
+		switch s.Kind {
+		case "counter":
+			out[id] = s.Counter
+		case "gauge":
+			out[id] = s.Gauge
+		case "histogram":
+			out[id] = map[string]interface{}{
+				"count":   s.Hist.Count,
+				"sum":     s.Hist.Sum,
+				"bounds":  s.Hist.Bounds,
+				"buckets": s.Hist.Counts,
+			}
+		}
+	}
+	return out
+}

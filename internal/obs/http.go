@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdrep/internal/metrics"
+)
+
+// The HTTP introspection endpoint behind the -metrics-addr flag of
+// mdrep-peer and mdrep-dht: Prometheus text exposition at /metrics,
+// expvar at /debug/vars, and the standard pprof handlers at
+// /debug/pprof/. Everything binds to a caller-chosen address and is
+// opt-in; nothing is registered on http.DefaultServeMux.
+
+// expvar.Publish panics on duplicate names, so the process-wide
+// "mdrep_metrics" var is published once and reads whichever registry was
+// exposed last — in practice one per process.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[metrics.Registry]
+)
+
+func publishExpvar(reg *metrics.Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("mdrep_metrics", expvar.Func(func() interface{} {
+			r := expvarReg.Load()
+			if r == nil {
+				return nil
+			}
+			return r.ExpvarMap()
+		}))
+	})
+}
+
+// NewMux builds the introspection handler tree for reg.
+func NewMux(reg *metrics.Registry) *http.ServeMux {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "mdrep introspection\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (":0" picks a free
+// port) and returns immediately; the HTTP loop runs in a background
+// goroutine until Close.
+func Serve(addr string, reg *metrics.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43210".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mdrep/internal/metrics"
+)
+
+// fakeClock is a manually advanced clock for deterministic span tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Clock() Clock { return func() time.Time { return c.now } }
+
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestSpanObservesDuration(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("op_seconds", []float64{0.1, 1, 10})
+	fc := &fakeClock{now: time.Unix(1000, 0)}
+	tr := NewTracer(fc.Clock())
+
+	sp := tr.Start(h)
+	fc.Advance(2 * time.Second)
+	sp.End()
+
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() != 2 {
+		t.Fatalf("sum = %v, want 2s", h.Sum())
+	}
+}
+
+func TestNilTracerAndHistogramAreInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(nil)
+	sp.End() // must not panic
+	if got := tr.Now(); !got.IsZero() {
+		t.Errorf("nil tracer Now = %v, want zero", got)
+	}
+	if got := tr.SinceSeconds(time.Unix(5, 0)); got != 0 {
+		t.Errorf("nil tracer SinceSeconds = %v, want 0", got)
+	}
+	if NewTracer(nil) != nil {
+		t.Error("NewTracer(nil) should return a nil (disabled) tracer")
+	}
+
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("x_seconds", []float64{1})
+	live := NewTracer(WallClock)
+	live.Start(nil).End() // nil histogram: also inert
+	if h.Count() != 0 {
+		t.Error("nil-histogram span observed something")
+	}
+}
+
+func TestSpanZeroAlloc(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("z_seconds", metrics.DurationBuckets)
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	tr := NewTracer(fc.Clock())
+	if n := testing.AllocsPerRun(1000, func() { tr.Start(h).End() }); n != 0 {
+		t.Errorf("span start/end allocates %v bytes/op", n)
+	}
+	var disabled *Tracer
+	if n := testing.AllocsPerRun(1000, func() { disabled.Start(h).End() }); n != 0 {
+		t.Errorf("disabled span allocates %v bytes/op", n)
+	}
+}
+
+func TestServeIntrospection(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("test_total", "op", "x").Add(5)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, `test_total{op="x"} 5`) {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["mdrep_metrics"]; !ok {
+		t.Error("/debug/vars missing mdrep_metrics")
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	if body := get("/"); !strings.Contains(body, "/metrics") {
+		t.Error("index page missing endpoint list")
+	}
+}
+
+// A second Serve with a fresh registry must repoint /debug/vars rather
+// than panic on a duplicate expvar name.
+func TestServeTwiceRepublishesExpvar(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		reg := metrics.NewRegistry()
+		reg.Counter("gen_total").Add(uint64(i + 1))
+		srv, err := Serve("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", srv.Addr()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		_ = srv.Close()
+		want := fmt.Sprintf(`"gen_total":%d`, i+1)
+		if !strings.Contains(string(body), want) {
+			t.Errorf("round %d: /debug/vars missing %s:\n%s", i, want, body)
+		}
+	}
+}

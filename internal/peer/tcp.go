@@ -73,7 +73,13 @@ type TCPExchange struct {
 	resolver Resolver
 	// DialTimeout and CallTimeout bound each fetch.
 	DialTimeout, CallTimeout time.Duration
+
+	obs *ExchangeObs
 }
+
+// Instrument counts fetches and wire bytes into o. Call before the
+// exchange is shared across goroutines.
+func (e *TCPExchange) Instrument(o *ExchangeObs) { e.obs = o }
 
 // NewTCPExchange returns a client with 2s dial and 5s call timeouts.
 func NewTCPExchange(resolver Resolver) *TCPExchange {
@@ -86,13 +92,15 @@ func (e *TCPExchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, err
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout("tcp", addr, e.DialTimeout)
+	raw, err := net.DialTimeout("tcp", addr, e.DialTimeout)
 	if err != nil {
 		// Transport failures are tagged retryable (fault.ErrUnreachable);
 		// an explicit error frame from the peer below stays terminal.
 		return nil, fault.Unreachable(fmt.Errorf("peer: dial %s (%s): %w", target, addr, err))
 	}
-	defer func() { _ = conn.Close() }()
+	defer func() { _ = raw.Close() }()
+	e.obs.countFetch()
+	conn := e.obs.wrap(raw)
 	if err := conn.SetDeadline(time.Now().Add(e.CallTimeout)); err != nil { //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
 		return nil, err
 	}
@@ -117,9 +125,18 @@ type ExchangeServer struct {
 	source   func() ([]eval.Info, error)
 
 	mu      sync.Mutex
+	obs     *ExchangeObs
 	conns   map[net.Conn]struct{}
 	closing bool
 	wg      sync.WaitGroup
+}
+
+// Instrument counts served requests and wire bytes into o. Connections
+// already in flight keep their uninstrumented view.
+func (s *ExchangeServer) Instrument(o *ExchangeObs) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = o
 }
 
 // ServeExchange listens on addr (":0" for ephemeral) and serves the
@@ -171,15 +188,20 @@ func (s *ExchangeServer) acceptLoop() {
 	}
 }
 
-func (s *ExchangeServer) serveConn(conn net.Conn) {
+func (s *ExchangeServer) serveConn(raw net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, raw)
 		s.mu.Unlock()
-		_ = conn.Close()
+		_ = raw.Close()
 	}()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second)) //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
+	_ = raw.SetDeadline(time.Now().Add(10 * time.Second)) //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
+	s.mu.Lock()
+	o := s.obs
+	s.mu.Unlock()
+	o.countServe()
+	conn := o.wrap(raw)
 	var req exchangeRequest
 	if err := wire.ReadFrame(conn, &req); err != nil {
 		return

@@ -56,6 +56,8 @@ func (m *Matrix) Freeze() *CSR {
 // engine's patched raw dimension rows to the frozen form Eq. (3), (5) and
 // (6) need.
 func FreezeNormalized(n int, rows []map[int]float64) *CSR {
+	ko := kobs.Load()
+	defer ko.spanFreeze().End()
 	type rowPlan struct {
 		cols []int
 		sum  float64
@@ -260,9 +262,12 @@ func (c *CSR) Mul(other *CSR) (*CSR, error) {
 	if other.n != c.n {
 		return nil, fmt.Errorf("sparse: dimension mismatch %d vs %d", c.n, other.n)
 	}
+	ko := kobs.Load()
+	defer ko.spanMul().End()
 	rowsCols := make([][]int32, c.n)
 	rowsVals := make([][]float64, c.n)
 	parallelRowBlocksScratch(c.n, func(s *rowScratch, lo, hi int) {
+		var rows, nnz uint64
 		for i := lo; i < hi; i++ {
 			cols, vals := c.Row(i)
 			if len(cols) == 0 {
@@ -275,9 +280,12 @@ func (c *CSR) Mul(other *CSR) (*CSR, error) {
 				for b, j := range ocols {
 					s.add(j, mv*ovals[b])
 				}
+				nnz += uint64(len(ocols))
 			}
+			rows++
 			rowsCols[i], rowsVals[i] = s.collect(false)
 		}
+		ko.addWork(rows, nnz)
 	})
 	return assemble(c.n, rowsCols, rowsVals), nil
 }
@@ -329,13 +337,16 @@ func (c *CSR) RowVecPow(i, k int) (map[int]float64, error) {
 	if i < 0 || i >= c.n {
 		return nil, fmt.Errorf("sparse: row %d out of range [0, %d)", i, c.n)
 	}
+	ko := kobs.Load()
 	curCols, curVals := c.Row(i)
 	// Copy: later steps reuse the scratch buffers.
 	cols := append([]int32(nil), curCols...)
 	vals := append([]float64(nil), curVals...)
 	s := newRowScratch(c.n)
 	for step := 1; step < k; step++ {
+		sp := ko.spanStep()
 		s.reset()
+		var nnz uint64
 		for a, mid := range cols {
 			w := vals[a]
 			if w == 0 {
@@ -345,8 +356,11 @@ func (c *CSR) RowVecPow(i, k int) (map[int]float64, error) {
 			for b, j := range mcols {
 				s.add(j, w*mvals[b])
 			}
+			nnz += uint64(len(mcols))
 		}
 		cols, vals = s.collect(false)
+		ko.addWork(1, nnz)
+		sp.End()
 	}
 	out := make(map[int]float64, len(cols))
 	for a, j := range cols {

@@ -1,0 +1,82 @@
+package sparse
+
+import (
+	"testing"
+	"time"
+
+	"mdrep/internal/metrics"
+)
+
+func TestKernelInstrumentation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	now := time.Unix(0, 0)
+	Instrument(reg, func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	})
+	defer Uninstrument()
+
+	rows := []map[int]float64{
+		{0: 1, 1: 1},
+		{0: 2},
+	}
+	c := FreezeNormalized(2, rows)
+	if _, err := c.Mul(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RowVecPow(0, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	freeze := reg.Histogram("sparse_freeze_seconds", metrics.DurationBuckets)
+	mul := reg.Histogram("sparse_mul_seconds", metrics.DurationBuckets)
+	step := reg.Histogram("sparse_rowvecpow_step_seconds", metrics.DurationBuckets)
+	if freeze.Count() != 1 {
+		t.Errorf("freeze spans = %d, want 1", freeze.Count())
+	}
+	if mul.Count() != 1 {
+		t.Errorf("mul spans = %d, want 1", mul.Count())
+	}
+	if step.Count() != 2 { // k=3 runs 2 iteration steps
+		t.Errorf("rowvecpow step spans = %d, want 2", step.Count())
+	}
+	if got := reg.Counter("sparse_rows_total").Load(); got == 0 {
+		t.Error("sparse_rows_total stayed zero")
+	}
+	if got := reg.Counter("sparse_nnz_total").Load(); got == 0 {
+		t.Error("sparse_nnz_total stayed zero")
+	}
+}
+
+// Instrumentation must not change kernel results: the frozen product is
+// bit-identical with and without an installed observer.
+func TestInstrumentationDoesNotChangeResults(t *testing.T) {
+	rows := []map[int]float64{
+		{0: 0.3, 2: 0.7},
+		{1: 1.5},
+		{0: 0.25, 1: 0.25, 2: 0.5},
+	}
+	plain := FreezeNormalized(3, rows)
+	p1, err := plain.Pow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	Instrument(metrics.NewRegistry(), func() time.Time { return time.Unix(0, 0) })
+	defer Uninstrument()
+	instrumented := FreezeNormalized(3, rows)
+	p2, err := instrumented.Pow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e1, e2 := p1.Entries(), p2.Entries()
+	if len(e1) != len(e2) {
+		t.Fatalf("entry counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}

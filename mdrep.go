@@ -7,6 +7,7 @@ import (
 	"mdrep/internal/core"
 	"mdrep/internal/eval"
 	"mdrep/internal/incentive"
+	"mdrep/internal/obs"
 )
 
 // FileID identifies a file by content hash.
@@ -25,6 +26,8 @@ type Option func(*options) error
 type options struct {
 	rep    core.Config
 	policy incentive.Policy
+	reg    *MetricsRegistry
+	clock  func() time.Time
 }
 
 // WithWeights sets the dimension weights α (file), β (download volume) and
@@ -79,6 +82,20 @@ func WithRetention(saturation time.Duration, floor float64) Option {
 	}
 }
 
+// WithMetrics publishes the engine's observability surface — matrix
+// build and re-freeze timings, dirty-row counts, reputation-walk
+// latency — into reg. Timings use clock; a nil clock reads the wall
+// clock, while tests pass a fake clock for deterministic durations.
+// Instrumentation never feeds time into reputation state, so results
+// stay bit-identical with or without it.
+func WithMetrics(reg *MetricsRegistry, clock func() time.Time) Option {
+	return func(o *options) error {
+		o.reg = reg
+		o.clock = clock
+		return nil
+	}
+}
+
 // WithIncentivePolicy replaces the service-differentiation policy (§3.4).
 func WithIncentivePolicy(p incentive.Policy) Option {
 	return func(o *options) error {
@@ -112,6 +129,13 @@ func NewSystem(n int, opts ...Option) (*System, error) {
 	engine, err := core.NewConcurrentEngine(n, o.rep)
 	if err != nil {
 		return nil, err
+	}
+	if o.reg != nil {
+		clock := o.clock
+		if clock == nil {
+			clock = obs.WallClock
+		}
+		engine.SetObserver(core.NewEngineObs(o.reg, obs.Clock(clock)))
 	}
 	return &System{engine: engine, policy: o.policy}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mdrep/internal/incentive"
+	"mdrep/internal/metrics"
 )
 
 func TestNewSystemDefaults(t *testing.T) {
@@ -169,5 +170,42 @@ func TestSystemUploadQueue(t *testing.T) {
 	}
 	if done := srv.ServeAll(); len(done) != 1 {
 		t.Fatalf("served %d", len(done))
+	}
+}
+
+func TestSystemWithMetrics(t *testing.T) {
+	reg := NewMetricsRegistry()
+	tick := time.Unix(0, 0)
+	clock := func() time.Time {
+		tick = tick.Add(25 * time.Microsecond)
+		return tick
+	}
+	sys, err := NewSystem(4, WithMetrics(reg, clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Vote(0, "f", 0.8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Vote(1, "f", 0.9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Reputations(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, dim := range []string{"fm", "dm", "um"} {
+		h := reg.Histogram("engine_build_seconds", metrics.DurationBuckets, "dim", dim)
+		if h.Count() == 0 {
+			t.Errorf("no %s build spans recorded", dim)
+		}
+		if h.Sum() <= 0 {
+			t.Errorf("%s build time zero with a ticking clock", dim)
+		}
+	}
+	if got := reg.Counter("engine_tm_refreeze_total").Load(); got == 0 {
+		t.Error("no TM re-freezes counted")
+	}
+	if reg.Histogram("engine_reputation_walk_seconds", metrics.DurationBuckets).Count() == 0 {
+		t.Error("no reputation walk spans recorded")
 	}
 }
