@@ -4,7 +4,7 @@ GO      ?= go
 BIN     ?= bin
 VETTOOL := $(BIN)/mdrep-lint
 
-.PHONY: all build test race chaos obs lint vet fmt bench clean
+.PHONY: all build test race chaos obs sim lint vet fmt bench bench-json clean
 
 all: build lint test
 
@@ -60,8 +60,28 @@ obs:
 		awk '/^Benchmark/ { if ($$(NF-3) != 0) { \
 			print "FAIL: " $$1 " allocates " $$(NF-3) " B/op on the hot path" > "/dev/stderr"; exit 1 } }'
 
+# sim runs the massim adversarial scenario suite under the race
+# detector twice over, then asserts the determinism contract the hard
+# way: two CLI runs of every scenario at n=10k must be byte-identical.
+sim:
+	$(GO) test -race -count=2 mdrep/internal/massim
+	$(GO) build -o $(BIN)/mdrep-sim ./cmd/mdrep-sim
+	$(BIN)/mdrep-sim -exp massim -scenario all -n 10000 -seed 7 > $(BIN)/massim.a.txt
+	$(BIN)/mdrep-sim -exp massim -scenario all -n 10000 -seed 7 > $(BIN)/massim.b.txt
+	cmp $(BIN)/massim.a.txt $(BIN)/massim.b.txt
+	@echo "massim: scenario suite passed, reruns byte-identical"
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-json snapshots the canonical benchmark suite as a dated JSON
+# trajectory file (BENCH_<date>.json) via the cmd/mdrep-bench parser.
+# Committing the file each perf PR turns performance claims into diffs.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkTrustMatrixBuild|BenchmarkReputationQuery|BenchmarkFileJudgement|BenchmarkSparseMatMul|BenchmarkRMPowParallel|BenchmarkBuildTMIncremental|BenchmarkJournalAppend|BenchmarkRecovery|BenchmarkSystemIngest|BenchmarkSystemJudge|BenchmarkDHTLookup|BenchmarkMassimStep|BenchmarkMassimEpoch' \
+		-benchmem mdrep mdrep/internal/massim \
+		| $(GO) run ./cmd/mdrep-bench > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
 clean:
 	rm -rf $(BIN)

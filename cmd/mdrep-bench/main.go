@@ -1,0 +1,139 @@
+// Command mdrep-bench converts `go test -bench` output on stdin into a
+// stable JSON document on stdout — the canonical benchmark snapshot
+// format committed as BENCH_<date>.json (see `make bench-json`). Keeping
+// the converter in-repo means the trajectory files share one schema
+// across PRs, so perf claims can be diffed instead of re-argued.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | mdrep-bench > BENCH_2026-01-02.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Package is the import path the result came from.
+	Package string `json:"package"`
+	// Name is the benchmark name including the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline latency metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. MB/s).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the full document.
+type Report struct {
+	Goos     string      `json:"goos,omitempty"`
+	Goarch   string      `json:"goarch,omitempty"`
+	CPU      string      `json:"cpu,omitempty"`
+	Results  []Benchmark `json:"results"`
+	Failures []string    `json:"failures,omitempty"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdrep-bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "mdrep-bench:", err)
+		os.Exit(1)
+	}
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` text output. Lines it does not
+// recognise are ignored, so piped `ok`/`PASS` chatter is harmless.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Results: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "--- FAIL") || strings.HasPrefix(line, "FAIL"):
+			rep.Failures = append(rep.Failures, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(pkg, line); ok {
+				rep.Results = append(rep.Results, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(rep.Results, func(i, j int) bool {
+		if rep.Results[i].Package != rep.Results[j].Package {
+			return rep.Results[i].Package < rep.Results[j].Package
+		}
+		return rep.Results[i].Name < rep.Results[j].Name
+	})
+	return rep, nil
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName-8  1000  1234 ns/op  56 B/op  2 allocs/op  9.5 MB/s
+func parseBench(pkg, line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Package: pkg, Name: f[0], Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = v
+		}
+	}
+	return b, seenNs
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mdrep/internal/massim
+cpu: AMD EPYC 7543 32-Core Processor
+BenchmarkMassimStep-8   	 2000000	       612.1 ns/op	      15 B/op	       0 allocs/op
+BenchmarkMassimEpoch-8  	      50	  22334455 ns/op
+ok  	mdrep/internal/massim	3.21s
+pkg: mdrep
+BenchmarkJournalAppend-8	  100000	     10444 ns/op	        95.61 MB/s
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "EPYC") {
+		t.Fatalf("header mis-parsed: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rep.Results), rep.Results)
+	}
+	// Results sort by (package, name).
+	if rep.Results[0].Name != "BenchmarkJournalAppend-8" || rep.Results[0].Package != "mdrep" {
+		t.Fatalf("sort order wrong: %+v", rep.Results[0])
+	}
+	var found *float64
+	for _, b := range rep.Results {
+		if b.Name == "BenchmarkMassimStep-8" {
+			if b.Package != "mdrep/internal/massim" || b.Iterations != 2000000 || b.NsPerOp != 612.1 {
+				t.Fatalf("step mis-parsed: %+v", b)
+			}
+			if b.BytesPerOp == nil || *b.BytesPerOp != 15 || b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+				t.Fatalf("benchmem fields mis-parsed: %+v", b)
+			}
+			found = &b.NsPerOp
+		}
+		if b.Name == "BenchmarkJournalAppend-8" {
+			if b.Extra["MB/s"] != 95.61 {
+				t.Fatalf("extra metric mis-parsed: %+v", b)
+			}
+		}
+	}
+	if found == nil {
+		t.Fatal("BenchmarkMassimStep missing")
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", rep.Failures)
+	}
+}
+
+func TestParseFailuresAndGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("--- FAIL: TestX\nFAIL\tmdrep/internal/x\t0.1s\nBenchmarkBroken-8 notanumber ns/op\nrandom chatter\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 2 {
+		t.Fatalf("failures = %v, want 2 lines", rep.Failures)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("garbage parsed as results: %+v", rep.Results)
+	}
+}

@@ -8,11 +8,20 @@
 //	E6  DHT lookup/publication overhead and churn resilience
 //	e1sweep  E1 across polluter fractions 10–40%
 //	E7  dimension-weight (α/β/γ) ablation
+//	massim   million-peer adversarial scenarios (E9)
 //
 // Usage:
 //
 //	mdrep-sim [-exp e1|e1sweep|e2|e3|e4|e5|e6|e7|all] [-scale small|full]
 //	          [-metrics]
+//	mdrep-sim -exp massim [-scenario name|all] [-n peers] [-seed s]
+//	          [-epochs e] [-baselines] [-metrics]
+//
+// The massim experiment runs the adversarial scenario library of
+// internal/massim (collusion-front, whitewash, camouflage, strategic)
+// at any population size from thousands to a million peers; -baselines
+// adds the EigenTrust / BLUE / mirrored-engine comparison estimators at
+// small n. Output is byte-identical for a fixed (scenario, n, seed).
 //
 // With -metrics the run instruments the sparse kernels and prints a
 // one-shot metrics report at exit; the per-step RM walk timings there
@@ -27,6 +36,7 @@ import (
 	"strings"
 
 	"mdrep/internal/experiments"
+	"mdrep/internal/massim"
 	"mdrep/internal/metrics"
 	"mdrep/internal/obs"
 	"mdrep/internal/sparse"
@@ -41,19 +51,29 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mdrep-sim", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id: e1..e6 or all")
+	exp := fs.String("exp", "all", "experiment id: e1..e7, massim, or all")
 	scale := fs.String("scale", "small", "experiment scale: small or full")
-	withMetrics := fs.Bool("metrics", false, "instrument the sparse kernels and print a metrics report at exit")
+	withMetrics := fs.Bool("metrics", false, "instrument the kernels and print a metrics report at exit")
+	scenario := fs.String("scenario", "all", "massim scenario name or all")
+	n := fs.Int("n", 10000, "massim population size")
+	seed := fs.Uint64("seed", 1, "massim experiment seed")
+	epochs := fs.Int("epochs", 0, "massim epoch count (0 = scenario default)")
+	baselines := fs.Bool("baselines", false, "massim: run eigentrust/BLUE/engine comparison baselines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *withMetrics {
 		reg := metrics.NewRegistry()
 		sparse.Instrument(reg, obs.WallClock)
+		massim.Instrument(reg, obs.WallClock)
 		defer func() {
 			sparse.Uninstrument()
+			massim.Uninstrument()
 			_ = reg.Dump(os.Stderr)
 		}()
+	}
+	if strings.EqualFold(*exp, "massim") {
+		return runMassim(*scenario, *n, *seed, *epochs, *baselines)
 	}
 	sc := experiments.ScaleSmall
 	switch *scale {
@@ -94,6 +114,43 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(res.Render())
+	}
+	return nil
+}
+
+// runMassim executes one or all massim scenarios and fails if any
+// scenario's pass bound is violated.
+func runMassim(scenario string, n int, seed uint64, epochs int, baselines bool) error {
+	names := []string{scenario}
+	if strings.EqualFold(scenario, "all") {
+		names = massim.Names()
+	}
+	failed := 0
+	for _, name := range names {
+		scn, err := massim.Lookup(name)
+		if err != nil {
+			return err
+		}
+		cfg := massim.DefaultConfig()
+		cfg.N = n
+		cfg.Seed = seed
+		if epochs > 0 {
+			cfg.Epochs = epochs
+		}
+		cfg.Baselines = baselines
+		cfg.MirrorEngine = baselines
+		fmt.Printf("=== massim %s ===\n", name)
+		res, err := massim.Run(cfg, scn)
+		if err != nil {
+			return fmt.Errorf("massim %s: %w", name, err)
+		}
+		fmt.Print(res.Render())
+		if !res.Verdict.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("massim: %d scenario(s) failed their pass bound", failed)
 	}
 	return nil
 }

@@ -14,6 +14,15 @@ func TestRunRejectsUnknownScale(t *testing.T) {
 	}
 }
 
+func TestRunMassim(t *testing.T) {
+	if err := run([]string{"-exp", "massim", "-scenario", "whitewash", "-n", "500", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "massim", "-scenario", "nosuch", "-n", "500"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
 func TestRunSingleExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real experiment")

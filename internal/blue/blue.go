@@ -1,0 +1,101 @@
+// Package blue implements trust estimation by Best Linear Unbiased
+// Estimation (Gupta & Singh, "Trust Estimation in Peer-to-Peer Network
+// Using BLUE", arXiv:1304.1649) — a comparison baseline alongside
+// internal/eigentrust for the massim adversarial scenarios.
+//
+// Each rater i holds an empirical satisfaction estimate m_ij for target
+// j with a Bernoulli-mean sampling variance v_ij ≈ m(1−m)/n. The BLUE of
+// j's trust given uncorrelated unbiased observations is the
+// inverse-variance weighted combination
+//
+//	t_j = Σ_i (m_ij / v_ij) / Σ_i (1 / v_ij)
+//
+// which weighs long, consistent histories heavily and noisy one-shot
+// opinions lightly. Unlike EigenTrust it needs no global iteration and
+// no pre-trusted set, but it also does not discount a dishonest rater's
+// opinion by the rater's own standing — the weakness the massim
+// collusion scenarios measure.
+package blue
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sample is one rater's aggregated experience with one target.
+type Sample struct {
+	// Rater and Target are peer indices in [0, n).
+	Rater, Target int
+	// Sat and Unsat count satisfactory and unsatisfactory interactions.
+	Sat, Unsat float64
+}
+
+// Config parameterises the estimator.
+type Config struct {
+	// Prior is the Beta-prior pseudo-count added to both outcomes; it
+	// regularises one-interaction histories.
+	Prior float64
+	// PriorMean is the trust assigned to targets nobody has rated.
+	PriorMean float64
+	// VarFloor keeps observation variances away from zero so a long
+	// unanimous history cannot claim infinite precision.
+	VarFloor float64
+}
+
+// DefaultConfig returns the estimator defaults.
+func DefaultConfig() Config {
+	return Config{Prior: 1, PriorMean: 0.5, VarFloor: 1e-4}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Prior < 0:
+		return errors.New("blue: negative prior")
+	case c.PriorMean < 0 || c.PriorMean > 1:
+		return errors.New("blue: prior mean outside [0,1]")
+	case c.VarFloor <= 0:
+		return errors.New("blue: non-positive variance floor")
+	}
+	return nil
+}
+
+// Estimate returns the BLUE trust vector for n peers from the given
+// samples. It is deterministic: samples are folded in slice order, so
+// callers that need bit-identical reruns present them in a stable order.
+// Samples about targets with no observations default to PriorMean.
+func Estimate(n int, samples []Sample, cfg Config) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("blue: population %d, want >= 1", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	num := make([]float64, n)
+	den := make([]float64, n)
+	for k, s := range samples {
+		if s.Rater < 0 || s.Rater >= n || s.Target < 0 || s.Target >= n {
+			return nil, fmt.Errorf("blue: sample %d references peer outside [0, %d)", k, n)
+		}
+		if s.Sat < 0 || s.Unsat < 0 {
+			return nil, fmt.Errorf("blue: sample %d has negative counts", k)
+		}
+		trials := s.Sat + s.Unsat
+		if trials == 0 {
+			continue
+		}
+		m := (s.Sat + cfg.Prior*cfg.PriorMean) / (trials + cfg.Prior)
+		v := m*(1-m)/(trials+cfg.Prior) + cfg.VarFloor
+		num[s.Target] += m / v
+		den[s.Target] += 1 / v
+	}
+	t := make([]float64, n)
+	for j := range t {
+		if den[j] > 0 {
+			t[j] = num[j] / den[j]
+		} else {
+			t[j] = cfg.PriorMean
+		}
+	}
+	return t, nil
+}

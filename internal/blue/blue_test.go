@@ -1,0 +1,105 @@
+package blue
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	samples := []Sample{
+		{Rater: 0, Target: 2, Sat: 50, Unsat: 0},  // long clean history
+		{Rater: 1, Target: 2, Sat: 45, Unsat: 5},  // long mostly-clean
+		{Rater: 0, Target: 3, Sat: 0, Unsat: 50},  // long bad history
+		{Rater: 1, Target: 4, Sat: 1, Unsat: 0},   // one-shot praise
+		{Rater: 3, Target: 4, Sat: 0, Unsat: 40},  // long bad history
+		{Rater: 2, Target: 1, Sat: 10, Unsat: 10}, // ambivalent
+	}
+	trust, err := Estimate(6, samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trust[2] < 0.85 {
+		t.Fatalf("well-rated peer trust = %v, want high", trust[2])
+	}
+	if trust[3] > 0.15 {
+		t.Fatalf("badly-rated peer trust = %v, want low", trust[3])
+	}
+	// One positive one-shot must not outweigh a long negative history.
+	if trust[4] > 0.4 {
+		t.Fatalf("one-shot praise beat long bad history: trust = %v", trust[4])
+	}
+	// Unobserved peers sit at the prior mean.
+	if trust[5] != cfg.PriorMean || trust[0] != cfg.PriorMean {
+		t.Fatalf("unobserved trust = %v/%v, want %v", trust[0], trust[5], cfg.PriorMean)
+	}
+	for j, v := range trust {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("trust[%d] = %v outside [0,1]", j, v)
+		}
+	}
+}
+
+func TestEstimateInverseVarianceWeighting(t *testing.T) {
+	// A precise (many-trial) observation must dominate a noisy one.
+	samples := []Sample{
+		{Rater: 0, Target: 1, Sat: 90, Unsat: 10}, // precise: mean ~0.9
+		{Rater: 2, Target: 1, Sat: 0, Unsat: 2},   // noisy: mean ~0.17
+	}
+	trust, err := Estimate(3, samples, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trust[1] < 0.6 {
+		t.Fatalf("precise observation did not dominate: trust = %v", trust[1])
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	samples := []Sample{
+		{Rater: 0, Target: 1, Sat: 3, Unsat: 1},
+		{Rater: 2, Target: 1, Sat: 1, Unsat: 7},
+		{Rater: 3, Target: 1, Sat: 11, Unsat: 2},
+	}
+	a, err := Estimate(4, samples, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(4, samples, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a {
+		if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+			t.Fatalf("trust[%d] not bit-identical across reruns", j)
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Estimate(0, nil, cfg); err == nil {
+		t.Fatal("want error for empty population")
+	}
+	if _, err := Estimate(2, []Sample{{Rater: 5, Target: 0, Sat: 1}}, cfg); err == nil {
+		t.Fatal("want error for out-of-range rater")
+	}
+	if _, err := Estimate(2, []Sample{{Rater: 0, Target: 1, Sat: -1}}, cfg); err == nil {
+		t.Fatal("want error for negative counts")
+	}
+	bad := cfg
+	bad.VarFloor = 0
+	if _, err := Estimate(2, nil, bad); err == nil {
+		t.Fatal("want error for zero variance floor")
+	}
+	bad = cfg
+	bad.Prior = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for negative prior")
+	}
+	bad = cfg
+	bad.PriorMean = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for prior mean outside [0,1]")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -80,6 +81,23 @@ func (c *Concurrent) ApplyEvent(ev Event) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.eng.ApplyEvent(ev)
+}
+
+// ApplyBatch applies events in order under a single writer-lock
+// acquisition — the group-commit ingest path for bulk sources (the
+// massim simulator's per-epoch event batches, journal replay tails),
+// which would otherwise pay one lock handoff per event against a
+// concurrent query load. It stops at the first failing event; events
+// before it stay applied.
+func (c *Concurrent) ApplyBatch(evs []Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range evs {
+		if err := c.eng.ApplyEvent(evs[k]); err != nil {
+			return fmt.Errorf("core: batch event %d: %w", k, err)
+		}
+	}
+	return nil
 }
 
 // SetImplicit mirrors Engine.SetImplicit.

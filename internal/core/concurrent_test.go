@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -164,5 +165,76 @@ func TestConcurrentSwap(t *testing.T) {
 	}
 	if _, ok := c.Evaluation(1, "g", 0); !ok {
 		t.Fatal("Locked mutation not visible")
+	}
+}
+
+// TestApplyBatch checks the group-commit ingest path: a batch applied
+// under one lock acquisition must leave the engine in exactly the state
+// of the same events applied one by one, and a mid-batch failure must
+// keep the prefix.
+func TestApplyBatch(t *testing.T) {
+	const n = 8
+	cfg := DefaultConfig()
+	mk := func() *Concurrent {
+		c, err := NewConcurrentEngine(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	evs := []Event{
+		{Kind: EventDownload, I: 0, J: 1, File: "f1", Size: 1 << 10, Time: time.Second},
+		{Kind: EventVote, I: 0, File: "f1", Value: 0.9, Time: 2 * time.Second},
+		{Kind: EventRateUser, I: 0, J: 1, Value: 0.8},
+		{Kind: EventDownload, I: 2, J: 1, File: "f1", Size: 1 << 11, Time: 3 * time.Second},
+		{Kind: EventVote, I: 2, File: "f1", Value: 0.7, Time: 4 * time.Second},
+	}
+	batched, single := mk(), mk()
+	if err := batched.ApplyBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := single.ApplyEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := 5 * time.Second
+	rb, err := batched.Reputations(0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := single.Reputations(0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb) != len(rs) {
+		t.Fatalf("reputation map sizes differ: %d vs %d", len(rb), len(rs))
+	}
+	for j, v := range rs {
+		if rb[j] != v {
+			t.Fatalf("reputation[%d] = %v batched vs %v single", j, rb[j], v)
+		}
+	}
+
+	// A failing event reports its index and keeps the applied prefix.
+	c := mk()
+	bad := []Event{
+		{Kind: EventRateUser, I: 0, J: 1, Value: 0.5},
+		{Kind: EventRateUser, I: 99, J: 1, Value: 0.5}, // out of range
+		{Kind: EventRateUser, I: 2, J: 1, Value: 0.5},
+	}
+	err = c.ApplyBatch(bad)
+	if err == nil {
+		t.Fatal("want error for out-of-range peer in batch")
+	}
+	if !strings.Contains(err.Error(), "batch event 1") {
+		t.Fatalf("error %q does not name the failing index", err)
+	}
+	rep, err := c.Reputations(0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep[1] == 0 {
+		t.Fatal("prefix event before the failure was not applied")
 	}
 }

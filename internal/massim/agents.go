@@ -1,0 +1,165 @@
+package massim
+
+// Agent implementations. Every agent is a flyweight: one instance per
+// class, zero mutable fields, all per-peer state in the Sim arrays.
+
+// baseAgent supplies the benign defaults.
+type baseAgent struct{}
+
+func (baseAgent) KeepFake() bool                      { return false }
+func (baseAgent) AfterRequest(*Sim, int32)            {}
+func (baseAgent) EpochTick(*Sim, int32)               {}
+func (baseAgent) PickVersion(*Sim, int32, int32) int8 { return -1 }
+
+// honestAgent follows the paper's protocol: admit by the incentive
+// policy (with the tit-for-tat ledger as a fast path when enabled),
+// judge versions by votes, rate and vote truthfully.
+type honestAgent struct{ baseAgent }
+
+func (honestAgent) Admit(s *Sim, server, requester int32) bool {
+	if l := s.Ledger(); l != nil && l.Covered(int(server), int(requester)) {
+		return true
+	}
+	return s.AdmitByPolicy(server, requester)
+}
+
+func (honestAgent) Rate(s *Sim, p, server int32, authentic bool) (sat, cast bool) {
+	return authentic, true
+}
+
+func (honestAgent) Vote(s *Sim, p, t int32, authentic bool) (up, cast bool) {
+	return authentic, s.RNGFor(p).Float64() < s.Config().VoteProb
+}
+
+// polluterAgent is the basic attacker: serves everyone (spread is the
+// goal), requests and keeps fakes, badmouths servers and votes fakes up.
+type polluterAgent struct{ baseAgent }
+
+func (polluterAgent) Admit(*Sim, int32, int32) bool { return true }
+
+func (polluterAgent) PickVersion(*Sim, int32, int32) int8 { return versionFake }
+
+func (polluterAgent) KeepFake() bool { return true }
+
+func (polluterAgent) Rate(s *Sim, p, server int32, authentic bool) (sat, cast bool) {
+	return false, true
+}
+
+func (polluterAgent) Vote(s *Sim, p, t int32, authentic bool) (up, cast bool) {
+	return !authentic, true
+}
+
+// The collusion ring occupies classes 0 (cores) and 1 (fronts), which
+// the contiguous class layout places at known index ranges.
+func ringSpan(s *Sim) (lo, hi int32) {
+	lo, _ = s.ClassRange(0)
+	_, hi = s.ClassRange(1)
+	return lo, hi
+}
+
+// ringCoreAgent is a polluter inside a collusion ring: it rates ring
+// members up regardless of service, and after every download it
+// fabricates a praise rating for a random ring member.
+type ringCoreAgent struct{ polluterAgent }
+
+func (ringCoreAgent) Rate(s *Sim, p, server int32, authentic bool) (sat, cast bool) {
+	lo, hi := ringSpan(s)
+	if server >= lo && server < hi {
+		return true, true
+	}
+	return false, true
+}
+
+func (ringCoreAgent) AfterRequest(s *Sim, p int32) {
+	lo, hi := ringSpan(s)
+	s.Praise(p, lo+int32(s.RNGFor(p).Intn(int(hi-lo))))
+}
+
+// ringFrontAgent is the ring's respectable face: it serves eagerly,
+// downloads and shares only authentic files, but praises the cores and
+// votes the ring's fakes up. Its service record is clean; the vote
+// honesty dimension is what the reputation system has against it.
+type ringFrontAgent struct{ baseAgent }
+
+func (ringFrontAgent) Admit(*Sim, int32, int32) bool { return true }
+
+func (ringFrontAgent) Rate(s *Sim, p, server int32, authentic bool) (sat, cast bool) {
+	lo, hi := ringSpan(s)
+	if server >= lo && server < hi {
+		return true, true
+	}
+	return authentic, true
+}
+
+func (ringFrontAgent) Vote(s *Sim, p, t int32, authentic bool) (up, cast bool) {
+	return !authentic, true
+}
+
+func (ringFrontAgent) AfterRequest(s *Sim, p int32) {
+	lo, hi := s.ClassRange(0)
+	s.Praise(p, lo+int32(s.RNGFor(p).Intn(int(hi-lo))))
+}
+
+// whitewashAgent is a polluter that discards its identity and rejoins
+// as a newcomer whenever its reputation sinks below the rejoin bar —
+// the attack that tests whether the newcomer prior is low enough to
+// make identity churn unprofitable.
+type whitewashAgent struct{ polluterAgent }
+
+func (whitewashAgent) EpochTick(s *Sim, p int32) {
+	if s.Rep(p) < s.Config().WhitewashBelow {
+		s.ResetPeer(p)
+	}
+}
+
+// camouflageAgent serves eagerly and handles files honestly — its
+// service-quality and contribution dimensions look impeccable — but it
+// votes dishonestly on every contested title to keep the polluters'
+// fakes alive. Only the vote-honesty dimension can catch it.
+type camouflageAgent struct{ baseAgent }
+
+func (camouflageAgent) Admit(*Sim, int32, int32) bool { return true }
+
+func (camouflageAgent) Rate(s *Sim, p, server int32, authentic bool) (sat, cast bool) {
+	return authentic, true
+}
+
+func (camouflageAgent) Vote(s *Sim, p, t int32, authentic bool) (up, cast bool) {
+	return !authentic, true
+}
+
+// Strategic stances.
+const (
+	modeCoop uint8 = iota
+	modeDefect
+)
+
+// strategicAgent is a rational free-rider playing against the social
+// norm: while cooperating it serves honestly; each epoch it explores
+// defection (refusing to serve) with a small probability, and returns
+// to cooperation when the defection-epoch payoff falls measurably below
+// its cooperative average — which the incentive layer ensures it does.
+type strategicAgent struct{ honestAgent }
+
+func (strategicAgent) Admit(s *Sim, server, requester int32) bool {
+	if s.Mode(server) == modeDefect {
+		return false
+	}
+	return honestAgent{}.Admit(s, server, requester)
+}
+
+func (strategicAgent) EpochTick(s *Sim, p int32) {
+	cfg := s.Config()
+	payoff := float32(s.EpochGot(p))
+	if s.Mode(p) == modeCoop {
+		mem := float32(cfg.CoopMemory)
+		s.SetCoopAvg(p, (1-mem)*s.CoopAvg(p)+mem*payoff)
+		if s.RNGFor(p).Float64() < cfg.ExploreProb {
+			s.SetMode(p, modeDefect)
+		}
+		return
+	}
+	if payoff < 0.8*s.CoopAvg(p) {
+		s.SetMode(p, modeCoop)
+	}
+}

@@ -1,0 +1,54 @@
+package massim
+
+import "testing"
+
+// BenchmarkMassimStep measures the steady-state per-event cost of the
+// simulator (request handling dominates; epoch boundaries amortise
+// out). The canonical suite snapshot lives in BENCH_<date>.json via
+// `make bench-json`.
+func BenchmarkMassimStep(b *testing.B) {
+	scn, err := Lookup("collusion-front")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.N = 100000
+	cfg.Epochs = 1 << 20 // effectively unbounded; the benchmark never drains it
+	s, err := NewSim(cfg, scn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Step() {
+			b.Fatal("simulation drained mid-benchmark")
+		}
+	}
+}
+
+// BenchmarkMassimEpoch measures one full epoch at 10k peers — the unit
+// of wall-clock scaling toward the million-peer acceptance run.
+func BenchmarkMassimEpoch(b *testing.B) {
+	scn, err := Lookup("whitewash")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.N = 10000
+	cfg.Epochs = 1 << 20
+	s, err := NewSim(cfg, scn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := s.epochsDone
+		for s.epochsDone == start {
+			if !s.Step() {
+				b.Fatal("simulation drained mid-benchmark")
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package massim
+
+import (
+	"errors"
+	"math"
+
+	"mdrep/internal/sim"
+)
+
+// Version indices within a title. Real is version 0; polluted titles
+// additionally carry a fake version.
+const (
+	versionReal int8 = 0
+	versionFake int8 = 1
+)
+
+// catalogue is the shared title/version state: Zipf popularity, owner
+// lists per version, and decayed credibility-weighted vote tallies. It
+// is struct-of-arrays like the peer state; per title the footprint is
+// two small owner slices and four floats.
+type catalogue struct {
+	cdf      []float64 // cumulative Zipf popularity, cdf[len-1] == 1
+	polluted int32     // titles [0, polluted) carry a fake version
+
+	realOwners [][]int32
+	fakeOwners [][]int32
+
+	// Decayed credibility-weighted votes per version.
+	vUpR, vDnR []float64
+	vUpF, vDnF []float64
+}
+
+// buildCatalogue seeds titles, popularity and initial owners. Real
+// owners come from the honest majority (the last class); fake owners
+// from the classes that seed fakes.
+func (s *Sim) buildCatalogue(rng *sim.RNG) error {
+	nt := s.cfg.titleCount()
+	c := &s.titles
+	c.cdf = make([]float64, nt)
+	sum := 0.0
+	for t := 0; t < nt; t++ {
+		sum += 1 / math.Pow(float64(t+1), s.cfg.ZipfExponent)
+		c.cdf[t] = sum
+	}
+	for t := range c.cdf {
+		c.cdf[t] /= sum
+	}
+	c.polluted = int32(s.cfg.PollutedFrac * float64(nt))
+	c.realOwners = make([][]int32, nt)
+	c.fakeOwners = make([][]int32, nt)
+	c.vUpR = make([]float64, nt)
+	c.vDnR = make([]float64, nt)
+	c.vUpF = make([]float64, nt)
+	c.vDnF = make([]float64, nt)
+
+	honLo, honHi := int(s.start[len(s.specs)-1]), s.cfg.N
+	var seeders []int32
+	for k, sp := range s.specs {
+		if sp.SeedsFakes {
+			for p := s.start[k]; p < s.start[k+1]; p++ {
+				seeders = append(seeders, p)
+			}
+		}
+	}
+	if c.polluted > 0 && len(seeders) == 0 {
+		return errors.New("massim: polluted titles without a fake-seeding class")
+	}
+	for t := 0; t < nt; t++ {
+		for k := 0; k < s.cfg.SeedOwnersReal; k++ {
+			c.realOwners[t] = append(c.realOwners[t], int32(honLo+rng.Intn(honHi-honLo)))
+		}
+		if int32(t) < c.polluted {
+			for k := 0; k < s.cfg.SeedOwnersFake; k++ {
+				c.fakeOwners[t] = append(c.fakeOwners[t], seeders[rng.Intn(len(seeders))])
+			}
+		}
+	}
+	return nil
+}
+
+// sample draws a title by popularity with the caller's stream.
+func (c *catalogue) sample(rng *sim.RNG) int32 {
+	u := rng.Float64()
+	lo, hi := 0, len(c.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// hasFake reports whether title t carries a fake version.
+func (c *catalogue) hasFake(t int32) bool { return t < c.polluted }
+
+// owners returns the owner list of (t, v).
+func (c *catalogue) owners(t int32, v int8) []int32 {
+	if v == versionFake {
+		return c.fakeOwners[t]
+	}
+	return c.realOwners[t]
+}
+
+// addOwner records p as an owner of (t, v). Full lists replace a random
+// slot, so owner lists track the recently active population under a
+// hard cap — the bound that keeps the catalogue O(titles), not O(n²).
+func (c *catalogue) addOwner(t int32, v int8, p int32, rng *sim.RNG, capacity int) {
+	list := c.owners(t, v)
+	if len(list) < capacity {
+		list = append(list, p)
+	} else {
+		list[rng.Intn(len(list))] = p
+	}
+	if v == versionFake {
+		c.fakeOwners[t] = list
+	} else {
+		c.realOwners[t] = list
+	}
+}
+
+// vote folds a credibility-weighted vote into (t, v)'s tallies.
+func (c *catalogue) vote(t int32, v int8, up bool, w float64) {
+	switch {
+	case v == versionFake && up:
+		c.vUpF[t] += w
+	case v == versionFake:
+		c.vDnF[t] += w
+	case up:
+		c.vUpR[t] += w
+	default:
+		c.vDnR[t] += w
+	}
+}
+
+// decay ages every vote tally.
+func (c *catalogue) decay(d float64) {
+	for t := range c.vUpR {
+		c.vUpR[t] *= d
+		c.vDnR[t] *= d
+		c.vUpF[t] *= d
+		c.vDnF[t] *= d
+	}
+}

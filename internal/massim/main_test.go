@@ -1,0 +1,14 @@
+package massim
+
+import (
+	"testing"
+
+	"mdrep/internal/testutil"
+)
+
+// TestMain enforces the goroutine-leak check over the package tests:
+// the simulator is single-threaded by contract, so any goroutine it
+// leaves behind is a bug.
+func TestMain(m *testing.M) {
+	testutil.RunMain(m)
+}

@@ -1,0 +1,114 @@
+package massim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Agent is one behavioural class's strategy. The simulator uses the
+// flyweight pattern: one Agent instance serves every peer of its class,
+// and all mutable per-peer state lives in the Sim's struct-of-arrays —
+// an Agent with fields of its own would be a bug at a million peers.
+type Agent interface {
+	// Admit decides whether server serves requester.
+	Admit(s *Sim, server, requester int32) bool
+	// PickVersion chooses the version of title t to request: a version
+	// index, or a negative value to delegate to the honest judgement.
+	PickVersion(s *Sim, p, t int32) int8
+	// KeepFake reports whether the peer shares fake files it received.
+	KeepFake() bool
+	// Rate returns the service rating for a completed download and
+	// whether one is cast at all.
+	Rate(s *Sim, p, server int32, authentic bool) (sat, cast bool)
+	// Vote returns the authenticity vote on a contested title and
+	// whether one is cast.
+	Vote(s *Sim, p, t int32, authentic bool) (up, cast bool)
+	// AfterRequest runs after a serviced download — the hook collusion
+	// agents use to inject fabricated praise.
+	AfterRequest(s *Sim, p int32)
+	// EpochTick runs once per peer at every epoch boundary, before
+	// reputations are recomputed (whitewash rejoins, stance switches).
+	EpochTick(s *Sim, p int32)
+}
+
+// ClassSpec declares one behavioural class of a scenario.
+type ClassSpec struct {
+	// Name labels the class in reports.
+	Name string
+	// Frac is the population fraction; the last class absorbs the
+	// remainder and must be the honest majority.
+	Frac float64
+	// Agent is the class strategy (flyweight, stateless).
+	Agent Agent
+	// Adversary marks attack classes for reporting.
+	Adversary bool
+	// SeedsFakes marks classes whose members seed fake versions.
+	SeedsFakes bool
+}
+
+// Scenario is one adversarial experiment: a population mix plus a pass
+// bound on the outcome.
+type Scenario interface {
+	// Name is the registry key (kebab-case).
+	Name() string
+	// Describe is a one-line summary for reports.
+	Describe() string
+	// Tune adjusts the base configuration before validation.
+	Tune(cfg *Config)
+	// Specs returns the behavioural classes, honest majority last.
+	Specs() []ClassSpec
+	// Verdict evaluates the scenario's metric against its pass bound.
+	Verdict(r *Result) Verdict
+}
+
+// Verdict is a scenario's pass/fail judgement.
+type Verdict struct {
+	// Metric names the measured quantity.
+	Metric string
+	// Value is the measured value; Bound the threshold; Op the
+	// comparison direction ("<=" or ">=").
+	Value, Bound float64
+	Op           string
+	// Pass reports whether Value satisfies Bound.
+	Pass bool
+	// Notes carries secondary observations.
+	Notes string
+}
+
+func verdictLE(metric string, value, bound float64) Verdict {
+	return Verdict{Metric: metric, Value: value, Bound: bound, Op: "<=", Pass: value <= bound}
+}
+
+func verdictGE(metric string, value, bound float64) Verdict {
+	return Verdict{Metric: metric, Value: value, Bound: bound, Op: ">=", Pass: value >= bound}
+}
+
+var registry = map[string]func() Scenario{}
+
+// Register adds a scenario constructor under its name. It panics on
+// duplicates; registration happens from init functions only.
+func Register(name string, mk func() Scenario) {
+	if _, dup := registry[name]; dup {
+		panic("massim: duplicate scenario " + name)
+	}
+	registry[name] = mk
+}
+
+// Lookup returns a fresh scenario instance by name.
+func Lookup(name string) (Scenario, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("massim: unknown scenario %q (have %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

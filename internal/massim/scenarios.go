@@ -1,0 +1,147 @@
+package massim
+
+import "fmt"
+
+// The scenario library. Bounds are calibrated at the CI reference point
+// (n=10k, seed 1, 12 epochs) with headroom for seed variation; each is
+// recorded with its rationale in EXPERIMENTS.md §E9.
+
+func init() {
+	Register("collusion-front", func() Scenario { return collusionScenario{} })
+	Register("whitewash", func() Scenario { return whitewashScenario{} })
+	Register("camouflage", func() Scenario { return camouflageScenario{} })
+	Register("strategic", func() Scenario { return strategicScenario{} })
+}
+
+// collusionScenario: a polluter ring hides behind front peers with
+// clean service records. The fronts praise the cores and vote their
+// fakes up; the vote-honesty dimension must collapse the fronts'
+// credibility so the fabricated praise carries no weight and the cores
+// stay at the bottom of the reputation scale.
+type collusionScenario struct{}
+
+func (collusionScenario) Name() string { return "collusion-front" }
+
+func (collusionScenario) Describe() string {
+	return "polluter ring with honest-serving front peers laundering praise"
+}
+
+func (collusionScenario) Tune(cfg *Config) {}
+
+func (collusionScenario) Specs() []ClassSpec {
+	// Class layout is contiguous in spec order, so the ring occupies a
+	// known index range the agents can praise into: cores first, then
+	// fronts, then the honest remainder.
+	return []ClassSpec{
+		{Name: "ring-core", Frac: 0.05, Adversary: true, SeedsFakes: true, Agent: ringCoreAgent{}},
+		{Name: "ring-front", Frac: 0.05, Adversary: true, Agent: ringFrontAgent{}},
+		{Name: "honest", Agent: honestAgent{}},
+	}
+}
+
+func (collusionScenario) Verdict(r *Result) Verdict {
+	v := verdictLE("ring-core final mean reputation", r.FinalRep("ring-core"), 0.40)
+	v.Notes = fmt.Sprintf("ring-front rep=%.4f cred=%.4f honest rep=%.4f",
+		r.FinalRep("ring-front"), r.Class("ring-front").MeanCred, r.FinalRep("honest"))
+	if front := r.FinalRep("ring-front"); front >= r.FinalRep("honest") {
+		v.Pass = false
+		v.Notes += " (fronts not separated from honest peers)"
+	}
+	return v
+}
+
+// whitewashScenario: polluters discard identities whenever their
+// reputation sinks, betting the newcomer prior beats their earned
+// standing. Passing means rejoining keeps them pinned near the newcomer
+// level — identity churn buys no standing.
+type whitewashScenario struct{}
+
+func (whitewashScenario) Name() string { return "whitewash" }
+
+func (whitewashScenario) Describe() string {
+	return "polluters reset identity on low reputation and rejoin as newcomers"
+}
+
+func (whitewashScenario) Tune(cfg *Config) {}
+
+func (whitewashScenario) Specs() []ClassSpec {
+	return []ClassSpec{
+		{Name: "whitewasher", Frac: 0.10, Adversary: true, SeedsFakes: true, Agent: whitewashAgent{}},
+		{Name: "honest", Agent: honestAgent{}},
+	}
+}
+
+func (whitewashScenario) Verdict(r *Result) Verdict {
+	v := verdictLE("whitewasher final mean reputation", r.FinalRep("whitewasher"), 0.45)
+	v.Notes = fmt.Sprintf("rejoins=%d honest rep=%.4f honest pollFakeRatio=%.4f",
+		r.Rejoins, r.FinalRep("honest"), r.Class("honest").PollFakeRatio)
+	if r.Rejoins == 0 {
+		v.Pass = false
+		v.Notes += " (attack never triggered)"
+	}
+	return v
+}
+
+// camouflageScenario: a small polluter class seeds fakes while a larger
+// camouflage class serves and shares honestly — impeccable service and
+// contribution dimensions — but votes every fake up. Only the honesty
+// dimension can separate them; passing means honest peers still dodge
+// the fakes on contested titles.
+type camouflageScenario struct{}
+
+func (camouflageScenario) Name() string { return "camouflage" }
+
+func (camouflageScenario) Describe() string {
+	return "clean-serving peers voting dishonestly to keep fakes alive"
+}
+
+func (camouflageScenario) Tune(cfg *Config) {}
+
+func (camouflageScenario) Specs() []ClassSpec {
+	return []ClassSpec{
+		{Name: "polluter", Frac: 0.05, Adversary: true, SeedsFakes: true, Agent: polluterAgent{}},
+		{Name: "camouflage", Frac: 0.15, Adversary: true, Agent: camouflageAgent{}},
+		{Name: "honest", Agent: honestAgent{}},
+	}
+}
+
+func (camouflageScenario) Verdict(r *Result) Verdict {
+	v := verdictLE("honest polluted-title fake ratio", r.Class("honest").PollFakeRatio, 0.25)
+	cam := r.Class("camouflage")
+	v.Notes = fmt.Sprintf("camouflage rep=%.4f cred=%.4f", cam.MeanRep, cam.MeanCred)
+	if cam.MeanCred >= r.Class("honest").MeanCred {
+		v.Pass = false
+		v.Notes += " (camouflage credibility not suppressed)"
+	}
+	return v
+}
+
+// strategicScenario: rational peers test free-riding under the social
+// norm (reputation-differentiated admission plus the tit-for-tat
+// ledger). Passing means defection pays worse than cooperation and the
+// population settles into cooperating.
+type strategicScenario struct{}
+
+func (strategicScenario) Name() string { return "strategic" }
+
+func (strategicScenario) Describe() string {
+	return "rational free-riders probing the social-norm incentive layer"
+}
+
+func (strategicScenario) Tune(cfg *Config) {
+	cfg.UseLedger = true
+}
+
+func (strategicScenario) Specs() []ClassSpec {
+	return []ClassSpec{
+		{Name: "strategic", Frac: 0.30, Agent: strategicAgent{}},
+		{Name: "honest", Agent: honestAgent{}},
+	}
+}
+
+func (strategicScenario) Verdict(r *Result) Verdict {
+	v := verdictGE("strategic cooperating fraction", r.CoopFrac, 0.75)
+	v.Notes = fmt.Sprintf("strategic rep=%.4f honest rep=%.4f denied=%d",
+		r.FinalRep("strategic"), r.FinalRep("honest"), r.Class("strategic").Denied)
+	return v
+}

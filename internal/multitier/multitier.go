@@ -112,3 +112,52 @@ func (c *Classifier) Coverage(pairs [][2]int) []float64 {
 	}
 	return out
 }
+
+// VecClassifier assigns tiers from a scalar reputation axis instead of a
+// trust-matrix walk — the population-scale variant used by the massim
+// simulator, where per-pair matrix powers are unaffordable at millions
+// of peers. Bounds are strictly descending reputation thresholds: a
+// reputation >= bounds[0] is tier 1 (best), >= bounds[1] tier 2, and so
+// on; anything below the last bound lands in tier len(bounds)+1.
+type VecClassifier struct {
+	bounds []float64
+}
+
+// NewVecClassifier builds a classifier over descending thresholds.
+func NewVecClassifier(bounds []float64) (*VecClassifier, error) {
+	if len(bounds) == 0 {
+		return nil, errors.New("multitier: no tier bounds")
+	}
+	for k, b := range bounds {
+		if b <= 0 || b >= 1 {
+			return nil, fmt.Errorf("multitier: bound %d = %v outside (0,1)", k, b)
+		}
+		if k > 0 && b >= bounds[k-1] {
+			return nil, fmt.Errorf("multitier: bounds not strictly descending at %d", k)
+		}
+	}
+	return &VecClassifier{bounds: append([]float64(nil), bounds...)}, nil
+}
+
+// Tiers returns the number of tiers, len(bounds)+1.
+func (c *VecClassifier) Tiers() int { return len(c.bounds) + 1 }
+
+// Tier returns the 1-based tier for a reputation value.
+func (c *VecClassifier) Tier(rep float64) int {
+	for k, b := range c.bounds {
+		if rep >= b {
+			return k + 1
+		}
+	}
+	return len(c.bounds) + 1
+}
+
+// Distribution counts how many of the given reputations fall in each
+// tier; index 0 is tier 1.
+func (c *VecClassifier) Distribution(rep []float64) []int {
+	out := make([]int, c.Tiers())
+	for _, v := range rep {
+		out[c.Tier(v)-1]++
+	}
+	return out
+}

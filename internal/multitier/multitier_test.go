@@ -163,3 +163,41 @@ func TestClassifierMatchesMapPowers(t *testing.T) {
 		}
 	}
 }
+
+func TestVecClassifier(t *testing.T) {
+	c, err := NewVecClassifier([]float64{0.7, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tiers() != 3 {
+		t.Fatalf("Tiers() = %d, want 3", c.Tiers())
+	}
+	cases := []struct {
+		rep  float64
+		tier int
+	}{{0.9, 1}, {0.7, 1}, {0.69, 2}, {0.4, 2}, {0.1, 3}, {0, 3}}
+	for _, tc := range cases {
+		if got := c.Tier(tc.rep); got != tc.tier {
+			t.Fatalf("Tier(%v) = %d, want %d", tc.rep, got, tc.tier)
+		}
+	}
+	dist := c.Distribution([]float64{0.9, 0.8, 0.5, 0.2, 0.1, 0.05})
+	want := []int{2, 1, 3}
+	for k := range want {
+		if dist[k] != want[k] {
+			t.Fatalf("Distribution = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestVecClassifierErrors(t *testing.T) {
+	if _, err := NewVecClassifier(nil); err == nil {
+		t.Fatal("want error for empty bounds")
+	}
+	if _, err := NewVecClassifier([]float64{0.4, 0.7}); err == nil {
+		t.Fatal("want error for ascending bounds")
+	}
+	if _, err := NewVecClassifier([]float64{1.5}); err == nil {
+		t.Fatal("want error for bound outside (0,1)")
+	}
+}

@@ -1,0 +1,115 @@
+package p2psim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConfigValidateRejections walks every rejection branch of
+// Config.Validate; each mutation must trip its own error.
+func TestConfigValidateRejections(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*Config)
+		want   string
+	}{
+		"too few peers":      {func(c *Config) { c.Peers = 3 }, "at least 4 peers"},
+		"no titles":          {func(c *Config) { c.Titles = 0 }, "at least 1 title"},
+		"negative requests":  {func(c *Config) { c.Requests = -1 }, "negative request count"},
+		"zero duration":      {func(c *Config) { c.Duration = 0 }, "non-positive duration"},
+		"negative duration":  {func(c *Config) { c.Duration = -time.Hour }, "non-positive duration"},
+		"negative freerider": {func(c *Config) { c.FreeRiderFrac = -0.1 }, "negative behaviour fraction"},
+		"negative polluter":  {func(c *Config) { c.PolluterFrac = -0.1 }, "negative behaviour fraction"},
+		"negative liar":      {func(c *Config) { c.LiarFrac = -0.1 }, "negative behaviour fraction"},
+		"no honest left":     {func(c *Config) { c.FreeRiderFrac, c.PolluterFrac, c.LiarFrac = 0.5, 0.4, 0.1 }, "too few honest"},
+		"vote prob high":     {func(c *Config) { c.VoteProb = 1.1 }, "vote probability"},
+		"vote prob negative": {func(c *Config) { c.VoteProb = -0.1 }, "vote probability"},
+		"negative polluted":  {func(c *Config) { c.PollutedTitles = -1 }, "polluted titles"},
+		"polluted > titles":  {func(c *Config) { c.PollutedTitles = c.Titles + 1 }, "polluted titles"},
+		"negative zipf":      {func(c *Config) { c.ZipfExponent = -0.5 }, "negative Zipf"},
+		"zero file size":     {func(c *Config) { c.MeanFileSize = 0 }, "non-positive file size"},
+		"zero epoch":         {func(c *Config) { c.EpochLen = 0 }, "non-positive epoch length"},
+		"zero online":        {func(c *Config) { c.OnlineFraction = 0 }, "online fraction"},
+		"online over one":    {func(c *Config) { c.OnlineFraction = 1.5 }, "online fraction"},
+		"unknown scheme":     {func(c *Config) { c.Scheme = Scheme(99) }, "unknown scheme"},
+		"bad reputation":     {func(c *Config) { c.Reputation.Steps = -1 }, ""},
+		"bad policy":         {func(c *Config) { c.Policy.QuotaThreshold = -1 }, ""},
+	}
+	for name, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the config", name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestConfigValidateAccepts pins the valid envelope, including the edge
+// cases that look suspicious but are legal.
+func TestConfigValidateAccepts(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	if err := IncentiveConfig().Validate(); err != nil {
+		t.Fatalf("incentive config rejected: %v", err)
+	}
+
+	// A zero seed is a valid seed (sim.NewRNG documents it), not a
+	// missing field.
+	cfg := DefaultConfig()
+	cfg.Seed = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero seed rejected: %v", err)
+	}
+
+	// Zero requests is a legal degenerate run.
+	cfg = DefaultConfig()
+	cfg.Requests = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero requests rejected: %v", err)
+	}
+
+	// Heavy but still-legal adversarial fractions pass (the 0.95 cap is
+	// exclusive only past the float boundary).
+	cfg = DefaultConfig()
+	cfg.FreeRiderFrac, cfg.PolluterFrac, cfg.LiarFrac = 0.5, 0.25, 0.125
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("heavy fractions rejected: %v", err)
+	}
+
+	// Every named scheme validates.
+	for _, s := range []Scheme{SchemeMDRep, SchemeNone, SchemeNaiveVoting, SchemeLIP} {
+		cfg = DefaultConfig()
+		cfg.Scheme = s
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("scheme %v rejected: %v", s, err)
+		}
+	}
+}
+
+// TestBehaviorSchemeStrings covers the name renderings used in reports.
+func TestBehaviorSchemeStrings(t *testing.T) {
+	wantB := map[Behavior]string{
+		Honest: "honest", FreeRider: "free-rider", Polluter: "polluter",
+		Liar: "liar", Behavior(42): "behavior(42)",
+	}
+	for b, want := range wantB {
+		if b.String() != want {
+			t.Errorf("Behavior(%d).String() = %q, want %q", int(b), b.String(), want)
+		}
+	}
+	wantS := map[Scheme]string{
+		SchemeMDRep: "mdrep", SchemeNone: "none", SchemeNaiveVoting: "naive-voting",
+		SchemeLIP: "lip", Scheme(42): "scheme(42)",
+	}
+	for s, want := range wantS {
+		if s.String() != want {
+			t.Errorf("Scheme(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

@@ -34,6 +34,24 @@ func (r *RNG) DeriveStream(name string) *RNG {
 	return NewRNG(r.state ^ h)
 }
 
+// Stream is the value-type form of DeriveStream, for callers that embed
+// generators directly in slices — the struct-of-arrays layout of the
+// million-peer simulator, where one pointer per peer would double the
+// footprint of the RNG state.
+func (r *RNG) Stream(name string) RNG {
+	return *r.DeriveStream(name)
+}
+
+// At returns the i-th indexed substream of r as a value. Substreams with
+// different indices are statistically independent; the same (r, i) pair
+// always yields the same stream. It does not advance r.
+func (r *RNG) At(i uint64) RNG {
+	z := r.state + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return RNG{state: z ^ (z >> 31)}
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
