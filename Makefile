@@ -4,7 +4,7 @@ GO      ?= go
 BIN     ?= bin
 VETTOOL := $(BIN)/mdrep-lint
 
-.PHONY: all build test race chaos obs sim lint vet fmt bench bench-json clean
+.PHONY: all build test race chaos obs sim shard lint vet fmt bench bench-json bench-gate clean
 
 all: build lint test
 
@@ -71,17 +71,40 @@ sim:
 	cmp $(BIN)/massim.a.txt $(BIN)/massim.b.txt
 	@echo "massim: scenario suite passed, reruns byte-identical"
 
+# shard runs the sharded-engine invariance suite under the race
+# detector twice over: shard-count invariance (K ∈ {1,2,8} must be
+# bit-identical to the unsharded engine), the concurrent hammer at K=8,
+# per-shard journal recovery including truncation at every byte offset,
+# and the cross-facade parity tests at the mdrep and massim layers.
+shard:
+	$(GO) test -race -count=2 -run 'Shard|WithShards|MirrorShards' \
+		mdrep mdrep/internal/core mdrep/internal/journal \
+		mdrep/internal/massim mdrep/cmd/mdrep-peer
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # bench-json snapshots the canonical benchmark suite as a dated JSON
 # trajectory file (BENCH_<date>.json) via the cmd/mdrep-bench parser.
 # Committing the file each perf PR turns performance claims into diffs.
+BENCH_LIST := BenchmarkTrustMatrixBuild|BenchmarkReputationQuery|BenchmarkFileJudgement|BenchmarkSparseMatMul|BenchmarkRMPowParallel|BenchmarkBuildTMIncremental|BenchmarkJournalAppend|BenchmarkRecovery|BenchmarkSystemIngest|BenchmarkSystemJudge|BenchmarkDHTLookup|BenchmarkMassimStep|BenchmarkMassimEpoch|BenchmarkShardedApplyBatch|BenchmarkShardedRebuild
+
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkTrustMatrixBuild|BenchmarkReputationQuery|BenchmarkFileJudgement|BenchmarkSparseMatMul|BenchmarkRMPowParallel|BenchmarkBuildTMIncremental|BenchmarkJournalAppend|BenchmarkRecovery|BenchmarkSystemIngest|BenchmarkSystemJudge|BenchmarkDHTLookup|BenchmarkMassimStep|BenchmarkMassimEpoch' \
+	$(GO) test -run '^$$' -bench '$(BENCH_LIST)' \
 		-benchmem mdrep mdrep/internal/massim \
 		| $(GO) run ./cmd/mdrep-bench > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+
+# bench-gate is the perf regression gate: rerun the canonical suite and
+# fail if any benchmark's ns/op regressed more than 15% against the most
+# recent committed BENCH_*.json snapshot (cmd/mdrep-bench -gate).
+bench-gate:
+	@base="$$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"; \
+	if [ -z "$$base" ]; then echo "bench-gate: no BENCH_*.json baseline committed" >&2; exit 1; fi; \
+	echo "bench-gate: baseline $$base"; \
+	$(GO) test -run '^$$' -bench '$(BENCH_LIST)' \
+		-benchmem mdrep mdrep/internal/massim \
+		| $(GO) run ./cmd/mdrep-bench -gate "$$base"
 
 clean:
 	rm -rf $(BIN)

@@ -662,3 +662,86 @@ func BenchmarkSystemJudge(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedApplyBatch measures group-commit ingest through the
+// sharded facade as the shard count grows. Each iteration applies one
+// pre-built 256-event batch; with k shards the batch fans out to k
+// workers that each take only their own shard's lock. On a single-core
+// host the curve reads as lock-partitioning overhead; on multi-core it
+// reads as ingest scaling.
+func BenchmarkShardedApplyBatch(b *testing.B) {
+	const n, batchLen = 2000, 256
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			eng, err := core.NewSharded(n, k, core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches := make([][]core.Event, 8)
+			for bi := range batches {
+				evs := make([]core.Event, 0, batchLen)
+				for i := 0; len(evs) < batchLen; i++ {
+					p, q := (bi*batchLen+i*7)%n, (bi*batchLen+i*13+1)%n
+					f := eval.FileID(fmt.Sprintf("f-%d", i%64))
+					now := time.Duration(bi*batchLen+i) * time.Second
+					switch i % 3 {
+					case 0:
+						evs = append(evs, core.Event{Kind: core.EventVote, I: p, File: f, Value: 0.9, Time: now})
+					case 1:
+						if p != q {
+							evs = append(evs, core.Event{Kind: core.EventDownload, I: p, J: q, File: f, Size: 1 << 20, Time: now})
+						}
+					case 2:
+						if p != q {
+							evs = append(evs, core.Event{Kind: core.EventRateUser, I: p, J: q, Value: 0.8})
+						}
+					}
+				}
+				batches[bi] = evs
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.ApplyBatch(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedRebuild measures the parallel per-shard TM rebuild
+// after a full ingest: every iteration dirties one peer per shard and
+// re-freezes, so the work is the incremental recompute plus the k-way
+// row-set merge.
+func BenchmarkShardedRebuild(b *testing.B) {
+	const n = 2000
+	for _, k := range []int{1, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			eng, err := core.NewSharded(n, k, core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 4*n; i++ {
+				f := eval.FileID(fmt.Sprintf("f-%d", i%256))
+				if err := eng.Vote(i%n, f, 0.9, time.Duration(i)*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			now := time.Duration(4*n) * time.Second
+			if _, err := eng.TM(now); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Vote(i%n, "hot", 0.5, now); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.TM(now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

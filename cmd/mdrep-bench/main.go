@@ -4,14 +4,23 @@
 // the converter in-repo means the trajectory files share one schema
 // across PRs, so perf claims can be diffed instead of re-argued.
 //
+// With -gate the command becomes the CI perf regression gate: instead of
+// emitting JSON it compares the fresh run on stdin against a committed
+// baseline snapshot and fails when any shared benchmark's ns/op regressed
+// by more than -threshold (default 15%). Benchmarks present on only one
+// side are reported but never fail the gate, so adding or retiring a
+// benchmark does not require regenerating history in the same commit.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | mdrep-bench > BENCH_2026-01-02.json
+//	go test -run '^$' -bench . -benchmem ./... | mdrep-bench -gate BENCH_2026-01-02.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -47,10 +56,27 @@ type Report struct {
 }
 
 func main() {
+	fs := flag.NewFlagSet("mdrep-bench", flag.ContinueOnError)
+	gate := fs.String("gate", "", "baseline BENCH_*.json to gate the fresh run on stdin against")
+	threshold := fs.Float64("threshold", 0.15, "maximum tolerated fractional ns/op regression")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdrep-bench:", err)
 		os.Exit(1)
+	}
+	if *gate != "" {
+		ok, err := runGate(os.Stdout, rep, *gate, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdrep-bench:", err)
+			os.Exit(1)
+		}
+		if !ok || len(rep.Failures) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -61,6 +87,72 @@ func main() {
 	if len(rep.Failures) > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchKey identifies a benchmark across machines: package plus name
+// with the -GOMAXPROCS suffix stripped, so a snapshot taken at -8
+// still gates a single-core CI runner.
+func benchKey(pkg, name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return pkg + " " + name
+}
+
+// runGate compares fresh against the baseline snapshot and reports per
+// benchmark; it returns false when any shared benchmark's ns/op exceeds
+// baseline by more than threshold.
+func runGate(w io.Writer, fresh *Report, baselinePath string, threshold float64) (bool, error) {
+	if threshold <= 0 {
+		return false, fmt.Errorf("threshold %v must be positive", threshold)
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var baseline Report
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return false, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	base := make(map[string]float64, len(baseline.Results))
+	for _, b := range baseline.Results {
+		base[benchKey(b.Package, b.Name)] = b.NsPerOp
+	}
+	fmt.Fprintf(w, "gate: fresh run vs %s (threshold %+.0f%%)\n", baselinePath, threshold*100)
+	seen := make(map[string]bool, len(fresh.Results))
+	regressions := 0
+	for _, b := range fresh.Results {
+		key := benchKey(b.Package, b.Name)
+		seen[key] = true
+		old, ok := base[key]
+		if !ok {
+			fmt.Fprintf(w, "  new     %-60s %12.1f ns/op (no baseline)\n", key, b.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (b.NsPerOp - old) / old
+		}
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-7s %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n", verdict, key, old, b.NsPerOp, delta*100)
+	}
+	for _, b := range baseline.Results {
+		if key := benchKey(b.Package, b.Name); !seen[key] {
+			fmt.Fprintf(w, "  retired %-60s (in baseline only)\n", key)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "gate: FAIL — %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold*100)
+		return false, nil
+	}
+	fmt.Fprintln(w, "gate: PASS")
+	return true, nil
 }
 
 // parse reads `go test -bench` text output. Lines it does not

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,5 +69,61 @@ func TestParseFailuresAndGarbage(t *testing.T) {
 	}
 	if len(rep.Results) != 0 {
 		t.Fatalf("garbage parsed as results: %+v", rep.Results)
+	}
+}
+
+func TestBenchKey(t *testing.T) {
+	if k := benchKey("mdrep", "BenchmarkX-8"); k != "mdrep BenchmarkX" {
+		t.Fatalf("suffix not stripped: %q", k)
+	}
+	if k := benchKey("mdrep", "BenchmarkSystemIngest"); k != "mdrep BenchmarkSystemIngest" {
+		t.Fatalf("bare name mangled: %q", k)
+	}
+	if k := benchKey("mdrep", "BenchmarkShardedApplyBatch/k=8-4"); k != "mdrep BenchmarkShardedApplyBatch/k=8" {
+		t.Fatalf("sub-benchmark suffix not stripped: %q", k)
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := `{"results":[
+		{"package":"mdrep","name":"BenchmarkA-8","iterations":1,"ns_per_op":100},
+		{"package":"mdrep","name":"BenchmarkB-8","iterations":1,"ns_per_op":100},
+		{"package":"mdrep","name":"BenchmarkGone-8","iterations":1,"ns_per_op":5}]}`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &Report{Results: []Benchmark{
+		{Package: "mdrep", Name: "BenchmarkA-4", NsPerOp: 110},  // +10%: within gate
+		{Package: "mdrep", Name: "BenchmarkB-4", NsPerOp: 120},  // +20%: regression
+		{Package: "mdrep", Name: "BenchmarkNew-4", NsPerOp: 50}, // no baseline: ignored
+	}}
+	var out strings.Builder
+	ok, err := runGate(&out, fresh, path, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("20%% regression passed the 15%% gate:\n%s", out.String())
+	}
+	for _, want := range []string{"REGRESSED", "BenchmarkB", "new ", "BenchmarkNew", "retired", "BenchmarkGone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	// Loosening the threshold past the worst delta must pass.
+	out.Reset()
+	ok, err = runGate(&out, fresh, path, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("25%% gate rejected a 20%% delta:\n%s", out.String())
+	}
+	if _, err := runGate(&out, fresh, path, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, err := runGate(&out, fresh, filepath.Join(t.TempDir(), "missing.json"), 0.15); err == nil {
+		t.Fatal("missing baseline accepted")
 	}
 }

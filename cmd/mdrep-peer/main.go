@@ -20,6 +20,15 @@
 //	                 [-metrics-addr HOST:PORT]
 //	mdrep-peer trust -seed 2 -vote FILE=0.9 \
 //	                 -sync SEED@HOST:PORT[,SEED@HOST:PORT…] [-data-dir DIR]
+//	mdrep-peer engine -data-dir DIR [-n 64] [-shards 4] [-events 256]
+//	                 [-batch 64] [-seed 1] [-crash] [-metrics-addr HOST:PORT]
+//
+// The engine subcommand hosts the sharded trust engine over a durable
+// per-shard journal: each run recovers all shards in parallel, ingests a
+// deterministic workload through the group-commit batch path (one fsync
+// per shard per batch) and reports peer 0's reputation view. -crash
+// exits without a clean close to demonstrate that group-committed
+// batches survive and replay on the next run.
 package main
 
 import (
@@ -58,6 +67,8 @@ func run(args []string) error {
 		return serve(args[1:])
 	case "trust":
 		return trust(args[1:])
+	case "engine":
+		return engineCmd(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

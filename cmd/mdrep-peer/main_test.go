@@ -124,3 +124,28 @@ func TestMakeIdentityDeterministic(t *testing.T) {
 		t.Fatal("identities not deterministic")
 	}
 }
+
+// TestEngineSubcommand drives the sharded journal-backed engine through
+// ingest, crash, recovery and clean close against one data directory.
+func TestEngineSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"engine"}); err == nil {
+		t.Fatal("missing -data-dir accepted")
+	}
+	base := []string{"engine", "-data-dir", dir, "-n", "32", "-shards", "4", "-events", "120", "-batch", "32"}
+	if err := run(append(base, "-crash")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash recovery: everything was group-committed, so the second run
+	// must replay all 120 events and then close cleanly.
+	if err := run(base); err != nil {
+		t.Fatal(err)
+	}
+	// Clean close left snapshots; a shard-count change must be rejected.
+	if err := run([]string{"engine", "-data-dir", dir, "-n", "32", "-shards", "8"}); err == nil {
+		t.Fatal("shard count change accepted")
+	}
+	if err := run(append(base, "-metrics-addr", "127.0.0.1:0")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,7 +15,7 @@
 //	mdrep-sim [-exp e1|e1sweep|e2|e3|e4|e5|e6|e7|all] [-scale small|full]
 //	          [-metrics]
 //	mdrep-sim -exp massim [-scenario name|all] [-n peers] [-seed s]
-//	          [-epochs e] [-baselines] [-metrics]
+//	          [-epochs e] [-baselines] [-shards k] [-metrics]
 //
 // The massim experiment runs the adversarial scenario library of
 // internal/massim (collusion-front, whitewash, camouflage, strategic)
@@ -59,6 +59,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "massim experiment seed")
 	epochs := fs.Int("epochs", 0, "massim epoch count (0 = scenario default)")
 	baselines := fs.Bool("baselines", false, "massim: run eigentrust/BLUE/engine comparison baselines")
+	shards := fs.Int("shards", 0, "massim: back the mirrored engine with this many shards (0/1 = unsharded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,7 +74,7 @@ func run(args []string) error {
 		}()
 	}
 	if strings.EqualFold(*exp, "massim") {
-		return runMassim(*scenario, *n, *seed, *epochs, *baselines)
+		return runMassim(*scenario, *n, *seed, *epochs, *baselines, *shards)
 	}
 	sc := experiments.ScaleSmall
 	switch *scale {
@@ -120,7 +121,7 @@ func run(args []string) error {
 
 // runMassim executes one or all massim scenarios and fails if any
 // scenario's pass bound is violated.
-func runMassim(scenario string, n int, seed uint64, epochs int, baselines bool) error {
+func runMassim(scenario string, n int, seed uint64, epochs int, baselines bool, shards int) error {
 	names := []string{scenario}
 	if strings.EqualFold(scenario, "all") {
 		names = massim.Names()
@@ -139,6 +140,7 @@ func runMassim(scenario string, n int, seed uint64, epochs int, baselines bool) 
 		}
 		cfg.Baselines = baselines
 		cfg.MirrorEngine = baselines
+		cfg.MirrorShards = shards
 		fmt.Printf("=== massim %s ===\n", name)
 		res, err := massim.Run(cfg, scn)
 		if err != nil {

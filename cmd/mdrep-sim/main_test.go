@@ -32,3 +32,12 @@ func TestRunSingleExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunMassimShardedMirror(t *testing.T) {
+	if err := run([]string{"-exp", "massim", "-scenario", "whitewash", "-n", "500", "-seed", "3", "-baselines", "-shards", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "massim", "-scenario", "whitewash", "-n", "500", "-shards", "-2"}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}

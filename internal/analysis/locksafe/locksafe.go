@@ -14,15 +14,27 @@
 //
 // Facade bypass (packages outside core and journal): core.Engine is not
 // safe for concurrent use — even read-looking calls patch its caches — so
-// everything outside the core must route through core.Concurrent. The
-// analyzer flags direct *core.Engine method calls unless the engine
-// arrived as a function parameter (the caller owns the locking contract,
-// e.g. security.InjectClique) or the call happens inside a closure passed
-// to Concurrent.Locked, the sanctioned escape hatch.
+// everything outside the core must route through core.Concurrent or
+// core.Sharded. The analyzer flags direct *core.Engine method calls
+// unless the engine arrived as a function parameter (the caller owns the
+// locking contract, e.g. security.InjectClique) or the call happens
+// inside a closure passed to Concurrent.Locked, the sanctioned escape
+// hatch.
+//
+// Shard lock ordering (all packages): the sharded engine's deadlock
+// freedom rests on one rule — when a function holds more than one shard
+// data lock (any acquisition of shards[i].mu, directly or through a
+// `sh := &x.shards[i]` alias), it must take them in ascending shard
+// index. The analyzer flags the two static shapes that violate it: a
+// loop that walks the shard slice downwards while locking, and a pair of
+// constant-index acquisitions in descending order with no release in
+// between. Ascending lockAll loops and single-shard critical sections
+// are untouched.
 package locksafe
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 
@@ -48,12 +60,15 @@ const name = "locksafe"
 
 var Analyzer = &analysis.Analyzer{
 	Name: name,
-	Doc: "flag re-entrant mutex acquisition and core.Engine facade bypass\n\n" +
+	Doc: "flag re-entrant mutex acquisition, core.Engine facade bypass, and shard lock-order violations\n\n" +
 		"A method holding its receiver's mu (Lock-then-defer-Unlock idiom) must\n" +
 		"not call another method of the same receiver that acquires mu: Go\n" +
 		"mutexes are not re-entrant. Outside core and journal, *core.Engine\n" +
-		"must be driven through core.Concurrent (or its Locked escape hatch) —\n" +
-		"the bare engine is not safe for concurrent use.",
+		"must be driven through core.Concurrent or core.Sharded (or the\n" +
+		"Concurrent.Locked escape hatch) — the bare engine is not safe for\n" +
+		"concurrent use. Functions that take multiple shards[i].mu locks must\n" +
+		"take them in ascending shard index, or two shard workers deadlock\n" +
+		"against each other.",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
@@ -61,6 +76,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	checkReentrancy(pass, ins)
+	checkShardOrder(pass, ins)
 	if !lintutil.IsPackage(pass.Pkg.Path(), enginePackages...) {
 		checkFacadeBypass(pass, ins)
 	}
@@ -327,7 +343,7 @@ func checkFacadeBypass(pass *analysis.Pass, ins *inspector.Inspector) {
 			return true
 		}
 		lintutil.Report(pass, call.Pos(), name,
-			"direct (*core.Engine).%s outside the core: the bare engine is not safe for concurrent use — route through core.Concurrent (or a Concurrent.Locked callback)",
+			"direct (*core.Engine).%s outside the core: the bare engine is not safe for concurrent use — route through core.Concurrent or core.Sharded (or a Concurrent.Locked callback)",
 			fn.Name())
 		return true
 	})
@@ -411,4 +427,225 @@ func receiverIsParameter(pass *analysis.Pass, call *ast.CallExpr, stack []ast.No
 		}
 	}
 	return false
+}
+
+// --- shard lock ordering ----------------------------------------------------
+
+// shardLockEvent is one Lock/Unlock of shards[idx].mu inside a function
+// body, in source order.
+type shardLockEvent struct {
+	op  string   // "Lock" or "Unlock"
+	idx ast.Expr // the shard index expression
+	pos token.Pos
+}
+
+// checkShardOrder enforces the ascending-shard-index convention on the
+// shard data locks. Two shapes are flagged: a loop that decrements its
+// variable while locking shards[var].mu in its body, and a pair of
+// constant-index acquisitions in descending order with no intervening
+// release of the earlier lock.
+func checkShardOrder(pass *analysis.Pass, ins *inspector.Inspector) {
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return
+		}
+		events := collectShardLockEvents(pass, body)
+		reportDescendingConstPairs(pass, events)
+	})
+	ins.Preorder([]ast.Node{(*ast.ForStmt)(nil)}, func(n ast.Node) {
+		checkDescendingLoop(pass, n.(*ast.ForStmt))
+	})
+}
+
+// collectShardLockEvents walks body in source order, resolving
+// `sh := &x.shards[i]` aliases, and returns every shards[i].mu.Lock and
+// .Unlock it can see. Nested function literals are skipped — they run on
+// their own goroutines with their own ordering obligations.
+func collectShardLockEvents(pass *analysis.Pass, body *ast.BlockStmt) []shardLockEvent {
+	aliases := map[types.Object]ast.Expr{} // local var -> shard index expr
+	var events []shardLockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			recordShardAliases(pass, n, aliases)
+		case *ast.DeferStmt:
+			// A deferred unlock releases at return, after every later
+			// acquisition — it must not clear the held set mid-body.
+			return false
+		case *ast.CallExpr:
+			if op, idx := shardMuOp(pass, n, aliases); idx != nil {
+				events = append(events, shardLockEvent{op: op, idx: idx, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// recordShardAliases tracks `sh := &x.shards[i]` and `sh := x.shards[i]`.
+func recordShardAliases(pass *analysis.Pass, as *ast.AssignStmt, aliases map[types.Object]ast.Expr) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for k, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		rhs := as.Rhs[k]
+		if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			rhs = un.X
+		}
+		if idx := shardIndexExpr(rhs); idx != nil {
+			aliases[obj] = idx
+		}
+	}
+}
+
+// shardIndexExpr matches `<any>.shards[i]` and returns i.
+func shardIndexExpr(e ast.Expr) ast.Expr {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ix.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "shards" {
+		return nil
+	}
+	return ix.Index
+}
+
+// shardMuOp matches `<shards[i] or alias>.mu.Lock/Unlock()` and returns
+// the operation and shard index expression.
+func shardMuOp(pass *analysis.Pass, call *ast.CallExpr, aliases map[types.Object]ast.Expr) (string, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	op := sel.Sel.Name
+	if op != "Lock" && op != "Unlock" {
+		return "", nil
+	}
+	mu, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != "mu" {
+		return "", nil
+	}
+	if idx := shardIndexExpr(mu.X); idx != nil {
+		return op, idx
+	}
+	if id, ok := mu.X.(*ast.Ident); ok {
+		if idx, ok := aliases[pass.TypesInfo.ObjectOf(id)]; ok {
+			return op, idx
+		}
+	}
+	return "", nil
+}
+
+// constShardIndex resolves idx to a compile-time integer, if it is one.
+func constShardIndex(pass *analysis.Pass, idx ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[idx]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// reportDescendingConstPairs flags a constant-index acquisition made
+// while a higher-indexed shard lock is still held.
+func reportDescendingConstPairs(pass *analysis.Pass, events []shardLockEvent) {
+	type held struct {
+		v      int64
+		active bool
+	}
+	var stack []held
+	for _, ev := range events {
+		v, ok := constShardIndex(pass, ev.idx)
+		if !ok {
+			continue
+		}
+		if ev.op == "Unlock" {
+			for k := len(stack) - 1; k >= 0; k-- {
+				if stack[k].active && stack[k].v == v {
+					stack[k].active = false
+					break
+				}
+			}
+			continue
+		}
+		for _, h := range stack {
+			if h.active && h.v > v {
+				lintutil.Report(pass, ev.pos, name,
+					"shards[%d].mu acquired while shards[%d].mu is held: shard data locks must be taken in ascending shard index or concurrent holders deadlock",
+					v, h.v)
+				break
+			}
+		}
+		stack = append(stack, held{v: v, active: true})
+	}
+}
+
+// checkDescendingLoop flags `for i := hi; ...; i--` loops that lock
+// shards[i].mu in the body: successive iterations acquire in descending
+// index while earlier iterations' locks are typically still held (the
+// lockAll shape), inverting the ordering convention.
+func checkDescendingLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	loopVar := descendingLoopVar(pass, loop)
+	if loopVar == nil || loop.Body == nil {
+		return
+	}
+	aliases := map[types.Object]ast.Expr{}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			recordShardAliases(pass, n, aliases)
+		case *ast.CallExpr:
+			op, idx := shardMuOp(pass, n, aliases)
+			if op != "Lock" || idx == nil {
+				return true
+			}
+			if root := lintutil.RootIdent(idx); root != nil && pass.TypesInfo.ObjectOf(root) == loopVar {
+				lintutil.Report(pass, n.Pos(), name,
+					"shards[%s].mu locked inside a descending loop over %s: shard data locks must be taken in ascending shard index or concurrent holders deadlock",
+					root.Name, root.Name)
+			}
+		}
+		return true
+	})
+}
+
+// descendingLoopVar returns the loop variable object when loop's post
+// statement decrements it (i-- or i -= n).
+func descendingLoopVar(pass *analysis.Pass, loop *ast.ForStmt) types.Object {
+	var id *ast.Ident
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		if post.Tok != token.DEC {
+			return nil
+		}
+		id, _ = post.X.(*ast.Ident)
+	case *ast.AssignStmt:
+		if post.Tok != token.SUB_ASSIGN || len(post.Lhs) != 1 {
+			return nil
+		}
+		id, _ = post.Lhs[0].(*ast.Ident)
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
 }

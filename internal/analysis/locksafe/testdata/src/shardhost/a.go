@@ -1,0 +1,114 @@
+// Positive/negative fixture for the shard lock-ordering half of
+// locksafe: shard data locks (shards[i].mu) must be taken in ascending
+// shard index.
+package shardhost
+
+import "sync"
+
+type shard struct {
+	mu    sync.Mutex
+	count int
+}
+
+type host struct {
+	shards []shard
+}
+
+// okAscendingLoop is the sanctioned lockAll shape.
+func (h *host) okAscendingLoop() {
+	for i := 0; i < len(h.shards); i++ {
+		h.shards[i].mu.Lock()
+	}
+	for i := 0; i < len(h.shards); i++ {
+		h.shards[i].mu.Unlock()
+	}
+}
+
+// badDescendingLoop inverts the ordering: iteration i holds every lock
+// above it while acquiring below.
+func (h *host) badDescendingLoop() {
+	for i := len(h.shards) - 1; i >= 0; i-- {
+		h.shards[i].mu.Lock() // want `locked inside a descending loop`
+	}
+	for i := 0; i < len(h.shards); i++ {
+		h.shards[i].mu.Unlock()
+	}
+}
+
+// badDescendingLoopAlias: the same inversion through a local alias.
+func (h *host) badDescendingLoopAlias() {
+	for i := len(h.shards) - 1; i >= 0; i -= 1 {
+		sh := &h.shards[i]
+		sh.mu.Lock() // want `locked inside a descending loop`
+		sh.count++
+	}
+}
+
+// badConstPair holds shard 2 while acquiring shard 0.
+func (h *host) badConstPair() {
+	h.shards[2].mu.Lock()
+	h.shards[0].mu.Lock() // want `shards\[0\]\.mu acquired while shards\[2\]\.mu is held`
+	h.shards[0].mu.Unlock()
+	h.shards[2].mu.Unlock()
+}
+
+// badConstPairAlias: descending pair through aliases.
+func (h *host) badConstPairAlias() {
+	hi := &h.shards[3]
+	lo := &h.shards[1]
+	hi.mu.Lock()
+	lo.mu.Lock() // want `shards\[1\]\.mu acquired while shards\[3\]\.mu is held`
+	lo.mu.Unlock()
+	hi.mu.Unlock()
+}
+
+// okConstPairAscending is the correct two-shard critical section.
+func (h *host) okConstPairAscending() {
+	h.shards[0].mu.Lock()
+	h.shards[2].mu.Lock()
+	h.shards[2].mu.Unlock()
+	h.shards[0].mu.Unlock()
+}
+
+// okReleasedBetween drops the high lock before taking the low one, so
+// only one shard lock is ever held.
+func (h *host) okReleasedBetween() {
+	h.shards[2].mu.Lock()
+	h.shards[2].mu.Unlock()
+	h.shards[0].mu.Lock()
+	h.shards[0].mu.Unlock()
+}
+
+// badDeferredHigh: the deferred unlock releases only at return, so the
+// low acquisition still happens under the high lock.
+func (h *host) badDeferredHigh() {
+	h.shards[2].mu.Lock()
+	defer h.shards[2].mu.Unlock()
+	h.shards[0].mu.Lock() // want `shards\[0\]\.mu acquired while shards\[2\]\.mu is held`
+	h.shards[0].mu.Unlock()
+}
+
+// okSingleShard is the routed single-owner critical section.
+func (h *host) okSingleShard(i int) {
+	sh := &h.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.count++
+}
+
+// okClosurePerShard: each worker closure locks exactly one shard; the
+// closure boundary resets the held set.
+func (h *host) okClosurePerShard() {
+	var wg sync.WaitGroup
+	for i := 0; i < len(h.shards); i++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := &h.shards[si]
+			sh.mu.Lock()
+			sh.count++
+			sh.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}

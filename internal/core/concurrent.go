@@ -87,14 +87,27 @@ func (c *Concurrent) ApplyEvent(ev Event) error {
 // acquisition — the group-commit ingest path for bulk sources (the
 // massim simulator's per-epoch event batches, journal replay tails),
 // which would otherwise pay one lock handoff per event against a
-// concurrent query load. It stops at the first failing event; events
-// before it stay applied.
+// concurrent query load.
+//
+// Contract: all-or-report. Every event is prevalidated with
+// ValidateEvent before any is applied; on failure ApplyBatch returns a
+// *BatchError naming the offending index and NO event of the batch is
+// applied. A nil return means the whole batch applied. The sharded
+// facade's group-commit path inherits this contract.
 func (c *Concurrent) ApplyBatch(evs []Event) error {
+	n := c.N()
+	for k := range evs {
+		if err := ValidateEvent(n, evs[k]); err != nil {
+			return &BatchError{Index: k, Err: err}
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for k := range evs {
 		if err := c.eng.ApplyEvent(evs[k]); err != nil {
-			return fmt.Errorf("core: batch event %d: %w", k, err)
+			// Unreachable after prevalidation; kept as a hard failure so
+			// a future validation gap cannot silently half-apply.
+			panic(fmt.Sprintf("core: prevalidated batch event %d failed: %v", k, err))
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -216,7 +217,8 @@ func TestApplyBatch(t *testing.T) {
 		}
 	}
 
-	// A failing event reports its index and keeps the applied prefix.
+	// A failing event reports its index and nothing from the batch is
+	// applied — the all-or-report contract.
 	c := mk()
 	bad := []Event{
 		{Kind: EventRateUser, I: 0, J: 1, Value: 0.5},
@@ -227,14 +229,17 @@ func TestApplyBatch(t *testing.T) {
 	if err == nil {
 		t.Fatal("want error for out-of-range peer in batch")
 	}
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("error %q is not a BatchError naming index 1", err)
+	}
 	if !strings.Contains(err.Error(), "batch event 1") {
 		t.Fatalf("error %q does not name the failing index", err)
 	}
-	rep, err := c.Reputations(0, now)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep[1] == 0 {
-		t.Fatal("prefix event before the failure was not applied")
+	st := c.ExportState()
+	for i, ut := range st.UserTrust {
+		if len(ut) != 0 {
+			t.Fatalf("event for peer %d applied from a failed batch", i)
+		}
 	}
 }

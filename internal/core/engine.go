@@ -45,8 +45,9 @@ type Engine struct {
 	blacklist []map[int]struct{}
 	// evaluators is the inverted index file → peers with a live
 	// evaluation; it keeps FM construction proportional to actual
-	// co-evaluation instead of O(n²).
-	evaluators map[eval.FileID]map[int]struct{}
+	// co-evaluation instead of O(n²). The index is stripe-locked so the
+	// sharded facade's per-shard writers can share it.
+	evaluators *evalIndex
 
 	// Incremental build state. fm/dm/um hold raw (unnormalised) cached
 	// rows plus their frozen row-normalised CSR; tm is the cached frozen
@@ -125,7 +126,7 @@ func NewEngine(n int, cfg Config) (*Engine, error) {
 		downloads:  make([]map[int][]downloadEntry, n),
 		userTrust:  make([]map[int]float64, n),
 		blacklist:  make([]map[int]struct{}, n),
-		evaluators: make(map[eval.FileID]map[int]struct{}),
+		evaluators: newEvalIndex(),
 		fm:         newDimCache(),
 		dm:         newDimCache(),
 		um:         newDimCache(),
@@ -159,26 +160,51 @@ func (e *Engine) checkPeer(p int) error {
 }
 
 func (e *Engine) indexEvaluator(f eval.FileID, p int) {
-	m := e.evaluators[f]
-	if m == nil {
-		m = make(map[int]struct{}, 4)
-		e.evaluators[f] = m
-	}
-	m[p] = struct{}{}
+	e.evaluators.add(f, p)
 }
 
 // --- dirty-row rules --------------------------------------------------------
 
-// dirtyEvaluation records that peer p's evaluation of file f changed: p's
-// DM row re-weights (Eq. 4 uses E_ik), and the FM rows of every
+// Dimension discriminators for markFunc callbacks.
+const (
+	dimFM = iota
+	dimDM
+	dimUM
+)
+
+// markFunc receives cache-invalidation effects of an evidence mutation:
+// dimension dim's row must be recomputed before the next build. The
+// unsharded Engine routes marks into its own dimCaches; core.Sharded
+// routes them to the owning shard's dirty tracker. A markFunc may be
+// called under an index stripe lock and must not acquire shard data
+// locks.
+type markFunc func(dim int, row int)
+
+// markDim is the Engine's own markFunc.
+func (e *Engine) markDim(dim int, row int) {
+	switch dim {
+	case dimFM:
+		e.fm.markRow(row)
+	case dimDM:
+		e.dm.markRow(row)
+	case dimUM:
+		e.um.markRow(row)
+	}
+}
+
+// dirtyEvaluationTo records that peer p's evaluation of file f changed:
+// p's DM row re-weights (Eq. 4 uses E_ik), and the FM rows of every
 // co-evaluator of f shift (FT is pairwise over shared files, and the
 // deterministic evaluator sample of a capped file can change membership).
+func (e *Engine) dirtyEvaluationTo(p int, f eval.FileID, mark markFunc) {
+	mark(dimDM, p)
+	mark(dimFM, p)
+	e.evaluators.forEachPeer(f, func(j int) { mark(dimFM, j) })
+}
+
+// dirtyEvaluation is dirtyEvaluationTo into the engine's own caches.
 func (e *Engine) dirtyEvaluation(p int, f eval.FileID) {
-	e.dm.markRow(p)
-	e.fm.markRow(p)
-	for j := range e.evaluators[f] {
-		e.fm.markRow(j)
-	}
+	e.dirtyEvaluationTo(p, f, e.markDim)
 }
 
 // dirtyExpiry is dirtyEvaluation for a record that expired or was
@@ -206,13 +232,25 @@ func (e *Engine) advanceTime(now time.Duration) {
 		return
 	}
 	if e.cfg.Window > 0 {
-		for p, s := range e.stores {
-			for _, f := range s.ExpiredBetween(e.lastNow, now) {
-				e.dirtyExpiry(p, f)
-			}
-		}
+		e.scanExpired(e.lastNow, now, nil, e.markDim)
 	}
 	e.lastNow = now
+}
+
+// scanExpired marks the rows invalidated by records that expired in
+// (prev, now], restricted to peers selected by owns (nil = all). The
+// sharded facade runs one scan per shard in parallel; expiry of p's
+// evaluation of f invalidates FM rows of f's co-evaluators in any shard,
+// which mark routes to the right dirty tracker.
+func (e *Engine) scanExpired(prev, now time.Duration, owns func(p int) bool, mark markFunc) {
+	for p, s := range e.stores {
+		if owns != nil && !owns(p) {
+			continue
+		}
+		for _, f := range s.ExpiredBetween(prev, now) {
+			e.dirtyEvaluationTo(p, f, mark)
+		}
+	}
 }
 
 // --- incremental row construction ------------------------------------------
@@ -232,15 +270,14 @@ func (e *Engine) liveEvaluators(f eval.FileID, now time.Duration, memo map[eval.
 	if fe, ok := memo[f]; ok {
 		return fe
 	}
-	peers := e.evaluators[f]
-	live := make([]int, 0, len(peers))
-	vals := make([]float64, 0, len(peers))
-	for p := range peers {
+	var live []int
+	var vals []float64
+	e.evaluators.forEachPeer(f, func(p int) {
 		if v, ok := e.stores[p].Get(f, now); ok {
 			live = append(live, p)
 			vals = append(vals, v)
 		}
-	}
+	})
 	sort.Sort(&evaluatorsByPeer{peers: live, vals: vals})
 	if maxEval := e.cfg.MaxEvaluatorsPerFile; maxEval > 0 && len(live) > maxEval {
 		// Deterministic sample: keep a strided subset of the ordered
@@ -607,27 +644,36 @@ func (e *Engine) Compact(now time.Duration) {
 }
 
 func (e *Engine) compact(now time.Duration) {
-	// Removal changes liveness for builds at any time (including earlier
-	// ones the build-time expiry scan will not cover), so every record
-	// compaction drops invalidates its dependent rows up front.
+	e.compactEvidence(now, nil, e.markDim)
+}
+
+// compactEvidence drops expired evaluations of the peers selected by owns
+// (nil = all) and prunes their index entries. Removal changes liveness
+// for builds at any time (including earlier ones the build-time expiry
+// scan will not cover), so every record compaction drops invalidates its
+// dependent rows up front, through mark. Restricting by owner makes
+// compaction decomposable per shard: a global EventCompact is exactly the
+// union of per-shard compactions, in any order, because each peer's
+// records and index entries are touched by exactly one owner.
+func (e *Engine) compactEvidence(now time.Duration, owns func(p int) bool, mark markFunc) {
 	for p, s := range e.stores {
+		if owns != nil && !owns(p) {
+			continue
+		}
 		for _, f := range s.ExpiredFiles(now) {
-			e.dirtyExpiry(p, f)
+			e.dirtyEvaluationTo(p, f, mark)
 		}
 	}
-	for _, s := range e.stores {
+	for p, s := range e.stores {
+		if owns != nil && !owns(p) {
+			continue
+		}
 		s.Compact(now)
 	}
-	for f, peers := range e.evaluators {
-		for p := range peers {
-			if _, ok := e.stores[p].Get(f, now); !ok {
-				delete(peers, p)
-			}
-		}
-		if len(peers) == 0 {
-			delete(e.evaluators, f)
-		}
-	}
+	e.evaluators.prune(owns, func(p int, f eval.FileID) bool {
+		_, ok := e.stores[p].Get(f, now)
+		return !ok
+	})
 }
 
 // --- reference (from-scratch) builders --------------------------------------
@@ -661,23 +707,16 @@ func (e *Engine) buildFMRef(now time.Duration) *sparse.Matrix {
 	// Iterate files in sorted order and evaluators in peer order so the
 	// floating-point accumulation below is deterministic: a journal replay
 	// (internal/journal) must rebuild bit-identical matrices.
-	files := make([]string, 0, len(e.evaluators))
-	for f := range e.evaluators {
-		files = append(files, string(f))
-	}
-	sort.Strings(files)
-	for _, fs := range files {
-		f := eval.FileID(fs)
-		peers := e.evaluators[f]
+	for _, f := range e.evaluators.sortedFiles() {
 		// Collect live evaluators of f.
-		live := make([]int, 0, len(peers))
-		vals := make([]float64, 0, len(peers))
-		for p := range peers {
+		var live []int
+		var vals []float64
+		e.evaluators.forEachPeer(f, func(p int) {
 			if v, ok := snap(p)[f]; ok {
 				live = append(live, p)
 				vals = append(vals, v)
 			}
-		}
+		})
 		sort.Sort(&evaluatorsByPeer{peers: live, vals: vals})
 		if maxEval > 0 && len(live) > maxEval {
 			// Deterministic sample: keep a strided subset of the ordered

@@ -409,8 +409,8 @@ func TestCompactPrunesIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Compact(3 * time.Hour)
-	if len(e.evaluators) != 0 {
-		t.Fatalf("evaluator index not pruned: %d files", len(e.evaluators))
+	if n := e.evaluators.fileCount(); n != 0 {
+		t.Fatalf("evaluator index not pruned: %d files", n)
 	}
 	if fm := e.BuildFM(3 * time.Hour); fm.NNZ() != 0 {
 		t.Fatal("FM edges from compacted evaluations")

@@ -73,6 +73,77 @@ type Event struct {
 	Time time.Duration `json:"time,omitempty"`
 }
 
+// ValidateEvent checks an event against a population of n peers without
+// applying it. It covers every error path of ApplyEvent, so a batch that
+// validates clean is guaranteed to apply clean — the precondition the
+// all-or-report ApplyBatch contract (and the sharded group-commit path)
+// is built on.
+func ValidateEvent(n int, ev Event) error {
+	checkPeer := func(p int) error {
+		if p < 0 || p >= n {
+			return fmt.Errorf("core: peer %d outside [0, %d)", p, n)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case EventSetImplicit, EventVote:
+		return checkPeer(ev.I)
+	case EventDownload:
+		if err := checkPeer(ev.I); err != nil {
+			return err
+		}
+		if err := checkPeer(ev.J); err != nil {
+			return err
+		}
+		if ev.I == ev.J {
+			return fmt.Errorf("core: self-download by peer %d", ev.I)
+		}
+		if ev.Size < 0 {
+			return fmt.Errorf("core: negative size %d", ev.Size)
+		}
+		return nil
+	case EventRateUser:
+		if err := checkPeer(ev.I); err != nil {
+			return err
+		}
+		if err := checkPeer(ev.J); err != nil {
+			return err
+		}
+		if ev.I == ev.J {
+			return fmt.Errorf("core: self-rating by peer %d", ev.I)
+		}
+		if ev.Value < 0 || ev.Value > 1 {
+			return fmt.Errorf("core: user rating %v outside [0,1]", ev.Value)
+		}
+		return nil
+	case EventBlacklist:
+		if err := checkPeer(ev.I); err != nil {
+			return err
+		}
+		return checkPeer(ev.J)
+	case EventCompact:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown event kind %d", ev.Kind)
+	}
+}
+
+// BatchError reports which event of a batch failed validation. The
+// wrapped error is the per-event error ApplyEvent would have returned.
+type BatchError struct {
+	// Index is the offset of the failing event in the batch.
+	Index int
+	// Err is the validation failure.
+	Err error
+}
+
+func (b *BatchError) Error() string {
+	return fmt.Sprintf("core: batch event %d: %v", b.Index, b.Err)
+}
+
+// Unwrap exposes the per-event error for errors.Is/As.
+func (b *BatchError) Unwrap() error { return b.Err }
+
 // ApplyEvent applies one event to the engine. It is deterministic: the
 // same events applied in the same order to the same initial state produce
 // the same engine state, which is what journal replay depends on.
@@ -82,100 +153,60 @@ type Event struct {
 // co-evaluators and the evaluator's DM row, a download one DM row, a
 // rating or blacklisting one UM row.
 func (e *Engine) ApplyEvent(ev Event) error {
+	return e.applyTo(ev, e.markDim)
+}
+
+// applyTo applies one event, reporting cache invalidations through mark
+// instead of the engine's own dimension caches. It is the shared
+// mutation path under both facades: the unsharded Engine passes markDim;
+// core.Sharded passes a marker that routes each row to its owning
+// shard's dirty tracker. Evidence mutations only ever touch the acting
+// peer's own rows (stores[I], downloads[I], userTrust[I], blacklist[I])
+// plus the stripe-locked evaluator index, which is what lets shards
+// apply disjoint owners' events concurrently.
+func (e *Engine) applyTo(ev Event, mark markFunc) error {
+	if err := ValidateEvent(e.n, ev); err != nil {
+		return err
+	}
 	switch ev.Kind {
 	case EventSetImplicit:
-		if err := e.checkPeer(ev.I); err != nil {
-			return err
-		}
 		e.stores[ev.I].SetImplicit(ev.File, ev.Value, ev.Time)
 		e.indexEvaluator(ev.File, ev.I)
-		e.dirtyEvaluation(ev.I, ev.File)
-		return nil
+		e.dirtyEvaluationTo(ev.I, ev.File, mark)
 	case EventVote:
-		if err := e.checkPeer(ev.I); err != nil {
-			return err
-		}
 		e.stores[ev.I].Vote(ev.File, ev.Value, ev.Time)
 		e.indexEvaluator(ev.File, ev.I)
-		e.dirtyEvaluation(ev.I, ev.File)
-		return nil
+		e.dirtyEvaluationTo(ev.I, ev.File, mark)
 	case EventDownload:
-		return e.applyDownload(ev)
-	case EventRateUser:
-		return e.applyRateUser(ev)
-	case EventBlacklist:
-		return e.applyBlacklist(ev)
-	case EventCompact:
-		e.compact(ev.Time)
-		return nil
-	default:
-		return fmt.Errorf("core: unknown event kind %d", ev.Kind)
-	}
-}
-
-func (e *Engine) applyDownload(ev Event) error {
-	if err := e.checkPeer(ev.I); err != nil {
-		return err
-	}
-	if err := e.checkPeer(ev.J); err != nil {
-		return err
-	}
-	if ev.I == ev.J {
-		return fmt.Errorf("core: self-download by peer %d", ev.I)
-	}
-	if ev.Size < 0 {
-		return fmt.Errorf("core: negative size %d", ev.Size)
-	}
-	m := e.downloads[ev.I]
-	if m == nil {
-		m = make(map[int][]downloadEntry)
-		e.downloads[ev.I] = m
-	}
-	m[ev.J] = append(m[ev.J], downloadEntry{file: ev.File, size: ev.Size})
-	e.dm.markRow(ev.I)
-	return nil
-}
-
-func (e *Engine) applyRateUser(ev Event) error {
-	if err := e.checkPeer(ev.I); err != nil {
-		return err
-	}
-	if err := e.checkPeer(ev.J); err != nil {
-		return err
-	}
-	if ev.I == ev.J {
-		return fmt.Errorf("core: self-rating by peer %d", ev.I)
-	}
-	if ev.Value < 0 || ev.Value > 1 {
-		return fmt.Errorf("core: user rating %v outside [0,1]", ev.Value)
-	}
-	if bl := e.blacklist[ev.I]; bl != nil {
-		if _, banned := bl[ev.J]; banned {
-			return nil
+		m := e.downloads[ev.I]
+		if m == nil {
+			m = make(map[int][]downloadEntry)
+			e.downloads[ev.I] = m
 		}
+		m[ev.J] = append(m[ev.J], downloadEntry{file: ev.File, size: ev.Size})
+		mark(dimDM, ev.I)
+	case EventRateUser:
+		if bl := e.blacklist[ev.I]; bl != nil {
+			if _, banned := bl[ev.J]; banned {
+				return nil
+			}
+		}
+		if e.userTrust[ev.I] == nil {
+			e.userTrust[ev.I] = make(map[int]float64)
+		}
+		e.userTrust[ev.I][ev.J] = ev.Value
+		mark(dimUM, ev.I)
+	case EventBlacklist:
+		if e.blacklist[ev.I] == nil {
+			e.blacklist[ev.I] = make(map[int]struct{})
+		}
+		e.blacklist[ev.I][ev.J] = struct{}{}
+		if e.userTrust[ev.I] != nil {
+			delete(e.userTrust[ev.I], ev.J)
+		}
+		mark(dimUM, ev.I)
+	case EventCompact:
+		e.compactEvidence(ev.Time, nil, mark)
 	}
-	if e.userTrust[ev.I] == nil {
-		e.userTrust[ev.I] = make(map[int]float64)
-	}
-	e.userTrust[ev.I][ev.J] = ev.Value
-	e.um.markRow(ev.I)
-	return nil
-}
-
-func (e *Engine) applyBlacklist(ev Event) error {
-	if err := e.checkPeer(ev.I); err != nil {
-		return err
-	}
-	if err := e.checkPeer(ev.J); err != nil {
-		return err
-	}
-	if e.blacklist[ev.I] == nil {
-		e.blacklist[ev.I] = make(map[int]struct{})
-	}
-	e.blacklist[ev.I][ev.J] = struct{}{}
-	if e.userTrust[ev.I] != nil {
-		delete(e.userTrust[ev.I], ev.J)
-	}
-	e.um.markRow(ev.I)
 	return nil
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mdrep/internal/eval"
+)
+
+// TestShardedMillionPeerBuild is the memory acceptance experiment for
+// the sharded engine: build a 1M-peer, 8-shard engine, ingest a sparse
+// evidence load through group-commit batches, rebuild TM once, and
+// report heap. Gated behind MDREP_HEAVY=1 — it allocates hundreds of MB
+// and runs for minutes, so it stays out of tier-1; EXPERIMENTS.md
+// records the measured numbers.
+func TestShardedMillionPeerBuild(t *testing.T) {
+	if os.Getenv("MDREP_HEAVY") != "1" {
+		t.Skip("set MDREP_HEAVY=1 to run the 1M-peer memory experiment")
+	}
+	const n, k, rows = 1_000_000, 8, 200_000
+	s, err := NewSharded(n, k, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~5 evidence entries per active peer over a fifth of the population:
+	// the sparse regime the paper's population operates in.
+	batch := make([]Event, 0, 4096)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := s.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		batch = batch[:0]
+	}
+	start := time.Now()
+	events := 0
+	for i := 0; i < rows; i++ {
+		p := (i * 5) % n
+		f := eval.FileID(fmt.Sprintf("f-%d", i%4096))
+		now := time.Duration(i) * time.Millisecond
+		batch = append(batch,
+			Event{Kind: EventVote, I: p, File: f, Value: 0.9, Time: now},
+			Event{Kind: EventDownload, I: p, J: (p + 1) % n, File: f, Size: 1 << 20, Time: now},
+			Event{Kind: EventRateUser, I: p, J: (p + 7) % n, Value: 0.8},
+		)
+		events += 3
+		if len(batch) >= 4096-3 {
+			flush()
+		}
+	}
+	flush()
+	ingest := time.Since(start)
+
+	start = time.Now()
+	tm, err := s.TM(time.Duration(rows) * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := time.Since(start)
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.Logf("n=%d k=%d: %d events ingested in %v (%.0f ev/s), TM build %v, TM nnz %d, heap %.1f MB",
+		n, k, events, ingest, float64(events)/ingest.Seconds(), build, tm.NNZ(),
+		float64(ms.HeapAlloc)/(1<<20))
+	if tm.NNZ() == 0 {
+		t.Fatal("million-peer TM is empty")
+	}
+}

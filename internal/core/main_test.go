@@ -1,0 +1,12 @@
+package core
+
+import (
+	"testing"
+
+	"mdrep/internal/testutil"
+)
+
+// TestMain fails the package if any goroutine survives the tests — the
+// sharded facade's batch and rebuild workers are transient and must all
+// have unwound.
+func TestMain(m *testing.M) { testutil.RunMain(m) }

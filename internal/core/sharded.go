@@ -1,0 +1,785 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdrep/internal/eval"
+	"mdrep/internal/sparse"
+)
+
+// Sharded is the scale-out concurrency facade over the trust core: it
+// partitions the peer population across K shards by consistent hash on
+// the peer index, each shard owning its peers' evidence (stores,
+// download ledgers, user ratings, blacklists), its row-range of the
+// FM/DM/UM matrices, and its own dirty-row trackers. Writers for
+// different shards proceed in parallel — the property the single
+// RWMutex of Concurrent cannot offer — while rebuilds freeze each
+// shard's rows independently (sparse.FreezeNormalizedRows) and merge
+// the pieces into the same global CSRs the unsharded Engine produces.
+//
+// Shardability rests on an ownership invariant of the event model:
+// every evidence mutation of ApplyEvent touches only the acting peer's
+// own state (stores[I], downloads[I], userTrust[I], blacklist[I]). The
+// only cross-peer structures are the stripe-locked evaluator index
+// (commutative set union) and the dirty trackers (commutative set
+// union, routed to each row's owner shard). Events with distinct owners
+// therefore commute, so applying a batch shard-by-shard instead of in
+// submission order reaches the identical state — the shard-count
+// invariance property sharded_test.go proves bit-for-bit.
+//
+// Lock ordering (enforced by the locksafe analyzer):
+//
+//  1. rebuildMu — serialises stop-the-world rebuilds.
+//  2. shard data locks (shards[i].mu) — always acquired in ascending
+//     shard index order when more than one is held.
+//  3. evaluator-index stripe locks — acquired under a data lock, never
+//     the other way around.
+//  4. shard dirty locks (shards[i].dirtyMu) — leaves: nothing is
+//     acquired while one is held, so marks may be routed to any shard
+//     from under any data or stripe lock.
+//
+// Read paths (Reputations, JudgeFile, BuildRM) synchronise only on the
+// TM cache: a hit returns the immutable frozen CSR and the multi-trust
+// walk runs without any lock, exactly as under Concurrent.
+type Sharded struct {
+	eng *Engine // shared evidence container + row math; never used directly by callers
+	k   int
+	// shardOf maps peer → owner shard (consistent hash, fixed at
+	// construction); owned lists each shard's peers ascending.
+	shardOf []uint8
+	owned   [][]int
+	shards  []shard
+
+	// version counts evidence mutations; the TM cache is valid only for
+	// the version it was built at. Bumped while holding the owner
+	// shard's data lock, so under all data locks it is quiescent.
+	version atomic.Uint64
+	epoch   atomic.Uint64
+	tmCache atomic.Pointer[shardedTM]
+
+	// Build state below is guarded by rebuildMu (writers) and published
+	// to readers only through tmCache.
+	rebuildMu  sync.Mutex
+	dims       [3]shardedDim
+	tm         *sparse.CSR
+	tmSrc      [3]*sparse.CSR
+	lastNow    time.Duration
+	lastNowSet bool
+
+	obs  *EngineObs // reputation-walk spans, shared with Concurrent's surface
+	sobs *ShardedObs
+}
+
+// shard is one partition's locks and dirty-row trackers. The zero-ish
+// state set up by NewSharded has every dimension all-dirty.
+type shard struct {
+	// mu guards the owned peers' evidence in the shared engine.
+	mu sync.Mutex
+	// dirtyMu guards the trackers below; it is a leaf lock.
+	dirtyMu sync.Mutex
+	dirty   [3]map[int]struct{}
+	all     [3]bool
+}
+
+// shardedDim is the build state of one trust dimension: the raw rows
+// (global-length, row i written only by its owner shard's rebuild
+// worker), the per-shard frozen pieces, and the merged global CSR.
+type shardedDim struct {
+	rows   []map[int]float64
+	sets   []*sparse.RowSet
+	frozen *sparse.CSR
+}
+
+// shardedTM is the lock-free TM cache entry.
+type shardedTM struct {
+	tm      *sparse.CSR
+	now     time.Duration
+	version uint64
+}
+
+// MaxShards bounds K; shard indices are stored as uint8.
+const MaxShards = 256
+
+// ShardIndex is the consistent-hash router: peer p's owner among k
+// shards. It is a pure function of (p, k) — the same peer lands on the
+// same shard in every process, which the per-shard journal layout
+// (journal.OpenSharded) depends on. The hash is splitmix64's finalizer,
+// so consecutive peer indices scatter instead of striping.
+func ShardIndex(p, k int) int {
+	x := uint64(p) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e9b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(k))
+}
+
+// NewSharded builds a sharded engine for n peers across k shards.
+// k = 1 degenerates to a single shard and is byte-identical to the
+// unsharded Engine on every output — the anchor of the invariance
+// property test.
+func NewSharded(n, k int, cfg Config) (*Sharded, error) {
+	if k < 1 || k > MaxShards {
+		return nil, fmt.Errorf("core: shard count %d outside [1, %d]", k, MaxShards)
+	}
+	eng, err := NewEngine(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{
+		eng:     eng,
+		k:       k,
+		shardOf: make([]uint8, n),
+		owned:   make([][]int, k),
+		shards:  make([]shard, k),
+	}
+	for p := 0; p < n; p++ {
+		si := ShardIndex(p, k)
+		s.shardOf[p] = uint8(si)
+		s.owned[si] = append(s.owned[si], p)
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for d := 0; d < 3; d++ {
+			sh.dirty[d] = make(map[int]struct{})
+			sh.all[d] = true
+		}
+	}
+	for d := 0; d < 3; d++ {
+		s.dims[d].rows = make([]map[int]float64, n)
+		s.dims[d].sets = make([]*sparse.RowSet, k)
+	}
+	return s, nil
+}
+
+// N returns the population size.
+func (s *Sharded) N() int { return s.eng.N() }
+
+// K returns the shard count.
+func (s *Sharded) K() int { return s.k }
+
+// Config returns the engine configuration.
+func (s *Sharded) Config() Config { return s.eng.Config() }
+
+// Epoch returns the TM rebuild counter, as Engine.Epoch.
+func (s *Sharded) Epoch() uint64 { return s.epoch.Load() }
+
+// ShardOf returns peer p's owner shard.
+func (s *Sharded) ShardOf(p int) int { return int(s.shardOf[p]) }
+
+// SetObserver attaches the engine metrics observer (reputation-walk
+// spans); per-shard ingest/rebuild metrics attach via SetShardObserver.
+func (s *Sharded) SetObserver(o *EngineObs) { s.obs = o }
+
+// SetShardObserver attaches the per-shard metrics observer.
+func (s *Sharded) SetShardObserver(o *ShardedObs) { s.sobs = o }
+
+// markShard routes a dirty-row mark to the row's owner shard. It may be
+// called from under any data or index stripe lock: dirtyMu is a leaf.
+func (s *Sharded) markShard(dim int, row int) {
+	sh := &s.shards[s.shardOf[row]]
+	sh.dirtyMu.Lock()
+	if !sh.all[dim] {
+		sh.dirty[dim][row] = struct{}{}
+	}
+	sh.dirtyMu.Unlock()
+}
+
+// lockAll acquires every shard data lock in ascending index order — the
+// stop-the-world prefix of rebuilds, global compaction and state export.
+func (s *Sharded) lockAll() {
+	for si := range s.shards {
+		s.shards[si].mu.Lock()
+	}
+}
+
+func (s *Sharded) unlockAll() {
+	for si := range s.shards {
+		s.shards[si].mu.Unlock()
+	}
+}
+
+// parallelShards runs fn(si) for every shard on transient goroutines and
+// waits. Workers are not pooled: nothing outlives the call, which keeps
+// the facade invisible to goroutine-leak checks and lets rebuild
+// parallelism follow GOMAXPROCS.
+func (s *Sharded) parallelShards(fn func(si int)) {
+	var wg sync.WaitGroup
+	wg.Add(s.k)
+	for si := 0; si < s.k; si++ {
+		go func(si int) {
+			defer wg.Done()
+			fn(si)
+		}(si)
+	}
+	wg.Wait()
+}
+
+// --- mutations ---------------------------------------------------------------
+
+// ApplyEvent validates and applies one event under its owner shard's
+// lock. EventCompact touches every shard's evidence and runs
+// stop-the-world.
+func (s *Sharded) ApplyEvent(ev Event) error {
+	if err := ValidateEvent(s.eng.n, ev); err != nil {
+		return err
+	}
+	if ev.Kind == EventCompact {
+		s.lockAll()
+		s.eng.compactEvidence(ev.Time, nil, s.markShard)
+		s.version.Add(1)
+		s.unlockAll()
+		return nil
+	}
+	sh := &s.shards[s.shardOf[ev.I]]
+	sh.mu.Lock()
+	err := s.eng.applyTo(ev, s.markShard)
+	s.version.Add(1)
+	sh.mu.Unlock()
+	return err
+}
+
+// ApplyBatch is the group-commit ingest path: the batch is prevalidated
+// (inheriting the all-or-report contract of Concurrent.ApplyBatch — on
+// a *BatchError nothing is applied), partitioned by owner shard, and
+// each shard's sub-batch applies in submission order under that shard's
+// lock, all shards in parallel. Because events with distinct owners
+// commute (see type comment), the result is identical to sequential
+// application. Batches containing EventCompact fall back to sequential
+// ApplyEvent calls: compaction is a global barrier.
+func (s *Sharded) ApplyBatch(evs []Event) error {
+	n := s.eng.n
+	hasCompact := false
+	for k := range evs {
+		if err := ValidateEvent(n, evs[k]); err != nil {
+			return &BatchError{Index: k, Err: err}
+		}
+		if evs[k].Kind == EventCompact {
+			hasCompact = true
+		}
+	}
+	if s.sobs != nil {
+		s.sobs.batches.Inc()
+	}
+	if hasCompact {
+		for k := range evs {
+			if err := s.ApplyEvent(evs[k]); err != nil {
+				panic(fmt.Sprintf("core: prevalidated batch event %d failed: %v", k, err))
+			}
+		}
+		return nil
+	}
+	parts := make([][]Event, s.k)
+	for _, ev := range evs {
+		si := s.shardOf[ev.I]
+		parts[si] = append(parts[si], ev)
+	}
+	var wg sync.WaitGroup
+	for si := range parts {
+		if len(parts[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := &s.shards[si]
+			sh.mu.Lock()
+			for _, ev := range parts[si] {
+				if err := s.eng.applyTo(ev, s.markShard); err != nil {
+					panic(fmt.Sprintf("core: prevalidated event failed on shard %d: %v", si, err))
+				}
+			}
+			s.version.Add(1)
+			sh.mu.Unlock()
+			if s.sobs != nil {
+				s.sobs.events[si].Add(uint64(len(parts[si])))
+			}
+		}(si)
+	}
+	wg.Wait()
+	return nil
+}
+
+// ApplyShard applies one event that must belong to shard si — the
+// journal replay path, where each shard's log replays independently. An
+// EventCompact in a shard log compacts only that shard's peers; the
+// union over all shard logs reproduces the global compaction (see
+// Engine.compactEvidence).
+func (s *Sharded) ApplyShard(si int, ev Event) error {
+	if si < 0 || si >= s.k {
+		return fmt.Errorf("core: shard %d outside [0, %d)", si, s.k)
+	}
+	if err := ValidateEvent(s.eng.n, ev); err != nil {
+		return err
+	}
+	sh := &s.shards[si]
+	if ev.Kind == EventCompact {
+		sh.mu.Lock()
+		s.eng.compactEvidence(ev.Time, s.ownsFunc(si), s.markShard)
+		s.version.Add(1)
+		sh.mu.Unlock()
+		return nil
+	}
+	if int(s.shardOf[ev.I]) != si {
+		return fmt.Errorf("core: event for peer %d (shard %d) replayed into shard %d", ev.I, s.shardOf[ev.I], si)
+	}
+	sh.mu.Lock()
+	err := s.eng.applyTo(ev, s.markShard)
+	s.version.Add(1)
+	sh.mu.Unlock()
+	return err
+}
+
+func (s *Sharded) ownsFunc(si int) func(p int) bool {
+	return func(p int) bool { return int(s.shardOf[p]) == si }
+}
+
+// SetImplicit mirrors Engine.SetImplicit.
+func (s *Sharded) SetImplicit(p int, f eval.FileID, value float64, now time.Duration) error {
+	return s.ApplyEvent(Event{Kind: EventSetImplicit, I: p, File: f, Value: value, Time: now})
+}
+
+// ObserveRetention mirrors Engine.ObserveRetention.
+func (s *Sharded) ObserveRetention(p int, f eval.FileID, retention time.Duration, deleted bool, now time.Duration) error {
+	return s.SetImplicit(p, f, s.Config().Retention.Implicit(retention, deleted), now)
+}
+
+// Vote mirrors Engine.Vote.
+func (s *Sharded) Vote(p int, f eval.FileID, value float64, now time.Duration) error {
+	return s.ApplyEvent(Event{Kind: EventVote, I: p, File: f, Value: value, Time: now})
+}
+
+// RecordDownload mirrors Engine.RecordDownload.
+func (s *Sharded) RecordDownload(downloader, uploader int, f eval.FileID, size int64, now time.Duration) error {
+	return s.ApplyEvent(Event{Kind: EventDownload, I: downloader, J: uploader, File: f, Size: size, Time: now})
+}
+
+// RateUser mirrors Engine.RateUser.
+func (s *Sharded) RateUser(i, j int, value float64) error {
+	return s.ApplyEvent(Event{Kind: EventRateUser, I: i, J: j, Value: value})
+}
+
+// AddFriend mirrors Engine.AddFriend.
+func (s *Sharded) AddFriend(i, j int) error {
+	return s.RateUser(i, j, s.Config().FriendTrust)
+}
+
+// Blacklist mirrors Engine.Blacklist.
+func (s *Sharded) Blacklist(i, j int) error {
+	return s.ApplyEvent(Event{Kind: EventBlacklist, I: i, J: j})
+}
+
+// Compact mirrors Engine.Compact (stop-the-world, see ApplyEvent).
+func (s *Sharded) Compact(now time.Duration) {
+	_ = s.ApplyEvent(Event{Kind: EventCompact, Time: now})
+}
+
+// --- rebuild -----------------------------------------------------------------
+
+// cachedTM returns the frozen TM if it is current: built at the present
+// mutation version, and at the same virtual time unless nothing can
+// expire (Window == 0 makes the matrices time-independent, as in
+// Engine.CachedTM).
+func (s *Sharded) cachedTM(now time.Duration) (*sparse.CSR, bool) {
+	c := s.tmCache.Load()
+	if c == nil || c.version != s.version.Load() {
+		return nil, false
+	}
+	if c.now != now && s.eng.cfg.Window > 0 {
+		return nil, false
+	}
+	return c.tm, true
+}
+
+// TM returns the frozen trust matrix at now, rebuilding per-shard in
+// parallel on a cache miss.
+func (s *Sharded) TM(now time.Duration) (*sparse.CSR, error) {
+	if tm, ok := s.cachedTM(now); ok {
+		return tm, nil
+	}
+	return s.rebuild(now)
+}
+
+// rebuild is the stop-the-world build: under rebuildMu and every shard
+// data lock (ascending), it reconciles virtual time, drains each
+// shard's dirty trackers, recomputes the dirty rows of each dimension
+// per shard in parallel (reusing the exact row functions of the
+// unsharded engine), refreezes changed shards' row sets, merges them
+// into global CSRs and integrates TM. Rows accumulate in the same
+// ascending order as the unsharded build and the freeze/merge math is
+// bit-identical to FreezeNormalized (see sparse.RowSet), so the result
+// is byte-identical for any K and any GOMAXPROCS.
+func (s *Sharded) rebuild(now time.Duration) (*sparse.CSR, error) {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	if tm, ok := s.cachedTM(now); ok {
+		return tm, nil
+	}
+	lockSp := s.sobs.spanLockWait()
+	s.lockAll()
+	lockSp.End()
+	defer s.unlockAll()
+	sp := s.sobs.spanRebuild()
+	defer sp.End()
+	ver := s.version.Load() // quiescent: mutators bump under a data lock we hold
+
+	// Time reconciliation, as Engine.advanceTime: backwards invalidates
+	// everything, forwards dirties the rows of evidence that expired in
+	// (lastNow, now].
+	switch {
+	case !s.lastNowSet:
+		s.lastNow, s.lastNowSet = now, true
+	case now < s.lastNow:
+		for si := range s.shards {
+			sh := &s.shards[si]
+			sh.dirtyMu.Lock()
+			for d := 0; d < 3; d++ {
+				sh.all[d] = true
+				if len(sh.dirty[d]) > 0 {
+					sh.dirty[d] = make(map[int]struct{})
+				}
+			}
+			sh.dirtyMu.Unlock()
+		}
+		s.lastNow = now
+	case now > s.lastNow:
+		if s.eng.cfg.Window > 0 {
+			prev := s.lastNow
+			s.parallelShards(func(si int) {
+				for _, p := range s.owned[si] {
+					for _, f := range s.eng.stores[p].ExpiredBetween(prev, now) {
+						s.eng.dirtyEvaluationTo(p, f, s.markShard)
+					}
+				}
+			})
+		}
+		s.lastNow = now
+	}
+
+	// Drain + recompute + refreeze, one worker per shard.
+	var changed [3]atomic.Bool
+	s.parallelShards(func(si int) {
+		shSp := s.sobs.spanShardRebuild(si)
+		defer shSp.End()
+		sh := &s.shards[si]
+		sh.dirtyMu.Lock()
+		var dirty [3]map[int]struct{}
+		var all [3]bool
+		for d := 0; d < 3; d++ {
+			all[d] = sh.all[d]
+			sh.all[d] = false
+			dirty[d] = sh.dirty[d]
+			if len(dirty[d]) > 0 {
+				sh.dirty[d] = make(map[int]struct{})
+			}
+		}
+		sh.dirtyMu.Unlock()
+		owned := s.owned[si]
+		for d := 0; d < 3; d++ {
+			dim := &s.dims[d]
+			if !all[d] && len(dirty[d]) == 0 && dim.sets[si] != nil {
+				continue
+			}
+			rowFn := s.rowFn(d, now)
+			if all[d] || dim.sets[si] == nil {
+				for _, i := range owned {
+					dim.rows[i] = rowFn(i)
+				}
+			} else {
+				for i := range dirty[d] {
+					dim.rows[i] = rowFn(i)
+				}
+			}
+			dim.sets[si] = sparse.FreezeNormalizedRows(s.eng.n, owned, dim.rows)
+			changed[d].Store(true)
+		}
+	})
+
+	// Merge changed dimensions and integrate TM (Eq. 7).
+	for d := 0; d < 3; d++ {
+		if !changed[d].Load() && s.dims[d].frozen != nil {
+			continue
+		}
+		csr, err := sparse.MergeRowSets(s.eng.n, s.dims[d].sets)
+		if err != nil {
+			return nil, err
+		}
+		s.dims[d].frozen = csr
+	}
+	src := [3]*sparse.CSR{s.dims[dimFM].frozen, s.dims[dimDM].frozen, s.dims[dimUM].frozen}
+	if s.tm == nil || src != s.tmSrc {
+		cfg := s.eng.cfg
+		tm, err := sparse.WeightedSum(s.eng.n, []sparse.Weighted{
+			{Scale: cfg.Alpha, M: src[dimFM]},
+			{Scale: cfg.Beta, M: src[dimDM]},
+			{Scale: cfg.Gamma, M: src[dimUM]},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.tm = tm
+		s.tmSrc = src
+		s.epoch.Add(1)
+		if s.sobs != nil {
+			s.sobs.refreezes.Inc()
+		}
+	}
+	s.tmCache.Store(&shardedTM{tm: s.tm, now: now, version: ver})
+	return s.tm, nil
+}
+
+// rowFn returns the raw row recompute function of dimension d. The
+// functions read foreign peers' stores (FM pairs over co-evaluators),
+// which is safe during rebuild: every data lock is held, store reads
+// are pure, and each row is written only by its owner's worker.
+func (s *Sharded) rowFn(d int, now time.Duration) func(i int) map[int]float64 {
+	switch d {
+	case dimFM:
+		memo := make(map[eval.FileID]*fileEvaluators)
+		return func(i int) map[int]float64 { return s.eng.fmRow(i, now, memo) }
+	case dimDM:
+		return func(i int) map[int]float64 { return s.eng.dmRow(i, now) }
+	default:
+		return func(i int) map[int]float64 { return s.eng.umRow(i) }
+	}
+}
+
+// --- reads -------------------------------------------------------------------
+
+// BuildRM computes RM = TM^n (Eq. 8); the power chain runs outside any
+// lock.
+func (s *Sharded) BuildRM(now time.Duration) (*sparse.CSR, error) {
+	tm, err := s.TM(now)
+	if err != nil {
+		return nil, err
+	}
+	return tm.Pow(s.Config().Steps)
+}
+
+// Reputations returns row i of RM. Only the TM fetch synchronises; the
+// walk runs against the immutable snapshot.
+func (s *Sharded) Reputations(i int, now time.Duration) (map[int]float64, error) {
+	if err := s.eng.checkPeer(i); err != nil {
+		return nil, err
+	}
+	tm, err := s.TM(now)
+	if err != nil {
+		return nil, err
+	}
+	sp := s.obs.spanRepWalk()
+	row, err := tm.RowVecPow(i, s.Config().Steps)
+	sp.End()
+	return row, err
+}
+
+// ReputationsFromTM runs the walk against a caller-held frozen matrix.
+func (s *Sharded) ReputationsFromTM(tm *sparse.CSR, i int) (map[int]float64, error) {
+	if err := s.eng.checkPeer(i); err != nil {
+		return nil, err
+	}
+	return tm.RowVecPow(i, s.Config().Steps)
+}
+
+// Evaluation returns peer p's blended evaluation of f under the owner
+// shard's lock.
+func (s *Sharded) Evaluation(p int, f eval.FileID, now time.Duration) (float64, bool) {
+	if s.eng.checkPeer(p) != nil {
+		return 0, false
+	}
+	sh := &s.shards[s.shardOf[p]]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.eng.stores[p].Get(f, now)
+}
+
+// JudgeFile mirrors Concurrent.JudgeFile.
+func (s *Sharded) JudgeFile(i int, owners []OwnerEvaluation, now time.Duration) (Judgement, error) {
+	reps, err := s.Reputations(i, now)
+	if err != nil {
+		return Judgement{}, err
+	}
+	return s.eng.judgeWith(reps, owners)
+}
+
+// JudgeFileFromTM mirrors Concurrent.JudgeFileFromTM.
+func (s *Sharded) JudgeFileFromTM(tm *sparse.CSR, i int, owners []OwnerEvaluation) (Judgement, error) {
+	return s.eng.JudgeFileFromTM(tm, i, owners)
+}
+
+// CollectOwnerEvaluations reads the owners' published evaluations
+// stop-the-world (owners may live on any shard).
+func (s *Sharded) CollectOwnerEvaluations(f eval.FileID, owners []int, now time.Duration) []OwnerEvaluation {
+	s.lockAll()
+	defer s.unlockAll()
+	return s.eng.CollectOwnerEvaluations(f, owners, now)
+}
+
+// ExportState deep-copies the full engine state stop-the-world.
+func (s *Sharded) ExportState() *EngineState {
+	s.lockAll()
+	defer s.unlockAll()
+	return s.eng.ExportState()
+}
+
+// --- per-shard snapshot state ------------------------------------------------
+
+// ShardState is the serializable state of one shard's peers — the
+// per-shard snapshot unit of journal.OpenSharded. N, K and Shard pin
+// the population, shard count and shard index: a snapshot taken under
+// one partitioning must not restore into another.
+type ShardState struct {
+	N     int         `json:"n"`
+	K     int         `json:"k"`
+	Shard int         `json:"shard"`
+	Peers []PeerState `json:"peers"`
+}
+
+// PeerState is one peer's slice of the engine state, ascending by ID
+// within a ShardState.
+type PeerState struct {
+	ID        int                         `json:"id"`
+	Store     map[eval.FileID]eval.Record `json:"store,omitempty"`
+	Downloads map[int][]DownloadState     `json:"downloads,omitempty"`
+	UserTrust map[int]float64             `json:"user_trust,omitempty"`
+	Blacklist []int                       `json:"blacklist,omitempty"`
+}
+
+// ExportShardState deep-copies shard si's peers under its data lock.
+func (s *Sharded) ExportShardState(si int) (*ShardState, error) {
+	if si < 0 || si >= s.k {
+		return nil, fmt.Errorf("core: shard %d outside [0, %d)", si, s.k)
+	}
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	full := s.eng // evidence reads below touch only owned peers
+	st := &ShardState{N: s.eng.n, K: s.k, Shard: si}
+	for _, p := range s.owned[si] {
+		ps := PeerState{ID: p, Store: full.stores[p].Export()}
+		if per := full.downloads[p]; len(per) > 0 {
+			m := make(map[int][]DownloadState, len(per))
+			for j, entries := range per {
+				out := make([]DownloadState, len(entries))
+				for k, d := range entries {
+					out[k] = DownloadState{File: d.file, Size: d.size}
+				}
+				m[j] = out
+			}
+			ps.Downloads = m
+		}
+		if per := full.userTrust[p]; len(per) > 0 {
+			m := make(map[int]float64, len(per))
+			for j, v := range per {
+				m[j] = v
+			}
+			ps.UserTrust = m
+		}
+		if per := full.blacklist[p]; len(per) > 0 {
+			out := make([]int, 0, len(per))
+			for j := range per {
+				out = append(out, j)
+			}
+			sort.Ints(out)
+			ps.Blacklist = out
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	return st, nil
+}
+
+// RestoreShard replaces shard si's peers' evidence with a snapshot,
+// leaving every other shard untouched — the parallel-recovery path:
+// each shard restores its snapshot and replays its own journal tail
+// concurrently. Because restored evidence changes FM pairings of
+// co-evaluators on any shard, every shard's dimensions are marked
+// all-dirty.
+func (s *Sharded) RestoreShard(si int, st *ShardState) error {
+	if si < 0 || si >= s.k {
+		return fmt.Errorf("core: shard %d outside [0, %d)", si, s.k)
+	}
+	if st == nil {
+		return fmt.Errorf("core: nil shard state")
+	}
+	if st.N != s.eng.n || st.K != s.k || st.Shard != si {
+		return fmt.Errorf("core: shard state (n=%d k=%d shard=%d) does not match engine (n=%d k=%d shard=%d)",
+			st.N, st.K, st.Shard, s.eng.n, s.k, si)
+	}
+	cfg := s.eng.cfg
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, p := range s.owned[si] {
+		store, err := eval.NewStore(cfg.Blend, cfg.Window)
+		if err != nil {
+			return err
+		}
+		s.eng.stores[p] = store
+		s.eng.downloads[p] = nil
+		s.eng.userTrust[p] = nil
+		s.eng.blacklist[p] = nil
+	}
+	owns := s.ownsFunc(si)
+	s.eng.evaluators.prune(owns, func(int, eval.FileID) bool { return true })
+	for _, ps := range st.Peers {
+		p := ps.ID
+		if p < 0 || p >= s.eng.n || !owns(p) {
+			return fmt.Errorf("core: peer %d in shard %d snapshot is not owned by it", p, si)
+		}
+		s.eng.stores[p].Import(ps.Store)
+		for f := range ps.Store {
+			s.eng.indexEvaluator(f, p)
+		}
+		if len(ps.Downloads) > 0 {
+			m := make(map[int][]downloadEntry, len(ps.Downloads))
+			for j, entries := range ps.Downloads {
+				if j < 0 || j >= s.eng.n {
+					return fmt.Errorf("core: download target %d outside [0, %d)", j, s.eng.n)
+				}
+				out := make([]downloadEntry, len(entries))
+				for k, d := range entries {
+					out[k] = downloadEntry{file: d.File, size: d.Size}
+				}
+				m[j] = out
+			}
+			s.eng.downloads[p] = m
+		}
+		if len(ps.UserTrust) > 0 {
+			m := make(map[int]float64, len(ps.UserTrust))
+			for j, v := range ps.UserTrust {
+				if j < 0 || j >= s.eng.n {
+					return fmt.Errorf("core: rating target %d outside [0, %d)", j, s.eng.n)
+				}
+				m[j] = v
+			}
+			s.eng.userTrust[p] = m
+		}
+		if len(ps.Blacklist) > 0 {
+			m := make(map[int]struct{}, len(ps.Blacklist))
+			for _, j := range ps.Blacklist {
+				if j < 0 || j >= s.eng.n {
+					return fmt.Errorf("core: blacklist target %d outside [0, %d)", j, s.eng.n)
+				}
+				m[j] = struct{}{}
+			}
+			s.eng.blacklist[p] = m
+		}
+	}
+	for sj := range s.shards {
+		other := &s.shards[sj]
+		other.dirtyMu.Lock()
+		for d := 0; d < 3; d++ {
+			other.all[d] = true
+			if len(other.dirty[d]) > 0 {
+				other.dirty[d] = make(map[int]struct{})
+			}
+		}
+		other.dirtyMu.Unlock()
+	}
+	s.version.Add(1)
+	return nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strconv"
+
+	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
+)
+
+// ShardedObs is the sharded facade's metrics surface: group-commit
+// batch and per-shard event counts on the ingest path, rebuild and
+// per-shard rebuild latency, the wait to acquire every shard lock
+// (writer contention made visible), and TM refreeze count. All series
+// carrying a per-shard dimension use a "shard" label so dashboards can
+// spot a hot shard. A nil observer disables everything, as EngineObs.
+type ShardedObs struct {
+	tracer *obs.Tracer
+
+	batches   *metrics.Counter     // sharded_ingest_batches_total
+	events    []*metrics.Counter   // sharded_ingest_events_total{shard=i}
+	rebuild   *metrics.Histogram   // sharded_rebuild_seconds
+	perShard  []*metrics.Histogram // sharded_shard_rebuild_seconds{shard=i}
+	lockWait  *metrics.Histogram   // sharded_rebuild_lock_wait_seconds
+	refreezes *metrics.Counter     // sharded_tm_refreeze_total
+}
+
+// NewShardedObs registers the sharded metric families for k shards. A
+// nil registry returns a nil (disabled) observer; a nil clock keeps the
+// counters but disables latency spans.
+func NewShardedObs(reg *metrics.Registry, clock obs.Clock, k int) *ShardedObs {
+	if reg == nil {
+		return nil
+	}
+	o := &ShardedObs{
+		tracer:    obs.NewTracer(clock),
+		batches:   reg.Counter("sharded_ingest_batches_total"),
+		events:    make([]*metrics.Counter, k),
+		rebuild:   reg.Histogram("sharded_rebuild_seconds", metrics.DurationBuckets),
+		perShard:  make([]*metrics.Histogram, k),
+		lockWait:  reg.Histogram("sharded_rebuild_lock_wait_seconds", metrics.DurationBuckets),
+		refreezes: reg.Counter("sharded_tm_refreeze_total"),
+	}
+	for i := 0; i < k; i++ {
+		label := strconv.Itoa(i)
+		o.events[i] = reg.Counter("sharded_ingest_events_total", "shard", label)
+		o.perShard[i] = reg.Histogram("sharded_shard_rebuild_seconds", metrics.DurationBuckets, "shard", label)
+	}
+	return o
+}
+
+// spanRebuild times one stop-the-world rebuild; nil-safe.
+func (o *ShardedObs) spanRebuild() obs.Span {
+	if o == nil {
+		return obs.Span{}
+	}
+	return o.tracer.Start(o.rebuild)
+}
+
+// spanShardRebuild times one shard's recompute+refreeze; nil-safe.
+func (o *ShardedObs) spanShardRebuild(si int) obs.Span {
+	if o == nil || si >= len(o.perShard) {
+		return obs.Span{}
+	}
+	return o.tracer.Start(o.perShard[si])
+}
+
+// spanLockWait times the acquisition of all shard locks; nil-safe.
+func (o *ShardedObs) spanLockWait() obs.Span {
+	if o == nil {
+		return obs.Span{}
+	}
+	return o.tracer.Start(o.lockWait)
+}

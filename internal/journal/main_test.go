@@ -1,0 +1,12 @@
+package journal
+
+import (
+	"testing"
+
+	"mdrep/internal/testutil"
+)
+
+// TestMain fails the package if any goroutine survives the tests — the
+// sharded journal's recovery and group-commit workers are transient and
+// must all have unwound.
+func TestMain(m *testing.M) { testutil.RunMain(m) }

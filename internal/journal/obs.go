@@ -23,20 +23,23 @@ type LogObs struct {
 
 // NewLogObs registers the journal metric families in reg, timed by
 // clock. A nil registry returns a nil (disabled) observer; a nil clock
-// keeps the counters and sizes but disables latency spans.
-func NewLogObs(reg *metrics.Registry, clock obs.Clock) *LogObs {
+// keeps the counters and sizes but disables latency spans. Optional
+// trailing label pairs are attached to every series — the sharded
+// journal passes ("shard", "<i>") so each shard segment's appends,
+// fsyncs and recovery cost are separately visible.
+func NewLogObs(reg *metrics.Registry, clock obs.Clock, labels ...string) *LogObs {
 	if reg == nil {
 		return nil
 	}
 	return &LogObs{
 		tracer:    obs.NewTracer(clock),
-		appendLat: reg.Histogram("journal_append_seconds", metrics.DurationBuckets),
-		appends:   reg.Counter("journal_append_total"),
-		fsyncs:    reg.Counter("journal_fsync_total"),
-		snapBytes: reg.Histogram("journal_snapshot_bytes", metrics.SizeBuckets),
-		snapshots: reg.Counter("journal_snapshot_total"),
-		recovery:  reg.Histogram("journal_recovery_seconds", metrics.DurationBuckets),
-		replayed:  reg.Counter("journal_replayed_events_total"),
+		appendLat: reg.Histogram("journal_append_seconds", metrics.DurationBuckets, labels...),
+		appends:   reg.Counter("journal_append_total", labels...),
+		fsyncs:    reg.Counter("journal_fsync_total", labels...),
+		snapBytes: reg.Histogram("journal_snapshot_bytes", metrics.SizeBuckets, labels...),
+		snapshots: reg.Counter("journal_snapshot_total", labels...),
+		recovery:  reg.Histogram("journal_recovery_seconds", metrics.DurationBuckets, labels...),
+		replayed:  reg.Counter("journal_replayed_events_total", labels...),
 	}
 }
 

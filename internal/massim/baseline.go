@@ -160,20 +160,39 @@ func (s *Sim) runBaselines() (*BaselineResult, error) {
 	return res, nil
 }
 
+// mirrorEngine is the slice of the trust core the mirror needs; both
+// core.Concurrent and core.Sharded satisfy it with bit-identical
+// results, so the sharded facade can be dropped in via
+// Config.MirrorShards without changing any scenario bound.
+type mirrorEngine interface {
+	ApplyBatch(evs []core.Event) error
+	Reputations(i int, now time.Duration) (map[int]float64, error)
+}
+
 // engineMirror feeds the simulator's event stream into the real
-// reputation engine (core.Concurrent) through the group-commit batch
-// path, turning the engine itself into a baseline estimator at small n.
+// reputation engine through the group-commit batch path, turning the
+// engine itself into a baseline estimator at small n.
 type engineMirror struct {
-	eng *core.Concurrent
+	eng mirrorEngine
 	buf []core.Event
 	now time.Duration
 	err error
 }
 
-func newEngineMirror(n int) (*engineMirror, error) {
-	eng, err := core.NewConcurrentEngine(n, core.DefaultConfig())
-	if err != nil {
-		return nil, err
+func newEngineMirror(n, shards int) (*engineMirror, error) {
+	var eng mirrorEngine
+	if shards > 1 {
+		s, err := core.NewSharded(n, shards, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		eng = s
+	} else {
+		c, err := core.NewConcurrentEngine(n, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		eng = c
 	}
 	return &engineMirror{eng: eng}, nil
 }

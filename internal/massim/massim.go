@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"mdrep/internal/core"
 	"mdrep/internal/incentive"
 	"mdrep/internal/sim"
 	"mdrep/internal/titfortat"
@@ -96,11 +97,15 @@ type Config struct {
 	// N <= BaselineCap since they materialise pairwise state.
 	Baselines   bool
 	BaselineCap int
-	// MirrorEngine additionally ingests the event stream into a
-	// core.Concurrent engine via ApplyBatch and reports its per-class
-	// reputations. Capped by MirrorCap.
+	// MirrorEngine additionally ingests the event stream into a real
+	// trust engine via ApplyBatch and reports its per-class
+	// reputations. Capped by MirrorCap. MirrorShards > 1 backs the
+	// mirror with a core.Sharded facade partitioned across that many
+	// shards instead of core.Concurrent; results are bit-identical, so
+	// it only exercises the sharded ingest/rebuild paths at scale.
 	MirrorEngine bool
 	MirrorCap    int
+	MirrorShards int
 }
 
 // DefaultConfig returns the base scenario parameters shared by the
@@ -199,6 +204,8 @@ func (c Config) Validate() error {
 		return errors.New("massim: cooperation memory outside (0,1]")
 	case c.BaselineCap < 0 || c.MirrorCap < 0:
 		return errors.New("massim: negative baseline cap")
+	case c.MirrorShards < 0 || c.MirrorShards > core.MaxShards:
+		return errors.New("massim: mirror shard count out of range")
 	}
 	if err := c.Policy.Validate(); err != nil {
 		return err
@@ -393,7 +400,7 @@ func NewSim(cfg Config, scn Scenario) (*Sim, error) {
 		s.log = make([]ratingRec, 0, 1024)
 	}
 	if cfg.Baselines && cfg.MirrorEngine && n <= cfg.MirrorCap {
-		m, err := newEngineMirror(n)
+		m, err := newEngineMirror(n, cfg.MirrorShards)
 		if err != nil {
 			return nil, err
 		}

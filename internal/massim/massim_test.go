@@ -263,3 +263,40 @@ func TestLookupUnknown(t *testing.T) {
 		}
 	}
 }
+
+// TestMirrorShardsInvariance pins the sharded mirror as a pure
+// throughput knob: the same (scenario, seed) renders byte-for-byte
+// identically whether the mirror engine runs unsharded or at 8 shards.
+func TestMirrorShardsInvariance(t *testing.T) {
+	scn, err := Lookup("collusion-front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards int) string {
+		cfg := testConfig(1000)
+		cfg.Baselines = true
+		cfg.MirrorEngine = true
+		cfg.MirrorShards = shards
+		res, err := Run(cfg, scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	plain := run(0)
+	if sharded := run(8); sharded != plain {
+		t.Fatalf("sharded mirror changed the report:\n--- unsharded\n%s--- 8 shards\n%s", plain, sharded)
+	}
+}
+
+func TestMirrorShardsValidation(t *testing.T) {
+	scn, err := Lookup("collusion-front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(100)
+	cfg.MirrorShards = -1
+	if _, err := Run(cfg, scn); err == nil {
+		t.Fatal("negative mirror shard count accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RowSet is a frozen, normalized subset of an n×n matrix's rows — the
+// unit a trust-engine shard freezes independently before the shard
+// pieces are merged into one global CSR. Rows listed in ids are stored
+// back to back in CSR layout; every other row of the eventual matrix is
+// empty as far as this set is concerned.
+//
+// The per-row math of FreezeNormalizedRows is identical to
+// FreezeNormalized (same sorted-column order, same ascending-index sum,
+// same division), so merging the row sets of any K-way partition of
+// [0, n) yields a CSR byte-identical to freezing all rows at once —
+// the bit-identity half of the shard-count invariance argument.
+type RowSet struct {
+	n      int
+	ids    []int32 // owned row indices, ascending
+	rowPtr []int32 // len(ids)+1, offsets into cols/vals
+	cols   []int32
+	vals   []float64
+}
+
+// N returns the dimension of the matrix the set belongs to.
+func (r *RowSet) N() int { return r.n }
+
+// Rows returns the number of owned rows (including empty ones).
+func (r *RowSet) Rows() int { return len(r.ids) }
+
+// NNZ returns the number of stored entries.
+func (r *RowSet) NNZ() int { return len(r.cols) }
+
+// FreezeNormalizedRows freezes and row-normalizes only the rows named by
+// ids. rows is indexed by global row id (entries outside ids are
+// ignored; a nil map is an empty row). ids must be ascending and unique;
+// the caller (the shard, which owns a fixed peer subset) guarantees it.
+func FreezeNormalizedRows(n int, ids []int, rows []map[int]float64) *RowSet {
+	r := &RowSet{
+		n:      n,
+		ids:    make([]int32, len(ids)),
+		rowPtr: make([]int32, len(ids)+1),
+	}
+	type rowPlan struct {
+		cols []int
+		sum  float64
+	}
+	plans := make([]rowPlan, len(ids))
+	nnz := 0
+	for k, i := range ids {
+		r.ids[k] = int32(i)
+		if i < 0 || i >= n || i >= len(rows) {
+			continue
+		}
+		row := rows[i]
+		if len(row) == 0 {
+			continue
+		}
+		cols := sortedCols(row)
+		sum := 0.0
+		for _, j := range cols {
+			sum += row[j]
+		}
+		if sum <= 0 {
+			continue
+		}
+		plans[k] = rowPlan{cols: cols, sum: sum}
+		nnz += len(cols)
+	}
+	r.cols = make([]int32, nnz)
+	r.vals = make([]float64, nnz)
+	for k := range ids {
+		r.rowPtr[k+1] = r.rowPtr[k] + int32(len(plans[k].cols))
+	}
+	parallelRowBlocks(len(ids), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			p := plans[k]
+			if len(p.cols) == 0 {
+				continue
+			}
+			row := rows[ids[k]]
+			base := int(r.rowPtr[k])
+			for c, j := range p.cols {
+				r.cols[base+c] = int32(j)
+				r.vals[base+c] = row[j] / p.sum
+			}
+		}
+	})
+	return r
+}
+
+// MergeRowSets assembles shard-frozen row sets into one n×n CSR. The
+// sets must share the dimension n and own pairwise-disjoint row ids;
+// rows owned by no set are empty. Each stored row is copied verbatim
+// (no re-normalization), so the merge is a pure permutation-free
+// concatenation and the result is independent of the order sets are
+// passed in.
+func MergeRowSets(n int, sets []*RowSet) (*CSR, error) {
+	type piece struct {
+		set *RowSet
+		k   int // index within set
+	}
+	owner := make([]piece, n)
+	for i := range owner {
+		owner[i].k = -1
+	}
+	nnz := 0
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		if s.n != n {
+			return nil, fmt.Errorf("sparse: merging row set of dimension %d into %d", s.n, n)
+		}
+		for k, id := range s.ids {
+			if owner[id].k >= 0 {
+				return nil, fmt.Errorf("sparse: row %d owned by two row sets", id)
+			}
+			owner[id] = piece{set: s, k: k}
+			nnz += int(s.rowPtr[k+1] - s.rowPtr[k])
+		}
+	}
+	c := &CSR{
+		n:      n,
+		rowPtr: make([]int32, n+1),
+		cols:   make([]int32, nnz),
+		vals:   make([]float64, nnz),
+	}
+	for i := 0; i < n; i++ {
+		p := owner[i]
+		c.rowPtr[i+1] = c.rowPtr[i]
+		if p.k < 0 {
+			continue
+		}
+		lo, hi := p.set.rowPtr[p.k], p.set.rowPtr[p.k+1]
+		c.rowPtr[i+1] += hi - lo
+		base := c.rowPtr[i]
+		copy(c.cols[base:], p.set.cols[lo:hi])
+		copy(c.vals[base:], p.set.vals[lo:hi])
+	}
+	return c, nil
+}
+
+// PartitionRows splits [0, n) into the ascending id lists owned by each
+// of k shards under the owner function (typically the consistent-hash
+// router of core.Sharded). It is a convenience for building the ids
+// argument of FreezeNormalizedRows.
+func PartitionRows(n, k int, owner func(row int) int) ([][]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sparse: %d shards", k)
+	}
+	out := make([][]int, k)
+	for i := 0; i < n; i++ {
+		s := owner(i)
+		if s < 0 || s >= k {
+			return nil, fmt.Errorf("sparse: row %d routed to shard %d of %d", i, s, k)
+		}
+		out[s] = append(out[s], i)
+	}
+	for s := range out {
+		if !sort.IntsAreSorted(out[s]) {
+			sort.Ints(out[s])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomRows(n int, seed int64) []map[int]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]map[int]float64, n)
+	for i := range rows {
+		if rng.Intn(5) == 0 {
+			continue // leave some rows nil
+		}
+		rows[i] = make(map[int]float64)
+		for c := rng.Intn(8); c > 0; c-- {
+			rows[i][rng.Intn(n)] = rng.Float64()
+		}
+	}
+	return rows
+}
+
+// TestMergeMatchesFreeze is the bit-identity half of the shard-count
+// invariance argument at the sparse layer: freezing each shard's rows
+// separately and merging must reproduce FreezeNormalized byte for byte,
+// for any partition.
+func TestMergeMatchesFreeze(t *testing.T) {
+	const n = 67
+	rows := randomRows(n, 1)
+	want := FreezeNormalized(n, rows)
+	for _, k := range []int{1, 2, 3, 8} {
+		ids, err := PartitionRows(n, k, func(row int) int { return (row * 2654435761) % k })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := make([]*RowSet, k)
+		for s := range sets {
+			sets[s] = FreezeNormalizedRows(n, ids[s], rows)
+		}
+		got, err := MergeRowSets(n, sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.rowPtr, want.rowPtr) ||
+			!reflect.DeepEqual(got.cols, want.cols) ||
+			!reflect.DeepEqual(got.vals, want.vals) {
+			t.Fatalf("k=%d: merged CSR differs from direct freeze", k)
+		}
+	}
+}
+
+func TestMergeRejectsOverlapAndMismatch(t *testing.T) {
+	rows := randomRows(8, 2)
+	a := FreezeNormalizedRows(8, []int{0, 1, 2}, rows)
+	b := FreezeNormalizedRows(8, []int{2, 3}, rows)
+	if _, err := MergeRowSets(8, []*RowSet{a, b}); err == nil {
+		t.Fatal("overlapping row sets merged without error")
+	}
+	c := FreezeNormalizedRows(9, []int{3}, randomRows(9, 3))
+	if _, err := MergeRowSets(8, []*RowSet{a, c}); err == nil {
+		t.Fatal("dimension mismatch merged without error")
+	}
+}
+
+func TestMergeLeavesUnownedRowsEmpty(t *testing.T) {
+	rows := randomRows(10, 4)
+	set := FreezeNormalizedRows(10, []int{1, 4}, rows)
+	got, err := MergeRowSets(10, []*RowSet{set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if i == 1 || i == 4 {
+			continue
+		}
+		if got.RowNNZ(i) != 0 {
+			t.Fatalf("unowned row %d has %d entries", i, got.RowNNZ(i))
+		}
+	}
+}
+
+func TestPartitionRowsValidation(t *testing.T) {
+	if _, err := PartitionRows(4, 0, func(int) int { return 0 }); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := PartitionRows(4, 2, func(int) int { return 5 }); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}

@@ -28,6 +28,7 @@ type options struct {
 	policy incentive.Policy
 	reg    *MetricsRegistry
 	clock  func() time.Time
+	shards int
 }
 
 // WithWeights sets the dimension weights α (file), β (download volume) and
@@ -96,6 +97,22 @@ func WithMetrics(reg *MetricsRegistry, clock func() time.Time) Option {
 	}
 }
 
+// WithShards partitions the trust core across k shards (consistent
+// hash on peer index): mutations for different shards proceed in
+// parallel, batches group-commit per shard, and rebuilds run one worker
+// per shard — all with bit-identical results to the unsharded engine
+// for any k. Values of 0 or 1 keep the single-lock core.Concurrent
+// facade.
+func WithShards(k int) Option {
+	return func(o *options) error {
+		if k < 0 || k > core.MaxShards {
+			return fmt.Errorf("shard count %d outside [0, %d]", k, core.MaxShards)
+		}
+		o.shards = k
+		return nil
+	}
+}
+
 // WithIncentivePolicy replaces the service-differentiation policy (§3.4).
 func WithIncentivePolicy(p incentive.Policy) Option {
 	return func(o *options) error {
@@ -107,13 +124,32 @@ func WithIncentivePolicy(p incentive.Policy) Option {
 	}
 }
 
+// trustCore is the engine surface System depends on. Both facades over
+// the trust core satisfy it: core.Concurrent (one writer lock) and
+// core.Sharded (K independent shard locks); they produce bit-identical
+// results, so which one backs a System is purely a throughput choice.
+type trustCore interface {
+	N() int
+	RecordDownload(downloader, uploader int, f eval.FileID, size int64, now time.Duration) error
+	Vote(p int, f eval.FileID, value float64, now time.Duration) error
+	ObserveRetention(p int, f eval.FileID, retention time.Duration, deleted bool, now time.Duration) error
+	Evaluation(p int, f eval.FileID, now time.Duration) (float64, bool)
+	RateUser(i, j int, value float64) error
+	AddFriend(i, j int) error
+	Blacklist(i, j int) error
+	Reputations(i int, now time.Duration) (map[int]float64, error)
+	JudgeFile(i int, owners []core.OwnerEvaluation, now time.Duration) (core.Judgement, error)
+	CollectOwnerEvaluations(f eval.FileID, owners []int, now time.Duration) []core.OwnerEvaluation
+	Compact(now time.Duration)
+}
+
 // System is the public face of the reputation system for a population of
 // peers indexed [0, n). It is safe for concurrent use: mutations
-// serialise behind a writer lock while reputation queries share a reader
-// lock and then walk an immutable frozen snapshot of the trust matrix, so
-// queries from many goroutines proceed in parallel.
+// serialise behind a writer lock (per shard when built WithShards) while
+// reputation queries walk an immutable frozen snapshot of the trust
+// matrix, so queries from many goroutines proceed in parallel.
 type System struct {
-	engine *core.Concurrent
+	engine trustCore
 	policy incentive.Policy
 }
 
@@ -126,16 +162,30 @@ func NewSystem(n int, opts ...Option) (*System, error) {
 			return nil, fmt.Errorf("mdrep: %w", err)
 		}
 	}
+	var clock obs.Clock
+	if o.reg != nil {
+		clock = obs.Clock(o.clock)
+		if o.clock == nil {
+			clock = obs.Clock(obs.WallClock)
+		}
+	}
+	if o.shards > 1 {
+		engine, err := core.NewSharded(n, o.shards, o.rep)
+		if err != nil {
+			return nil, err
+		}
+		if o.reg != nil {
+			engine.SetObserver(core.NewEngineObs(o.reg, clock))
+			engine.SetShardObserver(core.NewShardedObs(o.reg, clock, o.shards))
+		}
+		return &System{engine: engine, policy: o.policy}, nil
+	}
 	engine, err := core.NewConcurrentEngine(n, o.rep)
 	if err != nil {
 		return nil, err
 	}
 	if o.reg != nil {
-		clock := o.clock
-		if clock == nil {
-			clock = obs.WallClock
-		}
-		engine.SetObserver(core.NewEngineObs(o.reg, obs.Clock(clock)))
+		engine.SetObserver(core.NewEngineObs(o.reg, clock))
 	}
 	return &System{engine: engine, policy: o.policy}, nil
 }

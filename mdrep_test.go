@@ -2,9 +2,11 @@ package mdrep
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"mdrep/internal/core"
 	"mdrep/internal/incentive"
 	"mdrep/internal/metrics"
 )
@@ -204,6 +206,133 @@ func TestSystemWithMetrics(t *testing.T) {
 	}
 	if got := reg.Counter("engine_tm_refreeze_total").Load(); got == 0 {
 		t.Error("no TM re-freezes counted")
+	}
+	if reg.Histogram("engine_reputation_walk_seconds", metrics.DurationBuckets).Count() == 0 {
+		t.Error("no reputation walk spans recorded")
+	}
+}
+
+// shardParityScript drives every System mutator deterministically.
+func shardParityScript(t *testing.T, sys *System) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 6; r++ {
+		now := time.Duration(r) * time.Minute
+		for p := 0; p < sys.N(); p++ {
+			f := FileID([]byte{'f', byte('0' + (p+r)%4)})
+			must(sys.Vote(p, f, float64((p*7+r)%10)/10, now))
+			must(sys.ObserveRetention(p, f, time.Duration(r)*time.Hour, r%3 == 0, now))
+			q := (p + 1 + r) % sys.N()
+			if q != p {
+				must(sys.RecordDownload(p, q, f, int64(1000*(r+1)), now))
+				must(sys.RateUser(p, q, float64((p+r)%10)/10))
+			}
+		}
+	}
+	must(sys.AddFriend(0, 1))
+	must(sys.Blacklist(2, 3))
+	sys.Compact(3 * time.Minute)
+}
+
+// TestWithShardsParity proves the sharded facade is a drop-in: the same
+// script through an unsharded and a 4-shard System yields bit-identical
+// reputations, evaluations and judgements.
+func TestWithShardsParity(t *testing.T) {
+	opts := []Option{WithWindow(2 * time.Hour), WithFakeThreshold(0.4)}
+	plain, err := NewSystem(10, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewSystem(10, append([]Option{WithShards(4)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sharded.engine.(*core.Sharded); !ok {
+		t.Fatalf("WithShards(4) backed by %T, want *core.Sharded", sharded.engine)
+	}
+	shardParityScript(t, plain)
+	shardParityScript(t, sharded)
+	now := 10 * time.Minute
+	for p := 0; p < plain.N(); p++ {
+		a, err := plain.Reputations(p, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sharded.Reputations(p, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("peer %d: %d vs %d reputation entries", p, len(a), len(b))
+		}
+		for q, v := range a {
+			if b[q] != v {
+				t.Fatalf("peer %d: reputation of %d differs: %v vs %v", p, q, v, b[q])
+			}
+		}
+	}
+	va, oka := plain.Evaluation(1, FileID("f1"), now)
+	vb, okb := sharded.Evaluation(1, FileID("f1"), now)
+	if va != vb || oka != okb {
+		t.Fatalf("evaluation differs: (%v,%v) vs (%v,%v)", va, oka, vb, okb)
+	}
+	owners := plain.CollectOwnerEvaluations(FileID("f1"), []int{0, 1, 2}, now)
+	ja, err := plain.JudgeFile(4, owners, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := sharded.JudgeFile(4, sharded.CollectOwnerEvaluations(FileID("f1"), []int{0, 1, 2}, now), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja != jb {
+		t.Fatalf("judgement differs: %+v vs %+v", ja, jb)
+	}
+}
+
+func TestWithShardsValidation(t *testing.T) {
+	if _, err := NewSystem(5, WithShards(-1)); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if _, err := NewSystem(5, WithShards(core.MaxShards+1)); err == nil {
+		t.Fatal("oversized shard count accepted")
+	}
+	sys, err := NewSystem(5, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.engine.(*core.Concurrent); !ok {
+		t.Fatalf("WithShards(1) backed by %T, want *core.Concurrent", sys.engine)
+	}
+}
+
+// TestWithShardsMetrics checks the per-shard observability surface is
+// wired when both WithShards and WithMetrics are given.
+func TestWithShardsMetrics(t *testing.T) {
+	reg := NewMetricsRegistry()
+	// Parallel shard rebuild workers read the clock concurrently, so the
+	// fake must be thread-safe.
+	var ticks atomic.Int64
+	clock := func() time.Time {
+		return time.Unix(0, ticks.Add(1)*int64(25*time.Microsecond))
+	}
+	sys, err := NewSystem(6, WithShards(3), WithMetrics(reg, clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Vote(0, "f", 0.8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Reputations(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Histogram("sharded_rebuild_seconds", metrics.DurationBuckets).Count() == 0 {
+		t.Error("no sharded rebuild spans recorded")
 	}
 	if reg.Histogram("engine_reputation_walk_seconds", metrics.DurationBuckets).Count() == 0 {
 		t.Error("no reputation walk spans recorded")
