@@ -4,7 +4,7 @@ GO      ?= go
 BIN     ?= bin
 VETTOOL := $(BIN)/mdrep-lint
 
-.PHONY: all build test race chaos obs sim shard lint vet fmt bench bench-json bench-gate clean
+.PHONY: all build test race chaos obs sim shard lint lint-allow lint-fix vet fmt bench bench-json bench-gate clean
 
 all: build lint test
 
@@ -26,12 +26,32 @@ $(VETTOOL): FORCE
 	@mkdir -p $(BIN)
 	$(GO) build -o $(VETTOOL) ./cmd/mdrep-lint
 
+# lint-allow inventories every //mdrep:allow suppression in the tree
+# (outside vendor/ and the analyzer fixtures, which exist to exercise
+# the directive). Review the list in perf/correctness PRs: each line is
+# a standing exception and must carry a reason after the colon.
+lint-allow:
+	@list="$$(grep -rn '//mdrep:allow [a-z]*: ' --include='*.go' . \
+		| grep -v '^\./vendor/' | grep -v '/testdata/' \
+		| grep -vE ':[0-9]+:[[:space:]]*//[[:space:]]' \
+		| sed 's|^\./||')"; \
+	if [ -n "$$list" ]; then echo "$$list"; fi; \
+	echo "lint-allow: $$(printf '%s' "$$list" | grep -c .) suppression(s) outside fixtures"
+
+# lint-fix applies the suite's suggested fixes (currently: faultwrap's
+# fault.Terminal wrapping) in place. The vettool protocol has no -fix
+# mode, so diagnostics are exported as JSON and replayed through the
+# mdrep-lint -applyfix editor. Rerun make lint afterwards; some fixes
+# (e.g. adding the fault import) may need a follow-up gofmt/goimports.
+lint-fix: $(VETTOOL)
+	$(GO) vet -vettool=$(VETTOOL) -json ./... | $(VETTOOL) -applyfix
+
 vet:
 	$(GO) vet ./...
 
 fmt:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
-		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
 # chaos runs the fault-schedule resilience suite under the race detector
 # twice over (shaking out ordering flakes) and enforces the coverage gate
@@ -87,10 +107,16 @@ bench:
 # bench-json snapshots the canonical benchmark suite as a dated JSON
 # trajectory file (BENCH_<date>.json) via the cmd/mdrep-bench parser.
 # Committing the file each perf PR turns performance claims into diffs.
+# Each benchmark runs BENCH_COUNT times (shortened via BENCH_TIME so the
+# suite stays fast) and the parser keeps the fastest run (min ns/op):
+# scheduler interference on shared/single-core hosts only ever slows a
+# run down, so min-of-N damps the noise a single long run cannot.
 BENCH_LIST := BenchmarkTrustMatrixBuild|BenchmarkReputationQuery|BenchmarkFileJudgement|BenchmarkSparseMatMul|BenchmarkRMPowParallel|BenchmarkBuildTMIncremental|BenchmarkJournalAppend|BenchmarkRecovery|BenchmarkSystemIngest|BenchmarkSystemJudge|BenchmarkDHTLookup|BenchmarkMassimStep|BenchmarkMassimEpoch|BenchmarkShardedApplyBatch|BenchmarkShardedRebuild
+BENCH_COUNT := 3
+BENCH_TIME  := 0.5s
 
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_LIST)' \
+	$(GO) test -run '^$$' -bench '$(BENCH_LIST)' -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) \
 		-benchmem mdrep mdrep/internal/massim \
 		| $(GO) run ./cmd/mdrep-bench > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
@@ -102,7 +128,7 @@ bench-gate:
 	@base="$$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"; \
 	if [ -z "$$base" ]; then echo "bench-gate: no BENCH_*.json baseline committed" >&2; exit 1; fi; \
 	echo "bench-gate: baseline $$base"; \
-	$(GO) test -run '^$$' -bench '$(BENCH_LIST)' \
+	$(GO) test -run '^$$' -bench '$(BENCH_LIST)' -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) \
 		-benchmem mdrep mdrep/internal/massim \
 		| $(GO) run ./cmd/mdrep-bench -gate "$$base"
 

@@ -59,6 +59,27 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCountCollapsesToFastest(t *testing.T) {
+	const repeated = `pkg: mdrep
+BenchmarkX-8	 1000	 120.0 ns/op
+BenchmarkX-8	 1000	 100.0 ns/op
+BenchmarkX-8	 1000	 135.0 ns/op
+BenchmarkY-8	 1000	  50.0 ns/op
+`
+	rep, err := parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2 (repeats collapsed): %+v", len(rep.Results), rep.Results)
+	}
+	for _, b := range rep.Results {
+		if b.Name == "BenchmarkX-8" && b.NsPerOp != 100.0 {
+			t.Fatalf("BenchmarkX kept %v ns/op, want the 100.0 minimum", b.NsPerOp)
+		}
+	}
+}
+
 func TestParseFailuresAndGarbage(t *testing.T) {
 	rep, err := parse(strings.NewReader("--- FAIL: TestX\nFAIL\tmdrep/internal/x\t0.1s\nBenchmarkBroken-8 notanumber ns/op\nrandom chatter\n"))
 	if err != nil {

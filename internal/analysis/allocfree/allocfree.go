@@ -1,0 +1,321 @@
+// Package allocfree implements the hot-path allocation analyzer.
+//
+// The repo's headline performance claims — ~500 ns zero-alloc massim
+// events, 0 B/op metrics Inc/Observe, allocation-free sparse inner
+// kernels — are enforced at runtime by `-benchmem` guards (make obs) and
+// at review time by convention. allocfree moves the convention to
+// compile time: a function whose doc comment carries
+//
+//	//mdrep:hotpath
+//
+// (or every function of a package whose package clause carries it) is
+// checked for the constructs that force the Go compiler to allocate:
+//
+//   - fmt calls other than fmt.Errorf (error construction is the
+//     sanctioned error-path escape; Sprintf and friends in a success
+//     path are not),
+//   - non-constant string concatenation,
+//   - closures that escape — function literals launched with `go`,
+//     deferred, passed as arguments, stored or returned; only the
+//     immediately invoked form stays on the stack,
+//   - interface boxing of scalars — passing an integer, float or bool
+//     to an interface-typed parameter heap-allocates the box,
+//   - `x = append(x, …)` inside a loop when x is a function-local slice
+//     declared without capacity (`var x []T`, `x := []T{}`,
+//     `make([]T, 0)`) — preallocate or reuse a scratch buffer,
+//   - ranging over a map — hash-walk cost and nondeterministic order
+//     have no place in an accumulation path (see also detfloat).
+//
+// The annotation is deliberately opt-in per function: hot paths are a
+// property of the design (the massim step loop, sparse row kernels,
+// sim.Wheel/sim.RNG, metrics Inc/Observe), not of a package as a whole.
+// A genuine allocation in an annotated function — e.g. a cold error
+// branch that formats — carries an //mdrep:allow allocfree: <reason>
+// suppression.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"mdrep/internal/analysis/lintutil"
+)
+
+// name is the analyzer name, also the token accepted by //mdrep:allow.
+const name = "allocfree"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid allocation-forcing constructs in //mdrep:hotpath functions\n\n" +
+		"Functions annotated //mdrep:hotpath (massim step loop, sparse kernels,\n" +
+		"metrics Inc/Observe, sim.Wheel/RNG) mirror the 0 B/op benchmark guards at\n" +
+		"compile time: no fmt outside error paths, no string concatenation, no\n" +
+		"escaping closures, no interface boxing of scalars, no un-preallocated\n" +
+		"append in loops, no map iteration.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	pkgHot := false
+	for _, f := range pass.Files {
+		if lintutil.HasDirective(f.Doc, lintutil.HotPathDirective) {
+			pkgHot = true
+		}
+	}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		if !pkgHot && !lintutil.HasDirective(fd.Doc, lintutil.HotPathDirective) {
+			return
+		}
+		checkBody(pass, fd.Body)
+	})
+	return nil, nil
+}
+
+// checkBody walks one annotated function body (including nested function
+// literals, which inherit the hot-path contract) and reports
+// allocation-forcing constructs.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		check(pass, n, stack, body)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func check(pass *analysis.Pass, n ast.Node, stack []ast.Node, body *ast.BlockStmt) {
+	switch x := n.(type) {
+	case *ast.CallExpr:
+		checkCall(pass, x)
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && isString(pass, x) && !isConst(pass, x) {
+			lintutil.Report(pass, x.OpPos, name,
+				"string concatenation allocates on the hot path; use a preallocated buffer or avoid building strings here")
+		}
+	case *ast.AssignStmt:
+		checkAssign(pass, x, stack, body)
+	case *ast.FuncLit:
+		checkFuncLit(pass, x, stack)
+	case *ast.RangeStmt:
+		if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				lintutil.Report(pass, x.For, name,
+					"map iteration on the hot path: hash-walk cost and nondeterministic order; iterate a dense index or sorted keys")
+			}
+		}
+	}
+}
+
+// checkCall flags fmt calls (except Errorf) and interface boxing of
+// scalar arguments.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" {
+			if fn.Name() == "Errorf" {
+				return // sanctioned error-path constructor; boxing check skipped too
+			}
+			lintutil.Report(pass, call.Pos(), name,
+				"fmt.%s allocates on the hot path; only fmt.Errorf in error paths is exempt", fn.Name())
+			return
+		}
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // spread: no per-element boxing introduced here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if b, isBasic := at.Underlying().(*types.Basic); isBasic && b.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+			lintutil.Report(pass, arg.Pos(), name,
+				"%s argument boxes a scalar into an interface, forcing a heap allocation on the hot path", types.ExprString(arg))
+		}
+	}
+}
+
+// checkFuncLit flags function literals that escape: launched as
+// goroutines, deferred, passed as arguments, stored or returned. Only
+// the immediately invoked form `func(){…}()` stays on the stack.
+func checkFuncLit(pass *analysis.Pass, lit *ast.FuncLit, stack []ast.Node) {
+	if len(stack) > 0 {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == lit {
+			// Immediately invoked — unless the invocation itself is a go
+			// or defer statement, which forces the closure to escape.
+			if len(stack) < 2 {
+				return
+			}
+			switch stack[len(stack)-2].(type) {
+			case *ast.GoStmt:
+				lintutil.Report(pass, lit.Pos(), name,
+					"closure launched as a goroutine escapes to the heap on the hot path; hoist the work out of the annotated function")
+			case *ast.DeferStmt:
+				lintutil.Report(pass, lit.Pos(), name,
+					"deferred closure allocates on the hot path; restructure so the fast path does not defer")
+			}
+			return
+		}
+	}
+	lintutil.Report(pass, lit.Pos(), name,
+		"closure escapes (stored, passed or returned) and captures allocate on the hot path; hoist it to a method or a preallocated func value")
+}
+
+// checkAssign flags `x = append(x, …)` inside a loop when x is a local
+// slice declared without capacity.
+func checkAssign(pass *analysis.Pass, assign *ast.AssignStmt, stack []ast.Node, body *ast.BlockStmt) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call.Fun, "append") {
+		return
+	}
+	inLoop := false
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inLoop = true
+		}
+	}
+	if !inLoop {
+		return
+	}
+	root := lintutil.RootIdent(assign.Lhs[0])
+	if root == nil {
+		return
+	}
+	obj, ok := pass.TypesInfo.ObjectOf(root).(*types.Var)
+	if !ok || obj.Parent() == nil || obj.Parent() == pass.Pkg.Scope() {
+		return // package-level, field or unresolved: caller controls capacity
+	}
+	if !unpreallocated(pass, obj, body) {
+		return
+	}
+	lintutil.Report(pass, assign.Pos(), name,
+		"append to %s inside a loop with no preallocated capacity; make([]T, 0, n) or reuse a scratch buffer", root.Name)
+}
+
+// unpreallocated reports whether obj's declaration inside body provides
+// no capacity: `var x []T`, `x := []T{}` (empty literal) or
+// `make([]T, 0)` with no capacity argument. Declarations this analyzer
+// cannot see (parameters, outer scopes) are treated as preallocated —
+// the caller owns the buffer.
+func unpreallocated(pass *analysis.Pass, obj *types.Var, body *ast.BlockStmt) bool {
+	verdict := false
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch d := n.(type) {
+		case *ast.ValueSpec:
+			for i, id := range d.Names {
+				if pass.TypesInfo.Defs[id] != obj {
+					continue
+				}
+				found = true
+				if len(d.Values) == 0 {
+					verdict = true // var x []T
+				} else {
+					verdict = badInit(pass, d.Values[i])
+				}
+			}
+		case *ast.AssignStmt:
+			if d.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range d.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.TypesInfo.Defs[id] != obj {
+					continue
+				}
+				found = true
+				if i < len(d.Rhs) {
+					verdict = badInit(pass, d.Rhs[i])
+				}
+			}
+		}
+		return !found
+	})
+	return found && verdict
+}
+
+// badInit reports whether the initializer gives the slice no capacity:
+// an empty composite literal, nil, or make with a constant-zero length
+// and no capacity argument.
+func badInit(pass *analysis.Pass, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return len(v.Elts) == 0
+	case *ast.Ident:
+		return v.Name == "nil"
+	case *ast.CallExpr:
+		if !isBuiltin(pass, v.Fun, "make") || len(v.Args) < 2 {
+			return false
+		}
+		if len(v.Args) >= 3 {
+			return false // explicit capacity
+		}
+		tv, ok := pass.TypesInfo.Types[v.Args[1]]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, want string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != want {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"mdrep/internal/analysis/allocfree"
+	"mdrep/internal/analysis/analyzertest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analyzertest.Run(t, "testdata", allocfree.Analyzer, "hotsim", "hotpkg")
+}

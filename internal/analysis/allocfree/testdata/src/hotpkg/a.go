@@ -1,0 +1,15 @@
+// Package hotpkg carries the hot-path directive on its package clause:
+// every function in the package is checked.
+//
+//mdrep:hotpath
+package hotpkg
+
+import "fmt"
+
+func anywhere(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates on the hot path`
+}
+
+func clean(n int) int {
+	return n * 2
+}

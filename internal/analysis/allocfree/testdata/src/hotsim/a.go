@@ -1,0 +1,65 @@
+// Positive fixture: functions annotated //mdrep:hotpath are checked for
+// allocation-forcing constructs; unannotated functions are not.
+package hotsim
+
+import "fmt"
+
+//mdrep:hotpath
+func step(n int, names map[int]string) string {
+	s := fmt.Sprintf("step %d", n) // want `fmt\.Sprintf allocates on the hot path`
+	s = s + "!"                    // want `string concatenation allocates on the hot path`
+	for k := range names {         // want `map iteration on the hot path`
+		_ = k
+	}
+	return s
+}
+
+//mdrep:hotpath
+func accumulate(rows []int) []int {
+	var xs []int
+	for _, r := range rows {
+		xs = append(xs, r) // want `append to xs inside a loop with no preallocated capacity`
+	}
+	ys := make([]int, 0, len(rows))
+	for _, r := range rows {
+		ys = append(ys, r) // preallocated: allowed
+	}
+	return append(xs, ys...)
+}
+
+func sink(v interface{}) { _ = v }
+
+//mdrep:hotpath
+func box(n int) {
+	sink(n)        // want `n argument boxes a scalar into an interface`
+	sink("string") // strings are headers, not boxed scalars: allowed
+}
+
+//mdrep:hotpath
+func escape(work func()) {
+	go func() { work() }() // want `closure launched as a goroutine escapes`
+	f := func() {}         // want `closure escapes \(stored, passed or returned\)`
+	f()
+	func() { _ = 1 }() // immediately invoked: allowed
+}
+
+//mdrep:hotpath
+func errPath(ok bool) error {
+	if !ok {
+		return fmt.Errorf("bad state %d", 7) // fmt.Errorf is the sanctioned error-path constructor
+	}
+	return nil
+}
+
+//mdrep:hotpath
+func suppressed(n int) string {
+	return fmt.Sprintf("cold %d", n) //mdrep:allow allocfree: cold slow path, measured off the step loop
+}
+
+// cold is not annotated: anything goes.
+func cold(n int, names map[int]string) string {
+	for k := range names {
+		_ = k
+	}
+	return fmt.Sprintf("%d", n) + "!"
+}

@@ -12,7 +12,10 @@
 // mdrep package names (lintutil.IsPackage) therefore see fixture packages
 // named like the real ones ("core", "sparse", ...). Imports between
 // fixture packages resolve within the tree; standard-library imports are
-// type-checked from GOROOT source.
+// type-checked from GOROOT source; anything else falls back to the
+// module's vendor/ directory (found by walking up from testdata to
+// go.mod), so fixtures may import vendored dependencies such as
+// golang.org/x/tools/go/analysis without network access.
 //
 // Expected diagnostics are written on the offending line:
 //
@@ -71,17 +74,19 @@ type loaded struct {
 }
 
 type loader struct {
-	fset    *token.FileSet
-	srcRoot string
-	std     types.Importer
-	pkgs    map[string]*loaded
+	fset      *token.FileSet
+	srcRoot   string
+	vendorDir string // module vendor/ directory, "" if none found
+	std       types.Importer
+	pkgs      map[string]*loaded
 }
 
 func newLoader(srcRoot string) *loader {
 	l := &loader{
-		fset:    token.NewFileSet(),
-		srcRoot: srcRoot,
-		pkgs:    map[string]*loaded{},
+		fset:      token.NewFileSet(),
+		srcRoot:   srcRoot,
+		vendorDir: findVendor(srcRoot),
+		pkgs:      map[string]*loaded{},
 	}
 	// The source importer type-checks std packages from GOROOT source —
 	// no compiled export data needed, and it works offline.
@@ -89,11 +94,54 @@ func newLoader(srcRoot string) *loader {
 	return l
 }
 
+// findVendor walks up from dir to the enclosing module root (the first
+// directory holding a go.mod) and returns its vendor/ directory, or ""
+// when the module has none.
+func findVendor(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			v := filepath.Join(dir, "vendor")
+			if fi, err := os.Stat(v); err == nil && fi.IsDir() {
+				return v
+			}
+			return ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// dirFor resolves an import path to the fixture tree or, failing that,
+// the module vendor tree. ok is false when neither holds the package.
+func (l *loader) dirFor(path string) (dir string, ok bool) {
+	dir = filepath.Join(l.srcRoot, path)
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, true
+	}
+	if l.vendorDir != "" {
+		dir = filepath.Join(l.vendorDir, path)
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
 func (l *loader) load(path string) (*loaded, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
 	}
-	dir := filepath.Join(l.srcRoot, path)
+	dir, ok := l.dirFor(path)
+	if !ok {
+		dir = filepath.Join(l.srcRoot, path) // keep the original error shape
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -122,7 +170,7 @@ func (l *loader) load(path string) (*loaded, error) {
 		Instances:  map[*ast.Ident]types.Instance{},
 	}
 	conf := &types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
-		if fi, err := os.Stat(filepath.Join(l.srcRoot, p)); err == nil && fi.IsDir() {
+		if _, ok := l.dirFor(p); ok {
 			fixture, err := l.load(p)
 			if err != nil {
 				return nil, err

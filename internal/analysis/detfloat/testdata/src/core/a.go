@@ -101,7 +101,19 @@ func perIterationAccumulator(m map[int][]float64) map[int]float64 {
 func maxReduction(m map[int]float64) float64 {
 	sum := 0.0
 	for _, v := range m {
-		sum += v //mdrep:allow detfloat fixture demonstrating suppression
+		sum += v //mdrep:allow detfloat: fixture demonstrating suppression
+	}
+	return sum
+}
+
+// reasonless demonstrates that a suppression without a reason does not
+// suppress: the diagnostic fires, annotated with why the directive was
+// ignored.
+func reasonless(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		//mdrep:allow detfloat
+		sum += v // want `reasonless //mdrep:allow ignored`
 	}
 	return sum
 }

@@ -1,0 +1,16 @@
+// Package fault is a fixture stand-in for mdrep/internal/fault: the
+// faultwrap analyzer recognises its taggers by package suffix and
+// function name.
+package fault
+
+type wrapped struct {
+	err  error
+	kind string
+}
+
+func (w *wrapped) Error() string { return w.kind + ": " + w.err.Error() }
+func (w *wrapped) Unwrap() error { return w.err }
+
+func Unreachable(err error) error { return &wrapped{err, "unreachable"} }
+func Timeout(err error) error     { return &wrapped{err, "timeout"} }
+func Terminal(err error) error    { return &wrapped{err, "terminal"} }

@@ -1,0 +1,38 @@
+// Positive fixture: package path "peer" is in faultwrap's RPC-boundary
+// set, so unclassified error constructions are flagged.
+package peer
+
+import (
+	"errors"
+	"fmt"
+
+	"fault"
+)
+
+// ErrBadHandshake is a package-level sentinel: callers classify it with
+// errors.Is, so the construction itself is allowed.
+var ErrBadHandshake = errors.New("peer: bad handshake")
+
+func dial(addr string) error {
+	return errors.New("peer: " + addr + " refused") // want `errors\.New crosses the RPC boundary unclassified`
+}
+
+func request(id int) error {
+	return fmt.Errorf("peer: request %d failed", id) // want `fmt\.Errorf crosses the RPC boundary unclassified`
+}
+
+func wrapped(id int, cause error) error {
+	return fmt.Errorf("peer: request %d: %w", id, cause) // %w preserves the cause's classification: allowed
+}
+
+func tagged(addr string) error {
+	return fault.Unreachable(fmt.Errorf("peer: %s not responding", addr)) // tagger classifies: allowed
+}
+
+func pinned() error {
+	return fault.Terminal(errors.New("peer: protocol violation")) // allowed
+}
+
+func suppressed() error {
+	return errors.New("peer: draining") //mdrep:allow faultwrap: consumed in-package by the drain loop, never crosses the RPC boundary
+}

@@ -1,0 +1,9 @@
+// Negative fixture: "transport" is not one of faultwrap's RPC-boundary
+// packages, so naked constructions pass unflagged.
+package transport
+
+import "errors"
+
+func open() error {
+	return errors.New("transport: not wired")
+}

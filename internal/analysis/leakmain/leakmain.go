@@ -1,0 +1,100 @@
+// Package leakmain makes the goroutine-leak check (internal/testutil,
+// PR 4) mandatory wherever it has something to catch.
+//
+// testutil.RunMain snapshots the goroutine set before the package's
+// tests run and fails the run if goroutines survive afterwards — but
+// only in packages that remember to declare
+//
+//	func TestMain(m *testing.M) { testutil.RunMain(m) }
+//
+// A package that spawns goroutines in production code and lacks that
+// TestMain silently opts out of leak detection, exactly where it
+// matters most. leakmain closes the loop: any internal package whose
+// non-test code contains a `go` statement must have a test file whose
+// TestMain routes through RunMain.
+//
+// The check is textual on the test side by necessity: a go/analysis
+// pass compiles one unit, and the non-test unit cannot see the
+// package's _test.go files. leakmain therefore scans the package
+// directory for test files containing both `func TestMain(` and
+// `RunMain(`. The diagnostic carries a suggested fix inserting a
+// ready-made main_test.go body (printed in the message), so adopting
+// the guard is mechanical.
+package leakmain
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"mdrep/internal/analysis/lintutil"
+)
+
+// name is the analyzer name, also the token accepted by //mdrep:allow.
+const name = "leakmain"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "require the testutil goroutine-leak TestMain in packages that spawn goroutines\n\n" +
+		"Any internal package whose non-test code contains a go statement must\n" +
+		"declare func TestMain(m *testing.M) { testutil.RunMain(m) } so the\n" +
+		"goroutine-leak guard covers it.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !strings.Contains(pass.Pkg.Path()+"/", "internal/") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	var firstGo *ast.GoStmt
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		g := n.(*ast.GoStmt)
+		if firstGo == nil && !lintutil.InTestFile(pass, g.Pos()) {
+			firstGo = g
+		}
+	})
+	if firstGo == nil {
+		return nil, nil
+	}
+	dir := filepath.Dir(pass.Fset.Position(firstGo.Pos()).Filename)
+	if hasLeakTestMain(dir) {
+		return nil, nil
+	}
+	lintutil.Report(pass, firstGo.Pos(), name,
+		"package %s spawns goroutines but has no goroutine-leak TestMain; add a main_test.go with `func TestMain(m *testing.M) { testutil.RunMain(m) }` (internal/testutil)",
+		pass.Pkg.Path())
+	return nil, nil
+}
+
+// hasLeakTestMain reports whether some *_test.go file in dir declares a
+// TestMain that routes through the leak-checking RunMain. The match is
+// textual: test files are a different compilation unit, invisible to
+// this pass's type information.
+func hasLeakTestMain(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return true // unreadable dir: fail open rather than misreport
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		src := string(data)
+		if strings.Contains(src, "func TestMain(") && strings.Contains(src, "RunMain(") {
+			return true
+		}
+	}
+	return false
+}

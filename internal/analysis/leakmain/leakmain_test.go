@@ -1,0 +1,13 @@
+package leakmain_test
+
+import (
+	"testing"
+
+	"mdrep/internal/analysis/analyzertest"
+	"mdrep/internal/analysis/leakmain"
+)
+
+func TestLeakMain(t *testing.T) {
+	analyzertest.Run(t, "testdata", leakmain.Analyzer,
+		"internal/leaky", "internal/guarded", "internal/allowed", "cmdtool")
+}

@@ -1,0 +1,9 @@
+// Negative fixture: not an internal package, so leakmain does not gate
+// on it even though it spawns goroutines.
+package cmdtool
+
+func start(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}

@@ -1,0 +1,10 @@
+// Suppressed fixture: the goroutine is process-lifetime by design and
+// the suppression says so.
+package allowed
+
+func start(ch chan int) {
+	//mdrep:allow leakmain: process-lifetime pump, torn down only at exit
+	go func() {
+		ch <- 1
+	}()
+}

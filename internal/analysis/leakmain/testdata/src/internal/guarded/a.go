@@ -1,0 +1,9 @@
+// Negative fixture: the package spawns goroutines and its test file
+// registers the leak-checking TestMain, so nothing is flagged.
+package guarded
+
+func start(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}

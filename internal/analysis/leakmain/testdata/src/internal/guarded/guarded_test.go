@@ -1,0 +1,12 @@
+package guarded
+
+import "testing"
+
+// RunMain stands in for testutil.RunMain; leakmain matches the test
+// file textually, so a local definition keeps the fixture free of
+// module imports.
+func RunMain(m *testing.M) int { return m.Run() }
+
+func TestMain(m *testing.M) {
+	RunMain(m)
+}

@@ -1,0 +1,9 @@
+// Positive fixture: an internal package that spawns a goroutine from
+// non-test code but has no goroutine-leak TestMain.
+package leaky
+
+func start(ch chan int) {
+	go func() { // want `spawns goroutines but has no goroutine-leak TestMain`
+		ch <- 1
+	}()
+}

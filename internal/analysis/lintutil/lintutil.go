@@ -1,19 +1,25 @@
 // Package lintutil holds the shared plumbing of the mdrep analyzer suite
-// (internal/analysis/...): package-set matching, test-file filtering and
-// the //mdrep:allow suppression directive.
+// (internal/analysis/...): package-set matching, test-file filtering, the
+// //mdrep:allow suppression directive, the //mdrep:hotpath and
+// //mdrep:labelset function annotations, and SuggestedFix construction
+// helpers.
 //
 // Every analyzer in the suite reports through Report, which gives the
 // whole suite one uniform escape hatch: a comment
 //
-//	//mdrep:allow <analyzer> <reason>
+//	//mdrep:allow <analyzer>: <reason>
 //
 // on the flagged line (or the line directly above it) silences that
-// analyzer for that line. The reason is free text but mandatory by
-// convention — a suppression without a stated reason should not survive
-// review.
+// analyzer for that line. The reason is mandatory, not a convention: a
+// directive without one (or in the legacy colon-less form) does not
+// suppress anything — the original diagnostic fires with a note saying
+// the suppression was ignored, so a reasonless escape hatch cannot
+// survive CI. `make lint-allow` inventories the suppressions currently
+// in force.
 package lintutil
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -23,6 +29,17 @@ import (
 
 // AllowDirective is the comment prefix that suppresses a finding.
 const AllowDirective = "mdrep:allow"
+
+// HotPathDirective marks a function (or, on the package clause, a whole
+// package) whose body the allocfree analyzer checks for
+// allocation-forcing constructs.
+const HotPathDirective = "mdrep:hotpath"
+
+// LabelSetDirective marks a function that is trusted to return metric
+// label values drawn from a finite set; its doc comment documents the
+// set and how it is bounded. The metriclabel analyzer accepts calls to
+// same-package functions carrying this directive as label values.
+const LabelSetDirective = "mdrep:labelset"
 
 // IsPackage reports whether path denotes one of the named mdrep packages.
 // It matches both the real module location ("mdrep/internal/core") and the
@@ -45,12 +62,16 @@ func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
 	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
 }
 
-// Suppressed reports whether the line containing pos, or the line directly
-// above it, carries an "//mdrep:allow <name>" directive.
-func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+// suppression classifies the //mdrep:allow directive, if any, covering
+// the line containing pos (or the line directly above it) for the named
+// analyzer. ok means a well-formed, reasoned directive suppresses the
+// finding; reasonless means a directive names this analyzer but carries
+// no reason (or uses the legacy colon-less form) and was therefore
+// rejected.
+func suppression(pass *analysis.Pass, pos token.Pos, name string) (ok, reasonless bool) {
 	file := enclosingFile(pass, pos)
 	if file == nil {
-		return false
+		return false, false
 	}
 	line := pass.Fset.Position(pos).Line
 	for _, group := range file.Comments {
@@ -63,22 +84,111 @@ func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
 			if !strings.HasPrefix(text, AllowDirective) {
 				continue
 			}
-			fields := strings.Fields(strings.TrimPrefix(text, AllowDirective))
-			if len(fields) > 0 && fields[0] == name {
-				return true
+			rest := strings.TrimSpace(strings.TrimPrefix(text, AllowDirective))
+			tok, reason, _ := strings.Cut(rest, " ")
+			analyzer, colon := strings.CutSuffix(tok, ":")
+			if analyzer != name {
+				continue
 			}
+			if colon && strings.TrimSpace(reason) != "" {
+				return true, false
+			}
+			reasonless = true
+		}
+	}
+	return false, reasonless
+}
+
+// Suppressed reports whether the line containing pos, or the line
+// directly above it, carries a well-formed "//mdrep:allow <name>: <reason>"
+// directive. Reasonless directives do not count.
+func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	ok, _ := suppression(pass, pos, name)
+	return ok
+}
+
+// Report emits a diagnostic at pos unless it sits in a test file or is
+// suppressed by a reasoned //mdrep:allow directive for the named
+// analyzer. A reasonless directive is called out in the message so the
+// author knows why their suppression did not take.
+func Report(pass *analysis.Pass, pos token.Pos, name, format string, args ...interface{}) {
+	ReportWithFixes(pass, pos, name, nil, format, args...)
+}
+
+// ReportWithFixes is Report with attached suggested fixes, which the
+// `make lint-fix` pipeline (go vet -json | mdrep-lint -applyfix) applies
+// mechanically.
+func ReportWithFixes(pass *analysis.Pass, pos token.Pos, name string, fixes []analysis.SuggestedFix, format string, args ...interface{}) {
+	if InTestFile(pass, pos) {
+		return
+	}
+	ok, reasonless := suppression(pass, pos, name)
+	if ok {
+		return
+	}
+	if reasonless {
+		format += " (reasonless //mdrep:allow ignored; write `//mdrep:allow " + name + ": <reason>`)"
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos:            pos,
+		Message:        formatMessage(format, args...),
+		SuggestedFixes: fixes,
+	})
+}
+
+func formatMessage(format string, args ...interface{}) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+// HasDirective reports whether the comment group contains the given
+// directive in Go directive form: the comment line must start exactly
+// with "//<directive>" (no space after the slashes, as gofmt requires
+// for //go:-style directives), optionally followed by an argument.
+// Prose that merely mentions the directive does not match.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+directive)
+		if !ok {
+			continue
+		}
+		if rest == "" || strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t") {
+			return true
 		}
 	}
 	return false
 }
 
-// Report emits a diagnostic at pos unless it sits in a test file or is
-// suppressed by an //mdrep:allow directive for the named analyzer.
-func Report(pass *analysis.Pass, pos token.Pos, name, format string, args ...interface{}) {
-	if InTestFile(pass, pos) || Suppressed(pass, pos, name) {
-		return
+// WrapFix builds a single-edit SuggestedFix that wraps the source range
+// [pos, end) in prefix…suffix — e.g. turning `errors.New(x)` into
+// `fault.Terminal(errors.New(x))`.
+func WrapFix(message string, pos, end token.Pos, prefix, suffix string) analysis.SuggestedFix {
+	return analysis.SuggestedFix{
+		Message: message,
+		TextEdits: []analysis.TextEdit{
+			{Pos: pos, End: pos, NewText: []byte(prefix)},
+			{Pos: end, End: end, NewText: []byte(suffix)},
+		},
 	}
-	pass.Reportf(pos, format, args...)
+}
+
+// ReplaceFix builds a single-edit SuggestedFix replacing [pos, end) with
+// text.
+func ReplaceFix(message string, pos, end token.Pos, text string) analysis.SuggestedFix {
+	return analysis.SuggestedFix{
+		Message:   message,
+		TextEdits: []analysis.TextEdit{{Pos: pos, End: end, NewText: []byte(text)}},
+	}
+}
+
+// InsertFix builds a SuggestedFix inserting text at pos.
+func InsertFix(message string, pos token.Pos, text string) analysis.SuggestedFix {
+	return ReplaceFix(message, pos, pos, text)
 }
 
 // enclosingFile returns the syntax file of pass containing pos.

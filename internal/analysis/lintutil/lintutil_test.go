@@ -1,0 +1,257 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"mdrep/internal/analysis/analyzertest"
+	"mdrep/internal/analysis/lintutil"
+)
+
+// fakeAnalyzer flags every call to a function named boom, reporting
+// through lintutil.Report so fixtures exercise the shared suppression
+// and test-file filtering paths end to end.
+var fakeAnalyzer = &analysis.Analyzer{
+	Name: "fakelint",
+	Doc:  "flags calls to boom()",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					lintutil.Report(pass, call.Pos(), "fakelint", "boom called")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// parsePass parses one source file (with comments) and wraps it in the
+// minimal analysis.Pass that Report/Suppressed need: Fset, Files, and a
+// diagnostic collector.
+func parsePass(t *testing.T, filename, src string) (*analysis.Pass, *[]analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	return &analysis.Pass{
+		Fset:   fset,
+		Files:  []*ast.File{f},
+		Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}, &diags
+}
+
+// findCall returns the position of the first call to target() in the pass.
+func findCall(t *testing.T, pass *analysis.Pass) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(pass.Files[0], func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "target" {
+				pos = call.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	if !pos.IsValid() {
+		t.Fatal("no call to target() in test source")
+	}
+	return pos
+}
+
+// TestSuppressionPlacement pins the exact geometry and grammar of the
+// //mdrep:allow directive: same line or the line directly above, colon
+// plus non-empty reason, matching analyzer name. Everything else must
+// let the diagnostic through — reasonless forms with an explanatory note.
+func TestSuppressionPlacement(t *testing.T) {
+	cases := []struct {
+		name string
+		stmt string // statement lines inside the function body
+		file string // parsed filename, defaults to a.go
+
+		suppressed bool // Suppressed(...) verdict and no diagnostic
+		noted      bool // diagnostic fires carrying the reasonless note
+	}{
+		{
+			name:       "eol reasoned",
+			stmt:       "target() //mdrep:allow fakelint: cold path, measured",
+			suppressed: true,
+		},
+		{
+			name:       "line above reasoned",
+			stmt:       "//mdrep:allow fakelint: cold path, measured\n\ttarget()",
+			suppressed: true,
+		},
+		{
+			name: "two lines above does not reach",
+			stmt: "//mdrep:allow fakelint: cold path, measured\n\t_ = 0\n\ttarget()",
+		},
+		{
+			name: "line below does not reach",
+			stmt: "target()\n\t//mdrep:allow fakelint: cold path, measured",
+		},
+		{
+			name:  "eol reasonless rejected with note",
+			stmt:  "target() //mdrep:allow fakelint",
+			noted: true,
+		},
+		{
+			name:  "legacy colon-less form rejected with note",
+			stmt:  "target() //mdrep:allow fakelint cold path",
+			noted: true,
+		},
+		{
+			name:  "colon with empty reason rejected with note",
+			stmt:  "target() //mdrep:allow fakelint:",
+			noted: true,
+		},
+		{
+			name: "different analyzer name ignored",
+			stmt: "target() //mdrep:allow otherlint: not ours",
+		},
+		{
+			name:       "test file skipped entirely",
+			stmt:       "target()",
+			file:       "a_test.go",
+			suppressed: false, // Suppressed is false, but Report stays silent
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			file := tc.file
+			if file == "" {
+				file = "a.go"
+			}
+			src := "package p\n\nfunc target() {}\n\nfunc use() {\n\t" + tc.stmt + "\n}\n"
+			pass, diags := parsePass(t, file, src)
+			pos := findCall(t, pass)
+
+			if got := lintutil.Suppressed(pass, pos, "fakelint"); got != tc.suppressed {
+				t.Errorf("Suppressed = %v, want %v", got, tc.suppressed)
+			}
+
+			lintutil.Report(pass, pos, "fakelint", "boom called")
+			inTest := strings.HasSuffix(file, "_test.go")
+			wantDiag := !tc.suppressed && !inTest
+			if got := len(*diags) == 1; got != wantDiag {
+				t.Fatalf("diagnostic emitted = %v, want %v (diags: %v)", got, wantDiag, *diags)
+			}
+			if wantDiag {
+				noted := strings.Contains((*diags)[0].Message, "reasonless //mdrep:allow ignored")
+				if noted != tc.noted {
+					t.Errorf("reasonless note present = %v, want %v: %q", noted, tc.noted, (*diags)[0].Message)
+				}
+			}
+		})
+	}
+}
+
+// TestHasDirectiveWithBuildTags pins directive detection against the
+// comment shapes that appear around build-tagged files: the //go:build
+// line itself, prose mentioning a directive, and directives with
+// arguments or near-miss spellings.
+func TestHasDirectiveWithBuildTags(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string // full file; HasDirective runs on the package doc
+		want bool
+	}{
+		{
+			name: "directive in package doc below a build tag",
+			src:  "//go:build linux\n\n//mdrep:hotpath\npackage p\n",
+			want: true,
+		},
+		{
+			name: "build tag alone is not a directive",
+			src:  "//go:build linux\n\npackage p\n",
+			want: false,
+		},
+		{
+			name: "prose mention does not match",
+			src:  "// Package p documents the //mdrep:hotpath convention.\npackage p\n",
+			want: false,
+		},
+		{
+			name: "longer identifier does not match",
+			src:  "//mdrep:hotpathy\npackage p\n",
+			want: false,
+		},
+		{
+			name: "directive with trailing argument matches",
+			src:  "//mdrep:hotpath step loop\npackage p\n",
+			want: true,
+		},
+		{
+			name: "directive with tab separator matches",
+			src:  "//mdrep:hotpath\tstep loop\npackage p\n",
+			want: true,
+		},
+		{
+			name: "nil doc",
+			src:  "package p\n",
+			want: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "a.go", tc.src, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing: %v", err)
+			}
+			if got := lintutil.HasDirective(f.Doc, lintutil.HotPathDirective); got != tc.want {
+				t.Errorf("HasDirective = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestIsPackage pins the gating matcher: exact fixture paths, module
+// suffix paths, and the non-matches that a naive strings.HasSuffix would
+// let through.
+func TestIsPackage(t *testing.T) {
+	cases := []struct {
+		path  string
+		names []string
+		want  bool
+	}{
+		{"mdrep/internal/core", []string{"core"}, true},
+		{"core", []string{"core"}, true},
+		{"mdrep/internal/score", []string{"core"}, false},
+		{"notcore", []string{"core"}, false},
+		{"mdrep/internal/dht", []string{"peer", "dht"}, true},
+		{"mdrep/internal/dhtx", []string{"dht"}, false},
+	}
+	for _, tc := range cases {
+		if got := lintutil.IsPackage(tc.path, tc.names...); got != tc.want {
+			t.Errorf("IsPackage(%q, %v) = %v, want %v", tc.path, tc.names, got, tc.want)
+		}
+	}
+}
+
+// TestFixtureLoading drives the analyzertest harness over two fixture
+// shapes the real suites depend on: a package with a build-tagged file
+// (every file is loaded regardless of constraints, so diagnostics in
+// tagged files still surface) and a package importing the vendored
+// golang.org/x/tools tree (resolved through the module vendor/
+// fallback, offline).
+func TestFixtureLoading(t *testing.T) {
+	analyzertest.Run(t, "testdata", fakeAnalyzer, "gated", "xtools")
+}

@@ -1,0 +1,11 @@
+// Package gated pairs an unconstrained file with a build-tagged one:
+// the harness loads every .go file in the fixture directory regardless
+// of constraints, so findings behind a tag still surface.
+package gated
+
+func boom() {}
+
+func use() {
+	boom() // want `boom called`
+	boom() //mdrep:allow fakelint: demonstrating suppression in a gated fixture
+}

@@ -1,0 +1,7 @@
+//go:build mdrep_never_built
+
+package gated
+
+func taggedUse() {
+	boom() // want `boom called`
+}

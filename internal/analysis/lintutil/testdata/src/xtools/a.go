@@ -1,0 +1,15 @@
+// Package xtools imports the vendored golang.org/x/tools analysis
+// package, exercising the harness's module vendor/ import fallback.
+package xtools
+
+import "golang.org/x/tools/go/analysis"
+
+// Analyzer proves the vendored type actually type-checks here.
+var Analyzer = &analysis.Analyzer{Name: "noop", Doc: "fixture analyzer"}
+
+func boom() {}
+
+func use() {
+	boom() // want `boom called`
+	boom() //mdrep:allow fakelint: demonstrating suppression beside a vendored import
+}

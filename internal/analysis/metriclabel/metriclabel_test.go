@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"mdrep/internal/analysis/analyzertest"
+	"mdrep/internal/analysis/metriclabel"
+)
+
+func TestMetricLabel(t *testing.T) {
+	analyzertest.Run(t, "testdata", metriclabel.Analyzer, "obspkg")
+}

@@ -1,0 +1,26 @@
+// Package metrics is a fixture stand-in for mdrep/internal/metrics: the
+// metriclabel analyzer recognises the Registry instrument constructors
+// by receiver type name and package suffix.
+package metrics
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+func (r *Registry) Counter(name string, labels ...string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name string, labels ...string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return &Histogram{}
+}

@@ -1,0 +1,87 @@
+// Positive fixture: label values reaching the metrics registry must be
+// compile-time constants or members of a declared finite set.
+package obspkg
+
+import (
+	"strconv"
+
+	"metrics"
+)
+
+const kindRequest = "request"
+
+var outcomes = []string{"ok", "drop", "timeout"}
+
+func direct(reg *metrics.Registry, err error) {
+	reg.Counter("requests_total", "kind", kindRequest) // constant: allowed
+	reg.Counter("errors_total", "cause", err.Error())  // want `err\.Error\(\) as a label value`
+	for i := 0; i < 4; i++ {
+		reg.Counter("shards_total", "shard", strconv.Itoa(i)) // want `label value computed by strconv\.Itoa`
+	}
+	reg.Histogram("latency_seconds", []float64{0.1, 1}, "kind", kindRequest) // allowed: labels start after bounds
+}
+
+// Observe is an exported instrumentation boundary: its parameters are
+// trusted here and audited at every caller this analyzer sees.
+func Observe(reg *metrics.Registry, outcome string) {
+	reg.Counter("observe_total", "outcome", outcome) // exported-boundary parameter: allowed
+}
+
+func record(reg *metrics.Registry, kind string) {
+	reg.Counter("events_total", "kind", kind) // unexported forwarder: checked at call sites
+}
+
+func drive(reg *metrics.Registry, payload string) {
+	record(reg, kindRequest) // constant through the forwarder: allowed
+	record(reg, payload+"!") // want `label value payload \+ "!" is not a constant`
+}
+
+func bind(reg *metrics.Registry) {
+	kind := func(v string) { reg.Counter("bound_total", "kind", v) }
+	kind("request_drops") // call-site constant through the bound closure: allowed
+	kind(level())         // want `label value computed by level`
+}
+
+func level() string { return "deep" }
+
+func ranges(reg *metrics.Registry) {
+	for _, o := range outcomes {
+		reg.Counter("outcomes_total", "outcome", o) // range over a constant set: allowed
+	}
+	for _, o := range readOutcomes() {
+		reg.Counter("dynamic_total", "outcome", o) // want `label value o is loop or computed data`
+	}
+	reg.Counter("pick_total", "outcome", outcomes[0]) // indexing a constant set: allowed
+}
+
+func readOutcomes() []string { return nil }
+
+// shardLabel returns "s0".."s3": the set is bounded by construction, so
+// the directive below lets callers pass arbitrary indices.
+//
+//mdrep:labelset
+func shardLabel(i int) string {
+	return [...]string{"s0", "s1", "s2", "s3"}[i&3]
+}
+
+func shards(reg *metrics.Registry) {
+	for i := 0; i < 4; i++ {
+		reg.Counter("shard_total", "shard", shardLabel(i)) // labelset function: allowed
+	}
+}
+
+func spread(reg *metrics.Registry, userID string) {
+	reg.Counter("spread_total", append([]string{"kind", kindRequest}, "user", userID)...) // want `label value flows through spread`
+}
+
+func suppressedCase(reg *metrics.Registry, tag string) {
+	reg.Counter("debug_total", "tag", tag) //mdrep:allow metriclabel: debug-only registry, tag set bounded by operator config
+}
+
+type notRegistry struct{}
+
+func (n *notRegistry) Counter(name string, labels ...string) {}
+
+func other(n *notRegistry, userID string) {
+	n.Counter("x", "user", userID) // not the metrics registry: ignored
+}

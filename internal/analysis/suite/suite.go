@@ -1,15 +1,20 @@
 // Package suite enumerates the mdrep analyzer suite: the custom
 // go/analysis passes that mechanically enforce the engine's determinism,
-// aliasing and locking conventions (DESIGN.md §10). cmd/mdrep-lint wires
-// the suite into `go vet -vettool`; the meta-test in this package asserts
-// the suite is clean on the repository itself.
+// aliasing, locking, allocation, fault-taxonomy, metric-cardinality and
+// leak-check conventions (DESIGN.md §10). cmd/mdrep-lint wires the suite
+// into `go vet -vettool`; the meta-test in this package asserts the
+// suite is clean on the repository itself.
 package suite
 
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"mdrep/internal/analysis/allocfree"
 	"mdrep/internal/analysis/detfloat"
+	"mdrep/internal/analysis/faultwrap"
+	"mdrep/internal/analysis/leakmain"
 	"mdrep/internal/analysis/locksafe"
+	"mdrep/internal/analysis/metriclabel"
 	"mdrep/internal/analysis/rowalias"
 	"mdrep/internal/analysis/wallclock"
 )
@@ -21,5 +26,9 @@ func Analyzers() []*analysis.Analyzer {
 		rowalias.Analyzer,
 		wallclock.Analyzer,
 		locksafe.Analyzer,
+		allocfree.Analyzer,
+		faultwrap.Analyzer,
+		metriclabel.Analyzer,
+		leakmain.Analyzer,
 	}
 }

@@ -37,5 +37,5 @@ type conn interface {
 }
 
 func deadline(c conn) error {
-	return c.SetDeadline(time.Now().Add(3 * time.Second)) //mdrep:allow wallclock I/O deadline, not replayed state
+	return c.SetDeadline(time.Now().Add(3 * time.Second)) //mdrep:allow wallclock: I/O deadline, not replayed state
 }

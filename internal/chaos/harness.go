@@ -7,6 +7,7 @@ import (
 
 	"mdrep/internal/dht"
 	"mdrep/internal/eval"
+	"mdrep/internal/fault"
 	"mdrep/internal/identity"
 	"mdrep/internal/metrics"
 	"mdrep/internal/obs"
@@ -56,7 +57,7 @@ type Network struct {
 // with a Retry policy.
 func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	if cfg.Nodes < 2 {
-		return nil, fmt.Errorf("chaos: network needs >= 2 nodes, got %d", cfg.Nodes)
+		return nil, fault.Terminal(fmt.Errorf("chaos: network needs >= 2 nodes, got %d", cfg.Nodes))
 	}
 	if cfg.SuccessorListLen < 1 {
 		cfg.SuccessorListLen = dht.DefaultNodeConfig().SuccessorListLen
@@ -138,7 +139,7 @@ func (nw *Network) join(i int) error {
 		return nil
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("chaos: no live bootstrap for node %d", i)
+		lastErr = fault.Unreachable(fmt.Errorf("chaos: no live bootstrap for node %d", i))
 	}
 	return lastErr
 }
@@ -206,7 +207,7 @@ func (nw *Network) Apply(ev Event) error {
 	case OpHeal:
 		nw.Chaos.Heal()
 	default:
-		return fmt.Errorf("chaos: unknown op %v", ev.Op)
+		return fault.Terminal(fmt.Errorf("chaos: unknown op %v", ev.Op))
 	}
 	return nil
 }
@@ -255,7 +256,7 @@ func MakeRecords(count int, seed uint64) []dht.StoredRecord {
 func (nw *Network) Publish(recs []dht.StoredRecord, ts time.Duration) error {
 	live := nw.LiveNodes()
 	if len(live) == 0 {
-		return fmt.Errorf("chaos: no live node to publish through")
+		return fault.Unreachable(fmt.Errorf("chaos: no live node to publish through"))
 	}
 	for _, r := range recs {
 		r.Info.Timestamp = ts
@@ -286,8 +287,8 @@ func (nw *Network) VerifyRecords(via *dht.Node, recs []dht.StoredRecord) error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("chaos: record %s by %s lost (%d records under key)",
-				want.Info.FileID, want.Info.OwnerID, len(got))
+			return fault.Terminal(fmt.Errorf("chaos: record %s by %s lost (%d records under key)",
+				want.Info.FileID, want.Info.OwnerID, len(got)))
 		}
 	}
 	return nil
@@ -308,15 +309,15 @@ func (nw *Network) VerifyRing() error {
 		}
 	}
 	if len(live) < 2 {
-		return fmt.Errorf("chaos: ring check needs >= 2 live nodes")
+		return fault.Terminal(fmt.Errorf("chaos: ring check needs >= 2 live nodes"))
 	}
 	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
 	for k, s := range live {
 		next := live[(k+1)%len(live)]
 		succ := nw.Nodes[s.idx].Successor()
 		if succ.Addr != nw.Addr(next.idx) {
-			return fmt.Errorf("chaos: node %d successor = %s, want node %d (%s)",
-				s.idx, succ.Addr, next.idx, nw.Addr(next.idx))
+			return fault.Terminal(fmt.Errorf("chaos: node %d successor = %s, want node %d (%s)",
+				s.idx, succ.Addr, next.idx, nw.Addr(next.idx)))
 		}
 	}
 	return nil

@@ -41,11 +41,23 @@ func NewShardedObs(reg *metrics.Registry, clock obs.Clock, k int) *ShardedObs {
 		refreezes: reg.Counter("sharded_tm_refreeze_total"),
 	}
 	for i := 0; i < k; i++ {
-		label := strconv.Itoa(i)
-		o.events[i] = reg.Counter("sharded_ingest_events_total", "shard", label)
-		o.perShard[i] = reg.Histogram("sharded_shard_rebuild_seconds", metrics.DurationBuckets, "shard", label)
+		o.events[i] = reg.Counter("sharded_ingest_events_total", "shard", shardLabel(i))
+		o.perShard[i] = reg.Histogram("sharded_shard_rebuild_seconds", metrics.DurationBuckets, "shard", shardLabel(i))
 	}
 	return o
+}
+
+// shardLabel returns the canonical metric label for shard index i. The
+// set is bounded by construction: NewSharded rejects k > MaxShards
+// (256), and anything outside that range collapses to one overflow
+// label rather than minting a series per bogus index.
+//
+//mdrep:labelset
+func shardLabel(i int) string {
+	if i < 0 || i >= MaxShards {
+		return "overflow"
+	}
+	return strconv.Itoa(i)
 }
 
 // spanRebuild times one stop-the-world rebuild; nil-safe.

@@ -2,6 +2,7 @@ package dht
 
 import (
 	"errors"
+	"mdrep/internal/fault"
 	"time"
 )
 
@@ -21,10 +22,10 @@ type Maintainer struct {
 // full finger rotation.
 func Maintain(node *Node, interval time.Duration) (*Maintainer, error) {
 	if node == nil {
-		return nil, errors.New("dht: nil node")
+		return nil, fault.Terminal(errors.New("dht: nil node"))
 	}
 	if interval <= 0 {
-		return nil, errors.New("dht: non-positive maintenance interval")
+		return nil, fault.Terminal(errors.New("dht: non-positive maintenance interval"))
 	}
 	m := &Maintainer{
 		node:     node,

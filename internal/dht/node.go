@@ -3,6 +3,7 @@ package dht
 import (
 	"errors"
 	"fmt"
+	"mdrep/internal/fault"
 	"sync"
 	"time"
 )
@@ -29,10 +30,10 @@ func DefaultNodeConfig() NodeConfig {
 // Validate checks the configuration.
 func (c NodeConfig) Validate() error {
 	if c.SuccessorListLen < 1 {
-		return errors.New("dht: successor list length must be >= 1")
+		return fault.Terminal(errors.New("dht: successor list length must be >= 1"))
 	}
 	if c.Storage == nil {
-		return errors.New("dht: nil storage")
+		return fault.Terminal(errors.New("dht: nil storage"))
 	}
 	return nil
 }
@@ -61,10 +62,10 @@ type Node struct {
 // NewNode builds a node addressed at addr using the given client.
 func NewNode(addr string, client Client, cfg NodeConfig) (*Node, error) {
 	if addr == "" {
-		return nil, errors.New("dht: empty address")
+		return nil, fault.Terminal(errors.New("dht: empty address"))
 	}
 	if client == nil {
-		return nil, errors.New("dht: nil client")
+		return nil, fault.Terminal(errors.New("dht: nil client"))
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -120,7 +121,7 @@ func (n *Node) Join(bootstrap string) error {
 		// A stale entry for our own address is still circulating (we
 		// crashed and came back); joining "through ourselves" would leave
 		// the node outside the ring.
-		return fmt.Errorf("dht: join via %s resolved to self", bootstrap)
+		return fault.Terminal(fmt.Errorf("dht: join via %s resolved to self", bootstrap))
 	}
 	n.mu.Lock()
 	n.succs = []NodeRef{succ}

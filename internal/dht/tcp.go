@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"mdrep/internal/fault"
 	"mdrep/internal/wire"
 )
 
@@ -50,7 +51,7 @@ func (c *TCPClient) call(addr string, req wireRequest) (*wireResponse, error) {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeUnreachable, addr, err)
 	}
 	defer func() { _ = conn.Close() }()
-	if err := conn.SetDeadline(time.Now().Add(c.CallTimeout)); err != nil { //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
+	if err := conn.SetDeadline(time.Now().Add(c.CallTimeout)); err != nil { //mdrep:allow wallclock: I/O deadline on a live socket, not replayed state
 		return nil, err
 	}
 	if err := wire.WriteFrame(conn, req); err != nil {
@@ -61,7 +62,7 @@ func (c *TCPClient) call(addr string, req wireRequest) (*wireResponse, error) {
 		return nil, fmt.Errorf("%w: recv from %s: %v", ErrNodeUnreachable, addr, err)
 	}
 	if resp.Error != "" {
-		return nil, errors.New(resp.Error)
+		return nil, fault.Terminal(errors.New(resp.Error))
 	}
 	return &resp, nil
 }
@@ -205,7 +206,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second)) //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second)) //mdrep:allow wallclock: I/O deadline on a live socket, not replayed state
 	var req wireRequest
 	if err := wire.ReadFrame(conn, &req); err != nil {
 		return

@@ -422,11 +422,13 @@ func NewSim(cfg Config, scn Scenario) (*Sim, error) {
 	}
 	wheel.Schedule(cfg.EpochLen, wev{kind: evEpoch})
 
-	s.obs = newSimObs(scn.Name())
+	s.obs = newSimObs(scenarioLabel(scn.Name()))
 	return s, nil
 }
 
 // scheduleNext books peer p's next request from its own RNG stream.
+//
+//mdrep:hotpath
 func (s *Sim) scheduleNext(p int32) {
 	gap := time.Duration(s.rng[p].ExpFloat64() * s.meanGap)
 	s.wheel.Schedule(s.wheel.Now()+gap, wev{kind: evRequest, peer: p})
@@ -434,6 +436,8 @@ func (s *Sim) scheduleNext(p int32) {
 
 // Step executes one event. It reports false once the final epoch has
 // been processed (remaining scheduled requests are abandoned).
+//
+//mdrep:hotpath
 func (s *Sim) Step() bool {
 	if s.done {
 		return false
@@ -469,6 +473,8 @@ func Run(cfg Config, scn Scenario) (*Result, error) {
 }
 
 // handleRequest simulates one download request by peer p.
+//
+//mdrep:hotpath
 func (s *Sim) handleRequest(p int32) {
 	s.scheduleNext(p)
 	s.obs.request()
@@ -541,6 +547,8 @@ func (s *Sim) handleRequest(p int32) {
 
 // addRating folds a service rating into the target's accumulators at
 // the rater's current credibility, and logs it for the baselines.
+//
+//mdrep:hotpath
 func (s *Sim) addRating(rater, target int32, sat bool) {
 	w := s.cred[rater]
 	if sat {

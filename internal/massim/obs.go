@@ -46,6 +46,22 @@ type simObs struct {
 	root                  *massimObs
 }
 
+// scenarioLabel canonicalises a scenario name into the finite label set
+// the metrics registry may see: the built-in scenario library plus
+// "custom" for anything registered out-of-tree. Without this bound an
+// externally supplied name would mint eight new series per run.
+//
+//mdrep:labelset
+func scenarioLabel(name string) string {
+	switch name {
+	case "baseline", "collusion-front", "whitewash", "camouflage", "strategic":
+		return name
+	}
+	return "custom"
+}
+
+// newSimObs caches one run's counters; scenario must already be
+// canonicalised through scenarioLabel.
 func newSimObs(scenario string) *simObs {
 	m := mobs.Load()
 	if m == nil {

@@ -16,9 +16,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//mdrep:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//mdrep:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Load returns the current count.

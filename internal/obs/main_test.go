@@ -1,0 +1,14 @@
+package obs
+
+import (
+	"testing"
+
+	"mdrep/internal/testutil"
+)
+
+// TestMain enforces the goroutine-leak check over the package tests:
+// Serve spawns the HTTP listener goroutine, and a test that forgets to
+// Close it must fail here rather than leak into later packages.
+func TestMain(m *testing.M) {
+	testutil.RunMain(m)
+}

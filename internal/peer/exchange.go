@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"mdrep/internal/eval"
+	"mdrep/internal/fault"
 	"mdrep/internal/identity"
 )
 
@@ -47,7 +48,7 @@ func (e *Exchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, error)
 	fn, ok := e.serving[target]
 	e.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("peer: %s unreachable", target)
+		return nil, fault.Unreachable(fmt.Errorf("peer: %s unreachable", target))
 	}
 	return fn()
 }

@@ -32,6 +32,7 @@ import (
 
 	"mdrep/internal/core"
 	"mdrep/internal/eval"
+	"mdrep/internal/fault"
 	"mdrep/internal/identity"
 	"mdrep/internal/incentive"
 	"mdrep/internal/security"
@@ -108,7 +109,7 @@ type downloadEntry struct {
 // New builds a peer with the given identity, PKI directory and network.
 func New(id *identity.Identity, dir *Directory, net Network, cfg Config) (*Peer, error) {
 	if id == nil || dir == nil || net == nil {
-		return nil, errors.New("peer: nil identity, directory or network")
+		return nil, fault.Terminal(errors.New("peer: nil identity, directory or network"))
 	}
 	if err := cfg.Reputation.Validate(); err != nil {
 		return nil, err
@@ -180,10 +181,10 @@ func (p *Peer) ObserveRetention(f eval.FileID, retention time.Duration, deleted 
 // RecordDownload registers a completed download from uploader.
 func (p *Peer) RecordDownload(uploader identity.PeerID, f eval.FileID, size int64) error {
 	if uploader == p.ID() {
-		return errors.New("peer: self-download")
+		return fault.Terminal(errors.New("peer: self-download"))
 	}
 	if size < 0 {
-		return fmt.Errorf("peer: negative size %d", size)
+		return fault.Terminal(fmt.Errorf("peer: negative size %d", size))
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -194,7 +195,7 @@ func (p *Peer) RecordDownload(uploader identity.PeerID, f eval.FileID, size int6
 // RateUser records an explicit user rating; Blacklist bans permanently.
 func (p *Peer) RateUser(target identity.PeerID, value float64) error {
 	if value < 0 || value > 1 {
-		return fmt.Errorf("peer: rating %v outside [0,1]", value)
+		return fault.Terminal(fmt.Errorf("peer: rating %v outside [0,1]", value))
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -239,7 +240,7 @@ func (p *Peer) SignedEvaluations() ([]eval.Info, error) {
 // the number of verified entries.
 func (p *Peer) SyncPeer(target identity.PeerID) (int, error) {
 	if target == p.ID() {
-		return 0, errors.New("peer: cannot sync with self")
+		return 0, fault.Terminal(errors.New("peer: cannot sync with self"))
 	}
 	infos, err := p.net.FetchEvaluations(target)
 	if err != nil {
@@ -268,7 +269,7 @@ func (p *Peer) SyncPeer(target identity.PeerID) (int, error) {
 			p.banned[target] = struct{}{}
 			delete(p.rating, target)
 			delete(p.lists, target)
-			return 0, fmt.Errorf("peer: %s flagged as evaluation forger", target)
+			return 0, fault.Terminal(fmt.Errorf("peer: %s flagged as evaluation forger", target))
 		}
 	}
 	p.lists[target] = list

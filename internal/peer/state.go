@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mdrep/internal/eval"
+	"mdrep/internal/fault"
 	"mdrep/internal/identity"
 )
 
@@ -73,10 +74,10 @@ func (p *Peer) ApplyEvent(ev Event) error {
 		return nil
 	case EventDownload:
 		if ev.Target == p.ID() {
-			return fmt.Errorf("peer: self-download")
+			return fault.Terminal(fmt.Errorf("peer: self-download"))
 		}
 		if ev.Size < 0 {
-			return fmt.Errorf("peer: negative size %d", ev.Size)
+			return fault.Terminal(fmt.Errorf("peer: negative size %d", ev.Size))
 		}
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -88,7 +89,7 @@ func (p *Peer) ApplyEvent(ev Event) error {
 		p.Blacklist(ev.Target)
 		return nil
 	default:
-		return fmt.Errorf("peer: unknown event kind %d", ev.Kind)
+		return fault.Terminal(fmt.Errorf("peer: unknown event kind %d", ev.Kind))
 	}
 }
 
@@ -139,7 +140,7 @@ func (p *Peer) ExportState() *State {
 // lists, examiner history) are left empty — they refill from the network.
 func (p *Peer) RestoreState(st *State) error {
 	if st == nil {
-		return fmt.Errorf("peer: nil state")
+		return fault.Terminal(fmt.Errorf("peer: nil state"))
 	}
 	downBy := make(map[identity.PeerID][]downloadEntry, len(st.DownBy))
 	for target, entries := range st.DownBy {
@@ -152,7 +153,7 @@ func (p *Peer) RestoreState(st *State) error {
 	rating := make(map[identity.PeerID]float64, len(st.Ratings))
 	for target, v := range st.Ratings {
 		if v < 0 || v > 1 {
-			return fmt.Errorf("peer: restored rating %v outside [0,1]", v)
+			return fault.Terminal(fmt.Errorf("peer: restored rating %v outside [0,1]", v))
 		}
 		rating[target] = v
 	}

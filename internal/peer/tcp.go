@@ -61,7 +61,7 @@ func (r *StaticResolver) Resolve(id identity.PeerID) (string, error) {
 	defer r.mu.RUnlock()
 	addr, ok := r.addrs[id]
 	if !ok {
-		return "", fmt.Errorf("peer: no address for %s", id)
+		return "", fault.Unreachable(fmt.Errorf("peer: no address for %s", id))
 	}
 	return addr, nil
 }
@@ -101,7 +101,7 @@ func (e *TCPExchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, err
 	defer func() { _ = raw.Close() }()
 	e.obs.countFetch()
 	conn := e.obs.wrap(raw)
-	if err := conn.SetDeadline(time.Now().Add(e.CallTimeout)); err != nil { //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
+	if err := conn.SetDeadline(time.Now().Add(e.CallTimeout)); err != nil { //mdrep:allow wallclock: I/O deadline on a live socket, not replayed state
 		return nil, err
 	}
 	if err := wire.WriteFrame(conn, exchangeRequest{Method: "evaluations"}); err != nil {
@@ -112,7 +112,7 @@ func (e *TCPExchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, err
 		return nil, fault.Unreachable(fmt.Errorf("peer: recv from %s: %w", target, err))
 	}
 	if resp.Error != "" {
-		return nil, fmt.Errorf("peer: %s: %s", target, resp.Error)
+		return nil, fault.Terminal(fmt.Errorf("peer: %s: %s", target, resp.Error))
 	}
 	return resp.Evaluations, nil
 }
@@ -144,7 +144,7 @@ func (s *ExchangeServer) Instrument(o *ExchangeObs) {
 func ServeExchange(addr string, source func() ([]eval.Info, error)) (*ExchangeServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("peer: listen %s: %w", addr, err)
+		return nil, fault.Terminal(fmt.Errorf("peer: listen %s: %w", addr, err))
 	}
 	s := &ExchangeServer{listener: ln, source: source, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
@@ -196,7 +196,7 @@ func (s *ExchangeServer) serveConn(raw net.Conn) {
 		s.mu.Unlock()
 		_ = raw.Close()
 	}()
-	_ = raw.SetDeadline(time.Now().Add(10 * time.Second)) //mdrep:allow wallclock I/O deadline on a live socket, not replayed state
+	_ = raw.SetDeadline(time.Now().Add(10 * time.Second)) //mdrep:allow wallclock: I/O deadline on a live socket, not replayed state
 	s.mu.Lock()
 	o := s.obs
 	s.mu.Unlock()

@@ -45,6 +45,8 @@ func (r *RNG) Stream(name string) RNG {
 // At returns the i-th indexed substream of r as a value. Substreams with
 // different indices are statistically independent; the same (r, i) pair
 // always yields the same stream. It does not advance r.
+//
+//mdrep:hotpath
 func (r *RNG) At(i uint64) RNG {
 	z := r.state + (i+1)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -53,6 +55,8 @@ func (r *RNG) At(i uint64) RNG {
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+//mdrep:hotpath
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
@@ -62,12 +66,16 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Float64 returns a uniform value in [0, 1).
+//
+//mdrep:hotpath
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring
 // math/rand; callers control n so this is a programming error, not input.
+//
+//mdrep:hotpath
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
@@ -76,6 +84,8 @@ func (r *RNG) Intn(n int) int {
 }
 
 // Int63n returns a uniform value in [0, n).
+//
+//mdrep:hotpath
 func (r *RNG) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("sim: Int63n with non-positive n")
@@ -104,6 +114,8 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 
 // NormFloat64 returns a normally distributed value (mean 0, stddev 1)
 // using the Box-Muller transform.
+//
+//mdrep:hotpath
 func (r *RNG) NormFloat64() float64 {
 	for {
 		u1 := r.Float64()
@@ -116,6 +128,8 @@ func (r *RNG) NormFloat64() float64 {
 }
 
 // ExpFloat64 returns an exponentially distributed value with rate 1.
+//
+//mdrep:hotpath
 func (r *RNG) ExpFloat64() float64 {
 	for {
 		u := r.Float64()

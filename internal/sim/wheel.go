@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"math/bits"
-	"sort"
 	"time"
 )
 
@@ -84,6 +83,8 @@ func (w *Wheel[T]) Len() int { return w.count }
 // Schedule enqueues payload at absolute virtual time at, rounded up to
 // the next tick. Times in the past run at the current time; the wheel,
 // like the Scheduler, never rewinds.
+//
+//mdrep:hotpath
 func (w *Wheel[T]) Schedule(at time.Duration, payload T) {
 	t := uint64((at + w.tick - 1) / w.tick)
 	if t < w.cur {
@@ -97,6 +98,8 @@ func (w *Wheel[T]) Schedule(at time.Duration, payload T) {
 // insert places an item at the lowest level whose window, relative to
 // cur, contains the item's tick. Within a level this guarantees the slot
 // index is >= cur's index at that level, so scans never wrap.
+//
+//mdrep:hotpath
 func (w *Wheel[T]) insert(it wheelItem[T]) {
 	for l := 0; l < wheelLevels; l++ {
 		shift := uint(wheelBits * (l + 1))
@@ -111,6 +114,8 @@ func (w *Wheel[T]) insert(it wheelItem[T]) {
 }
 
 // scan returns the first occupied slot index >= from at the given level.
+//
+//mdrep:hotpath
 func (w *Wheel[T]) scan(level, from int) (int, bool) {
 	word := from >> 6
 	m := w.occ[level][word] & (^uint64(0) << (from & 63))
@@ -128,17 +133,32 @@ func (w *Wheel[T]) scan(level, from int) (int, bool) {
 
 // takeSlot drains a slot into pending, sorted by seq (cascading can
 // interleave insertion orders; seq restores global FIFO).
+//
+//mdrep:hotpath
 func (w *Wheel[T]) takeSlot(level, slot int) {
 	items := w.slots[level][slot]
 	w.slots[level][slot] = items[:0:cap(items)]
 	w.occ[level][slot>>6] &^= 1 << (slot & 63)
 	w.pending = append(w.pending[:0], items...)
 	w.pendIdx = 0
-	sort.Slice(w.pending, func(i, j int) bool { return w.pending[i].seq < w.pending[j].seq })
+	// Insertion sort by seq: a slot holds a handful of items and seqs
+	// are unique, and the closure-free form keeps the pop path
+	// allocation-free (sort.Slice boxes its less func on every call).
+	for i := 1; i < len(w.pending); i++ {
+		it := w.pending[i]
+		j := i - 1
+		for j >= 0 && w.pending[j].seq > it.seq {
+			w.pending[j+1] = w.pending[j]
+			j--
+		}
+		w.pending[j+1] = it
+	}
 }
 
 // refill advances cur to the earliest occupied tick and drains its level-0
 // slot into pending. It reports whether any item was found.
+//
+//mdrep:hotpath
 func (w *Wheel[T]) refill() bool {
 	for {
 		// Level 0: every item in a slot shares one exact tick.
@@ -199,6 +219,8 @@ func (w *Wheel[T]) drainOverflow() {
 
 // Next pops the earliest scheduled item, advancing the virtual clock to
 // its tick. It reports ok=false when the wheel is empty.
+//
+//mdrep:hotpath
 func (w *Wheel[T]) Next() (now time.Duration, payload T, ok bool) {
 	if w.pendIdx >= len(w.pending) {
 		if !w.refill() {

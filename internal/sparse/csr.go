@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -113,6 +113,8 @@ func (c *CSR) N() int { return c.n }
 func (c *CSR) NNZ() int { return len(c.cols) }
 
 // RowNNZ returns the number of stored entries in row i.
+//
+//mdrep:hotpath
 func (c *CSR) RowNNZ(i int) int {
 	if i < 0 || i >= c.n {
 		return 0
@@ -122,6 +124,8 @@ func (c *CSR) RowNNZ(i int) int {
 
 // Row returns row i's columns (ascending) and values as subslices of the
 // matrix's storage. Callers must treat both as read-only.
+//
+//mdrep:hotpath
 func (c *CSR) Row(i int) ([]int32, []float64) {
 	if i < 0 || i >= c.n {
 		return nil, nil
@@ -142,16 +146,30 @@ func (c *CSR) RowMap(i int) map[int]float64 {
 
 // Get returns entry (i, j) by binary search; out-of-range indices read as
 // zero.
+//
+//mdrep:hotpath
 func (c *CSR) Get(i, j int) float64 {
 	cols, vals := c.Row(i)
-	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= int32(j) })
-	if k < len(cols) && cols[k] == int32(j) {
-		return vals[k]
+	// Open-coded binary search: sort.Search would box its predicate
+	// closure on every probe of this kernel.
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cols[mid] < int32(j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cols) && cols[lo] == int32(j) {
+		return vals[lo]
 	}
 	return 0
 }
 
 // RowSum returns the sum of row i, accumulated in ascending column order.
+//
+//mdrep:hotpath
 func (c *CSR) RowSum(i int) float64 {
 	_, vals := c.Row(i)
 	sum := 0.0
@@ -538,11 +556,15 @@ func newRowScratch(n int) *rowScratch {
 	return &rowScratch{acc: make([]float64, n), stamp: make([]uint32, n)}
 }
 
+//
+//mdrep:hotpath
 func (s *rowScratch) reset() {
 	s.gen++
 	s.touched = s.touched[:0]
 }
 
+//
+//mdrep:hotpath
 func (s *rowScratch) add(j int32, v float64) {
 	if s.stamp[j] != s.gen {
 		s.stamp[j] = s.gen
@@ -555,8 +577,10 @@ func (s *rowScratch) add(j int32, v float64) {
 // collect returns the touched entries in ascending column order as fresh
 // slices. dropZero omits entries whose accumulated value is exactly zero
 // (WeightedSum semantics); Mul keeps them, as the map path does.
+//
+//mdrep:hotpath
 func (s *rowScratch) collect(dropZero bool) ([]int32, []float64) {
-	sort.Slice(s.touched, func(a, b int) bool { return s.touched[a] < s.touched[b] })
+	slices.Sort(s.touched) // closure-free; sort.Slice would box its less func
 	cols := make([]int32, 0, len(s.touched))
 	vals := make([]float64, 0, len(s.touched))
 	for _, j := range s.touched {

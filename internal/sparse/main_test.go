@@ -1,0 +1,14 @@
+package sparse
+
+import (
+	"testing"
+
+	"mdrep/internal/testutil"
+)
+
+// TestMain enforces the goroutine-leak check over the package tests:
+// the parallel row-block kernels fan out worker goroutines and must
+// join all of them before returning.
+func TestMain(m *testing.M) {
+	testutil.RunMain(m)
+}
