@@ -4,7 +4,7 @@ GO      ?= go
 BIN     ?= bin
 VETTOOL := $(BIN)/mdrep-lint
 
-.PHONY: all build test race chaos obs sim shard lint lint-allow lint-fix vet fmt bench bench-json bench-gate clean
+.PHONY: all build test race chaos walk obs sim shard lint lint-allow lint-fix vet fmt bench bench-json bench-gate clean
 
 all: build lint test
 
@@ -55,11 +55,12 @@ fmt:
 
 # chaos runs the fault-schedule resilience suite under the race detector
 # twice over (shaking out ordering flakes) and enforces the coverage gate
-# on the DHT and chaos packages.
+# on the DHT and chaos packages. The walk package rides along for its
+# 50-schedule DHTSource fault suite.
 chaos:
 	$(GO) test -race -count=2 \
-		-coverprofile=chaos.cover -coverpkg=mdrep/internal/dht,mdrep/internal/chaos \
-		mdrep/internal/chaos mdrep/internal/dht
+		-coverprofile=chaos.cover -coverpkg=mdrep/internal/dht,mdrep/internal/chaos,mdrep/internal/walk \
+		mdrep/internal/chaos mdrep/internal/dht mdrep/internal/walk
 	@total="$$($(GO) tool cover -func=chaos.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
 	echo "combined coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' || { \
@@ -101,6 +102,14 @@ shard:
 		mdrep mdrep/internal/core mdrep/internal/journal \
 		mdrep/internal/massim mdrep/cmd/mdrep-peer
 
+# walk runs the Monte-Carlo reputation estimator suite under the race
+# detector twice over: the cross-validation property tests against the
+# exact RowVecPow kernel (including the E11 mean-error ≤ 0.05 bound at
+# 16k walks on n=2000 graphs), the byte-reproducibility contract across
+# GOMAXPROCS values, and the 50-schedule DHTSource chaos suite.
+walk:
+	$(GO) test -race -count=2 mdrep/internal/walk
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
@@ -111,13 +120,13 @@ bench:
 # suite stays fast) and the parser keeps the fastest run (min ns/op):
 # scheduler interference on shared/single-core hosts only ever slows a
 # run down, so min-of-N damps the noise a single long run cannot.
-BENCH_LIST := BenchmarkTrustMatrixBuild|BenchmarkReputationQuery|BenchmarkFileJudgement|BenchmarkSparseMatMul|BenchmarkRMPowParallel|BenchmarkBuildTMIncremental|BenchmarkJournalAppend|BenchmarkRecovery|BenchmarkSystemIngest|BenchmarkSystemJudge|BenchmarkDHTLookup|BenchmarkMassimStep|BenchmarkMassimEpoch|BenchmarkShardedApplyBatch|BenchmarkShardedRebuild
+BENCH_LIST := BenchmarkTrustMatrixBuild|BenchmarkReputationQuery|BenchmarkFileJudgement|BenchmarkSparseMatMul|BenchmarkRMPowParallel|BenchmarkBuildTMIncremental|BenchmarkJournalAppend|BenchmarkRecovery|BenchmarkSystemIngest|BenchmarkSystemJudge|BenchmarkDHTLookup|BenchmarkMassimStep|BenchmarkMassimEpoch|BenchmarkShardedApplyBatch|BenchmarkShardedRebuild|BenchmarkWalkEstimate
 BENCH_COUNT := 3
 BENCH_TIME  := 0.5s
 
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_LIST)' -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) \
-		-benchmem mdrep mdrep/internal/massim \
+		-benchmem mdrep mdrep/internal/massim mdrep/internal/walk \
 		| $(GO) run ./cmd/mdrep-bench > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
@@ -129,7 +138,7 @@ bench-gate:
 	if [ -z "$$base" ]; then echo "bench-gate: no BENCH_*.json baseline committed" >&2; exit 1; fi; \
 	echo "bench-gate: baseline $$base"; \
 	$(GO) test -run '^$$' -bench '$(BENCH_LIST)' -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) \
-		-benchmem mdrep mdrep/internal/massim \
+		-benchmem mdrep mdrep/internal/massim mdrep/internal/walk \
 		| $(GO) run ./cmd/mdrep-bench -gate "$$base"
 
 clean:

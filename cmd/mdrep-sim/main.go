@@ -9,6 +9,7 @@
 //	e1sweep  E1 across polluter fractions 10–40%
 //	E7  dimension-weight (α/β/γ) ablation
 //	massim   million-peer adversarial scenarios (E9)
+//	walk     Monte-Carlo random-walk RM estimation vs exact kernel (E11)
 //
 // Usage:
 //
@@ -16,12 +17,20 @@
 //	          [-metrics]
 //	mdrep-sim -exp massim [-scenario name|all] [-n peers] [-seed s]
 //	          [-epochs e] [-baselines] [-shards k] [-metrics]
+//	mdrep-sim -exp walk [-n users] [-seed s] [-walks w] [-depth d]
+//	          [-metrics]
 //
 // The massim experiment runs the adversarial scenario library of
 // internal/massim (collusion-front, whitewash, camouflage, strategic)
 // at any population size from thousands to a million peers; -baselines
 // adds the EigenTrust / BLUE / mirrored-engine comparison estimators at
 // small n. Output is byte-identical for a fixed (scenario, n, seed).
+//
+// The walk experiment (E11) builds a seeded random trust matrix of -n
+// users, runs walk ensembles of -depth steps sweeping walk counts up to
+// -walks, and reports max/mean absolute error and top-10 agreement
+// against the exact sparse.RowVecPow answer. Output is byte-identical
+// for a fixed (n, seed, walks, depth).
 //
 // With -metrics the run instruments the sparse kernels and prints a
 // one-shot metrics report at exit; the per-step RM walk timings there
@@ -40,6 +49,7 @@ import (
 	"mdrep/internal/metrics"
 	"mdrep/internal/obs"
 	"mdrep/internal/sparse"
+	"mdrep/internal/walk"
 )
 
 func main() {
@@ -51,15 +61,17 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mdrep-sim", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id: e1..e7, massim, or all")
+	exp := fs.String("exp", "all", "experiment id: e1..e7, massim, walk, or all")
 	scale := fs.String("scale", "small", "experiment scale: small or full")
 	withMetrics := fs.Bool("metrics", false, "instrument the kernels and print a metrics report at exit")
 	scenario := fs.String("scenario", "all", "massim scenario name or all")
-	n := fs.Int("n", 10000, "massim population size")
-	seed := fs.Uint64("seed", 1, "massim experiment seed")
+	n := fs.Int("n", 10000, "massim population size / walk user count")
+	seed := fs.Uint64("seed", 1, "massim/walk experiment seed")
 	epochs := fs.Int("epochs", 0, "massim epoch count (0 = scenario default)")
 	baselines := fs.Bool("baselines", false, "massim: run eigentrust/BLUE/engine comparison baselines")
 	shards := fs.Int("shards", 0, "massim: back the mirrored engine with this many shards (0/1 = unsharded)")
+	walks := fs.Int("walks", 16000, "walk: largest walk count of the sweep")
+	depth := fs.Int("depth", 3, "walk: multi-trust depth n of each walk")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,14 +79,28 @@ func run(args []string) error {
 		reg := metrics.NewRegistry()
 		sparse.Instrument(reg, obs.WallClock)
 		massim.Instrument(reg, obs.WallClock)
+		walk.Instrument(reg, obs.WallClock)
 		defer func() {
 			sparse.Uninstrument()
 			massim.Uninstrument()
+			walk.Uninstrument()
 			_ = reg.Dump(os.Stderr)
 		}()
 	}
 	if strings.EqualFold(*exp, "massim") {
 		return runMassim(*scenario, *n, *seed, *epochs, *baselines, *shards)
+	}
+	if strings.EqualFold(*exp, "walk") {
+		wn, nSet := *n, false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				nSet = true
+			}
+		})
+		if !nSet {
+			wn = 2000 // the E11 default: cross-validation scale, not massim scale
+		}
+		return runWalk(wn, *seed, *walks, *depth)
 	}
 	sc := experiments.ScaleSmall
 	switch *scale {
@@ -116,6 +142,35 @@ func run(args []string) error {
 		}
 		fmt.Println(res.Render())
 	}
+	return nil
+}
+
+// runWalk runs E11: one seeded random graph, walk counts swept in
+// octaves up to maxWalks, each estimate scored against the exact
+// RowVecPow answer.
+func runWalk(n int, seed uint64, maxWalks, depth int) error {
+	if maxWalks < 1 {
+		return fmt.Errorf("walk: -walks must be >= 1, got %d", maxWalks)
+	}
+	tm, err := walk.RandomTM(n, seed)
+	if err != nil {
+		return err
+	}
+	counts := []int{maxWalks}
+	for w := maxWalks / 4; w >= 250 && len(counts) < 4; w /= 4 {
+		counts = append([]int{w}, counts...)
+	}
+	points, err := walk.RunSweep(tm, walk.SweepConfig{
+		Source:     0,
+		Depth:      depth,
+		Seed:       seed,
+		WalkCounts: counts,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== walk (E11) n=%d depth=%d seed=%d ===\n", n, depth, seed)
+	fmt.Print(walk.RenderSweep(points))
 	return nil
 }
 

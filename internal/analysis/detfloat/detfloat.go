@@ -33,7 +33,7 @@ import (
 // Packages is the set of packages whose float arithmetic must not depend
 // on map iteration order: the replay-deterministic core pipeline plus the
 // experiments package, whose figures must reproduce run to run.
-var Packages = []string{"core", "sparse", "journal", "wire", "eval", "experiments", "chaos", "massim", "blue"}
+var Packages = []string{"core", "sparse", "journal", "wire", "eval", "experiments", "chaos", "massim", "blue", "walk"}
 
 // name is the analyzer name, also the token accepted by //mdrep:allow.
 const name = "detfloat"

@@ -43,7 +43,7 @@ import (
 
 // Packages is the set of packages whose errors cross the RPC boundary
 // and must carry an explicit fault classification.
-var Packages = []string{"dht", "peer", "chaos"}
+var Packages = []string{"dht", "peer", "chaos", "walk"}
 
 // name is the analyzer name, also the token accepted by //mdrep:allow.
 const name = "faultwrap"

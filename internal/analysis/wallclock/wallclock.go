@@ -41,7 +41,7 @@ import (
 
 // Packages is the set of packages that must not read ambient time or
 // global randomness.
-var Packages = []string{"core", "sparse", "journal", "wire", "eval", "dht", "peer", "chaos", "massim", "blue"}
+var Packages = []string{"core", "sparse", "journal", "wire", "eval", "dht", "peer", "chaos", "massim", "blue", "walk"}
 
 // allowedRandFuncs construct explicitly seeded generators and are the
 // sanctioned alternative to the global source.

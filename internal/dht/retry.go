@@ -26,7 +26,9 @@ type RetryPolicy struct {
 	// OpBudget bounds the summed backoff spent on one operation; when
 	// the next delay would exceed the remaining budget the operation
 	// fails with a fault.ErrTimeout-classified error. Zero means no
-	// budget (MaxAttempts alone limits the loop).
+	// budget (MaxAttempts alone limits the loop). A negative budget is
+	// a configuration error: operations fail fast with fault.Terminal
+	// before the first attempt.
 	OpBudget time.Duration
 	// JitterFrac spreads each delay uniformly over
 	// [1-JitterFrac, 1) × delay so synchronized clients do not retry in
@@ -144,6 +146,13 @@ func (c *RetryClient) nextDelay(retry int) time.Duration {
 func (c *RetryClient) do(name string, op func() error) error {
 	sp := c.obs.span(name)
 	defer sp.End()
+	if c.policy.OpBudget < 0 {
+		// A negative budget can never be satisfied; treating it like
+		// "no budget" would silently retry forever under a policy that
+		// asked for the opposite. Fail before issuing any RPC, and make
+		// it terminal so no outer layer retries the misconfiguration.
+		return fault.Terminal(fmt.Errorf("dht: %s: negative backoff budget %v", name, c.policy.OpBudget))
+	}
 	var spent time.Duration
 	var err error
 	for attempt := 1; ; attempt++ {

@@ -117,6 +117,73 @@ func TestRetryBudgetExhaustionClassifiesAsTimeout(t *testing.T) {
 	}
 }
 
+// Regression for the zero/negative-budget edge: a negative OpBudget must
+// fail fast with fault.Terminal before any RPC is issued (it can never be
+// satisfied, and retrying a misconfiguration forever is the failure mode
+// this pins down), while zero keeps its documented "no budget" meaning
+// and a positive-but-unusable budget still terminates without looping.
+func TestRetryZeroAndNegativeBudgetEdges(t *testing.T) {
+	t.Run("negative fails fast and terminal", func(t *testing.T) {
+		inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}
+		rc := NewRetryClient(inner, RetryPolicy{
+			MaxAttempts: 10,
+			BaseDelay:   time.Millisecond,
+			OpBudget:    -time.Nanosecond,
+		}, 1)
+		var slept int
+		rc.SetSleep(func(time.Duration) { slept++ })
+		err := rc.Notify("a", NodeRef{})
+		if err == nil {
+			t.Fatalf("negative budget must fail")
+		}
+		if !fault.IsTerminal(err) {
+			t.Fatalf("error = %v, want fault.Terminal (misconfiguration, not retryable)", err)
+		}
+		if inner.calls != 0 {
+			t.Fatalf("inner calls = %d, want 0 (fail before the first attempt)", inner.calls)
+		}
+		if slept != 0 {
+			t.Fatalf("slept %d times, want 0", slept)
+		}
+	})
+	t.Run("zero means no budget", func(t *testing.T) {
+		inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}
+		rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 1)
+		rc.SetSleep(nil)
+		err := rc.Notify("a", NodeRef{})
+		if err == nil {
+			t.Fatalf("want exhaustion after MaxAttempts")
+		}
+		if fault.IsTerminal(err) {
+			t.Fatalf("error = %v; zero budget is the documented default, not a misconfiguration", err)
+		}
+		if inner.calls != 3 {
+			t.Fatalf("inner calls = %d, want MaxAttempts=3 (loop bounded by attempts alone)", inner.calls)
+		}
+	})
+	t.Run("unusably small budget terminates", func(t *testing.T) {
+		inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}
+		rc := NewRetryClient(inner, RetryPolicy{
+			MaxAttempts: 1000,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    time.Millisecond,
+			OpBudget:    time.Nanosecond,
+		}, 1)
+		var slept int
+		rc.SetSleep(func(time.Duration) { slept++ })
+		err := rc.Notify("a", NodeRef{})
+		if !errors.Is(err, fault.ErrTimeout) {
+			t.Fatalf("error = %v, want fault.ErrTimeout classification", err)
+		}
+		if inner.calls != 1 {
+			t.Fatalf("inner calls = %d, want 1 (first retry already exceeds the budget)", inner.calls)
+		}
+		if slept != 0 {
+			t.Fatalf("slept %d times, want 0 (no delay fits a 1ns budget)", slept)
+		}
+	})
+}
+
 func TestRetryBackoffScheduleDeterministic(t *testing.T) {
 	schedule := func(seed uint64) []time.Duration {
 		inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}

@@ -134,6 +134,22 @@ func (c *CSR) Row(i int) ([]int32, []float64) {
 	return c.cols[lo:hi], c.vals[lo:hi]
 }
 
+// RowCopy returns row i's columns and values as freshly allocated slices
+// the caller owns. This is the export form for code that hands rows
+// across trust boundaries — wire encoding, DHT publication — where an
+// aliased subslice of the snapshot's storage must not escape.
+func (c *CSR) RowCopy(i int) ([]int32, []float64) {
+	cols, vals := c.Row(i)
+	if len(cols) == 0 {
+		return nil, nil
+	}
+	outCols := make([]int32, len(cols))
+	outVals := make([]float64, len(vals))
+	copy(outCols, cols)
+	copy(outVals, vals)
+	return outCols, outVals
+}
+
 // RowMap returns row i as a freshly allocated map the caller may mutate.
 func (c *CSR) RowMap(i int) map[int]float64 {
 	cols, vals := c.Row(i)

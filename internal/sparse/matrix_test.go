@@ -342,6 +342,30 @@ func TestRowCopyIsSafe(t *testing.T) {
 	}
 }
 
+func TestCSRRowCopyIsOwned(t *testing.T) {
+	c := FreezeNormalized(3, []map[int]float64{{1: 1, 2: 3}, nil, {0: 2}})
+	cols, vals := c.RowCopy(0)
+	wantCols, wantVals := c.Row(0)
+	if len(cols) != len(wantCols) || len(vals) != len(wantVals) {
+		t.Fatalf("RowCopy shape (%d, %d) != Row shape (%d, %d)", len(cols), len(vals), len(wantCols), len(wantVals))
+	}
+	for k := range cols {
+		if cols[k] != wantCols[k] || vals[k] != wantVals[k] {
+			t.Fatalf("RowCopy diverges from Row at %d", k)
+		}
+	}
+	cols[0], vals[0] = 99, 99
+	if gotCols, gotVals := c.Row(0); gotCols[0] == 99 || gotVals[0] == 99 {
+		t.Fatal("RowCopy shares storage with the matrix")
+	}
+	if cols, vals := c.RowCopy(1); cols != nil || vals != nil {
+		t.Fatalf("empty row copy = (%v, %v), want (nil, nil)", cols, vals)
+	}
+	if cols, vals := c.RowCopy(-1); cols != nil || vals != nil {
+		t.Fatalf("out-of-range copy = (%v, %v), want (nil, nil)", cols, vals)
+	}
+}
+
 func TestScale(t *testing.T) {
 	m := New(2)
 	m.Set(0, 1, 4)

@@ -1,0 +1,203 @@
+package walk
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"mdrep/internal/chaos"
+	"mdrep/internal/dht"
+	"mdrep/internal/fault"
+	"mdrep/internal/sparse"
+	"mdrep/internal/wire"
+)
+
+const (
+	walkChaosNodes = 8
+	walkChaosUsers = 24
+	walkChaosEpoch = 1
+)
+
+func walkChaosConfig(seed uint64) chaos.NetworkConfig {
+	rp := dht.DefaultRetryPolicy()
+	return chaos.NetworkConfig{
+		Nodes:            walkChaosNodes,
+		SuccessorListLen: 3,
+		Chaos: chaos.Config{
+			Seed:          seed,
+			RequestLoss:   0.03,
+			ReplyLoss:     0.03,
+			DupRate:       0.05,
+			DeferRate:     0.05,
+			LatencyBase:   time.Millisecond,
+			LatencyJitter: 3 * time.Millisecond,
+			OpTimeout:     3500 * time.Microsecond,
+		},
+		Retry: &rp,
+	}
+}
+
+// walkChaosRecords builds every row record of tm at walkChaosEpoch, in
+// ascending user order so Publish's chaos RNG draw sequence is stable.
+func walkChaosRecords(t *testing.T, tm *sparse.CSR) []dht.StoredRecord {
+	t.Helper()
+	recs := make([]dht.StoredRecord, 0, tm.N())
+	for u := 0; u < tm.N(); u++ {
+		cols, vals := tm.Row(u)
+		rec, err := RowRecord(&wire.TMRow{
+			User:  int32(u),
+			N:     int32(tm.N()),
+			Epoch: walkChaosEpoch,
+			Cols:  cols,
+			Vals:  vals,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestWalkUnderChaos is the decentralized estimator's fault-injection
+// property, over 50 seeded schedules mixing message loss, op timeouts,
+// crash-restart churn and partitions: every DHT-sourced estimate either
+// equals the fault-free LocalSource twin byte for byte — the estimator
+// reads the same rows, so being "within the twin's error bound" means
+// being the twin — or fails loudly with a fault-tagged retryable error.
+// Silent degradation (a wrong-but-returned estimate) is the one outcome
+// that must never happen, and after the schedule heals the estimate must
+// succeed.
+func TestWalkUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos schedules are long")
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			tm, err := RandomTM(walkChaosUsers, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Walks: 192, Depth: 3, Seed: seed + 1}
+			source := int(seed) % walkChaosUsers
+
+			local, err := NewLocalSource(tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			twinEst, err := New(local, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			twin, err := twinEst.Estimate(source)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			nw, err := chaos.NewNetwork(walkChaosConfig(seed))
+			if err != nil {
+				t.Fatalf("build network: %v", err)
+			}
+			recs := walkChaosRecords(t, tm)
+			published := false
+			for try := 0; try < 20 && !published; try++ {
+				// Publish is idempotent (stores merge by owner/timestamp),
+				// so retrying a partial publish under op timeouts is safe.
+				published = nw.Publish(recs, time.Second) == nil
+			}
+			if !published {
+				t.Fatalf("initial publish failed 20 times")
+			}
+			nw.Converge(2)
+
+			// One estimate attempt through the given node; returns whether
+			// it succeeded. A failure must carry the taxonomy.
+			attemptVia := func(round int, via *dht.Node) bool {
+				t.Helper()
+				src, err := NewDHTSource(via, walkChaosUsers, 0, walkChaosEpoch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				est, err := New(src, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := est.Estimate(source)
+				if err != nil {
+					if got != nil {
+						t.Fatalf("round %d: estimate returned both a value and an error", round)
+					}
+					if !fault.Retryable(err) {
+						t.Fatalf("round %d: untagged failure %v — retryable taxonomy required", round, err)
+					}
+					t.Logf("round %d: tagged retryable failure: %v", round, err)
+					return false
+				}
+				if !reflect.DeepEqual(got, twin) {
+					t.Fatalf("round %d: estimate silently degraded:\n got %v\nwant %v", round, got, twin)
+				}
+				return true
+			}
+
+			sched := chaos.Generate(seed, walkChaosNodes, chaos.Profile{
+				Rounds:          4,
+				CrashesPerRound: 1,
+				RestartAfter:    1,
+				PartitionProb:   0.3,
+				PartitionRounds: 1,
+				Protected:       []int{0},
+			})
+			byRound := make(map[int][]chaos.Event)
+			maxRound := 0
+			for _, ev := range sched.Events {
+				byRound[ev.Round] = append(byRound[ev.Round], ev)
+				if ev.Round > maxRound {
+					maxRound = ev.Round
+				}
+			}
+			for round := 0; round <= maxRound; round++ {
+				for _, ev := range byRound[round] {
+					if err := nw.Apply(ev); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+				}
+				nw.Converge(4)
+				// Republication is §4.1's repair path: restarted slots come
+				// back empty and are re-filled here.
+				if err := nw.Publish(recs, time.Duration(round+2)*time.Second); err != nil {
+					t.Logf("round %d: republish under faults failed (retried next round): %v", round, err)
+				}
+				nw.Converge(1)
+				// Every live node attempts its own estimate: nodes on the
+				// minority side of a partition are the ones that must fail
+				// loudly instead of answering from a partial view.
+				for _, via := range nw.LiveNodes() {
+					attemptVia(round, via)
+				}
+			}
+
+			// Healed and quiesced, the estimate must succeed and equal the
+			// twin — chaos may delay the answer, never change it. Latency
+			// timeouts stay active after Heal, so success is reached the
+			// way a real client would: by retrying the retryable failures.
+			nw.Chaos.Heal()
+			nw.Chaos.SetLoss(0, 0)
+			nw.Chaos.Flush()
+			nw.Converge(2*walkChaosNodes + 4)
+			healed := false
+			for try := 0; try < 20 && !healed; try++ {
+				if err := nw.Publish(recs, time.Hour); err != nil {
+					continue
+				}
+				nw.Converge(1)
+				healed = attemptVia(maxRound+1, nw.LiveNodes()[0])
+			}
+			if !healed {
+				t.Fatalf("healed network still cannot serve the estimate")
+			}
+		})
+	}
+}

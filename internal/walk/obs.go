@@ -1,0 +1,123 @@
+package walk
+
+import (
+	"sync/atomic"
+
+	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
+)
+
+// Walk instrumentation follows the sparse-kernel pattern: an atomically
+// installed package singleton so un-instrumented estimators pay one
+// pointer load and a nil check per estimate (not per step). Counters
+// accumulate per estimate and flush once, keeping the per-step sampling
+// loop untouched.
+type walkObs struct {
+	tracer   *obs.Tracer
+	estimate *metrics.Histogram // one full walk ensemble
+	fetch    *metrics.Histogram // one DHT row fetch (cache misses only)
+	walks    *metrics.Counter   // walks launched
+	steps    *metrics.Counter   // row transitions sampled
+	died     *metrics.Counter   // walks that hit a dangling row
+	done     *metrics.Counter   // estimates completed
+	aborted  *metrics.Counter   // estimates aborted by a row-fetch error
+	hits     *metrics.Counter   // row-cache hits
+	misses   *metrics.Counter   // row-cache misses
+	evicted  *metrics.Counter   // row-cache evictions
+	fetchErr *metrics.Counter   // row fetches that failed
+}
+
+var wobs atomic.Pointer[walkObs]
+
+// Instrument publishes walk metrics into reg, timed by clock. A nil
+// registry (or Uninstrument) turns instrumentation back off.
+func Instrument(reg *metrics.Registry, clock obs.Clock) {
+	if reg == nil {
+		wobs.Store(nil)
+		return
+	}
+	wobs.Store(&walkObs{
+		tracer:   obs.NewTracer(clock),
+		estimate: reg.Histogram("walk_estimate_seconds", metrics.DurationBuckets),
+		fetch:    reg.Histogram("walk_row_fetch_seconds", metrics.DurationBuckets),
+		walks:    reg.Counter("walk_walks_total"),
+		steps:    reg.Counter("walk_steps_total"),
+		died:     reg.Counter("walk_died_total"),
+		done:     reg.Counter("walk_estimates_total"),
+		aborted:  reg.Counter("walk_estimates_aborted_total"),
+		hits:     reg.Counter("walk_row_cache_hits_total"),
+		misses:   reg.Counter("walk_row_cache_misses_total"),
+		evicted:  reg.Counter("walk_row_cache_evictions_total"),
+		fetchErr: reg.Counter("walk_row_fetch_errors_total"),
+	})
+}
+
+// Uninstrument disables walk instrumentation.
+func Uninstrument() { wobs.Store(nil) }
+
+// The helpers are nil-safe: a nil observer yields inert spans and no-ops.
+func (w *walkObs) spanEstimate() obs.Span {
+	if w == nil {
+		return obs.Span{}
+	}
+	return w.tracer.Start(w.estimate)
+}
+
+func (w *walkObs) spanFetch() obs.Span {
+	if w == nil {
+		return obs.Span{}
+	}
+	return w.tracer.Start(w.fetch)
+}
+
+// addWalkWork flushes one estimate's ensemble tallies.
+func (w *walkObs) addWalkWork(walks, steps, died uint64) {
+	if w == nil {
+		return
+	}
+	w.walks.Add(walks)
+	w.steps.Add(steps)
+	w.died.Add(died)
+}
+
+func (w *walkObs) countEstimate() {
+	if w == nil {
+		return
+	}
+	w.done.Inc()
+}
+
+func (w *walkObs) countAborted() {
+	if w == nil {
+		return
+	}
+	w.aborted.Inc()
+}
+
+func (w *walkObs) countHit() {
+	if w == nil {
+		return
+	}
+	w.hits.Inc()
+}
+
+func (w *walkObs) countMiss() {
+	if w == nil {
+		return
+	}
+	w.misses.Inc()
+}
+
+func (w *walkObs) countEvicted() {
+	if w == nil {
+		return
+	}
+	w.evicted.Inc()
+}
+
+func (w *walkObs) countFetchErr() {
+	if w == nil {
+		return
+	}
+	w.fetchErr.Inc()
+}

@@ -1,0 +1,119 @@
+package walk
+
+import (
+	"fmt"
+	"strings"
+
+	"mdrep/internal/dist"
+	"mdrep/internal/fault"
+	"mdrep/internal/sim"
+	"mdrep/internal/sparse"
+)
+
+// RandomTM builds a seeded random row-normalized trust matrix shaped
+// like the workloads the paper models: out-degrees are bounded-Pareto
+// (a few heavy raters dominate), targets are Zipf-skewed (popular users
+// collect most trust edges), and a small fraction of users are dangling
+// — they rated nobody, so their row is empty and walks through them
+// die, exercising the estimator's lost-mass path.
+func RandomTM(n int, seed uint64) (*sparse.CSR, error) {
+	if n < 2 {
+		return nil, fault.Terminal(fmt.Errorf("walk: random TM needs n >= 2, got %d", n))
+	}
+	rng := sim.NewRNG(seed).DeriveStream("walk/randomtm")
+	zipf, err := dist.NewZipf(n, 0.9)
+	if err != nil {
+		return nil, fmt.Errorf("walk: random TM: %w", err)
+	}
+	maxDeg := 32.0
+	if float64(n) < maxDeg {
+		maxDeg = float64(n)
+	}
+	deg, err := dist.NewBoundedPareto(1.5, 2, maxDeg)
+	if err != nil {
+		return nil, fmt.Errorf("walk: random TM: %w", err)
+	}
+	rows := make([]map[int]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.02 {
+			continue // dangling user
+		}
+		d := int(deg.Sample(rng))
+		row := make(map[int]float64, d)
+		for len(row) < d {
+			j := zipf.Rank(rng)
+			if j == i {
+				continue
+			}
+			if _, dup := row[j]; dup {
+				continue
+			}
+			row[j] = 0.1 + 0.9*rng.Float64()
+		}
+		rows[i] = row
+	}
+	return sparse.FreezeNormalized(n, rows), nil
+}
+
+// SweepPoint is one row of an error-vs-walk-count sweep.
+type SweepPoint struct {
+	Walks   int
+	MaxErr  float64
+	MeanErr float64
+	Top10   int // overlap of walk vs exact top-10
+}
+
+// SweepConfig drives RunSweep: one source user, one depth, walk counts
+// swept in order against the same exact answer.
+type SweepConfig struct {
+	Source     int
+	Depth      int
+	Seed       uint64
+	WalkCounts []int
+}
+
+// RunSweep computes the exact RM_source· row by RowVecPow, then runs one
+// walk estimate per walk count and reports max/mean absolute error and
+// top-10 agreement against it. This is experiment E11 — the walk
+// estimator's convergence evidence — shared by the CLI and the CI test.
+func RunSweep(tm *sparse.CSR, cfg SweepConfig) ([]SweepPoint, error) {
+	if len(cfg.WalkCounts) == 0 {
+		return nil, fault.Terminal(fmt.Errorf("walk: sweep needs at least one walk count"))
+	}
+	exact, err := tm.RowVecPow(cfg.Source, cfg.Depth)
+	if err != nil {
+		return nil, fmt.Errorf("walk: sweep exact kernel: %w", err)
+	}
+	src, err := NewLocalSource(tm)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, 0, len(cfg.WalkCounts))
+	for _, w := range cfg.WalkCounts {
+		est, err := New(src, Config{Walks: w, Depth: cfg.Depth, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		got, err := est.Estimate(cfg.Source)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{
+			Walks:   w,
+			MaxErr:  MaxAbsError(got, exact),
+			MeanErr: MeanAbsError(got, exact),
+			Top10:   TopKOverlap(got, exact, 10),
+		})
+	}
+	return points, nil
+}
+
+// RenderSweep formats sweep points as the aligned text table E11 embeds.
+func RenderSweep(points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s  %12s  %12s  %7s\n", "walks", "max_err", "mean_err", "top10")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d  %12.3e  %12.3e  %4d/10\n", p.Walks, p.MaxErr, p.MeanErr, p.Top10)
+	}
+	return b.String()
+}

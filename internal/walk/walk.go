@@ -1,0 +1,372 @@
+// Package walk estimates multi-trust reputations RM_i· = (TM^n)_i· by
+// seeded Monte-Carlo random walks instead of the exact matrix power,
+// following the random-walk trust ranking of Stannat & Pouwelse and the
+// probabilistic reading of EigenTrust: a row-normalized trust matrix is a
+// transition kernel, so the endpoint distribution of depth-n walks started
+// at user i *is* row i of TM^n. Each of W walks restarts at the source,
+// steps n times through rows fetched from a RowSource — a local frozen
+// snapshot, or per-user records retrieved through the Chord DHT — and the
+// estimate is endpoint visit counts divided by W. A walk that reaches a
+// dangling user (an empty row) dies and contributes nothing, which is
+// exactly the mass TM^n loses through that row.
+//
+// Determinism contract: walk w draws from the splitmix64 substream
+// sim.RNG.At(w) of the estimator seed, endpoint tallies are integer
+// counts merged with commutative atomic adds, and the final division by W
+// is per-entry — so the estimate is byte-identical for a fixed
+// (source, seed, walks, depth) at any GOMAXPROCS and across reruns, the
+// same contract the exact kernels honour. Row *content* must be identical
+// across sources for the estimates to match; the DHT source guarantees
+// this by fetching the same wire-encoded rows a LocalSource reads from
+// the snapshot directly.
+package walk
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdrep/internal/core"
+	"mdrep/internal/fault"
+	"mdrep/internal/sim"
+	"mdrep/internal/sparse"
+)
+
+// RowSource supplies normalized trust-matrix rows. Implementations must
+// be safe for concurrent use; the returned slices are read-only and must
+// stay valid for the duration of the estimate.
+type RowSource interface {
+	// N is the matrix dimension (the user-ID space).
+	N() int
+	// Row returns user's outgoing trust row: ascending column indices
+	// and matching transition weights summing to at most 1. An empty
+	// row is a dangling user, not an error; errors mean the row could
+	// not be obtained (and carry the internal/fault taxonomy).
+	Row(user int) (cols []int32, vals []float64, err error)
+}
+
+// LocalSource serves rows from a frozen sparse.CSR snapshot — typically
+// core.Concurrent.TM(now), which is already row-normalized. It is the
+// exact-kernel twin the DHT source is cross-validated against.
+type LocalSource struct {
+	tm *sparse.CSR
+}
+
+// NewLocalSource wraps a frozen row-normalized matrix.
+func NewLocalSource(tm *sparse.CSR) (*LocalSource, error) {
+	if tm == nil {
+		return nil, fault.Terminal(errors.New("walk: nil trust matrix"))
+	}
+	return &LocalSource{tm: tm}, nil
+}
+
+// N implements RowSource.
+func (s *LocalSource) N() int { return s.tm.N() }
+
+// Row implements RowSource; the slices alias the snapshot's storage.
+//
+//mdrep:hotpath
+func (s *LocalSource) Row(user int) ([]int32, []float64, error) {
+	if user < 0 || user >= s.tm.N() {
+		return nil, nil, fault.Terminal(fmt.Errorf("walk: user %d outside [0, %d)", user, s.tm.N()))
+	}
+	cols, vals := s.tm.Row(user)
+	return cols, vals, nil
+}
+
+var _ RowSource = (*LocalSource)(nil)
+
+// NewConcurrentSource snapshots a live engine's trust matrix at time now
+// and wraps it as a LocalSource: the bridge from the core engine to the
+// walk estimator (and, via PublishRows on the same snapshot, to the
+// DHT). The snapshot is frozen — later engine writes do not leak into a
+// running estimate.
+func NewConcurrentSource(eng *core.Concurrent, now time.Duration) (*LocalSource, error) {
+	if eng == nil {
+		return nil, fault.Terminal(errors.New("walk: nil engine"))
+	}
+	tm, err := eng.TM(now)
+	if err != nil {
+		return nil, fmt.Errorf("walk: snapshot trust matrix: %w", err)
+	}
+	return NewLocalSource(tm)
+}
+
+// Config tunes one estimator.
+type Config struct {
+	// Walks is the number of independent walks W; the standard error of
+	// each estimated entry shrinks as 1/sqrt(W).
+	Walks int
+	// Depth is the multi-trust depth n of Eq. (8) — the exact answer the
+	// estimate converges to is RowVecPow(source, Depth).
+	Depth int
+	// Seed derives every walk's RNG substream.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Walks < 1 {
+		return fault.Terminal(fmt.Errorf("walk: need at least 1 walk, got %d", c.Walks))
+	}
+	if c.Depth < 1 {
+		return fault.Terminal(fmt.Errorf("walk: need depth >= 1, got %d", c.Depth))
+	}
+	return nil
+}
+
+// Estimator runs seeded walk ensembles against one RowSource.
+type Estimator struct {
+	src RowSource
+	cfg Config
+}
+
+// New builds an estimator.
+func New(src RowSource, cfg Config) (*Estimator, error) {
+	if src == nil {
+		return nil, fault.Terminal(errors.New("walk: nil row source"))
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{src: src, cfg: cfg}, nil
+}
+
+// Estimate returns the walk estimate of RM_source· as a sparse
+// column→value map (entries with zero visit count are omitted). A row
+// fetch failure aborts the whole estimate with the underlying
+// fault-classified error — a partial ensemble must never masquerade as a
+// converged estimate.
+func (e *Estimator) Estimate(source int) (map[int]float64, error) {
+	n := e.src.N()
+	if source < 0 || source >= n {
+		return nil, fault.Terminal(fmt.Errorf("walk: source %d outside [0, %d)", source, n))
+	}
+	wo := wobs.Load()
+	sp := wo.spanEstimate()
+	counts := make([]int64, n)
+	base := sim.NewRNG(e.cfg.Seed).DeriveStream("walk")
+	var (
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		died     atomic.Uint64
+		steps    atomic.Uint64
+	)
+	parallelWalkBlocks(e.cfg.Walks, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			if failed.Load() {
+				return
+			}
+			rng := base.At(uint64(w))
+			cur := source
+			alive := true
+			for d := 0; d < e.cfg.Depth; d++ {
+				cols, vals, err := e.src.Row(cur)
+				if err != nil {
+					if failed.CompareAndSwap(false, true) {
+						errMu.Lock()
+						firstErr = fmt.Errorf("walk: walk %d step %d at user %d: %w", w, d, cur, err)
+						errMu.Unlock()
+					}
+					return
+				}
+				steps.Add(1)
+				next := stepFrom(cols, vals, rng.Float64())
+				if next < 0 {
+					alive = false
+					break
+				}
+				cur = int(next)
+			}
+			if alive {
+				atomic.AddInt64(&counts[cur], 1)
+			} else {
+				died.Add(1)
+			}
+		}
+	})
+	wo.addWalkWork(uint64(e.cfg.Walks), steps.Load(), died.Load())
+	sp.End()
+	if failed.Load() {
+		errMu.Lock()
+		defer errMu.Unlock()
+		wo.countAborted()
+		return nil, firstErr
+	}
+	wo.countEstimate()
+	out := make(map[int]float64)
+	total := float64(e.cfg.Walks)
+	for j, c := range counts {
+		if c > 0 {
+			out[j] = float64(c) / total
+		}
+	}
+	return out, nil
+}
+
+// stepFrom inverse-transform samples the next hop from a normalized row:
+// the cumulative sum runs in ascending column order (the same order every
+// exact kernel accumulates in), and a draw beyond the row's total mass —
+// an empty row, or a row summing below 1 — kills the walk.
+//
+//mdrep:hotpath
+func stepFrom(cols []int32, vals []float64, u float64) int32 {
+	acc := 0.0
+	for k, v := range vals {
+		acc += v
+		if u < acc {
+			return cols[k]
+		}
+	}
+	return -1
+}
+
+// walkBlock is the scheduling granule: coarse enough to amortise the
+// atomic cursor, fine enough to balance workers when row fetches stall.
+const walkBlock = 256
+
+// parallelWalkBlocks runs fn over walk indices [0, walks) in disjoint
+// blocks across GOMAXPROCS workers, mirroring the sparse kernels' pool.
+// Each walk index is processed exactly once and owns its own RNG
+// substream, so the tally is scheduling-independent.
+func parallelWalkBlocks(walks int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if walks <= walkBlock || workers <= 1 {
+		fn(0, walks)
+		return
+	}
+	if max := (walks + walkBlock - 1) / walkBlock; workers > max {
+		workers = max
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, walkBlock)) - walkBlock
+				if lo >= walks {
+					return
+				}
+				hi := lo + walkBlock
+				if hi > walks {
+					hi = walks
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MaxAbsError returns the largest |est - exact| over the union support of
+// the two maps. Keys are visited in ascending order so the scan is
+// deterministic.
+func MaxAbsError(est, exact map[int]float64) float64 {
+	max := 0.0
+	for _, j := range unionKeys(est, exact) {
+		d := est[j] - exact[j]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MeanAbsError returns the mean |est - exact| over the union support.
+func MeanAbsError(est, exact map[int]float64) float64 {
+	keys := unionKeys(est, exact)
+	if len(keys) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, j := range keys {
+		d := est[j] - exact[j]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(keys))
+}
+
+// TopKOverlap returns how many of the exact top-k users (by value, ties
+// broken by ascending index) also appear in the estimate's top-k.
+func TopKOverlap(est, exact map[int]float64, k int) int {
+	estTop := topK(est, k)
+	overlap := 0
+	for j := range topK(exact, k) {
+		if _, ok := estTop[j]; ok {
+			overlap++
+		}
+	}
+	return overlap
+}
+
+// topK returns the k highest-valued keys as a set, with the value-desc,
+// index-asc order making the cut deterministic.
+func topK(m map[int]float64, k int) map[int]struct{} {
+	keys := sortedKeys(m)
+	type kv struct {
+		j int
+		v float64
+	}
+	best := make([]kv, 0, k+1)
+	for _, j := range keys {
+		e := kv{j: j, v: m[j]}
+		pos := len(best)
+		for pos > 0 && (best[pos-1].v < e.v) {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		best = append(best, kv{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = e
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	out := make(map[int]struct{}, len(best))
+	for _, e := range best {
+		out[e.j] = struct{}{}
+	}
+	return out
+}
+
+// unionKeys returns the sorted union of both maps' keys.
+func unionKeys(a, b map[int]float64) []int {
+	seen := make(map[int]struct{}, len(a)+len(b))
+	for j := range a {
+		seen[j] = struct{}{}
+	}
+	for j := range b {
+		seen[j] = struct{}{}
+	}
+	keys := make([]int, 0, len(seen))
+	for j := range seen {
+		keys = append(keys, j)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// sortedKeys returns m's keys ascending.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for j := range m {
+		keys = append(keys, j)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -90,3 +90,34 @@ func FuzzReadFrame(f *testing.F) {
 		_ = ReadFrame(bytes.NewReader(data), &v)
 	})
 }
+
+// FuzzTMRowCodec feeds hostile bytes to the TM-row decoder: it must never
+// panic, and anything it accepts must be a semantically valid row that
+// re-encodes to the exact input bytes (the encoding is canonical).
+func FuzzTMRowCodec(f *testing.F) {
+	seed := func(r *TMRow) []byte {
+		raw, err := EncodeTMRow(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	f.Add([]byte{})
+	f.Add(seed(&TMRow{User: 0, N: 1, Epoch: 7}))
+	f.Add(seed(&TMRow{User: 1, N: 4, Epoch: 9, Cols: []int32{0, 2, 3}, Vals: []float64{0.5, 0.25, 0.25}}))
+	f.Add([]byte("TMR1 but far too short"))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		row, err := DecodeTMRow(data)
+		if err != nil {
+			return
+		}
+		raw, err := EncodeTMRow(row)
+		if err != nil {
+			t.Fatalf("re-encode accepted row: %v", err)
+		}
+		if !bytes.Equal(raw, data) {
+			t.Fatal("accepted bytes are not the canonical encoding")
+		}
+	})
+}

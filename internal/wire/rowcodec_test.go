@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"slices"
+	"testing"
+)
+
+func sampleRow() *TMRow {
+	return &TMRow{
+		User:  3,
+		N:     100,
+		Epoch: 42,
+		Cols:  []int32{0, 7, 41, 99},
+		Vals:  []float64{0.25, 0.25, 0.125, 0.375},
+	}
+}
+
+func TestTMRowRoundTrip(t *testing.T) {
+	for name, row := range map[string]*TMRow{
+		"typical":  sampleRow(),
+		"empty":    {User: 5, N: 10, Epoch: 1},
+		"single":   {User: 0, N: 2, Epoch: 0, Cols: []int32{1}, Vals: []float64{1}},
+		"boundary": {User: 1, N: 2, Epoch: math.MaxUint64, Cols: []int32{0}, Vals: []float64{0}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			raw, err := EncodeTMRow(row)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if len(raw) != EncodedRowSize(len(row.Cols)) {
+				t.Fatalf("encoded %d bytes, want %d", len(raw), EncodedRowSize(len(row.Cols)))
+			}
+			back, err := DecodeTMRow(raw)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if back.User != row.User || back.N != row.N || back.Epoch != row.Epoch {
+				t.Fatalf("header changed: %+v vs %+v", back, row)
+			}
+			if !slices.Equal(back.Cols, row.Cols) || !slices.Equal(back.Vals, row.Vals) {
+				t.Fatalf("entries changed: %+v vs %+v", back, row)
+			}
+			// Canonical: re-encoding the decoded row is byte-identical.
+			again, err := EncodeTMRow(back)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !slices.Equal(again, raw) {
+				t.Fatal("encoding is not canonical across a round-trip")
+			}
+		})
+	}
+}
+
+// TestTMRowTruncation decodes the record cut at every byte offset — all
+// must be rejected cleanly (no panic, ErrRowCodec), the same exhaustive
+// sweep the frame codec gets.
+func TestTMRowTruncation(t *testing.T) {
+	raw, err := EncodeTMRow(sampleRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeTMRow(raw[:cut]); !errors.Is(err, ErrRowCodec) {
+			t.Fatalf("truncated at %d of %d: err = %v, want ErrRowCodec", cut, len(raw), err)
+		}
+	}
+	if _, err := DecodeTMRow(append(slices.Clone(raw), 0)); !errors.Is(err, ErrRowCodec) {
+		t.Fatalf("one trailing byte: err = %v, want ErrRowCodec", err)
+	}
+}
+
+func TestTMRowCorruptionDetected(t *testing.T) {
+	raw, err := EncodeTMRow(sampleRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single bit must be caught by magic, structure, CRC, or
+	// semantic validation.
+	for i := range raw {
+		for bit := 0; bit < 8; bit++ {
+			mut := slices.Clone(raw)
+			mut[i] ^= 1 << bit
+			if _, err := DecodeTMRow(mut); !errors.Is(err, ErrRowCodec) {
+				t.Fatalf("bit %d of byte %d flipped: err = %v, want ErrRowCodec", bit, i, err)
+			}
+		}
+	}
+}
+
+func TestTMRowEncodeRejectsInvalid(t *testing.T) {
+	for name, row := range map[string]*TMRow{
+		"nil":            nil,
+		"zero dimension": {User: 0, N: 0},
+		"user outside":   {User: 5, N: 5},
+		"negative user":  {User: -1, N: 5},
+		"len mismatch":   {User: 0, N: 5, Cols: []int32{1}, Vals: nil},
+		"unsorted cols":  {User: 0, N: 5, Cols: []int32{2, 1}, Vals: []float64{0.5, 0.5}},
+		"duplicate cols": {User: 0, N: 5, Cols: []int32{1, 1}, Vals: []float64{0.5, 0.5}},
+		"col outside":    {User: 0, N: 5, Cols: []int32{5}, Vals: []float64{1}},
+		"nan value":      {User: 0, N: 5, Cols: []int32{1}, Vals: []float64{math.NaN()}},
+		"inf value":      {User: 0, N: 5, Cols: []int32{1}, Vals: []float64{math.Inf(1)}},
+		"above one":      {User: 0, N: 5, Cols: []int32{1}, Vals: []float64{1.5}},
+		"negative value": {User: 0, N: 5, Cols: []int32{1}, Vals: []float64{-0.1}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := EncodeTMRow(row); !errors.Is(err, ErrRowCodec) {
+				t.Fatalf("err = %v, want ErrRowCodec", err)
+			}
+		})
+	}
+}
+
+func TestTMRowDecodeRejectsOversizedCount(t *testing.T) {
+	raw, err := EncodeTMRow(&TMRow{User: 0, N: 5, Epoch: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declare MaxTMRowEntries+1 entries without supplying them: the cap
+	// check must fire before any count-proportional allocation.
+	raw[20], raw[21], raw[22], raw[23] = 0x00, 0x10, 0x00, 0x01
+	if _, err := DecodeTMRow(raw); !errors.Is(err, ErrRowCodec) {
+		t.Fatalf("err = %v, want ErrRowCodec", err)
+	}
+}
