@@ -22,6 +22,7 @@ import (
 	"mdrep/internal/experiments"
 	"mdrep/internal/identity"
 	"mdrep/internal/journal"
+	"mdrep/internal/obs"
 	"mdrep/internal/p2psim"
 	"mdrep/internal/sim"
 	"mdrep/internal/sparse"
@@ -382,7 +383,7 @@ func BenchmarkDHTLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := dht.HashKey(fmt.Sprintf("bench-%d", i))
-		if _, err := ring.Nodes[i%64].Lookup(key); err != nil {
+		if _, err := ring.Nodes[i%64].Lookup(obs.SpanContext{}, key); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -134,11 +134,11 @@ func put(args []string) error {
 	}
 	client := dht.NewRetryClient(dht.NewTCPClient(), dht.DefaultRetryPolicy(), uint64(os.Getpid()))
 	key := dht.HashKey(*file)
-	root, err := client.FindSuccessor(*node, key)
+	root, err := client.FindSuccessor(obs.SpanContext{}, *node, key)
 	if err != nil {
 		return err
 	}
-	if err := client.Store(root.Addr, []dht.StoredRecord{{Key: key, Info: info}}, true); err != nil {
+	if err := client.Store(obs.SpanContext{}, root.Addr, []dht.StoredRecord{{Key: key, Info: info}}, true); err != nil {
 		return err
 	}
 	fmt.Printf("stored evaluation %.2f of %s by %s at %s\n", *value, *file, owner.ID(), root.Addr)
@@ -157,11 +157,11 @@ func get(args []string) error {
 	}
 	client := dht.NewRetryClient(dht.NewTCPClient(), dht.DefaultRetryPolicy(), uint64(os.Getpid()))
 	key := dht.HashKey(*file)
-	root, err := client.FindSuccessor(*node, key)
+	root, err := client.FindSuccessor(obs.SpanContext{}, *node, key)
 	if err != nil {
 		return err
 	}
-	recs, err := client.Retrieve(root.Addr, key)
+	recs, err := client.Retrieve(obs.SpanContext{}, root.Addr, key)
 	if err != nil {
 		return err
 	}
@@ -235,7 +235,7 @@ func demo(args []string) error {
 	}
 	fmt.Printf("node 0 published signed evaluation %.2f of %q\n", info.Evaluation, info.FileID)
 
-	recs, err := ring[*nodes-1].Node().Retrieve(key)
+	recs, err := ring[*nodes-1].Node().Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		return err
 	}

@@ -42,6 +42,7 @@ import (
 	"syscall"
 
 	"mdrep/internal/eval"
+	"mdrep/internal/flight"
 	"mdrep/internal/identity"
 	"mdrep/internal/journal"
 	"mdrep/internal/metrics"
@@ -101,6 +102,34 @@ func startMetrics(addr string) (*metrics.Registry, *obs.Server, error) {
 	}
 	fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
 	return reg, srv, nil
+}
+
+// startFlight installs the always-on flight recorder and enables causal
+// tracing when on; the recorder is visible at /debug/flight when the
+// introspection endpoint runs, and dumpFlight prints it at shutdown.
+func startFlight(on bool, seed uint64) *flight.Recorder {
+	if !on {
+		return nil
+	}
+	rec := flight.NewRecorder(flight.DefaultRingSize, flight.DefaultMaxDumps)
+	flight.Install(rec)
+	obs.EnableTracing(seed, obs.WallClock, 1)
+	return rec
+}
+
+// dumpFlight prints the recorder's stitched trace trees plus any
+// black-box dumps to stderr, then uninstalls tracing.
+func dumpFlight(rec *flight.Recorder) {
+	if rec == nil {
+		return
+	}
+	obs.DisableTracing()
+	flight.Install(nil)
+	fmt.Fprintln(os.Stderr, "=== flight recorder ===")
+	fmt.Fprint(os.Stderr, flight.RenderTraces(rec.Snapshot()))
+	for _, d := range rec.Dumps() {
+		fmt.Fprint(os.Stderr, flight.RenderDump(d))
+	}
 }
 
 // openJournal recovers the peer's durable state from dataDir; an empty
@@ -188,9 +217,11 @@ func serve(args []string) error {
 	votes := fs.String("vote", "", "comma-separated FILE=VALUE evaluations to publish")
 	dataDir := fs.String("data-dir", "", "directory for the durable journal (empty = in-memory only)")
 	metricsAddr := fs.String("metrics-addr", "", "optional introspection address (\":0\" = ephemeral): Prometheus /metrics, expvar, pprof")
+	withFlight := fs.Bool("flight", false, "enable causal tracing with the flight recorder (served at /debug/flight, dumped at shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer dumpFlight(startFlight(*withFlight, *seed))
 	reg, msrv, err := startMetrics(*metricsAddr)
 	if err != nil {
 		return err
@@ -268,9 +299,11 @@ func trust(args []string) error {
 	votes := fs.String("vote", "", "comma-separated FILE=VALUE evaluations of our own")
 	syncSpec := fs.String("sync", "", "comma-separated SEED@HOST:PORT peers to sync with")
 	dataDir := fs.String("data-dir", "", "directory for the durable journal (empty = in-memory only)")
+	withFlight := fs.Bool("flight", false, "enable causal tracing with the flight recorder, dumped at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer dumpFlight(startFlight(*withFlight, *seed))
 	if *syncSpec == "" {
 		return fmt.Errorf("trust: -sync is required")
 	}

@@ -102,10 +102,10 @@ func TestMetricsEndpointServesWorkloadSeries(t *testing.T) {
 	if err := rec.Info.Sign(owner); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Store(dsrv.Addr(), []dht.StoredRecord{rec}, false); err != nil {
+	if err := client.Store(obs.SpanContext{}, dsrv.Addr(), []dht.StoredRecord{rec}, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Retrieve(dsrv.Addr(), rec.Key); err != nil {
+	if _, err := client.Retrieve(obs.SpanContext{}, dsrv.Addr(), rec.Key); err != nil {
 		t.Fatal(err)
 	}
 
@@ -145,5 +145,54 @@ func TestMetricsEndpointServesWorkloadSeries(t *testing.T) {
 	}
 	if code, _ := httpGet(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestHealthzAndFlightEndpoints is the readiness + black-box acceptance
+// test: /healthz answers 200 once startMetrics has bound a registry, and
+// /debug/flight serves the recorder installed by startFlight — the ring
+// view while healthy, rendered dumps once a fault triggers one.
+func TestHealthzAndFlightEndpoints(t *testing.T) {
+	rec := startFlight(true, 7)
+	defer dumpFlight(rec)
+	_, msrv, err := startMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = msrv.Close() }()
+	base := "http://" + msrv.Addr()
+
+	code, body := httpGet(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// No dumps yet: the endpoint must say so rather than 404.
+	code, body = httpGet(t, base+"/debug/flight")
+	if code != http.StatusOK || !strings.Contains(body, "no flight dumps recorded") {
+		t.Fatalf("/debug/flight (no dumps) = %d %q", code, body)
+	}
+
+	// A traced span pair shows up in the live ring view.
+	root := obs.StartRoot("peer.sync")
+	child := obs.StartChild(root.Context(), "peer.fetch_evaluations")
+	child.End()
+	root.End()
+	code, body = httpGet(t, base+"/debug/flight?ring=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight?ring= status %d", code)
+	}
+	if !strings.Contains(body, "peer.sync") || !strings.Contains(body, "  peer.fetch_evaluations") {
+		t.Errorf("ring view missing the stitched spans:\n%s", body)
+	}
+
+	// A triggered dump replaces the placeholder with a rendered black box.
+	rec.Trigger("test: simulated fault")
+	code, body = httpGet(t, base+"/debug/flight")
+	if code != http.StatusOK || !strings.Contains(body, "flight dump #1: test: simulated fault") {
+		t.Fatalf("/debug/flight (dumped) = %d %q", code, body)
+	}
+	if !strings.Contains(body, "peer.sync") {
+		t.Errorf("dump body missing recorded spans:\n%s", body)
 	}
 }

@@ -18,7 +18,7 @@
 //	mdrep-sim -exp massim [-scenario name|all] [-n peers] [-seed s]
 //	          [-epochs e] [-baselines] [-shards k] [-metrics]
 //	mdrep-sim -exp walk [-n users] [-seed s] [-walks w] [-depth d]
-//	          [-metrics]
+//	          [-dht [-dht-nodes k]] [-flight] [-metrics]
 //
 // The massim experiment runs the adversarial scenario library of
 // internal/massim (collusion-front, whitewash, camouflage, strategic)
@@ -32,6 +32,14 @@
 // against the exact sparse.RowVecPow answer. Output is byte-identical
 // for a fixed (n, seed, walks, depth).
 //
+// With -dht the walk experiment fetches TM rows through an in-memory
+// DHT ring (retry layer included) instead of reading the matrix
+// locally; the estimate must match the local twin byte for byte. With
+// -flight the run enables causal tracing with the always-on flight
+// recorder and prints the stitched trace trees at exit — for a
+// DHT-sourced walk that is one tree per estimate: walk.estimate >
+// walk.row_fetch > dht.retrieve > dht.op > dht.attempt > dht.rpc hops.
+//
 // With -metrics the run instruments the sparse kernels and prints a
 // one-shot metrics report at exit; the per-step RM walk timings there
 // (sparse_rowvecpow_step_seconds) are how to read the cost of the
@@ -42,14 +50,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"strings"
+	"time"
 
+	"mdrep/internal/chaos"
+	"mdrep/internal/dht"
 	"mdrep/internal/experiments"
+	"mdrep/internal/flight"
 	"mdrep/internal/massim"
 	"mdrep/internal/metrics"
 	"mdrep/internal/obs"
 	"mdrep/internal/sparse"
 	"mdrep/internal/walk"
+	"mdrep/internal/wire"
 )
 
 func main() {
@@ -72,8 +86,25 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "massim: back the mirrored engine with this many shards (0/1 = unsharded)")
 	walks := fs.Int("walks", 16000, "walk: largest walk count of the sweep")
 	depth := fs.Int("depth", 3, "walk: multi-trust depth n of each walk")
+	dhtMode := fs.Bool("dht", false, "walk: fetch TM rows through an in-memory DHT ring instead of the local matrix")
+	dhtNodes := fs.Int("dht-nodes", 8, "walk: ring size for -dht")
+	withFlight := fs.Bool("flight", false, "enable causal tracing and print the flight recorder's stitched trace trees at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *withFlight {
+		rec := flight.NewRecorder(flight.DefaultRingSize, flight.DefaultMaxDumps)
+		flight.Install(rec)
+		obs.EnableTracing(*seed, obs.WallClock, 1)
+		defer func() {
+			obs.DisableTracing()
+			flight.Install(nil)
+			fmt.Fprintln(os.Stderr, "=== flight recorder ===")
+			fmt.Fprint(os.Stderr, flight.RenderTraces(rec.Snapshot()))
+			for _, d := range rec.Dumps() {
+				fmt.Fprint(os.Stderr, flight.RenderDump(d))
+			}
+		}()
 	}
 	if *withMetrics {
 		reg := metrics.NewRegistry()
@@ -99,6 +130,9 @@ func run(args []string) error {
 		})
 		if !nSet {
 			wn = 2000 // the E11 default: cross-validation scale, not massim scale
+		}
+		if *dhtMode {
+			return runWalkDHT(wn, *seed, *walks, *depth, *dhtNodes)
 		}
 		return runWalk(wn, *seed, *walks, *depth)
 	}
@@ -171,6 +205,93 @@ func runWalk(n int, seed uint64, maxWalks, depth int) error {
 	}
 	fmt.Printf("=== walk (E11) n=%d depth=%d seed=%d ===\n", n, depth, seed)
 	fmt.Print(walk.RenderSweep(points))
+	return nil
+}
+
+// walkDHTEpoch pins every published row and the source to one snapshot
+// generation; the single-shot experiment never rotates epochs.
+const walkDHTEpoch = 1
+
+// runWalkDHT runs the decentralized variant of E11: the same seeded
+// graph, but every row the walkers touch is fetched through a fault-free
+// in-memory DHT ring behind the retry layer. The estimate must equal the
+// LocalSource twin byte for byte — the decentralization property the
+// chaos suite asserts under faults, checked here on the happy path.
+func runWalkDHT(n int, seed uint64, walks, depth, nodes int) error {
+	if nodes < 2 {
+		return fmt.Errorf("walk: -dht-nodes must be >= 2, got %d", nodes)
+	}
+	tm, err := walk.RandomTM(n, seed)
+	if err != nil {
+		return err
+	}
+	exact, err := tm.RowVecPow(0, depth)
+	if err != nil {
+		return err
+	}
+	rp := dht.DefaultRetryPolicy()
+	nw, err := chaos.NewNetwork(chaos.NetworkConfig{
+		Nodes:            nodes,
+		SuccessorListLen: 3,
+		Chaos:            chaos.Config{Seed: seed},
+		Retry:            &rp,
+	})
+	if err != nil {
+		return err
+	}
+	recs := make([]dht.StoredRecord, 0, n)
+	for u := 0; u < n; u++ {
+		cols, vals := tm.Row(u)
+		rec, err := walk.RowRecord(&wire.TMRow{
+			User:  int32(u),
+			N:     int32(n),
+			Epoch: walkDHTEpoch,
+			Cols:  cols,
+			Vals:  vals,
+		})
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	if err := nw.Publish(recs, time.Second); err != nil {
+		return err
+	}
+	nw.Converge(2)
+
+	cfg := walk.Config{Walks: walks, Depth: depth, Seed: seed}
+	src, err := walk.NewDHTSource(nw.Nodes[0], n, 0, walkDHTEpoch)
+	if err != nil {
+		return err
+	}
+	est, err := walk.New(src, cfg)
+	if err != nil {
+		return err
+	}
+	got, err := est.Estimate(0)
+	if err != nil {
+		return err
+	}
+
+	local, err := walk.NewLocalSource(tm)
+	if err != nil {
+		return err
+	}
+	twinEst, err := walk.New(local, cfg)
+	if err != nil {
+		return err
+	}
+	twin, err := twinEst.Estimate(0)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(got, twin) {
+		return fmt.Errorf("walk: DHT-sourced estimate diverged from the local twin")
+	}
+
+	fmt.Printf("=== walk (E11, DHT-sourced) n=%d depth=%d seed=%d nodes=%d walks=%d ===\n", n, depth, seed, nodes, walks)
+	fmt.Printf("max_err=%.6f mean_err=%.6f top10=%d/10 local_twin_identical=true\n",
+		walk.MaxAbsError(got, exact), walk.MeanAbsError(got, exact), walk.TopKOverlap(got, exact, 10))
 	return nil
 }
 

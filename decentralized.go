@@ -9,6 +9,7 @@ import (
 	"mdrep/internal/fault"
 	"mdrep/internal/identity"
 	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 	"mdrep/internal/peer"
 )
 
@@ -97,7 +98,7 @@ func DHTRecordSource(node *dht.Node) RecordSource {
 }
 
 func (s dhtRecordSource) FileEvaluations(f FileID) ([]EvaluationInfo, error) {
-	records, err := s.node.Retrieve(dht.HashKey(string(f)))
+	records, err := s.node.Retrieve(obs.SpanContext{}, dht.HashKey(string(f)))
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"mdrep/internal/dht"
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 	"mdrep/internal/peer"
 )
 
@@ -111,7 +112,7 @@ func run() error {
 	fmt.Printf("\nbob and mallory published their evaluations of %q to the DHT\n", newFile)
 
 	// Step 5: alice retrieves the records and judges before downloading.
-	stored, err := ring.Nodes[5].Retrieve(key)
+	stored, err := ring.Nodes[5].Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"mdrep/internal/dht"
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 )
 
 func main() {
@@ -81,7 +82,7 @@ func run() error {
 	fmt.Printf("alice published evaluation %.2f of %s\n", info.Evaluation, info.FileID)
 
 	// Any node can retrieve it before deciding to download (§4.1 step 3).
-	recs, err := servers[n-1].Node().Retrieve(key)
+	recs, err := servers[n-1].Node().Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		return err
 	}
@@ -96,7 +97,7 @@ func run() error {
 	if err := servers[2].Node().Publish([]dht.StoredRecord{{Key: key, Info: forged}}); err != nil {
 		return err
 	}
-	recs, err = servers[n-1].Node().Retrieve(key)
+	recs, err = servers[n-1].Node().Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		return err
 	}
@@ -105,7 +106,7 @@ func run() error {
 
 	// Kill the key's root; the successor-list replicas keep the record
 	// available once the ring stabilises around the hole.
-	root, err := servers[0].Node().Lookup(key)
+	root, err := servers[0].Node().Lookup(obs.SpanContext{}, key)
 	if err != nil {
 		return err
 	}
@@ -129,7 +130,7 @@ func run() error {
 	for _, s := range survivors {
 		s.Node().FixAllFingers()
 	}
-	recs, err = survivors[0].Node().Retrieve(key)
+	recs, err = survivors[0].Node().Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,15 @@
 //     instrumentation boundary (Instrument(reg, labels ...string) and
 //     friends); callers are checked wherever this analyzer sees them.
 //
+// Span attribute keys are held to the same contract: every key handed
+// to (*obs.TSpan).Attr / AttrStr names a fixed slot in the flight
+// recorder's ring and a column in the rendered trace tree, so a key
+// derived from request data would grow the attribute namespace exactly
+// the way an unbounded label value grows the registry. Keys must be
+// constants (package const tables), members of a declared finite set,
+// or //mdrep:labelset results; attribute *values* are free per-trace
+// data and are not checked.
+//
 // Parameters of unexported functions and closures are traced to their
 // call sites within the package — the `kind := func(v string) ... ;
 // kind("request_drops")` binding idiom checks the "request_drops" at the
@@ -45,12 +54,13 @@ const name = "metriclabel"
 
 var Analyzer = &analysis.Analyzer{
 	Name: name,
-	Doc: "require finite, statically evident metric label values\n\n" +
-		"Label values passed to the metrics registry must be compile-time\n" +
-		"constants, members of a declared finite set (constant composite literal,\n" +
+	Doc: "require finite, statically evident metric label values and span attribute keys\n\n" +
+		"Label values passed to the metrics registry and attribute keys passed to\n" +
+		"span setters (obs.TSpan.Attr/AttrStr) must be compile-time constants,\n" +
+		"members of a declared finite set (constant composite literal,\n" +
 		"//mdrep:labelset function), or parameters of the exported instrumentation\n" +
 		"boundary. User IDs, err.Error() strings and loop data explode Prometheus\n" +
-		"cardinality.",
+		"cardinality and the trace attribute namespace.",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
@@ -114,6 +124,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if start, ok := registryLabelStart(c.pass, ci.call); ok {
 			c.checkPairArgs(ci.call.Args[start:], ci.call.Ellipsis.IsValid(), 0, ci.stack)
 		}
+		if idx, ok := spanAttrKeyArg(c.pass, ci.call); ok && idx < len(ci.call.Args) {
+			c.checkValue(ci.call.Args[idx], ci.stack)
+		}
 	}
 	for len(c.work) > 0 {
 		ob := c.work[0]
@@ -151,6 +164,37 @@ func registryLabelStart(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
 		return 1, true
 	case "Histogram":
 		return 2, true
+	}
+	return 0, false
+}
+
+// spanAttrKeyArg reports whether call sets a span attribute —
+// (*obs.TSpan).Attr or AttrStr — and, if so, which argument carries the
+// attribute key. Keys share the metric-label cardinality contract;
+// values are per-trace data and stay unchecked.
+func spanAttrKeyArg(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return 0, false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "TSpan" || named.Obj().Pkg() == nil {
+		return 0, false
+	}
+	if !lintutil.IsPackage(named.Obj().Pkg().Path(), "obs") {
+		return 0, false
+	}
+	switch fn.Name() {
+	case "Attr", "AttrStr":
+		return 0, true
 	}
 	return 0, false
 }

@@ -1,0 +1,12 @@
+// Package obs is a fixture stand-in for mdrep/internal/obs: the
+// metriclabel analyzer recognises the span attribute setters by
+// receiver type name and package suffix.
+package obs
+
+type TSpan struct{}
+
+func StartRoot(name string) TSpan { return TSpan{} }
+
+func (t *TSpan) Attr(key string, v int64) {}
+func (t *TSpan) AttrStr(key, val string)  {}
+func (t *TSpan) End()                     {}

@@ -30,6 +30,7 @@ import (
 	"mdrep/internal/dht"
 	"mdrep/internal/fault"
 	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 	"mdrep/internal/sim"
 )
 
@@ -346,16 +347,16 @@ func (b *boundClient) begin(to string) error {
 }
 
 // FindSuccessor implements dht.Client.
-func (b *boundClient) FindSuccessor(addr string, id dht.ID) (dht.NodeRef, error) {
+func (b *boundClient) FindSuccessor(sc obs.SpanContext, addr string, id dht.ID) (dht.NodeRef, error) {
 	if err := b.begin(addr); err != nil {
 		return dht.NodeRef{}, err
 	}
-	ref, err := b.chaos.inner.FindSuccessor(addr, id)
+	ref, err := b.chaos.inner.FindSuccessor(sc, addr, id)
 	if err != nil {
 		return dht.NodeRef{}, err
 	}
 	if b.chaos.shouldDup() {
-		if dupRef, dupErr := b.chaos.inner.FindSuccessor(addr, id); dupErr == nil {
+		if dupRef, dupErr := b.chaos.inner.FindSuccessor(sc, addr, id); dupErr == nil {
 			ref = dupRef
 		}
 	}
@@ -366,11 +367,11 @@ func (b *boundClient) FindSuccessor(addr string, id dht.ID) (dht.NodeRef, error)
 }
 
 // Successors implements dht.Client.
-func (b *boundClient) Successors(addr string) ([]dht.NodeRef, error) {
+func (b *boundClient) Successors(sc obs.SpanContext, addr string) ([]dht.NodeRef, error) {
 	if err := b.begin(addr); err != nil {
 		return nil, err
 	}
-	refs, err := b.chaos.inner.Successors(addr)
+	refs, err := b.chaos.inner.Successors(sc, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -381,11 +382,11 @@ func (b *boundClient) Successors(addr string) ([]dht.NodeRef, error) {
 }
 
 // Predecessor implements dht.Client.
-func (b *boundClient) Predecessor(addr string) (dht.NodeRef, bool, error) {
+func (b *boundClient) Predecessor(sc obs.SpanContext, addr string) (dht.NodeRef, bool, error) {
 	if err := b.begin(addr); err != nil {
 		return dht.NodeRef{}, false, err
 	}
-	ref, ok, err := b.chaos.inner.Predecessor(addr)
+	ref, ok, err := b.chaos.inner.Predecessor(sc, addr)
 	if err != nil {
 		return dht.NodeRef{}, false, err
 	}
@@ -397,25 +398,25 @@ func (b *boundClient) Predecessor(addr string) (dht.NodeRef, bool, error) {
 
 // Notify implements dht.Client. Duplicate notifies exercise the
 // handler's idempotency (adopting the same predecessor twice).
-func (b *boundClient) Notify(addr string, self dht.NodeRef) error {
+func (b *boundClient) Notify(sc obs.SpanContext, addr string, self dht.NodeRef) error {
 	if err := b.begin(addr); err != nil {
 		return err
 	}
-	if err := b.chaos.inner.Notify(addr, self); err != nil {
+	if err := b.chaos.inner.Notify(sc, addr, self); err != nil {
 		return err
 	}
 	if b.chaos.shouldDup() {
-		_ = b.chaos.inner.Notify(addr, self)
+		_ = b.chaos.inner.Notify(sc, addr, self)
 	}
 	return b.chaos.replyLost(b.from, addr)
 }
 
 // Ping implements dht.Client.
-func (b *boundClient) Ping(addr string) error {
+func (b *boundClient) Ping(sc obs.SpanContext, addr string) error {
 	if err := b.begin(addr); err != nil {
 		return err
 	}
-	if err := b.chaos.inner.Ping(addr); err != nil {
+	if err := b.chaos.inner.Ping(sc, addr); err != nil {
 		return err
 	}
 	return b.chaos.replyLost(b.from, addr)
@@ -424,29 +425,29 @@ func (b *boundClient) Ping(addr string) error {
 // Store implements dht.Client. A store may be deferred (delivered late,
 // out of order) or duplicated; both are legal under the storage layer's
 // merge-by-(owner, timestamp) semantics.
-func (b *boundClient) Store(addr string, recs []dht.StoredRecord, replicate bool) error {
+func (b *boundClient) Store(sc obs.SpanContext, addr string, recs []dht.StoredRecord, replicate bool) error {
 	if err := b.begin(addr); err != nil {
 		return err
 	}
 	inner, from := b.chaos.inner, b.from
-	if b.chaos.maybeDefer(func() { _ = inner.Store(addr, recs, replicate) }) {
+	if b.chaos.maybeDefer(func() { _ = inner.Store(sc, addr, recs, replicate) }) {
 		return nil // "in flight": the caller sees success now
 	}
-	if err := inner.Store(addr, recs, replicate); err != nil {
+	if err := inner.Store(sc, addr, recs, replicate); err != nil {
 		return err
 	}
 	if b.chaos.shouldDup() {
-		_ = inner.Store(addr, recs, replicate)
+		_ = inner.Store(sc, addr, recs, replicate)
 	}
 	return b.chaos.replyLost(from, addr)
 }
 
 // Retrieve implements dht.Client.
-func (b *boundClient) Retrieve(addr string, key dht.ID) ([]dht.StoredRecord, error) {
+func (b *boundClient) Retrieve(sc obs.SpanContext, addr string, key dht.ID) ([]dht.StoredRecord, error) {
 	if err := b.begin(addr); err != nil {
 		return nil, err
 	}
-	recs, err := b.chaos.inner.Retrieve(addr, key)
+	recs, err := b.chaos.inner.Retrieve(sc, addr, key)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"mdrep/internal/dht"
 	"mdrep/internal/fault"
+	"mdrep/internal/obs"
 )
 
 // fakeClient records every RPC that actually reaches the transport.
@@ -22,23 +23,23 @@ func (f *fakeClient) record(op, addr string) error {
 	return f.err
 }
 
-func (f *fakeClient) FindSuccessor(addr string, id dht.ID) (dht.NodeRef, error) {
+func (f *fakeClient) FindSuccessor(_ obs.SpanContext, addr string, id dht.ID) (dht.NodeRef, error) {
 	return dht.NodeRef{Addr: addr}, f.record("find", addr)
 }
-func (f *fakeClient) Successors(addr string) ([]dht.NodeRef, error) {
+func (f *fakeClient) Successors(_ obs.SpanContext, addr string) ([]dht.NodeRef, error) {
 	return nil, f.record("succs", addr)
 }
-func (f *fakeClient) Predecessor(addr string) (dht.NodeRef, bool, error) {
+func (f *fakeClient) Predecessor(_ obs.SpanContext, addr string) (dht.NodeRef, bool, error) {
 	return dht.NodeRef{}, false, f.record("pred", addr)
 }
-func (f *fakeClient) Notify(addr string, self dht.NodeRef) error {
+func (f *fakeClient) Notify(_ obs.SpanContext, addr string, self dht.NodeRef) error {
 	return f.record("notify", addr)
 }
-func (f *fakeClient) Ping(addr string) error { return f.record("ping", addr) }
-func (f *fakeClient) Store(addr string, recs []dht.StoredRecord, replicate bool) error {
+func (f *fakeClient) Ping(_ obs.SpanContext, addr string) error { return f.record("ping", addr) }
+func (f *fakeClient) Store(_ obs.SpanContext, addr string, recs []dht.StoredRecord, replicate bool) error {
 	return f.record("store", addr)
 }
-func (f *fakeClient) Retrieve(addr string, key dht.ID) ([]dht.StoredRecord, error) {
+func (f *fakeClient) Retrieve(_ obs.SpanContext, addr string, key dht.ID) ([]dht.StoredRecord, error) {
 	return nil, f.record("retrieve", addr)
 }
 
@@ -46,10 +47,10 @@ func TestRequestLossBlocksBeforeHandler(t *testing.T) {
 	inner := &fakeClient{}
 	c := New(inner, NewClock(), Config{Seed: 1, RequestLoss: 1})
 	cl := c.ClientFor("a")
-	if err := cl.Ping("b"); !errors.Is(err, dht.ErrNodeUnreachable) {
+	if err := cl.Ping(obs.SpanContext{}, "b"); !errors.Is(err, dht.ErrNodeUnreachable) {
 		t.Fatalf("ping error = %v, want ErrNodeUnreachable", err)
 	}
-	if !fault.Retryable(cl.Ping("b")) {
+	if !fault.Retryable(cl.Ping(obs.SpanContext{}, "b")) {
 		t.Fatalf("request drop should classify as retryable")
 	}
 	if len(inner.calls) != 0 {
@@ -63,7 +64,7 @@ func TestRequestLossBlocksBeforeHandler(t *testing.T) {
 func TestReplyLossAfterSideEffect(t *testing.T) {
 	inner := &fakeClient{}
 	c := New(inner, NewClock(), Config{Seed: 1, ReplyLoss: 1})
-	err := c.ClientFor("a").Store("b", nil, false)
+	err := c.ClientFor("a").Store(obs.SpanContext{}, "b", nil, false)
 	if !errors.Is(err, dht.ErrNodeUnreachable) {
 		t.Fatalf("store error = %v, want ErrNodeUnreachable", err)
 	}
@@ -81,17 +82,17 @@ func TestCrashBlocksBothDirections(t *testing.T) {
 	inner := &fakeClient{}
 	c := New(inner, NewClock(), Config{Seed: 1})
 	c.Crash("b")
-	if err := c.ClientFor("a").Ping("b"); !errors.Is(err, dht.ErrNodeUnreachable) {
+	if err := c.ClientFor("a").Ping(obs.SpanContext{}, "b"); !errors.Is(err, dht.ErrNodeUnreachable) {
 		t.Fatalf("call to crashed node: %v, want ErrNodeUnreachable", err)
 	}
-	if err := c.ClientFor("b").Ping("a"); !errors.Is(err, dht.ErrNodeUnreachable) {
+	if err := c.ClientFor("b").Ping(obs.SpanContext{}, "a"); !errors.Is(err, dht.ErrNodeUnreachable) {
 		t.Fatalf("call from crashed node: %v, want ErrNodeUnreachable", err)
 	}
 	if got := c.Counters.CrashBlocks.Load(); got != 2 {
 		t.Fatalf("CrashBlocks = %d, want 2", got)
 	}
 	c.Restart("b")
-	if err := c.ClientFor("a").Ping("b"); err != nil {
+	if err := c.ClientFor("a").Ping(obs.SpanContext{}, "b"); err != nil {
 		t.Fatalf("ping after restart: %v", err)
 	}
 	if len(inner.calls) != 1 {
@@ -103,21 +104,21 @@ func TestPartitionAndHeal(t *testing.T) {
 	inner := &fakeClient{}
 	c := New(inner, NewClock(), Config{Seed: 1})
 	c.SetPartition(map[string]int{"a": 0, "b": 1, "c": 1})
-	if err := c.ClientFor("a").Ping("b"); !errors.Is(err, dht.ErrNodeUnreachable) {
+	if err := c.ClientFor("a").Ping(obs.SpanContext{}, "b"); !errors.Is(err, dht.ErrNodeUnreachable) {
 		t.Fatalf("cross-partition ping: %v, want ErrNodeUnreachable", err)
 	}
-	if err := c.ClientFor("b").Ping("c"); err != nil {
+	if err := c.ClientFor("b").Ping(obs.SpanContext{}, "c"); err != nil {
 		t.Fatalf("same-group ping: %v", err)
 	}
 	// Addresses missing from the map default to group 0.
-	if err := c.ClientFor("a").Ping("d"); err != nil {
+	if err := c.ClientFor("a").Ping(obs.SpanContext{}, "d"); err != nil {
 		t.Fatalf("default-group ping: %v", err)
 	}
 	if got := c.Counters.PartitionBlocks.Load(); got != 1 {
 		t.Fatalf("PartitionBlocks = %d, want 1", got)
 	}
 	c.Heal()
-	if err := c.ClientFor("a").Ping("b"); err != nil {
+	if err := c.ClientFor("a").Ping(obs.SpanContext{}, "b"); err != nil {
 		t.Fatalf("ping after heal: %v", err)
 	}
 }
@@ -125,7 +126,7 @@ func TestPartitionAndHeal(t *testing.T) {
 func TestDuplicationRedelivers(t *testing.T) {
 	inner := &fakeClient{}
 	c := New(inner, NewClock(), Config{Seed: 1, DupRate: 1})
-	if err := c.ClientFor("a").Store("b", nil, false); err != nil {
+	if err := c.ClientFor("a").Store(obs.SpanContext{}, "b", nil, false); err != nil {
 		t.Fatalf("store: %v", err)
 	}
 	want := []string{"store->b", "store->b"}
@@ -141,14 +142,14 @@ func TestDeferredStoreDeliversLate(t *testing.T) {
 	inner := &fakeClient{}
 	c := New(inner, NewClock(), Config{Seed: 1, DeferRate: 1, DeferOps: 1})
 	cl := c.ClientFor("a")
-	if err := cl.Store("b", nil, false); err != nil {
+	if err := cl.Store(obs.SpanContext{}, "b", nil, false); err != nil {
 		t.Fatalf("deferred store should report success, got %v", err)
 	}
 	if len(inner.calls) != 0 {
 		t.Fatalf("inner calls = %v, want none yet (store in flight)", inner.calls)
 	}
 	// The next operation trips the due delivery, which runs before it.
-	if err := cl.Ping("c"); err != nil {
+	if err := cl.Ping(obs.SpanContext{}, "c"); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
 	want := []string{"store->b", "ping->c"}
@@ -163,7 +164,7 @@ func TestDeferredStoreDeliversLate(t *testing.T) {
 func TestFlushDrainsDeferred(t *testing.T) {
 	inner := &fakeClient{}
 	c := New(inner, NewClock(), Config{Seed: 1, DeferRate: 1, DeferOps: 8})
-	if err := c.ClientFor("a").Store("b", nil, true); err != nil {
+	if err := c.ClientFor("a").Store(obs.SpanContext{}, "b", nil, true); err != nil {
 		t.Fatalf("store: %v", err)
 	}
 	if len(inner.calls) != 0 {
@@ -180,7 +181,7 @@ func TestLatencyAdvancesVirtualClock(t *testing.T) {
 	c := New(&fakeClient{}, clock, Config{Seed: 1, LatencyBase: 10 * time.Millisecond})
 	cl := c.ClientFor("a")
 	for i := 0; i < 3; i++ {
-		if err := cl.Ping("b"); err != nil {
+		if err := cl.Ping(obs.SpanContext{}, "b"); err != nil {
 			t.Fatalf("ping %d: %v", i, err)
 		}
 	}
@@ -196,7 +197,7 @@ func TestOpTimeoutClassifiesAsTimeout(t *testing.T) {
 		LatencyBase: 50 * time.Millisecond,
 		OpTimeout:   10 * time.Millisecond,
 	})
-	err := c.ClientFor("a").Ping("b")
+	err := c.ClientFor("a").Ping(obs.SpanContext{}, "b")
 	if !errors.Is(err, fault.ErrTimeout) {
 		t.Fatalf("error = %v, want fault.ErrTimeout", err)
 	}
@@ -229,11 +230,11 @@ func faultTrace(seed uint64) string {
 		var err error
 		switch i % 3 {
 		case 0:
-			err = cl.Ping("b")
+			err = cl.Ping(obs.SpanContext{}, "b")
 		case 1:
-			err = cl.Store("b", nil, false)
+			err = cl.Store(obs.SpanContext{}, "b", nil, false)
 		default:
-			_, err = cl.Retrieve("b", dht.ID(uint64(i)))
+			_, err = cl.Retrieve(obs.SpanContext{}, "b", dht.ID(uint64(i)))
 		}
 		if err != nil {
 			out += "x"

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mdrep/internal/dht"
+	"mdrep/internal/flight"
+	"mdrep/internal/obs"
+)
+
+// traceTestClock returns a deterministic ticking clock for EnableTracing
+// so span durations never read wall time.
+func traceTestClock() obs.Clock {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func installTracing(t *testing.T, seed uint64) *flight.Recorder {
+	t.Helper()
+	rec := flight.NewRecorder(flight.DefaultRingSize, 64)
+	flight.Install(rec)
+	obs.EnableTracing(seed, traceTestClock(), 1)
+	t.Cleanup(func() {
+		obs.DisableTracing()
+		flight.Install(nil)
+	})
+	return rec
+}
+
+// TestCrashEmitsFlightDump: every injected crash must leave a black box
+// behind — the whole point of an always-on recorder is that the trace
+// evidence survives the node that produced it.
+func TestCrashEmitsFlightDump(t *testing.T) {
+	rec := installTracing(t, 1)
+	rp := dht.DefaultRetryPolicy()
+	nw, err := NewNetwork(NetworkConfig{
+		Nodes:            4,
+		SuccessorListLen: 2,
+		Chaos:            Config{Seed: 1},
+		Retry:            &rp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Crash(1)
+	d, ok := rec.LastDump()
+	if !ok {
+		t.Fatal("crash did not trigger a flight dump")
+	}
+	if want := dumpReasonCrash + nw.Addr(1); d.Reason != want {
+		t.Errorf("dump reason = %q, want %q", d.Reason, want)
+	}
+	if len(d.Records) == 0 {
+		t.Error("crash dump captured an empty ring — build traffic should be recorded")
+	}
+	nw.Crash(2)
+	if got := rec.Triggered(); got != 2 {
+		t.Errorf("2 crashes triggered %d dumps", got)
+	}
+}
+
+// chaosFingerprint runs one seeded fault schedule to completion and
+// returns a byte-exact digest of everything the injector did: the
+// schedule script, every delivered-fault tally, and the virtual clock.
+// Tracing must not move a single byte of it.
+func chaosFingerprint(t *testing.T, seed uint64) string {
+	t.Helper()
+	rp := dht.DefaultRetryPolicy()
+	nw, err := NewNetwork(NetworkConfig{
+		Nodes:            6,
+		SuccessorListLen: 3,
+		Chaos: Config{
+			Seed:        seed,
+			RequestLoss: 0.02,
+			ReplyLoss:   0.02,
+			LatencyBase: time.Millisecond,
+		},
+		Retry: &rp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Generate(seed, 6, Profile{
+		Rounds:          4,
+		CrashesPerRound: 1,
+		RestartAfter:    1,
+		Protected:       []int{0},
+	})
+	recs := MakeRecords(8, seed)
+	if err := nw.RunSchedule(sched, recs, 8); err != nil {
+		t.Fatalf("schedule seed %d: %v", seed, err)
+	}
+	var b strings.Builder
+	b.WriteString(sched.String())
+	for name, v := range nw.Chaos.Counters.Snapshot() {
+		fmt.Fprintf(&b, "%s=%d\n", name, v)
+	}
+	fmt.Fprintf(&b, "clock=%d\n", nw.Clock.Now())
+	return b.String()
+}
+
+// scheduleCrashCount counts the crash targets a schedule injects.
+func scheduleCrashCount(seed uint64) int {
+	sched := Generate(seed, 6, Profile{
+		Rounds:          4,
+		CrashesPerRound: 1,
+		RestartAfter:    1,
+		Protected:       []int{0},
+	})
+	n := 0
+	for _, ev := range sched.Events {
+		if ev.Op == OpCrash {
+			n += len(ev.Nodes)
+		}
+	}
+	return n
+}
+
+// TestScheduleByteIdenticalWithTracing is the determinism acceptance
+// check: running the same seeded fault schedule with tracing off and
+// with tracing fully on (sample-everything, recorder installed) must
+// produce the identical injector history — tracing consumes no shared
+// randomness and advances no virtual time — and the traced run must
+// emit one black-box dump per injected crash.
+func TestScheduleByteIdenticalWithTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos schedules are long")
+	}
+	// Snapshot iteration order of the counters map doesn't matter for
+	// equality of the digest only if it is deterministic; sort instead.
+	for seed := uint64(0); seed < 5; seed++ {
+		plain := chaosFingerprint(t, seed)
+		rec := flight.NewRecorder(flight.DefaultRingSize, 64)
+		flight.Install(rec)
+		obs.EnableTracing(seed+100, traceTestClock(), 1)
+		traced := chaosFingerprint(t, seed)
+		obs.DisableTracing()
+		flight.Install(nil)
+		if sortLines(plain) != sortLines(traced) {
+			t.Fatalf("seed %d: tracing changed the chaos schedule:\nplain:\n%s\ntraced:\n%s", seed, plain, traced)
+		}
+		crashes := scheduleCrashCount(seed)
+		dumped := 0
+		for _, d := range rec.Dumps() {
+			if strings.HasPrefix(d.Reason, dumpReasonCrash) {
+				dumped++
+			}
+		}
+		if int(rec.Triggered()) < crashes {
+			t.Errorf("seed %d: %d crashes injected but only %d dumps triggered", seed, crashes, rec.Triggered())
+		}
+		if dumped == 0 && crashes > 0 {
+			t.Errorf("seed %d: no retained dump carries the crash reason", seed)
+		}
+	}
+}
+
+// sortLines canonicalises a digest whose map-derived lines may arrive in
+// any order.
+func sortLines(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			if lines[j] < lines[i] {
+				lines[i], lines[j] = lines[j], lines[i]
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -8,6 +8,7 @@ import (
 	"mdrep/internal/dht"
 	"mdrep/internal/eval"
 	"mdrep/internal/fault"
+	"mdrep/internal/flight"
 	"mdrep/internal/identity"
 	"mdrep/internal/metrics"
 	"mdrep/internal/obs"
@@ -145,11 +146,14 @@ func (nw *Network) join(i int) error {
 }
 
 // Crash kills slot i: chaos blocks its traffic both ways and MemNet
-// drops in-flight (deferred) deliveries addressed to it.
+// drops in-flight (deferred) deliveries addressed to it. A crash is a
+// black-box moment — the flight recorder snapshots whatever the ring
+// held when the node went down.
 func (nw *Network) Crash(i int) {
 	addr := nw.Addr(i)
 	nw.Chaos.Crash(addr)
 	nw.Mem.Fail(addr)
+	flight.TriggerDump(dumpReasonCrash + addr)
 }
 
 // Restart brings slot i back as a fresh process: empty storage, no ring
@@ -275,7 +279,7 @@ func (nw *Network) Publish(recs []dht.StoredRecord, ts time.Duration) error {
 // invariant of the chaos suite.
 func (nw *Network) VerifyRecords(via *dht.Node, recs []dht.StoredRecord) error {
 	for _, want := range recs {
-		got, err := via.Retrieve(want.Key)
+		got, err := via.Retrieve(obs.SpanContext{}, want.Key)
 		if err != nil {
 			return fmt.Errorf("chaos: retrieve %s: %w", want.Info.FileID, err)
 		}
@@ -357,3 +361,7 @@ func (nw *Network) RunSchedule(s *Schedule, recs []dht.StoredRecord, stabRounds 
 	}
 	return nil
 }
+
+// dumpReasonCrash prefixes the flight-dump reason for injected node
+// crashes.
+const dumpReasonCrash = "chaos: node crashed: "

@@ -12,6 +12,7 @@ import (
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
 	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 )
 
 // churnConfig is the standard chaotic network for the property suite:
@@ -202,7 +203,7 @@ func sharedFile() (dht.ID, []dht.StoredRecord) {
 // computes R_f (Eq. 9) with all evaluators equally reputed.
 func judgeThroughNode(t *testing.T, n *dht.Node, key dht.ID, ownerIdx map[identity.PeerID]int) float64 {
 	t.Helper()
-	got, err := n.Retrieve(key)
+	got, err := n.Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatalf("retrieve via %s: %v", n.Self().Addr, err)
 	}
@@ -315,7 +316,7 @@ func TestLookupSuccessVsLossRate(t *testing.T) {
 	count := func(nw *Network) int {
 		ok := 0
 		for i, r := range recs {
-			if _, err := nw.Nodes[i%len(nw.Nodes)].Retrieve(r.Key); err == nil {
+			if _, err := nw.Nodes[i%len(nw.Nodes)].Retrieve(obs.SpanContext{}, r.Key); err == nil {
 				ok++
 			}
 		}
@@ -352,7 +353,7 @@ func TestE2ECountersObservable(t *testing.T) {
 	}
 	nw.Converge(4)
 	for i, r := range recs {
-		if _, err := nw.Nodes[i%len(nw.Nodes)].Retrieve(r.Key); err != nil {
+		if _, err := nw.Nodes[i%len(nw.Nodes)].Retrieve(obs.SpanContext{}, r.Key); err != nil {
 			t.Fatalf("retrieve %d: %v", i, err)
 		}
 	}

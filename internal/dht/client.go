@@ -1,27 +1,35 @@
 package dht
 
-import "mdrep/internal/fault"
+import (
+	"mdrep/internal/fault"
+	"mdrep/internal/obs"
+)
 
 // Client is the RPC surface a node uses to talk to other nodes. The
 // in-memory network and the TCP transport both implement it; the node
-// logic is transport-agnostic.
+// logic is transport-agnostic. Every call takes the caller's span
+// context first: transports open one RPC span per call under it and
+// propagate it across the wire, which is how a walk estimate's DHT hops
+// stitch into one trace. Callers without a trace pass the zero
+// obs.SpanContext — the transport then roots a trace of its own, so
+// maintenance traffic still reaches the flight recorder.
 type Client interface {
 	// FindSuccessor asks the node at addr for the successor of id.
-	FindSuccessor(addr string, id ID) (NodeRef, error)
+	FindSuccessor(sc obs.SpanContext, addr string, id ID) (NodeRef, error)
 	// Successors returns the successor list of the node at addr.
-	Successors(addr string) ([]NodeRef, error)
+	Successors(sc obs.SpanContext, addr string) ([]NodeRef, error)
 	// Predecessor returns the predecessor of the node at addr; ok is
 	// false when unset.
-	Predecessor(addr string) (NodeRef, bool, error)
+	Predecessor(sc obs.SpanContext, addr string) (NodeRef, bool, error)
 	// Notify tells the node at addr that self may be its predecessor.
-	Notify(addr string, self NodeRef) error
+	Notify(sc obs.SpanContext, addr string, self NodeRef) error
 	// Ping checks liveness.
-	Ping(addr string) error
+	Ping(sc obs.SpanContext, addr string) error
 	// Store writes records to the node at addr. When replicate is true
 	// the receiving node forwards copies to its successor list.
-	Store(addr string, recs []StoredRecord, replicate bool) error
+	Store(sc obs.SpanContext, addr string, recs []StoredRecord, replicate bool) error
 	// Retrieve reads the records stored under key at addr.
-	Retrieve(addr string, key ID) ([]StoredRecord, error)
+	Retrieve(sc obs.SpanContext, addr string, key ID) ([]StoredRecord, error)
 }
 
 // unreachableError is the concrete type behind ErrNodeUnreachable. It
@@ -41,12 +49,15 @@ func (unreachableError) Is(target error) bool { return target == fault.ErrUnreac
 var ErrNodeUnreachable error = unreachableError{}
 
 // handler is the server-side surface; *Node implements it, and both
-// transports dispatch inbound requests through it.
+// transports dispatch inbound requests through it. The methods that can
+// fan out further RPCs (lookup forwarding, store replication) receive
+// the inbound span context so the continuation stays on the caller's
+// trace.
 type handler interface {
-	HandleFindSuccessor(id ID) (NodeRef, error)
+	HandleFindSuccessor(sc obs.SpanContext, id ID) (NodeRef, error)
 	HandleSuccessors() []NodeRef
 	HandlePredecessor() (NodeRef, bool)
 	HandleNotify(candidate NodeRef)
-	HandleStore(recs []StoredRecord, replicate bool)
+	HandleStore(sc obs.SpanContext, recs []StoredRecord, replicate bool)
 	HandleRetrieve(key ID) []StoredRecord
 }

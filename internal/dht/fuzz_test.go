@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"mdrep/internal/obs"
 	"mdrep/internal/wire"
 )
 
@@ -40,7 +41,7 @@ func FuzzWireRequestDecode(f *testing.F) {
 			return // malformed frames must error, and they did
 		}
 		// Whatever decoded must dispatch without panicking.
-		_ = srv.dispatch(nullHandler{}, req)
+		_ = srv.dispatch(nullHandler{}, req, obs.SpanContext{})
 	})
 }
 

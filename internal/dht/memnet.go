@@ -3,6 +3,8 @@ package dht
 import (
 	"sync"
 	"sync/atomic"
+
+	"mdrep/internal/obs"
 )
 
 // MemNet is a deterministic in-memory transport: RPCs are direct function
@@ -137,13 +139,16 @@ func (m *MemNet) dropReply() error {
 }
 
 // FindSuccessor implements Client.
-func (m *MemNet) FindSuccessor(addr string, id ID) (NodeRef, error) {
+func (m *MemNet) FindSuccessor(sc obs.SpanContext, addr string, id ID) (ref NodeRef, err error) {
+	sp := obs.StartSpan(sc, spanRPCFindSuccessor)
+	sp.AttrStr(attrAddr, addr)
+	defer func() { sp.EndErr(err) }()
 	m.messages.Add(1)
 	h, err := m.lookup(addr)
 	if err != nil {
 		return NodeRef{}, err
 	}
-	ref, err := h.HandleFindSuccessor(id)
+	ref, err = h.HandleFindSuccessor(sp.Context(), id)
 	if err != nil {
 		return NodeRef{}, err
 	}
@@ -154,13 +159,16 @@ func (m *MemNet) FindSuccessor(addr string, id ID) (NodeRef, error) {
 }
 
 // Successors implements Client.
-func (m *MemNet) Successors(addr string) ([]NodeRef, error) {
+func (m *MemNet) Successors(sc obs.SpanContext, addr string) (refs []NodeRef, err error) {
+	sp := obs.StartSpan(sc, spanRPCSuccessors)
+	sp.AttrStr(attrAddr, addr)
+	defer func() { sp.EndErr(err) }()
 	m.messages.Add(1)
 	h, err := m.lookup(addr)
 	if err != nil {
 		return nil, err
 	}
-	refs := h.HandleSuccessors()
+	refs = h.HandleSuccessors()
 	if err := m.dropReply(); err != nil {
 		return nil, err
 	}
@@ -168,13 +176,16 @@ func (m *MemNet) Successors(addr string) ([]NodeRef, error) {
 }
 
 // Predecessor implements Client.
-func (m *MemNet) Predecessor(addr string) (NodeRef, bool, error) {
+func (m *MemNet) Predecessor(sc obs.SpanContext, addr string) (ref NodeRef, ok bool, err error) {
+	sp := obs.StartSpan(sc, spanRPCPredecessor)
+	sp.AttrStr(attrAddr, addr)
+	defer func() { sp.EndErr(err) }()
 	m.messages.Add(1)
 	h, err := m.lookup(addr)
 	if err != nil {
 		return NodeRef{}, false, err
 	}
-	ref, ok := h.HandlePredecessor()
+	ref, ok = h.HandlePredecessor()
 	if err := m.dropReply(); err != nil {
 		return NodeRef{}, false, err
 	}
@@ -182,7 +193,10 @@ func (m *MemNet) Predecessor(addr string) (NodeRef, bool, error) {
 }
 
 // Notify implements Client.
-func (m *MemNet) Notify(addr string, self NodeRef) error {
+func (m *MemNet) Notify(sc obs.SpanContext, addr string, self NodeRef) (err error) {
+	sp := obs.StartSpan(sc, spanRPCNotify)
+	sp.AttrStr(attrAddr, addr)
+	defer func() { sp.EndErr(err) }()
 	m.messages.Add(1)
 	h, err := m.lookup(addr)
 	if err != nil {
@@ -193,9 +207,12 @@ func (m *MemNet) Notify(addr string, self NodeRef) error {
 }
 
 // Ping implements Client.
-func (m *MemNet) Ping(addr string) error {
+func (m *MemNet) Ping(sc obs.SpanContext, addr string) (err error) {
+	sp := obs.StartSpan(sc, spanRPCPing)
+	sp.AttrStr(attrAddr, addr)
+	defer func() { sp.EndErr(err) }()
 	m.messages.Add(1)
-	_, err := m.lookup(addr)
+	_, err = m.lookup(addr)
 	if err != nil {
 		return err
 	}
@@ -203,24 +220,30 @@ func (m *MemNet) Ping(addr string) error {
 }
 
 // Store implements Client.
-func (m *MemNet) Store(addr string, recs []StoredRecord, replicate bool) error {
+func (m *MemNet) Store(sc obs.SpanContext, addr string, recs []StoredRecord, replicate bool) (err error) {
+	sp := obs.StartSpan(sc, spanRPCStore)
+	sp.AttrStr(attrAddr, addr)
+	defer func() { sp.EndErr(err) }()
 	m.messages.Add(1)
 	h, err := m.lookup(addr)
 	if err != nil {
 		return err
 	}
-	h.HandleStore(recs, replicate)
+	h.HandleStore(sp.Context(), recs, replicate)
 	return m.dropReply()
 }
 
 // Retrieve implements Client.
-func (m *MemNet) Retrieve(addr string, key ID) ([]StoredRecord, error) {
+func (m *MemNet) Retrieve(sc obs.SpanContext, addr string, key ID) (recs []StoredRecord, err error) {
+	sp := obs.StartSpan(sc, spanRPCRetrieve)
+	sp.AttrStr(attrAddr, addr)
+	defer func() { sp.EndErr(err) }()
 	m.messages.Add(1)
 	h, err := m.lookup(addr)
 	if err != nil {
 		return nil, err
 	}
-	recs := h.HandleRetrieve(key)
+	recs = h.HandleRetrieve(key)
 	if err := m.dropReply(); err != nil {
 		return nil, err
 	}

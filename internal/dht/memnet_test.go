@@ -5,17 +5,21 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"mdrep/internal/obs"
 )
 
 // nullHandler accepts every RPC so loss is the only failure source.
 type nullHandler struct{}
 
-func (nullHandler) HandleFindSuccessor(id ID) (NodeRef, error)      { return NodeRef{Addr: "x"}, nil }
-func (nullHandler) HandleSuccessors() []NodeRef                     { return nil }
-func (nullHandler) HandlePredecessor() (NodeRef, bool)              { return NodeRef{}, false }
-func (nullHandler) HandleNotify(candidate NodeRef)                  {}
-func (nullHandler) HandleStore(recs []StoredRecord, replicate bool) {}
-func (nullHandler) HandleRetrieve(key ID) []StoredRecord            { return nil }
+func (nullHandler) HandleFindSuccessor(_ obs.SpanContext, id ID) (NodeRef, error) {
+	return NodeRef{Addr: "x"}, nil
+}
+func (nullHandler) HandleSuccessors() []NodeRef                                        { return nil }
+func (nullHandler) HandlePredecessor() (NodeRef, bool)                                 { return NodeRef{}, false }
+func (nullHandler) HandleNotify(candidate NodeRef)                                     {}
+func (nullHandler) HandleStore(_ obs.SpanContext, recs []StoredRecord, replicate bool) {}
+func (nullHandler) HandleRetrieve(key ID) []StoredRecord                               { return nil }
 
 // lossTrace pings through a lossy MemNet and returns the outcome
 // pattern plus the split drop counters.
@@ -26,7 +30,7 @@ func lossTrace(seed uint64, rate float64, calls int) string {
 	net.SetLossSeed(seed)
 	var sb strings.Builder
 	for i := 0; i < calls; i++ {
-		if err := net.Ping("mem://a"); err != nil {
+		if err := net.Ping(obs.SpanContext{}, "mem://a"); err != nil {
 			sb.WriteByte('x')
 		} else {
 			sb.WriteByte('.')
@@ -71,7 +75,7 @@ func TestMemNetReplyLossAfterSideEffect(t *testing.T) {
 		if attempts > 1000 {
 			t.Fatalf("no reply drop within 1000 attempts at 50%% loss")
 		}
-		if err := net.Store("mem://a", nil, false); err != nil {
+		if err := net.Store(obs.SpanContext{}, "mem://a", nil, false); err != nil {
 			if !errors.Is(err, ErrNodeUnreachable) {
 				t.Fatalf("unexpected error: %v", err)
 			}
@@ -93,9 +97,11 @@ func TestMemNetReplyLossAfterSideEffect(t *testing.T) {
 
 type storeCounter struct{ n *int }
 
-func (s storeCounter) HandleFindSuccessor(id ID) (NodeRef, error)      { return NodeRef{}, nil }
-func (s storeCounter) HandleSuccessors() []NodeRef                     { return nil }
-func (s storeCounter) HandlePredecessor() (NodeRef, bool)              { return NodeRef{}, false }
-func (s storeCounter) HandleNotify(candidate NodeRef)                  {}
-func (s storeCounter) HandleStore(recs []StoredRecord, replicate bool) { *s.n++ }
-func (s storeCounter) HandleRetrieve(key ID) []StoredRecord            { return nil }
+func (s storeCounter) HandleFindSuccessor(_ obs.SpanContext, id ID) (NodeRef, error) {
+	return NodeRef{}, nil
+}
+func (s storeCounter) HandleSuccessors() []NodeRef                                        { return nil }
+func (s storeCounter) HandlePredecessor() (NodeRef, bool)                                 { return NodeRef{}, false }
+func (s storeCounter) HandleNotify(candidate NodeRef)                                     {}
+func (s storeCounter) HandleStore(_ obs.SpanContext, recs []StoredRecord, replicate bool) { *s.n++ }
+func (s storeCounter) HandleRetrieve(key ID) []StoredRecord                               { return nil }

@@ -3,9 +3,11 @@ package dht
 import (
 	"errors"
 	"fmt"
-	"mdrep/internal/fault"
 	"sync"
 	"time"
+
+	"mdrep/internal/fault"
+	"mdrep/internal/obs"
 )
 
 // NodeConfig parameterises one DHT node.
@@ -113,7 +115,7 @@ func (n *Node) LookupHops() uint64 {
 // Join points the node at an existing ring member and resolves its
 // successor. The periodic Stabilize calls then integrate it fully.
 func (n *Node) Join(bootstrap string) error {
-	succ, err := n.client.FindSuccessor(bootstrap, n.self.ID)
+	succ, err := n.client.FindSuccessor(obs.SpanContext{}, bootstrap, n.self.ID)
 	if err != nil {
 		return fmt.Errorf("dht: join via %s: %w", bootstrap, err)
 	}
@@ -130,7 +132,7 @@ func (n *Node) Join(bootstrap string) error {
 	// Deepen the successor list right away: a fresh node with a single
 	// successor is orphaned if that successor dies before the first
 	// stabilisation round. Failure is fine — Stabilize deepens it later.
-	if list, err := n.client.Successors(succ.Addr); err == nil {
+	if list, err := n.client.Successors(obs.SpanContext{}, succ.Addr); err == nil {
 		n.mergeSuccessorList(succ, list)
 	}
 	return nil
@@ -158,8 +160,9 @@ func (n *Node) closestPreceding(id ID) NodeRef {
 
 // HandleFindSuccessor implements the server side of lookups: if id falls
 // between self and successor, the successor owns it; otherwise forward to
-// the closest preceding finger.
-func (n *Node) HandleFindSuccessor(id ID) (NodeRef, error) {
+// the closest preceding finger — on the caller's trace, so multi-hop
+// lookups stitch into one tree.
+func (n *Node) HandleFindSuccessor(sc obs.SpanContext, id ID) (NodeRef, error) {
 	n.mu.Lock()
 	n.lookupHops++
 	succ := n.succs[0]
@@ -174,7 +177,7 @@ func (n *Node) HandleFindSuccessor(id ID) (NodeRef, error) {
 	if next.Addr == n.self.Addr {
 		return succ, nil
 	}
-	ref, err := n.client.FindSuccessor(next.Addr, id)
+	ref, err := n.client.FindSuccessor(sc, next.Addr, id)
 	if err != nil {
 		// Routing hole during churn: fall back to the successor walk.
 		return succ, nil
@@ -202,8 +205,8 @@ func (n *Node) HandleNotify(candidate NodeRef) {
 }
 
 // HandleStore merges records locally; when replicate is set it forwards
-// unreplicated copies to the successor list.
-func (n *Node) HandleStore(recs []StoredRecord, replicate bool) {
+// unreplicated copies to the successor list, on the caller's trace.
+func (n *Node) HandleStore(sc obs.SpanContext, recs []StoredRecord, replicate bool) {
 	n.cfg.Storage.Put(recs)
 	if !replicate {
 		return
@@ -213,7 +216,7 @@ func (n *Node) HandleStore(recs []StoredRecord, replicate bool) {
 			continue
 		}
 		// Replica write failures are tolerated; stabilisation repairs.
-		_ = n.client.Store(s.Addr, recs, false)
+		_ = n.client.Store(sc, s.Addr, recs, false)
 	}
 }
 
@@ -236,7 +239,7 @@ func (n *Node) Stabilize() {
 		// Bootstrap case: a node that is its own successor adopts its
 		// predecessor (set by a joiner's notify) to close the ring.
 		if pred, ok := n.PredecessorRef(); ok && pred.Addr != n.self.Addr {
-			if n.client.Ping(pred.Addr) == nil {
+			if n.client.Ping(obs.SpanContext{}, pred.Addr) == nil {
 				n.adoptSuccessor(pred)
 				succ = pred
 			}
@@ -249,11 +252,11 @@ func (n *Node) Stabilize() {
 			succ = n.rejoinViaFinger()
 		}
 	} else {
-		if pred, ok, err := n.client.Predecessor(succ.Addr); err != nil {
+		if pred, ok, err := n.client.Predecessor(obs.SpanContext{}, succ.Addr); err != nil {
 			n.dropSuccessor(succ)
 			succ = n.Successor()
 		} else if ok && BetweenOpen(pred.ID, n.self.ID, succ.ID) && pred.Addr != n.self.Addr {
-			if n.client.Ping(pred.Addr) == nil {
+			if n.client.Ping(obs.SpanContext{}, pred.Addr) == nil {
 				n.adoptSuccessor(pred)
 				succ = pred
 			}
@@ -261,9 +264,9 @@ func (n *Node) Stabilize() {
 	}
 	// Refresh the successor list from the (possibly new) successor.
 	if succ.Addr != n.self.Addr {
-		if list, err := n.client.Successors(succ.Addr); err == nil {
+		if list, err := n.client.Successors(obs.SpanContext{}, succ.Addr); err == nil {
 			n.mergeSuccessorList(succ, list)
-			_ = n.client.Notify(succ.Addr, n.self)
+			_ = n.client.Notify(obs.SpanContext{}, succ.Addr, n.self)
 		} else {
 			n.dropSuccessor(succ)
 		}
@@ -283,7 +286,7 @@ func (n *Node) rejoinViaFinger() NodeRef {
 		if f.IsZero() || f.Addr == n.self.Addr {
 			continue
 		}
-		succ, err := n.client.FindSuccessor(f.Addr, n.self.ID)
+		succ, err := n.client.FindSuccessor(obs.SpanContext{}, f.Addr, n.self.ID)
 		if err != nil || succ.IsZero() || succ.Addr == n.self.Addr {
 			continue
 		}
@@ -357,7 +360,7 @@ func (n *Node) checkPredecessor() {
 	if !ok || pred.Addr == n.self.Addr {
 		return
 	}
-	if n.client.Ping(pred.Addr) != nil {
+	if n.client.Ping(obs.SpanContext{}, pred.Addr) != nil {
 		n.mu.Lock()
 		n.hasPred = false
 		n.mu.Unlock()
@@ -370,7 +373,7 @@ func (n *Node) FixFinger(i int) {
 		return
 	}
 	target := fingerStart(n.self.ID, i)
-	ref, err := n.HandleFindSuccessor(target)
+	ref, err := n.HandleFindSuccessor(obs.SpanContext{}, target)
 	if err != nil {
 		return
 	}
@@ -388,21 +391,26 @@ func (n *Node) FixAllFingers() {
 }
 
 // Lookup resolves the node responsible for key.
-func (n *Node) Lookup(key ID) (NodeRef, error) {
-	return n.HandleFindSuccessor(key)
+func (n *Node) Lookup(sc obs.SpanContext, key ID) (NodeRef, error) {
+	return n.HandleFindSuccessor(sc, key)
 }
 
 // Publish stores records under their keys at the responsible nodes with
 // replication (§4.1 steps 1–2: publication and republication both land
 // here). Records with distinct keys are routed independently.
 func (n *Node) Publish(recs []StoredRecord) error {
+	// Publish is its own trace root: republication and daemon publish
+	// paths call it without a caller span, and the lookup + store fan-out
+	// below all stitches under it.
+	sp := obs.StartRoot(spanPublish)
+	sc := sp.Context()
 	byKey := make(map[ID][]StoredRecord)
 	for _, r := range recs {
 		byKey[r.Key] = append(byKey[r.Key], r)
 	}
 	var firstErr error
 	for key, group := range byKey {
-		root, err := n.Lookup(key)
+		root, err := n.Lookup(sc, key)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -410,35 +418,40 @@ func (n *Node) Publish(recs []StoredRecord) error {
 			continue
 		}
 		if root.Addr == n.self.Addr {
-			n.HandleStore(group, true)
+			n.HandleStore(sc, group, true)
 			continue
 		}
-		if err := n.client.Store(root.Addr, group, true); err != nil && firstErr == nil {
+		if err := n.client.Store(sc, root.Addr, group, true); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	sp.EndErr(firstErr)
 	return firstErr
 }
 
 // Retrieve fetches the records stored under key (§4.1 step 3), trying the
 // root and then its replicas.
-func (n *Node) Retrieve(key ID) ([]StoredRecord, error) {
-	root, err := n.Lookup(key)
-	if err != nil {
-		return nil, err
-	}
+func (n *Node) Retrieve(sc obs.SpanContext, key ID) (out []StoredRecord, err error) {
+	tsp := obs.StartSpan(sc, spanRetrieve)
 	walked := 1 // the root is always consulted
 	defer func() {
 		if n.obs != nil {
 			n.obs.walkDepth.Observe(float64(walked))
 		}
+		tsp.Attr(attrWalked, int64(walked))
+		tsp.EndErr(err)
 	}()
+	sc = tsp.Context()
+	root, err := n.Lookup(sc, key)
+	if err != nil {
+		return nil, err
+	}
 	var recs []StoredRecord
 	var rootErr error
 	if root.Addr == n.self.Addr {
 		recs = n.HandleRetrieve(key)
 	} else {
-		recs, rootErr = n.client.Retrieve(root.Addr, key)
+		recs, rootErr = n.client.Retrieve(sc, root.Addr, key)
 	}
 	if rootErr == nil && len(recs) > 0 {
 		return recs, nil
@@ -446,7 +459,7 @@ func (n *Node) Retrieve(key ID) ([]StoredRecord, error) {
 	// Root unreachable or empty-handed: an empty answer may just mean
 	// the root rejoined after a crash and has not been repaired yet, so
 	// ask its replicas before concluding the records do not exist.
-	list, lerr := n.client.Successors(root.Addr)
+	list, lerr := n.client.Successors(sc, root.Addr)
 	if lerr != nil {
 		list = n.SuccessorList()
 	}
@@ -455,7 +468,7 @@ func (n *Node) Retrieve(key ID) ([]StoredRecord, error) {
 			continue
 		}
 		walked++
-		if rrecs, rerr := n.client.Retrieve(s.Addr, key); rerr == nil && len(rrecs) > 0 {
+		if rrecs, rerr := n.client.Retrieve(sc, s.Addr, key); rerr == nil && len(rrecs) > 0 {
 			return rrecs, nil
 		}
 	}
@@ -476,14 +489,14 @@ func (n *Node) Leave() error {
 	}
 	records := n.cfg.Storage.All()
 	if len(records) > 0 {
-		if err := n.client.Store(succ.Addr, records, true); err != nil {
+		if err := n.client.Store(obs.SpanContext{}, succ.Addr, records, true); err != nil {
 			return fmt.Errorf("dht: hand off %d records to %s: %w", len(records), succ.Addr, err)
 		}
 	}
 	// Tell the successor who its new predecessor should be, so the ring
 	// closes without waiting for failure detection.
 	if pred, ok := n.PredecessorRef(); ok && pred.Addr != n.self.Addr {
-		_ = n.client.Notify(succ.Addr, pred)
+		_ = n.client.Notify(obs.SpanContext{}, succ.Addr, pred)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 )
 
 // ringSuccessorOracle computes, by brute force, the node that should own
@@ -56,7 +57,7 @@ func TestSingleNodeOwnsEverything(t *testing.T) {
 	}
 	net.Register(n.Self().Addr, n)
 	for _, key := range []ID{0, 1, 1 << 40, ^ID(0)} {
-		ref, err := n.Lookup(key)
+		ref, err := n.Lookup(obs.SpanContext{}, key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func TestRingLookupMatchesOracle(t *testing.T) {
 	for _, key := range keys {
 		want := ringSuccessorOracle(refs, key)
 		for _, start := range []*Node{r.Nodes[0], r.Nodes[7], r.Nodes[23]} {
-			got, err := start.Lookup(key)
+			got, err := start.Lookup(obs.SpanContext{}, key)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -129,7 +130,7 @@ func TestPublishRetrieve(t *testing.T) {
 	}
 	// Any node can retrieve.
 	for _, n := range []*Node{r.Nodes[0], r.Nodes[9], r.Nodes[15]} {
-		got, err := n.Retrieve(key)
+		got, err := n.Retrieve(obs.SpanContext{}, key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func TestRetrieveSurvivesRootFailure(t *testing.T) {
 	if err := r.Nodes[0].Publish([]StoredRecord{rec(key, "o", 0.9, 1)}); err != nil {
 		t.Fatal(err)
 	}
-	root, err := r.Nodes[0].Lookup(key)
+	root, err := r.Nodes[0].Lookup(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestRetrieveSurvivesRootFailure(t *testing.T) {
 			n.FixAllFingers()
 		}
 	}
-	got, err := r.Nodes[0].Retrieve(key)
+	got, err := r.Nodes[0].Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatalf("retrieve after root failure: %v", err)
 	}
@@ -220,7 +221,7 @@ func TestRingHealsAfterNodeFailure(t *testing.T) {
 	// survivors.
 	for _, key := range []ID{1 << 10, 1 << 30, 1 << 50, ^ID(2)} {
 		want := ringSuccessorOracle(aliveRefs, key)
-		got, err := alive[0].Lookup(key)
+		got, err := alive[0].Lookup(obs.SpanContext{}, key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,7 +253,7 @@ func TestJoinAfterStart(t *testing.T) {
 	}
 	key := late.Self().ID // the joiner must own its own ID
 	want := ringSuccessorOracle(refs, key)
-	got, err := r.Nodes[0].Lookup(key)
+	got, err := r.Nodes[0].Lookup(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestSignedEndToEndPublish(t *testing.T) {
 	if err := ring.Nodes[0].Publish([]StoredRecord{{Key: key, Info: info}}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ring.Nodes[5].Retrieve(key)
+	got, err := ring.Nodes[5].Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestSignedEndToEndPublish(t *testing.T) {
 	if err := ring.Nodes[0].Publish([]StoredRecord{{Key: key, Info: forged}}); err != nil {
 		t.Fatal(err)
 	}
-	got, err = ring.Nodes[5].Retrieve(key)
+	got, err = ring.Nodes[5].Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestLookupHopsLogarithmic(t *testing.T) {
 	}
 	const lookups = 200
 	for i := 0; i < lookups; i++ {
-		if _, err := r.Nodes[i%64].Lookup(HashKey(time.Duration(i).String())); err != nil {
+		if _, err := r.Nodes[i%64].Lookup(obs.SpanContext{}, HashKey(time.Duration(i).String())); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -339,7 +340,7 @@ func TestLeaveHandsOffRecords(t *testing.T) {
 	if err := r.Nodes[0].Publish([]StoredRecord{rec(key, "o", 0.9, 1)}); err != nil {
 		t.Fatal(err)
 	}
-	root, err := r.Nodes[0].Lookup(key)
+	root, err := r.Nodes[0].Lookup(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestLeaveHandsOffRecords(t *testing.T) {
 	if start.Self().Addr == leaving.Self().Addr {
 		start = r.Nodes[1]
 	}
-	got, err := start.Retrieve(key)
+	got, err := start.Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +416,7 @@ func TestRingSurvivesMessageLoss(t *testing.T) {
 	}
 	got := 0
 	for attempt := 0; attempt < 10 && got == 0; attempt++ {
-		if recs, err := r.Nodes[9].Retrieve(key); err == nil {
+		if recs, err := r.Nodes[9].Retrieve(obs.SpanContext{}, key); err == nil {
 			got = len(recs)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 )
 
 func fakeObsClock() func() time.Time {
@@ -23,10 +24,10 @@ func TestRetryClientInstrument(t *testing.T) {
 	reg := metrics.NewRegistry()
 	rc.Instrument(reg, fakeObsClock())
 
-	if err := rc.Store("a", nil, false); err != nil {
+	if err := rc.Store(obs.SpanContext{}, "a", nil, false); err != nil {
 		t.Fatalf("store should succeed on 3rd attempt: %v", err)
 	}
-	if _, err := rc.Retrieve("a", 1); err != nil {
+	if _, err := rc.Retrieve(obs.SpanContext{}, "a", 1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -69,7 +70,7 @@ func TestNodeInstrument(t *testing.T) {
 	if err := r.Nodes[0].Publish([]StoredRecord{rec(key, "o", 0.9, 1)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Nodes[4].Retrieve(key); err != nil {
+	if _, err := r.Nodes[4].Retrieve(obs.SpanContext{}, key); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range r.Nodes {

@@ -6,6 +6,7 @@ import (
 
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 )
 
 func newRepublisherRing(t *testing.T, ttl time.Duration) (*Ring, *Republisher, *identity.Directory) {
@@ -38,7 +39,7 @@ func TestRepublisherPublishesStagedRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, f := range []eval.FileID{"file-a", "file-b"} {
-		recs, err := ring.Nodes[5].Retrieve(HashKey(string(f)))
+		recs, err := ring.Nodes[5].Retrieve(obs.SpanContext{}, HashKey(string(f)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func TestRepublisherUpdatesEvaluation(t *testing.T) {
 	if err := rep.RepublishNow(2 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := ring.Nodes[3].Retrieve(HashKey("f"))
+	recs, err := ring.Nodes[3].Retrieve(obs.SpanContext{}, HashKey("f"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestRepublisherRefreshesTTL(t *testing.T) {
 		t.Fatal(err)
 	}
 	now = now.Add(50 * time.Minute)
-	recs, err := ring.Nodes[4].Retrieve(key)
+	recs, err := ring.Nodes[4].Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestRepublisherRefreshesTTL(t *testing.T) {
 
 	// Without further refresh it expires.
 	now = now.Add(2 * time.Hour)
-	recs, err = ring.Nodes[4].Retrieve(key)
+	recs, err = ring.Nodes[4].Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestRepublisherBackgroundLoop(t *testing.T) {
 	defer rep.Stop()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		recs, err := ring.Nodes[6].Retrieve(HashKey("bg"))
+		recs, err := ring.Nodes[6].Retrieve(obs.SpanContext{}, HashKey("bg"))
 		if err == nil && len(recs) == 1 {
 			return
 		}
@@ -161,7 +162,7 @@ func TestRepublisherInjectedClock(t *testing.T) {
 	now = now.Add(42 * time.Second)
 	rep.tick(epoch)
 
-	recs, err := ring.Nodes[2].Retrieve(HashKey("clocked"))
+	recs, err := ring.Nodes[2].Retrieve(obs.SpanContext{}, HashKey("clocked"))
 	if err != nil {
 		t.Fatal(err)
 	}

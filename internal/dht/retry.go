@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"mdrep/internal/fault"
+	"mdrep/internal/flight"
 	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 	"mdrep/internal/sim"
 )
 
@@ -140,12 +142,26 @@ func (c *RetryClient) nextDelay(retry int) time.Duration {
 	return d
 }
 
-// do runs op with retries. op must capture its own result variables.
-// The latency span covers the whole logical call: every attempt plus the
-// backoff between them.
-func (c *RetryClient) do(name string, op func() error) error {
+// do runs op with retries. op must capture its own result variables and
+// issue its RPC under the span context it is handed, so each attempt's
+// transport span stitches under its attempt span. The latency span
+// covers the whole logical call: every attempt plus the backoff between
+// them; the causal "dht.op" span mirrors it on the trace side.
+func (c *RetryClient) do(sc obs.SpanContext, name string, op func(obs.SpanContext) error) error {
 	sp := c.obs.span(name)
 	defer sp.End()
+	osp := obs.StartSpan(sc, spanOp)
+	osp.AttrStr(attrOp, name)
+	err := c.attempts(&osp, name, op)
+	osp.EndErr(err)
+	return err
+}
+
+// attempts is do's retry loop. Exhaustion — the attempt cap or the
+// backoff budget — triggers a flight-recorder dump: the ring then holds
+// every attempt span of the doomed operation plus whatever else the
+// node was doing while it starved.
+func (c *RetryClient) attempts(osp *obs.TSpan, name string, op func(obs.SpanContext) error) error {
 	if c.policy.OpBudget < 0 {
 		// A negative budget can never be satisfied; treating it like
 		// "no budget" would silently retry forever under a policy that
@@ -157,17 +173,22 @@ func (c *RetryClient) do(name string, op func() error) error {
 	var err error
 	for attempt := 1; ; attempt++ {
 		c.Metrics.Attempts.Inc()
-		err = op()
+		asp := obs.StartChild(osp.Context(), spanAttempt)
+		asp.Attr(attrAttempt, int64(attempt))
+		err = op(asp.Context())
+		asp.EndErr(err)
 		if err == nil || !fault.Retryable(err) {
 			return err
 		}
 		if attempt >= c.policy.MaxAttempts {
 			c.Metrics.Exhausted.Inc()
+			flight.TriggerDump(dumpReasonExhausted + name)
 			return fmt.Errorf("dht: %s failed after %d attempts: %w", name, attempt, err)
 		}
 		d := c.nextDelay(attempt)
 		if c.policy.OpBudget > 0 && spent+d > c.policy.OpBudget {
 			c.Metrics.Exhausted.Inc()
+			flight.TriggerDump(dumpReasonExhausted + name)
 			return fmt.Errorf("dht: %s backoff budget exhausted after %d attempts: %w",
 				name, attempt, fault.Timeout(err))
 		}
@@ -178,65 +199,65 @@ func (c *RetryClient) do(name string, op func() error) error {
 }
 
 // FindSuccessor implements Client.
-func (c *RetryClient) FindSuccessor(addr string, id ID) (NodeRef, error) {
+func (c *RetryClient) FindSuccessor(sc obs.SpanContext, addr string, id ID) (NodeRef, error) {
 	var ref NodeRef
-	err := c.do("find_successor", func() error {
+	err := c.do(sc, "find_successor", func(asc obs.SpanContext) error {
 		var e error
-		ref, e = c.inner.FindSuccessor(addr, id)
+		ref, e = c.inner.FindSuccessor(asc, addr, id)
 		return e
 	})
 	return ref, err
 }
 
 // Successors implements Client.
-func (c *RetryClient) Successors(addr string) ([]NodeRef, error) {
+func (c *RetryClient) Successors(sc obs.SpanContext, addr string) ([]NodeRef, error) {
 	var refs []NodeRef
-	err := c.do("successors", func() error {
+	err := c.do(sc, "successors", func(asc obs.SpanContext) error {
 		var e error
-		refs, e = c.inner.Successors(addr)
+		refs, e = c.inner.Successors(asc, addr)
 		return e
 	})
 	return refs, err
 }
 
 // Predecessor implements Client.
-func (c *RetryClient) Predecessor(addr string) (NodeRef, bool, error) {
+func (c *RetryClient) Predecessor(sc obs.SpanContext, addr string) (NodeRef, bool, error) {
 	var ref NodeRef
 	var ok bool
-	err := c.do("predecessor", func() error {
+	err := c.do(sc, "predecessor", func(asc obs.SpanContext) error {
 		var e error
-		ref, ok, e = c.inner.Predecessor(addr)
+		ref, ok, e = c.inner.Predecessor(asc, addr)
 		return e
 	})
 	return ref, ok, err
 }
 
 // Notify implements Client.
-func (c *RetryClient) Notify(addr string, self NodeRef) error {
-	return c.do("notify", func() error { return c.inner.Notify(addr, self) })
+func (c *RetryClient) Notify(sc obs.SpanContext, addr string, self NodeRef) error {
+	return c.do(sc, "notify", func(asc obs.SpanContext) error { return c.inner.Notify(asc, addr, self) })
 }
 
 // Ping implements Client. Liveness probes are how the ring *detects*
 // dead nodes, so a failed ping is not retried: stabilisation must see
 // the failure promptly and route around it.
-func (c *RetryClient) Ping(addr string) error {
+func (c *RetryClient) Ping(sc obs.SpanContext, addr string) error {
 	sp := c.obs.span("ping")
 	defer sp.End()
 	c.Metrics.Attempts.Inc()
-	return c.inner.Ping(addr)
+	return c.inner.Ping(sc, addr)
 }
 
 // Store implements Client.
-func (c *RetryClient) Store(addr string, recs []StoredRecord, replicate bool) error {
-	return c.do("store", func() error { return c.inner.Store(addr, recs, replicate) })
+func (c *RetryClient) Store(sc obs.SpanContext, addr string, recs []StoredRecord, replicate bool) error {
+	return c.do(sc, "store", func(asc obs.SpanContext) error { return c.inner.Store(asc, addr, recs, replicate) })
 }
 
 // Retrieve implements Client.
-func (c *RetryClient) Retrieve(addr string, key ID) ([]StoredRecord, error) {
+func (c *RetryClient) Retrieve(sc obs.SpanContext, addr string, key ID) ([]StoredRecord, error) {
 	var recs []StoredRecord
-	err := c.do("retrieve", func() error {
+	err := c.do(sc, "retrieve", func(asc obs.SpanContext) error {
 		var e error
-		recs, e = c.inner.Retrieve(addr, key)
+		recs, e = c.inner.Retrieve(asc, addr, key)
 		return e
 	})
 	return recs, err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mdrep/internal/fault"
+	"mdrep/internal/obs"
 )
 
 // flakyClient fails the first failures calls of each op, then succeeds.
@@ -23,19 +24,21 @@ func (f *flakyClient) attempt() error {
 	return nil
 }
 
-func (f *flakyClient) FindSuccessor(addr string, id ID) (NodeRef, error) {
+func (f *flakyClient) FindSuccessor(_ obs.SpanContext, addr string, id ID) (NodeRef, error) {
 	return NodeRef{Addr: addr}, f.attempt()
 }
-func (f *flakyClient) Successors(addr string) ([]NodeRef, error) { return nil, f.attempt() }
-func (f *flakyClient) Predecessor(addr string) (NodeRef, bool, error) {
+func (f *flakyClient) Successors(_ obs.SpanContext, addr string) ([]NodeRef, error) {
+	return nil, f.attempt()
+}
+func (f *flakyClient) Predecessor(_ obs.SpanContext, addr string) (NodeRef, bool, error) {
 	return NodeRef{}, false, f.attempt()
 }
-func (f *flakyClient) Notify(addr string, self NodeRef) error { return f.attempt() }
-func (f *flakyClient) Ping(addr string) error                 { return f.attempt() }
-func (f *flakyClient) Store(addr string, recs []StoredRecord, replicate bool) error {
+func (f *flakyClient) Notify(_ obs.SpanContext, addr string, self NodeRef) error { return f.attempt() }
+func (f *flakyClient) Ping(_ obs.SpanContext, addr string) error                 { return f.attempt() }
+func (f *flakyClient) Store(_ obs.SpanContext, addr string, recs []StoredRecord, replicate bool) error {
 	return f.attempt()
 }
-func (f *flakyClient) Retrieve(addr string, key ID) ([]StoredRecord, error) {
+func (f *flakyClient) Retrieve(_ obs.SpanContext, addr string, key ID) ([]StoredRecord, error) {
 	return nil, f.attempt()
 }
 
@@ -43,11 +46,11 @@ func TestRetryRecoversFromTransientFailures(t *testing.T) {
 	inner := &flakyClient{failures: 2, err: ErrNodeUnreachable}
 	rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}, 1)
 	rc.SetSleep(nil)
-	if err := rc.Ping("a"); err == nil {
+	if err := rc.Ping(obs.SpanContext{}, "a"); err == nil {
 		t.Fatalf("ping is a liveness probe and must not retry")
 	}
 	inner.calls = 0
-	if err := rc.Notify("a", NodeRef{}); err != nil {
+	if err := rc.Notify(obs.SpanContext{}, "a", NodeRef{}); err != nil {
 		t.Fatalf("notify should succeed on 3rd attempt, got %v", err)
 	}
 	if inner.calls != 3 {
@@ -66,7 +69,7 @@ func TestRetryExhaustionKeepsCause(t *testing.T) {
 	inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}
 	rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 1)
 	rc.SetSleep(nil)
-	err := rc.Store("a", nil, false)
+	err := rc.Store(obs.SpanContext{}, "a", nil, false)
 	if err == nil {
 		t.Fatalf("store should exhaust retries")
 	}
@@ -86,7 +89,7 @@ func TestRetryTerminalErrorPassesThrough(t *testing.T) {
 	inner := &flakyClient{failures: 100, err: terminal}
 	rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}, 1)
 	rc.SetSleep(nil)
-	if _, err := rc.Retrieve("a", 1); !errors.Is(err, terminal) {
+	if _, err := rc.Retrieve(obs.SpanContext{}, "a", 1); !errors.Is(err, terminal) {
 		t.Fatalf("error = %v, want the terminal error itself", err)
 	}
 	if inner.calls != 1 {
@@ -104,7 +107,7 @@ func TestRetryBudgetExhaustionClassifiesAsTimeout(t *testing.T) {
 	}, 1)
 	var slept time.Duration
 	rc.SetSleep(func(d time.Duration) { slept += d })
-	err := rc.Notify("a", NodeRef{})
+	err := rc.Notify(obs.SpanContext{}, "a", NodeRef{})
 	if !errors.Is(err, fault.ErrTimeout) {
 		t.Fatalf("error = %v, want fault.ErrTimeout classification", err)
 	}
@@ -132,7 +135,7 @@ func TestRetryZeroAndNegativeBudgetEdges(t *testing.T) {
 		}, 1)
 		var slept int
 		rc.SetSleep(func(time.Duration) { slept++ })
-		err := rc.Notify("a", NodeRef{})
+		err := rc.Notify(obs.SpanContext{}, "a", NodeRef{})
 		if err == nil {
 			t.Fatalf("negative budget must fail")
 		}
@@ -150,7 +153,7 @@ func TestRetryZeroAndNegativeBudgetEdges(t *testing.T) {
 		inner := &flakyClient{failures: 100, err: ErrNodeUnreachable}
 		rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 1)
 		rc.SetSleep(nil)
-		err := rc.Notify("a", NodeRef{})
+		err := rc.Notify(obs.SpanContext{}, "a", NodeRef{})
 		if err == nil {
 			t.Fatalf("want exhaustion after MaxAttempts")
 		}
@@ -171,7 +174,7 @@ func TestRetryZeroAndNegativeBudgetEdges(t *testing.T) {
 		}, 1)
 		var slept int
 		rc.SetSleep(func(time.Duration) { slept++ })
-		err := rc.Notify("a", NodeRef{})
+		err := rc.Notify(obs.SpanContext{}, "a", NodeRef{})
 		if !errors.Is(err, fault.ErrTimeout) {
 			t.Fatalf("error = %v, want fault.ErrTimeout classification", err)
 		}
@@ -195,7 +198,7 @@ func TestRetryBackoffScheduleDeterministic(t *testing.T) {
 		}, seed)
 		var delays []time.Duration
 		rc.SetSleep(func(d time.Duration) { delays = append(delays, d) })
-		_ = rc.Notify("a", NodeRef{})
+		_ = rc.Notify(obs.SpanContext{}, "a", NodeRef{})
 		return delays
 	}
 	a, b := schedule(42), schedule(42)
@@ -227,7 +230,7 @@ func TestRetryClientPassesResultsThrough(t *testing.T) {
 	inner := &flakyClient{failures: 1, err: ErrNodeUnreachable}
 	rc := NewRetryClient(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 1)
 	rc.SetSleep(nil)
-	ref, err := rc.FindSuccessor("addr-x", 7)
+	ref, err := rc.FindSuccessor(obs.SpanContext{}, "addr-x", 7)
 	if err != nil {
 		t.Fatalf("find successor: %v", err)
 	}

@@ -8,13 +8,16 @@ import (
 	"time"
 
 	"mdrep/internal/fault"
+	"mdrep/internal/obs"
 	"mdrep/internal/wire"
 )
 
 // The TCP transport frames each message with internal/wire (length-
 // prefixed JSON). One request/response pair per connection keeps the
 // protocol trivially robust to peer churn; the dial cost is irrelevant
-// next to file transfer times in the target workload.
+// next to file transfer times in the target workload. Sampled requests
+// carry a wire.TraceContext header in the Trace field, so the server
+// side continues the caller's trace.
 
 type wireRequest struct {
 	Method    string         `json:"method"`
@@ -22,6 +25,7 @@ type wireRequest struct {
 	Node      NodeRef        `json:"node,omitempty"`
 	Records   []StoredRecord `json:"records,omitempty"`
 	Replicate bool           `json:"replicate,omitempty"`
+	Trace     []byte         `json:"trace,omitempty"`
 }
 
 type wireResponse struct {
@@ -45,7 +49,15 @@ func NewTCPClient() *TCPClient {
 	return &TCPClient{DialTimeout: 2 * time.Second, CallTimeout: 5 * time.Second}
 }
 
-func (c *TCPClient) call(addr string, req wireRequest) (*wireResponse, error) {
+// call runs one framed exchange inside an RPC span: a child of sc when
+// the caller is traced, a fresh root otherwise, with the span context
+// propagated in the request's Trace header.
+func (c *TCPClient) call(sc obs.SpanContext, spanName, addr string, req wireRequest) (resp *wireResponse, err error) {
+	sp := obs.StartSpan(sc, spanName)
+	sp.AttrStr(attrAddr, addr)
+	defer func() { sp.EndErr(err) }()
+	req.Trace = sp.Context().MarshalWire()
+
 	conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeUnreachable, addr, err)
@@ -57,19 +69,19 @@ func (c *TCPClient) call(addr string, req wireRequest) (*wireResponse, error) {
 	if err := wire.WriteFrame(conn, req); err != nil {
 		return nil, fmt.Errorf("%w: send to %s: %v", ErrNodeUnreachable, addr, err)
 	}
-	var resp wireResponse
-	if err := wire.ReadFrame(conn, &resp); err != nil {
+	var r wireResponse
+	if err := wire.ReadFrame(conn, &r); err != nil {
 		return nil, fmt.Errorf("%w: recv from %s: %v", ErrNodeUnreachable, addr, err)
 	}
-	if resp.Error != "" {
-		return nil, fault.Terminal(errors.New(resp.Error))
+	if r.Error != "" {
+		return nil, fault.Terminal(errors.New(r.Error))
 	}
-	return &resp, nil
+	return &r, nil
 }
 
 // FindSuccessor implements Client.
-func (c *TCPClient) FindSuccessor(addr string, id ID) (NodeRef, error) {
-	resp, err := c.call(addr, wireRequest{Method: "find_successor", ID: id})
+func (c *TCPClient) FindSuccessor(sc obs.SpanContext, addr string, id ID) (NodeRef, error) {
+	resp, err := c.call(sc, spanRPCFindSuccessor, addr, wireRequest{Method: "find_successor", ID: id})
 	if err != nil {
 		return NodeRef{}, err
 	}
@@ -77,8 +89,8 @@ func (c *TCPClient) FindSuccessor(addr string, id ID) (NodeRef, error) {
 }
 
 // Successors implements Client.
-func (c *TCPClient) Successors(addr string) ([]NodeRef, error) {
-	resp, err := c.call(addr, wireRequest{Method: "successors"})
+func (c *TCPClient) Successors(sc obs.SpanContext, addr string) ([]NodeRef, error) {
+	resp, err := c.call(sc, spanRPCSuccessors, addr, wireRequest{Method: "successors"})
 	if err != nil {
 		return nil, err
 	}
@@ -86,8 +98,8 @@ func (c *TCPClient) Successors(addr string) ([]NodeRef, error) {
 }
 
 // Predecessor implements Client.
-func (c *TCPClient) Predecessor(addr string) (NodeRef, bool, error) {
-	resp, err := c.call(addr, wireRequest{Method: "predecessor"})
+func (c *TCPClient) Predecessor(sc obs.SpanContext, addr string) (NodeRef, bool, error) {
+	resp, err := c.call(sc, spanRPCPredecessor, addr, wireRequest{Method: "predecessor"})
 	if err != nil {
 		return NodeRef{}, false, err
 	}
@@ -95,26 +107,26 @@ func (c *TCPClient) Predecessor(addr string) (NodeRef, bool, error) {
 }
 
 // Notify implements Client.
-func (c *TCPClient) Notify(addr string, self NodeRef) error {
-	_, err := c.call(addr, wireRequest{Method: "notify", Node: self})
+func (c *TCPClient) Notify(sc obs.SpanContext, addr string, self NodeRef) error {
+	_, err := c.call(sc, spanRPCNotify, addr, wireRequest{Method: "notify", Node: self})
 	return err
 }
 
 // Ping implements Client.
-func (c *TCPClient) Ping(addr string) error {
-	_, err := c.call(addr, wireRequest{Method: "ping"})
+func (c *TCPClient) Ping(sc obs.SpanContext, addr string) error {
+	_, err := c.call(sc, spanRPCPing, addr, wireRequest{Method: "ping"})
 	return err
 }
 
 // Store implements Client.
-func (c *TCPClient) Store(addr string, recs []StoredRecord, replicate bool) error {
-	_, err := c.call(addr, wireRequest{Method: "store", Records: recs, Replicate: replicate})
+func (c *TCPClient) Store(sc obs.SpanContext, addr string, recs []StoredRecord, replicate bool) error {
+	_, err := c.call(sc, spanRPCStore, addr, wireRequest{Method: "store", Records: recs, Replicate: replicate})
 	return err
 }
 
 // Retrieve implements Client.
-func (c *TCPClient) Retrieve(addr string, key ID) ([]StoredRecord, error) {
-	resp, err := c.call(addr, wireRequest{Method: "retrieve", ID: key})
+func (c *TCPClient) Retrieve(sc obs.SpanContext, addr string, key ID) ([]StoredRecord, error) {
+	resp, err := c.call(sc, spanRPCRetrieve, addr, wireRequest{Method: "retrieve", ID: key})
 	if err != nil {
 		return nil, err
 	}
@@ -211,19 +223,30 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	if err := wire.ReadFrame(conn, &req); err != nil {
 		return
 	}
+	// A corrupt or absent trace header yields the zero context, and the
+	// serve span roots a trace of its own — tracing never fails a
+	// request.
+	sp := obs.StartSpan(obs.SpanContextFromWire(req.Trace), spanServe)
+	sp.AttrStr(attrMethod, req.Method)
 	h := s.getHandler()
 	if h == nil {
+		sp.EndErr(errors.New("dht: node not attached yet")) //mdrep:allow faultwrap: feeds the serve span's status only, never returned to a retry loop
 		_ = wire.WriteFrame(conn, wireResponse{Error: "dht: node not attached yet"})
 		return
 	}
-	resp := s.dispatch(h, req)
+	resp := s.dispatch(h, req, sp.Context())
+	if resp.Error != "" {
+		sp.EndErr(errors.New(resp.Error)) //mdrep:allow faultwrap: feeds the serve span's status only; the client re-tags the wire error
+	} else {
+		sp.End()
+	}
 	_ = wire.WriteFrame(conn, resp)
 }
 
-func (s *TCPServer) dispatch(h handler, req wireRequest) wireResponse {
+func (s *TCPServer) dispatch(h handler, req wireRequest, sc obs.SpanContext) wireResponse {
 	switch req.Method {
 	case "find_successor":
-		ref, err := h.HandleFindSuccessor(req.ID)
+		ref, err := h.HandleFindSuccessor(sc, req.ID)
 		if err != nil {
 			return wireResponse{Error: err.Error()}
 		}
@@ -239,7 +262,7 @@ func (s *TCPServer) dispatch(h handler, req wireRequest) wireResponse {
 	case "ping":
 		return wireResponse{}
 	case "store":
-		h.HandleStore(req.Records, req.Replicate)
+		h.HandleStore(sc, req.Records, req.Replicate)
 		return wireResponse{}
 	case "retrieve":
 		return wireResponse{Records: h.HandleRetrieve(req.ID)}

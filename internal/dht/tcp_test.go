@@ -6,6 +6,7 @@ import (
 
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 )
 
 // startTCPRing launches n nodes on loopback TCP, joins them, and
@@ -56,7 +57,7 @@ func TestTCPRingPublishRetrieve(t *testing.T) {
 	if err := nodes[1].Publish([]StoredRecord{rec(key, "owner", 0.75, 1)}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := nodes[4].Retrieve(key)
+	got, err := nodes[4].Retrieve(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,12 +72,12 @@ func TestTCPRingLookupConsistent(t *testing.T) {
 	}
 	nodes := startTCPRing(t, 5)
 	key := HashKey("consistency-check")
-	want, err := nodes[0].Lookup(key)
+	want, err := nodes[0].Lookup(obs.SpanContext{}, key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range nodes[1:] {
-		got, err := n.Lookup(key)
+		got, err := n.Lookup(obs.SpanContext{}, key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,10 +118,10 @@ func TestTCPSignedRecordVerification(t *testing.T) {
 	}
 	key := HashKey(string(info.FileID))
 	// Store via real TCP round trip (signature survives JSON framing).
-	if err := client.Store(node.Self().Addr, []StoredRecord{{Key: key, Info: info}}, false); err != nil {
+	if err := client.Store(obs.SpanContext{}, node.Self().Addr, []StoredRecord{{Key: key, Info: info}}, false); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Retrieve(node.Self().Addr, key)
+	got, err := client.Retrieve(obs.SpanContext{}, node.Self().Addr, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,10 +131,10 @@ func TestTCPSignedRecordVerification(t *testing.T) {
 	// A forged record must be dropped by the verifying store.
 	forged := info
 	forged.Timestamp = 99
-	if err := client.Store(node.Self().Addr, []StoredRecord{{Key: key, Info: forged}}, false); err != nil {
+	if err := client.Store(obs.SpanContext{}, node.Self().Addr, []StoredRecord{{Key: key, Info: forged}}, false); err != nil {
 		t.Fatal(err)
 	}
-	got, err = client.Retrieve(node.Self().Addr, key)
+	got, err = client.Retrieve(obs.SpanContext{}, node.Self().Addr, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestTCPSignedRecordVerification(t *testing.T) {
 
 func TestTCPClientUnreachable(t *testing.T) {
 	c := &TCPClient{DialTimeout: 200 * time.Millisecond, CallTimeout: 200 * time.Millisecond}
-	if err := c.Ping("127.0.0.1:1"); err == nil {
+	if err := c.Ping(obs.SpanContext{}, "127.0.0.1:1"); err == nil {
 		t.Fatal("ping to closed port succeeded")
 	}
 }
@@ -162,7 +163,7 @@ func TestTCPServerRejectsUnknownMethod(t *testing.T) {
 	srv.setHandler(node)
 	t.Cleanup(func() { _ = srv.Close() })
 	c := NewTCPClient()
-	if _, err := c.call(srv.Addr(), wireRequest{Method: "bogus"}); err == nil {
+	if _, err := c.call(obs.SpanContext{}, spanServe, srv.Addr(), wireRequest{Method: "bogus"}); err == nil {
 		t.Fatal("unknown method accepted")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"mdrep/internal/dht"
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 )
 
 // E6Config parameterises the DHT overhead experiment.
@@ -97,7 +98,7 @@ func e6Ring(cfg E6Config, n int) (E6Row, error) {
 	}
 	for i := 0; i < cfg.Lookups; i++ {
 		key := dht.HashKey(fmt.Sprintf("lookup-%d", i))
-		if _, err := ring.Nodes[i%n].Lookup(key); err != nil {
+		if _, err := ring.Nodes[i%n].Lookup(obs.SpanContext{}, key); err != nil {
 			return E6Row{}, err
 		}
 	}
@@ -170,7 +171,7 @@ func e6Ring(cfg E6Config, n int) (E6Row, error) {
 	ok := 0
 	for i := 0; i < cfg.Files; i++ {
 		name := fmt.Sprintf("file-%d", i)
-		recs, err := survivors[i%len(survivors)].Retrieve(dht.HashKey(name))
+		recs, err := survivors[i%len(survivors)].Retrieve(obs.SpanContext{}, dht.HashKey(name))
 		if err == nil && len(recs) > 0 {
 			ok++
 		}

@@ -1,0 +1,408 @@
+// Package flight is the always-on flight recorder of the observability
+// layer: a fixed-size lock-free ring of recent span and event records
+// that costs nothing to keep running, plus fault-triggered "black box"
+// dumps. The tracing layer (internal/obs) streams every sampled span
+// into the ring; when something goes terminally wrong — a
+// fault.Terminal error, an exhausted retry budget, a chaos crash — the
+// ring is snapshotted into a bounded dump list, preserving the last
+// moments of traffic leading up to the fault for the /debug/flight
+// endpoint and the daemons' dump flags.
+//
+// The ring is wait-free for writers and safe for concurrent readers:
+// every slot is a fixed layout of atomic words guarded by a per-slot
+// sequence number (odd while a writer is inside, even and equal to the
+// slot's claim index once stable), so a snapshot detects and drops torn
+// or recycled slots instead of blocking the hot path. Strings are
+// packed into fixed byte windows — truncated, never allocated — which
+// is what keeps the steady-state record path at 0 B/op (enforced by
+// BenchmarkRingRecord under the make flight guard).
+//
+// Nothing here reads a clock or randomness: timestamps arrive in the
+// Entry, stamped by the caller's injected clock, so recording changes
+// no deterministic replay.
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mdrep/internal/fault"
+)
+
+// Status classifies how a span ended, following the internal/fault
+// taxonomy.
+type Status uint8
+
+const (
+	// StatusOK is a span that ended without error.
+	StatusOK Status = iota
+	// StatusRetryable is a span that failed with a transient,
+	// fault.Retryable error.
+	StatusRetryable
+	// StatusError is a span that failed terminally (fault.Terminal or
+	// an unclassified error).
+	StatusError
+)
+
+// String renders the status for the text dump.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRetryable:
+		return "retryable"
+	default:
+		return "error"
+	}
+}
+
+// StatusOf maps an error to its span status: nil is OK, fault.Retryable
+// errors are transient, and everything else — fault.Terminal pins and
+// unclassified failures alike — is an error.
+func StatusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case fault.Retryable(err):
+		return StatusRetryable
+	default:
+		return StatusError
+	}
+}
+
+// Kind distinguishes record types in the ring.
+type Kind uint8
+
+const (
+	// KindSpan is a completed span (has a duration).
+	KindSpan Kind = iota
+	// KindEvent is a point-in-time marker attached to a span.
+	KindEvent
+)
+
+// MaxAttrs bounds the attributes a record carries; extras are dropped
+// at the writer, keeping the slot layout fixed.
+const MaxAttrs = 4
+
+// Byte windows for the packed strings. Longer inputs are truncated —
+// span names are short package-level constants, and the widest dynamic
+// attr values in the tree are ring addresses.
+const (
+	nameWords = 3 // 24-byte span name
+	keyWords  = 2 // 16-byte attr key
+	strWords  = 3 // 24-byte attr string value
+)
+
+// Attr is one key→value pair on a record. When Str is non-empty the
+// attr is a string attr and Val is ignored.
+type Attr struct {
+	Key string
+	Val int64
+	Str string
+}
+
+// Entry is the writer-side record: fixed-size, built on the caller's
+// stack, and copied field by field into a slot. Start and Duration are
+// nanoseconds on whatever clock the tracing layer was given.
+type Entry struct {
+	Trace    uint64
+	Span     uint64
+	Parent   uint64
+	Kind     Kind
+	Status   Status
+	Start    int64
+	Duration int64
+	Name     string
+	Attrs    [MaxAttrs]Attr
+	NAttrs   int
+}
+
+// Record is the reader-side decoded form of a slot.
+type Record struct {
+	Trace    uint64
+	Span     uint64
+	Parent   uint64
+	Kind     Kind
+	Status   Status
+	Start    int64
+	Duration int64
+	Name     string
+	Attrs    []Attr
+}
+
+// attrSlot is one attribute's atomic storage.
+type attrSlot struct {
+	key [keyWords]atomic.Uint64
+	val atomic.Uint64
+	str [strWords]atomic.Uint64
+}
+
+// slot is one ring cell. seq is the per-slot seqlock: 0 = never
+// written, 2i+1 = the writer of claim i is inside, 2i+2 = claim i is
+// stable. Readers reject odd or mismatched sequences.
+type slot struct {
+	seq    atomic.Uint64
+	trace  atomic.Uint64
+	span   atomic.Uint64
+	parent atomic.Uint64
+	meta   atomic.Uint64 // kind | status<<8 | nattrs<<16
+	start  atomic.Uint64
+	dur    atomic.Uint64
+	name   [nameWords]atomic.Uint64
+	attrs  [MaxAttrs]attrSlot
+}
+
+// Ring is the fixed-size record buffer. Writers are wait-free (one
+// atomic claim plus field stores); readers snapshot without blocking
+// writers and drop slots that were mid-write or recycled under them.
+type Ring struct {
+	mask  uint64
+	head  atomic.Uint64
+	slots []slot
+}
+
+// DefaultRingSize is the ring capacity when the caller passes 0: enough
+// to hold the last few thousand RPC spans — several seconds of traffic
+// at simulation rates — in ~300 KiB.
+const DefaultRingSize = 1024
+
+// NewRing builds a ring of at least size slots (rounded up to a power
+// of two, minimum 16).
+func NewRing(size int) *Ring {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// storeStr packs s into dst little-endian, zero-padded, truncating past
+// the window. No allocation.
+func storeStr(dst []atomic.Uint64, s string) {
+	for w := range dst {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			i := w*8 + b
+			if i >= len(s) {
+				break
+			}
+			v |= uint64(s[i]) << (8 * b)
+		}
+		dst[w].Store(v)
+	}
+}
+
+// loadStr unpacks a byte window back into a string (cold path only).
+func loadStr(src []atomic.Uint64) string {
+	buf := make([]byte, 0, len(src)*8)
+	for w := range src {
+		v := src[w].Load()
+		for b := 0; b < 8; b++ {
+			c := byte(v >> (8 * b))
+			if c == 0 {
+				return string(buf)
+			}
+			buf = append(buf, c)
+		}
+	}
+	return string(buf)
+}
+
+// Record appends one entry. Wait-free: claim a slot index, mark it
+// dirty, store the fields, mark it stable. A reader overlapping the
+// write sees the odd sequence (or a mismatched one after wrap) and
+// skips the slot.
+func (r *Ring) Record(e *Entry) {
+	i := r.head.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.seq.Store(2*i + 1)
+	s.trace.Store(e.Trace)
+	s.span.Store(e.Span)
+	s.parent.Store(e.Parent)
+	n := e.NAttrs
+	if n < 0 {
+		n = 0
+	}
+	if n > MaxAttrs {
+		n = MaxAttrs
+	}
+	s.meta.Store(uint64(e.Kind) | uint64(e.Status)<<8 | uint64(n)<<16)
+	s.start.Store(uint64(e.Start))
+	s.dur.Store(uint64(e.Duration))
+	storeStr(s.name[:], e.Name)
+	for a := 0; a < n; a++ {
+		storeStr(s.attrs[a].key[:], e.Attrs[a].Key)
+		s.attrs[a].val.Store(uint64(e.Attrs[a].Val))
+		storeStr(s.attrs[a].str[:], e.Attrs[a].Str)
+	}
+	s.seq.Store(2*i + 2)
+}
+
+// Len returns how many records have ever been written (not the ring
+// occupancy).
+func (r *Ring) Len() uint64 { return r.head.Load() }
+
+// Snapshot decodes the current ring contents, oldest first. Slots being
+// written or recycled during the scan are dropped, never blocked on.
+func (r *Ring) Snapshot() []Record {
+	head := r.head.Load()
+	size := uint64(len(r.slots))
+	lo := uint64(0)
+	if head > size {
+		lo = head - size
+	}
+	out := make([]Record, 0, head-lo)
+	for i := lo; i < head; i++ {
+		s := &r.slots[i&r.mask]
+		want := 2*i + 2
+		if s.seq.Load() != want {
+			continue // mid-write, or recycled by a later claim
+		}
+		rec := Record{
+			Trace:  s.trace.Load(),
+			Span:   s.span.Load(),
+			Parent: s.parent.Load(),
+			Start:  int64(s.start.Load()),
+			Name:   loadStr(s.name[:]),
+		}
+		meta := s.meta.Load()
+		rec.Kind = Kind(meta & 0xff)
+		rec.Status = Status(meta >> 8 & 0xff)
+		n := int(meta >> 16 & 0xff)
+		rec.Duration = int64(s.dur.Load())
+		for a := 0; a < n && a < MaxAttrs; a++ {
+			rec.Attrs = append(rec.Attrs, Attr{
+				Key: loadStr(s.attrs[a].key[:]),
+				Val: int64(s.attrs[a].val.Load()),
+				Str: loadStr(s.attrs[a].str[:]),
+			})
+		}
+		if s.seq.Load() != want {
+			continue // torn: a writer recycled the slot mid-decode
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Dump is one black-box snapshot: the ring contents at the moment a
+// fault fired.
+type Dump struct {
+	// Seq numbers dumps in trigger order, starting at 1.
+	Seq uint64
+	// Reason names the fault that triggered the dump.
+	Reason string
+	// Records is the ring snapshot, oldest first.
+	Records []Record
+}
+
+// DefaultMaxDumps bounds the retained dump list when the caller passes
+// 0; older dumps fall off the front.
+const DefaultMaxDumps = 8
+
+// Recorder couples a ring with the dump list. The Record path touches
+// only the ring; Trigger and the accessors take a mutex (they are cold
+// by construction — faults, endpoints, exits).
+type Recorder struct {
+	ring *Ring
+
+	mu       sync.Mutex
+	maxDumps int
+	seq      uint64
+	dumps    []Dump
+}
+
+// NewRecorder builds a recorder with the given ring size and retained
+// dump bound (0 picks the defaults).
+func NewRecorder(ringSize, maxDumps int) *Recorder {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	if maxDumps <= 0 {
+		maxDumps = DefaultMaxDumps
+	}
+	return &Recorder{ring: NewRing(ringSize), maxDumps: maxDumps}
+}
+
+// Record appends one entry to the ring.
+func (r *Recorder) Record(e *Entry) { r.ring.Record(e) }
+
+// Snapshot returns the current ring contents, oldest first.
+func (r *Recorder) Snapshot() []Record { return r.ring.Snapshot() }
+
+// Trigger snapshots the ring as a new dump and returns it. Concurrent
+// triggers serialize; the dump list keeps the newest maxDumps.
+func (r *Recorder) Trigger(reason string) Dump {
+	recs := r.ring.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	d := Dump{Seq: r.seq, Reason: reason, Records: recs}
+	r.dumps = append(r.dumps, d)
+	if len(r.dumps) > r.maxDumps {
+		r.dumps = append(r.dumps[:0], r.dumps[len(r.dumps)-r.maxDumps:]...)
+	}
+	return d
+}
+
+// Dumps returns the retained dumps, oldest first.
+func (r *Recorder) Dumps() []Dump {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Dump, len(r.dumps))
+	copy(out, r.dumps)
+	return out
+}
+
+// LastDump returns the newest dump, if any.
+func (r *Recorder) LastDump() (Dump, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.dumps) == 0 {
+		return Dump{}, false
+	}
+	return r.dumps[len(r.dumps)-1], true
+}
+
+// Triggered returns how many dumps have ever been triggered (including
+// ones that have since rotated out of the retained list).
+func (r *Recorder) Triggered() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// The process-wide recorder. One atomic pointer load when disabled, so
+// un-instrumented binaries and deterministic replay pay one branch.
+var active atomic.Pointer[Recorder]
+
+// Install makes r the process recorder (nil uninstalls).
+func Install(r *Recorder) {
+	if r == nil {
+		active.Store(nil)
+		return
+	}
+	active.Store(r)
+}
+
+// Active returns the installed recorder, or nil.
+func Active() *Recorder { return active.Load() }
+
+// Emit appends e to the installed recorder's ring; a no-op when none is
+// installed.
+func Emit(e *Entry) {
+	if r := active.Load(); r != nil {
+		r.ring.Record(e)
+	}
+}
+
+// TriggerDump snapshots the installed recorder; a no-op returning false
+// when none is installed.
+func TriggerDump(reason string) bool {
+	r := active.Load()
+	if r == nil {
+		return false
+	}
+	r.Trigger(reason)
+	return true
+}

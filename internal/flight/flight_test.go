@@ -1,0 +1,257 @@
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mdrep/internal/fault"
+)
+
+func spanEntry(trace, span, parent uint64, name string, status Status) *Entry {
+	return &Entry{
+		Trace:  trace,
+		Span:   span,
+		Parent: parent,
+		Kind:   KindSpan,
+		Status: status,
+		Start:  int64(span),
+		Name:   name,
+	}
+}
+
+func TestStatusOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Status
+	}{
+		{nil, StatusOK},
+		{fault.Unreachable(errors.New("down")), StatusRetryable},
+		{fault.Timeout(errors.New("slow")), StatusRetryable},
+		{fault.Terminal(errors.New("bad")), StatusError},
+		{errors.New("plain"), StatusError},
+	}
+	for _, c := range cases {
+		if got := StatusOf(c.err); got != c.want {
+			t.Errorf("StatusOf(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if StatusOK.String() != "ok" || StatusRetryable.String() != "retryable" || StatusError.String() != "error" {
+		t.Errorf("status strings wrong: %v %v %v", StatusOK, StatusRetryable, StatusError)
+	}
+}
+
+func TestRingRoundTrip(t *testing.T) {
+	r := NewRing(16)
+	e := &Entry{
+		Trace:    0xaaaa,
+		Span:     0xbbbb,
+		Parent:   0xcccc,
+		Kind:     KindSpan,
+		Status:   StatusRetryable,
+		Start:    123,
+		Duration: 456,
+		Name:     "dht.rpc.find_successor",
+		NAttrs:   2,
+	}
+	e.Attrs[0] = Attr{Key: "addr", Str: "mem://node-01"}
+	e.Attrs[1] = Attr{Key: "attempt", Val: 3}
+	r.Record(e)
+	recs := r.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	got := recs[0]
+	if got.Trace != e.Trace || got.Span != e.Span || got.Parent != e.Parent {
+		t.Errorf("IDs round-trip: got %+v", got)
+	}
+	if got.Kind != KindSpan || got.Status != StatusRetryable {
+		t.Errorf("meta round-trip: got kind=%v status=%v", got.Kind, got.Status)
+	}
+	if got.Start != 123 || got.Duration != 456 {
+		t.Errorf("times round-trip: got start=%d dur=%d", got.Start, got.Duration)
+	}
+	if got.Name != "dht.rpc.find_successor" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Attrs) != 2 {
+		t.Fatalf("attrs = %v", got.Attrs)
+	}
+	if got.Attrs[0].Key != "addr" || got.Attrs[0].Str != "mem://node-01" {
+		t.Errorf("attr 0 = %+v", got.Attrs[0])
+	}
+	if got.Attrs[1].Key != "attempt" || got.Attrs[1].Val != 3 {
+		t.Errorf("attr 1 = %+v", got.Attrs[1])
+	}
+}
+
+func TestRingNameTruncated(t *testing.T) {
+	r := NewRing(16)
+	long := strings.Repeat("x", nameWords*8+10)
+	r.Record(&Entry{Trace: 1, Span: 1, Name: long})
+	recs := r.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if want := long[:nameWords*8]; recs[0].Name != want {
+		t.Errorf("name = %q, want %q", recs[0].Name, want)
+	}
+}
+
+func TestRingAttrOverflowDropped(t *testing.T) {
+	r := NewRing(16)
+	e := &Entry{Trace: 1, Span: 1, Name: "n", NAttrs: MaxAttrs + 7}
+	for i := range e.Attrs {
+		e.Attrs[i] = Attr{Key: "k", Val: int64(i)}
+	}
+	r.Record(e)
+	recs := r.Snapshot()
+	if len(recs) != 1 || len(recs[0].Attrs) != MaxAttrs {
+		t.Fatalf("got %+v, want %d attrs", recs, MaxAttrs)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(16) // rounds to 16 slots
+	const total = 50
+	for i := 0; i < total; i++ {
+		r.Record(spanEntry(uint64(i+1), uint64(i+1), 0, "s", StatusOK))
+	}
+	if r.Len() != total {
+		t.Fatalf("Len = %d, want %d", r.Len(), total)
+	}
+	recs := r.Snapshot()
+	if len(recs) != 16 {
+		t.Fatalf("got %d records after wrap, want 16", len(recs))
+	}
+	for k, rec := range recs {
+		if want := uint64(total - 16 + k + 1); rec.Trace != want {
+			t.Errorf("record %d: trace %d, want %d (oldest-first order)", k, rec.Trace, want)
+		}
+	}
+}
+
+func TestRingConcurrentWritersAndReaders(t *testing.T) {
+	r := NewRing(64)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				e := spanEntry(uint64(w+1), uint64(i+1), 0, "concurrent", StatusOK)
+				e.NAttrs = 1
+				e.Attrs[0] = Attr{Key: "w", Val: int64(w)}
+				r.Record(e)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			for _, rec := range r.Snapshot() {
+				if rec.Name != "concurrent" {
+					t.Errorf("torn record leaked: %+v", rec)
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if got := len(r.Snapshot()); got != 64 {
+		t.Fatalf("final snapshot has %d records, want full ring 64", got)
+	}
+}
+
+func TestRecorderDumpRotation(t *testing.T) {
+	rec := NewRecorder(16, 3)
+	for i := 0; i < 5; i++ {
+		rec.Record(spanEntry(uint64(i+1), uint64(i+1), 0, "s", StatusOK))
+		d := rec.Trigger(fmt.Sprintf("fault %d", i))
+		if d.Seq != uint64(i+1) {
+			t.Errorf("dump %d: seq %d", i, d.Seq)
+		}
+		if len(d.Records) != i+1 {
+			t.Errorf("dump %d: %d records, want %d", i, len(d.Records), i+1)
+		}
+	}
+	dumps := rec.Dumps()
+	if len(dumps) != 3 {
+		t.Fatalf("retained %d dumps, want 3", len(dumps))
+	}
+	if dumps[0].Seq != 3 || dumps[2].Seq != 5 {
+		t.Errorf("dump seqs = %d..%d, want 3..5", dumps[0].Seq, dumps[2].Seq)
+	}
+	if rec.Triggered() != 5 {
+		t.Errorf("Triggered = %d, want 5", rec.Triggered())
+	}
+	last, ok := rec.LastDump()
+	if !ok || last.Seq != 5 || last.Reason != "fault 4" {
+		t.Errorf("LastDump = %+v ok=%v", last, ok)
+	}
+}
+
+func TestRecorderLastDumpEmpty(t *testing.T) {
+	rec := NewRecorder(0, 0)
+	if _, ok := rec.LastDump(); ok {
+		t.Error("LastDump reported a dump on a fresh recorder")
+	}
+	if len(rec.Dumps()) != 0 {
+		t.Error("Dumps non-empty on a fresh recorder")
+	}
+}
+
+func TestGlobalInstallEmitTrigger(t *testing.T) {
+	defer Install(nil)
+	Install(nil)
+	Emit(spanEntry(1, 1, 0, "dropped", StatusOK)) // no recorder: no-op
+	if TriggerDump("no recorder") {
+		t.Error("TriggerDump succeeded with no recorder installed")
+	}
+	rec := NewRecorder(16, 2)
+	Install(rec)
+	if Active() != rec {
+		t.Fatal("Active did not return the installed recorder")
+	}
+	Emit(spanEntry(7, 7, 0, "kept", StatusOK))
+	if !TriggerDump("boom") {
+		t.Fatal("TriggerDump failed with recorder installed")
+	}
+	d, ok := rec.LastDump()
+	if !ok || d.Reason != "boom" || len(d.Records) != 1 || d.Records[0].Name != "kept" {
+		t.Errorf("dump = %+v ok=%v", d, ok)
+	}
+}
+
+func BenchmarkRingRecord(b *testing.B) {
+	r := NewRing(DefaultRingSize)
+	e := Entry{
+		Trace:    0x1234,
+		Span:     0x5678,
+		Parent:   0x9abc,
+		Kind:     KindSpan,
+		Status:   StatusOK,
+		Start:    1,
+		Duration: 2,
+		Name:     "dht.rpc.retrieve",
+		NAttrs:   2,
+	}
+	e.Attrs[0] = Attr{Key: "addr", Str: "mem://node-03"}
+	e.Attrs[1] = Attr{Key: "attempt", Val: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(&e)
+	}
+}

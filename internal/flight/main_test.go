@@ -1,0 +1,9 @@
+package flight
+
+import (
+	"testing"
+
+	"mdrep/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.RunMain(m) }

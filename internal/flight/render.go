@@ -1,0 +1,119 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTraces prints records as stitched trace trees: records are
+// grouped by trace ID, parent/child edges are resolved by span ID, and
+// each tree is indented in causal order. Spans whose parent is missing
+// from the record set (sampled-out ancestors, or ring wrap) render as
+// roots of their trace. Output is deterministic: traces order by first
+// start time, siblings by start time then span ID.
+func RenderTraces(recs []Record) string {
+	byTrace := make(map[uint64][]Record)
+	var order []uint64
+	for _, r := range recs {
+		if _, ok := byTrace[r.Trace]; !ok {
+			order = append(order, r.Trace)
+		}
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := earliest(byTrace[order[i]]), earliest(byTrace[order[j]])
+		if a != b {
+			return a < b
+		}
+		return order[i] < order[j]
+	})
+	var b strings.Builder
+	for _, tid := range order {
+		fmt.Fprintf(&b, "trace %016x\n", tid)
+		renderTree(&b, byTrace[tid])
+	}
+	return b.String()
+}
+
+// RenderDump prints one black-box dump: a header naming the trigger,
+// then the captured records as trace trees.
+func RenderDump(d Dump) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== flight dump #%d: %s (%d records) ===\n", d.Seq, d.Reason, len(d.Records))
+	b.WriteString(RenderTraces(d.Records))
+	return b.String()
+}
+
+func earliest(recs []Record) int64 {
+	min := recs[0].Start
+	for _, r := range recs[1:] {
+		if r.Start < min {
+			min = r.Start
+		}
+	}
+	return min
+}
+
+// renderTree stitches one trace's records into parent→child trees and
+// writes them indented.
+func renderTree(b *strings.Builder, recs []Record) {
+	present := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		if r.Kind == KindSpan {
+			present[r.Span] = true
+		}
+	}
+	children := make(map[uint64][]int, len(recs))
+	var roots []int
+	for i, r := range recs {
+		orphan := r.Parent == 0 || !present[r.Parent] || (r.Kind == KindSpan && r.Parent == r.Span)
+		if orphan {
+			roots = append(roots, i)
+		} else {
+			children[r.Parent] = append(children[r.Parent], i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(i, j int) bool {
+			a, c := recs[idx[i]], recs[idx[j]]
+			if a.Start != c.Start {
+				return a.Start < c.Start
+			}
+			return a.Span < c.Span
+		})
+	}
+	byStart(roots)
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		r := recs[i]
+		b.WriteString(strings.Repeat("  ", depth+1))
+		if r.Kind == KindEvent {
+			fmt.Fprintf(b, "* %s", r.Name)
+		} else {
+			fmt.Fprintf(b, "%s %s [%s]", r.Name, time.Duration(r.Duration), r.Status)
+		}
+		for _, a := range r.Attrs {
+			if a.Str != "" {
+				fmt.Fprintf(b, " %s=%s", a.Key, a.Str)
+			} else {
+				fmt.Fprintf(b, " %s=%d", a.Key, a.Val)
+			}
+		}
+		b.WriteByte('\n')
+		if r.Kind != KindSpan {
+			return
+		}
+		kids := children[r.Span]
+		byStart(kids)
+		for _, k := range kids {
+			if k != i {
+				walk(k, depth+1)
+			}
+		}
+	}
+	for _, i := range roots {
+		walk(i, 0)
+	}
+}

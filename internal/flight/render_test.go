@@ -1,0 +1,69 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTracesStitchesTree(t *testing.T) {
+	recs := []Record{
+		{Trace: 0xa, Span: 3, Parent: 1, Kind: KindSpan, Start: 30, Duration: 5, Name: "dht.rpc.retrieve", Status: StatusOK,
+			Attrs: []Attr{{Key: "addr", Str: "mem://node-02"}}},
+		{Trace: 0xa, Span: 1, Parent: 0, Kind: KindSpan, Start: 10, Duration: 100, Name: "walk.estimate", Status: StatusOK},
+		{Trace: 0xa, Span: 2, Parent: 1, Kind: KindSpan, Start: 20, Duration: 50, Name: "walk.row_fetch", Status: StatusRetryable,
+			Attrs: []Attr{{Key: "user", Val: 7}}},
+		{Trace: 0xa, Span: 4, Parent: 2, Kind: KindSpan, Start: 25, Duration: 10, Name: "dht.attempt", Status: StatusError,
+			Attrs: []Attr{{Key: "attempt", Val: 1}}},
+	}
+	out := RenderTraces(recs)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	want := []string{
+		"trace 000000000000000a",
+		"  walk.estimate 100ns [ok]",
+		"    walk.row_fetch 50ns [retryable] user=7",
+		"      dht.attempt 10ns [error] attempt=1",
+		"    dht.rpc.retrieve 5ns [ok] addr=mem://node-02",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), out)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d:\n got %q\nwant %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestRenderTracesOrphanAndMultiTrace(t *testing.T) {
+	recs := []Record{
+		// Trace 0xb starts later: must render second.
+		{Trace: 0xb, Span: 9, Parent: 777, Kind: KindSpan, Start: 99, Name: "orphan.child", Status: StatusOK},
+		{Trace: 0xa, Span: 1, Parent: 0, Kind: KindSpan, Start: 1, Name: "root", Status: StatusOK},
+		{Trace: 0xa, Span: 1, Parent: 1, Kind: KindEvent, Start: 2, Name: "marker"},
+	}
+	out := RenderTraces(recs)
+	ia := strings.Index(out, "trace 000000000000000a")
+	ib := strings.Index(out, "trace 000000000000000b")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("trace ordering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "  orphan.child") {
+		t.Errorf("orphan span (missing parent) not promoted to root:\n%s", out)
+	}
+	if !strings.Contains(out, "    * marker") {
+		t.Errorf("event not rendered under its span:\n%s", out)
+	}
+}
+
+func TestRenderDumpHeader(t *testing.T) {
+	d := Dump{Seq: 4, Reason: "fault.terminal: dht.rpc.store", Records: []Record{
+		{Trace: 1, Span: 1, Kind: KindSpan, Name: "dht.rpc.store", Status: StatusError},
+	}}
+	out := RenderDump(d)
+	if !strings.Contains(out, "=== flight dump #4: fault.terminal: dht.rpc.store (1 records) ===") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "dht.rpc.store 0s [error]") {
+		t.Errorf("record missing:\n%s", out)
+	}
+}

@@ -32,7 +32,15 @@ import (
 	"path/filepath"
 	"sort"
 
+	"mdrep/internal/obs"
 	"mdrep/internal/wire"
+)
+
+// Causal-tracing span name and attribute key for recovery; keys come
+// from this const table (metriclabel contract).
+const (
+	spanRecover  = "journal.recover"
+	attrReplayed = "replayed"
 )
 
 // State is the state machine a Log makes durable. Implementations must
@@ -173,8 +181,13 @@ func Open(dir string, cfg Config, state State) (*Log, RecoveryInfo, error) {
 	}
 	l := &Log{dir: dir, cfg: cfg, state: state}
 	sp := cfg.Obs.spanRecovery()
+	// Recovery is a causal trace root of its own: crash-restart forensics
+	// start from "what did recovery replay, and how long did it take".
+	tsp := obs.StartRoot(spanRecover)
 	info, err := l.recover()
 	sp.End()
+	tsp.Attr(attrReplayed, int64(info.Replayed))
+	tsp.EndErr(err)
 	if err != nil {
 		return nil, info, err
 	}

@@ -7,13 +7,14 @@ import (
 
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 	"mdrep/internal/peer"
 )
 
 // stubNet satisfies peer.Network for tests that never hit the wire.
 type stubNet struct{}
 
-func (stubNet) FetchEvaluations(identity.PeerID) ([]eval.Info, error) {
+func (stubNet) FetchEvaluations(obs.SpanContext, identity.PeerID) ([]eval.Info, error) {
 	return nil, nil
 }
 

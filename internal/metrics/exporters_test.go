@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEscapeLabelValueEdgeCases pins the escaping table the Prometheus
+// text format requires: backslash, double quote and newline escaped,
+// everything else (including multi-byte runes) passed through, and the
+// no-escape fast path returning the value unchanged.
+func TestEscapeLabelValueEdgeCases(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"plain", "plain"},
+		{`\`, `\\`},
+		{`"`, `\"`},
+		{"\n", `\n`},
+		{`a"b\c` + "\n" + "d", `a\"b\\c\nd`},
+		{`\\`, `\\\\`},
+		{"shard=0,dim=fm", "shard=0,dim=fm"},
+		{"héllo→∞", "héllo→∞"},
+		{"tab\tstays", "tab\tstays"},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDumpEscapesLabelValues: the one-shot report shares the rendered
+// label sets with the Prometheus path, so hostile values must arrive
+// escaped there too, for every instrument kind.
+func TestDumpEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("evil_total", "path", "a\"b").Inc()
+	r.Gauge("evil_gauge", "path", `c\d`).Set(2)
+	r.Histogram("evil_seconds", []float64{1}, "path", "e\nf").Observe(0.5)
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		`evil_total{path="a\"b"} = 1`,
+		`evil_gauge{path="c\\d"} = 2`,
+		`evil_seconds{path="e\nf"}: count=1`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Dump output missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "e\nf") {
+		t.Errorf("raw newline leaked into the report:\n%s", out)
+	}
+}
+
+// TestPrometheusLeLabelAfterEscapedLabels: the histogram exposition
+// splices le into an already-rendered label set; the splice must keep
+// the escaped labels intact and escape the le value itself.
+func TestPrometheusLeLabelAfterEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", []float64{0.5}, "op", `get"x`).Observe(0.1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		`lat_seconds_bucket{op="get\"x",le="0.5"} 1`,
+		`lat_seconds_bucket{op="get\"x",le="+Inf"} 1`,
+		`lat_seconds_count{op="get\"x"} 1`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestWriteCSVMidRowGap: a bucket missing from one series in the middle
+// of the range must render as an empty field in place, not shift later
+// columns.
+func TestWriteCSVMidRowGap(t *testing.T) {
+	a, err := NewSeries("a", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSeries("b", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(0, true)
+	a.Observe(150*time.Minute, true) // bucket 3; bucket 2 stays empty
+	b.Observe(0, true)
+	b.Observe(90*time.Minute, false) // bucket 2
+	var sb strings.Builder
+	if err := WriteCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines: %q", lines)
+	}
+	if lines[2] != "2.00,,0.0000" {
+		t.Errorf("mid-row gap rendered as %q, want %q", lines[2], "2.00,,0.0000")
+	}
+	if lines[3] != "3.00,1.0000," {
+		t.Errorf("trailing gap rendered as %q, want %q", lines[3], "3.00,1.0000,")
+	}
+}
+
+// failAfter errors once n bytes-writes have happened, to drive the
+// exporters' error paths.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestExportersPropagateWriterErrors: both exporters must surface the
+// writer's error instead of silently truncating the report.
+func TestExportersPropagateWriterErrors(t *testing.T) {
+	s, err := NewSeries("a", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(0, true)
+	if err := WriteCSV(&failAfter{}, s); err == nil {
+		t.Error("WriteCSV swallowed the header write error")
+	}
+	if err := WriteCSV(&failAfter{n: 1}, s); err == nil {
+		t.Error("WriteCSV swallowed a row write error")
+	}
+
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	if err := r.Dump(&failAfter{}); err == nil {
+		t.Error("Dump swallowed the header write error")
+	}
+	if err := r.Dump(&failAfter{n: 1}); err == nil {
+		t.Error("Dump swallowed a sample write error")
+	}
+	if err := r.WritePrometheus(&failAfter{}); err == nil {
+		t.Error("WritePrometheus swallowed a write error")
+	}
+}
+
+// TestDumpEmptyRegistry pins the explicit placeholder over zero output.
+func TestDumpEmptyRegistry(t *testing.T) {
+	var b strings.Builder
+	if err := NewRegistry().Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(none)") {
+		t.Errorf("empty registry dump = %q", b.String())
+	}
+}

@@ -10,14 +10,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mdrep/internal/flight"
 	"mdrep/internal/metrics"
 )
 
 // The HTTP introspection endpoint behind the -metrics-addr flag of
 // mdrep-peer and mdrep-dht: Prometheus text exposition at /metrics,
-// expvar at /debug/vars, and the standard pprof handlers at
-// /debug/pprof/. Everything binds to a caller-chosen address and is
-// opt-in; nothing is registered on http.DefaultServeMux.
+// readiness at /healthz, flight-recorder dumps at /debug/flight, expvar
+// at /debug/vars, and the standard pprof handlers at /debug/pprof/.
+// Everything binds to a caller-chosen address and is opt-in; nothing is
+// registered on http.DefaultServeMux.
 
 // expvar.Publish panics on duplicate names, so the process-wide
 // "mdrep_metrics" var is published once and reads whichever registry was
@@ -48,6 +50,37 @@ func NewMux(reg *metrics.Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Ready once a registry is bound to the endpoint; the expvar
+		// pointer is set by publishExpvar before the listener accepts.
+		if reg == nil || expvarReg.Load() == nil {
+			http.Error(w, "not ready: no metrics registry bound", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		rec := flight.Active()
+		if rec == nil {
+			http.Error(w, "flight recorder not installed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r.URL.Query().Get("ring") != "" {
+			// Live ring view, for peeking without a fault.
+			fmt.Fprint(w, flight.RenderTraces(rec.Snapshot()))
+			return
+		}
+		dumps := rec.Dumps()
+		if len(dumps) == 0 {
+			fmt.Fprintln(w, "no flight dumps recorded")
+			return
+		}
+		for _, d := range dumps {
+			fmt.Fprint(w, flight.RenderDump(d))
+		}
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -59,7 +92,7 @@ func NewMux(reg *metrics.Registry) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "mdrep introspection\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "mdrep introspection\n/metrics\n/healthz\n/debug/flight\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }

@@ -1,0 +1,283 @@
+// Causal tracing: real spans with trace/span/parent IDs on top of the
+// histogram-only obs.Span. A TSpan names one region of one request,
+// carries a bounded set of attributes, classifies its ending through
+// the internal/fault taxonomy, and streams its record into the flight
+// recorder ring (internal/flight) when it ends. Span contexts thread
+// explicitly through call chains (Go has no ambient request context in
+// this codebase's deterministic core) and cross process boundaries as
+// a wire.TraceContext header, so one walk estimate stitches into one
+// tree of estimator → row-fetch → retry-attempt → DHT-RPC spans.
+//
+// Determinism contract: tracing draws no randomness from any shared
+// stream (IDs come from a private splitmix64 counter), never advances
+// a virtual clock (timestamps are read from the injected Clock but
+// influence no control flow), and sampling is a pure function of the
+// seeded trace ID — so enabling tracing cannot perturb a chaos
+// schedule or a walk estimate by a single byte.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"mdrep/internal/fault"
+	"mdrep/internal/flight"
+	"mdrep/internal/wire"
+)
+
+// SpanContext identifies a position in a trace: the trace it belongs
+// to, the span that is current, and whether the trace was sampled at
+// its root. The zero SpanContext is "no trace"; an unsampled context
+// still carries IDs so a trace keeps its identity across hops without
+// recording anything.
+type SpanContext struct {
+	Trace   uint64
+	Span    uint64
+	Sampled bool
+}
+
+// Valid reports whether the context names a real trace position.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// MarshalWire encodes the context as a TRC1 header for a wire frame,
+// or nil when there is nothing worth propagating (invalid, or
+// unsampled — the receiver would ignore it anyway and start fresh).
+func (sc SpanContext) MarshalWire() []byte {
+	if !sc.Valid() || !sc.Sampled {
+		return nil
+	}
+	buf, err := wire.TraceContext{Trace: sc.Trace, Span: sc.Span, Sampled: true}.Encode()
+	if err != nil {
+		return nil
+	}
+	return buf
+}
+
+// SpanContextFromWire decodes a TRC1 header from a frame. Absent,
+// truncated, or corrupt headers yield the zero context — tracing is
+// best-effort at the boundary, never a request failure.
+func SpanContextFromWire(buf []byte) SpanContext {
+	if len(buf) == 0 {
+		return SpanContext{}
+	}
+	tc, err := wire.DecodeTraceContext(buf)
+	if err != nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: tc.Trace, Span: tc.Span, Sampled: tc.Sampled}
+}
+
+// TraceSink generates IDs, decides sampling, and stamps spans with its
+// clock. One sink is installed process-wide by EnableTracing.
+type TraceSink struct {
+	clock Clock
+	seed  uint64
+	every uint64
+	ctr   atomic.Uint64
+}
+
+var tracing atomic.Pointer[TraceSink]
+
+// EnableTracing installs a process-wide trace sink: IDs derive from
+// seed via a private splitmix64 counter, timestamps come from clock,
+// and one in sampleEvery root spans is sampled (≤1 samples all).
+// A nil clock disables tracing.
+func EnableTracing(seed uint64, clock Clock, sampleEvery int) {
+	if clock == nil {
+		tracing.Store(nil)
+		return
+	}
+	s := &TraceSink{clock: clock, seed: seed, every: 1}
+	if sampleEvery > 1 {
+		s.every = uint64(sampleEvery)
+	}
+	tracing.Store(s)
+}
+
+// DisableTracing uninstalls the trace sink; in-flight spans finish
+// against the sink they started with.
+func DisableTracing() { tracing.Store(nil) }
+
+// TracingEnabled reports whether a sink is installed.
+func TracingEnabled() bool { return tracing.Load() != nil }
+
+// nextID draws a fresh nonzero ID from the sink's private counter —
+// no shared RNG stream is consumed, so replay determinism holds.
+func (s *TraceSink) nextID() uint64 {
+	id := mix64(s.seed + s.ctr.Add(1)*0x9e3779b97f4a7c15)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// sampled is the deterministic root-sampling decision: a pure function
+// of the trace ID, so the same seed samples the same traces.
+func (s *TraceSink) sampledTrace(trace uint64) bool {
+	if s.every <= 1 {
+		return true
+	}
+	return mix64(trace)%s.every == 0
+}
+
+// mix64 is the splitmix64 finalizer, the repo's standard bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// TSpan is one in-flight causal span. The zero TSpan is inert: every
+// method is a cheap no-op, which is how disabled tracing and
+// sampled-out traces cost one branch per call site. TSpan is used by
+// pointer so attribute stores do not copy; it must not escape the
+// request that created it.
+type TSpan struct {
+	sink   *TraceSink
+	sc     SpanContext
+	parent uint64
+	name   string
+	start  time.Time
+	nattr  int
+	attrs  [flight.MaxAttrs]flight.Attr
+}
+
+// StartRoot opens a new trace. When the sink samples the trace out (or
+// tracing is disabled after IDs were drawn), the returned span records
+// nothing but still carries an unsampled context, so downstream
+// children inherit the decision instead of re-rooting.
+func StartRoot(name string) TSpan {
+	s := tracing.Load()
+	if s == nil {
+		return TSpan{}
+	}
+	trace := s.nextID()
+	if !s.sampledTrace(trace) {
+		return TSpan{sc: SpanContext{Trace: trace, Span: trace, Sampled: false}}
+	}
+	return TSpan{
+		sink:  s,
+		sc:    SpanContext{Trace: trace, Span: trace, Sampled: true},
+		name:  name,
+		start: s.clock(),
+	}
+}
+
+// StartChild opens a span under parent. An invalid parent yields an
+// inert span; an unsampled parent propagates its context unrecorded.
+func StartChild(parent SpanContext, name string) TSpan {
+	if !parent.Valid() {
+		return TSpan{}
+	}
+	if !parent.Sampled {
+		return TSpan{sc: parent}
+	}
+	s := tracing.Load()
+	if s == nil {
+		return TSpan{sc: parent}
+	}
+	return TSpan{
+		sink:   s,
+		sc:     SpanContext{Trace: parent.Trace, Span: s.nextID(), Sampled: true},
+		parent: parent.Span,
+		name:   name,
+		start:  s.clock(),
+	}
+}
+
+// StartSpan is the boundary helper: a child when the caller supplied a
+// context, a fresh root otherwise. Transport servers and shared
+// plumbing use it so untraced maintenance traffic still feeds the
+// always-on flight ring as roots of its own.
+func StartSpan(parent SpanContext, name string) TSpan {
+	if parent.Valid() {
+		return StartChild(parent, name)
+	}
+	return StartRoot(name)
+}
+
+// Context returns the span's context for propagation to children and
+// across the wire.
+func (t *TSpan) Context() SpanContext { return t.sc }
+
+// Recording reports whether End will emit a record.
+func (t *TSpan) Recording() bool { return t.sink != nil }
+
+// Attr attaches an integer attribute. Keys must come from package
+// const tables (enforced by the metriclabel analyzer) so trace
+// cardinality stays bounded; values are free. Attributes beyond
+// flight.MaxAttrs are dropped.
+func (t *TSpan) Attr(key string, val int64) {
+	if t.sink == nil || t.nattr >= flight.MaxAttrs {
+		return
+	}
+	t.attrs[t.nattr] = flight.Attr{Key: key, Val: val}
+	t.nattr++
+}
+
+// AttrStr attaches a string attribute; same key discipline as Attr.
+// Values longer than the flight ring's packed window are truncated at
+// record time.
+func (t *TSpan) AttrStr(key, val string) {
+	if t.sink == nil || t.nattr >= flight.MaxAttrs {
+		return
+	}
+	t.attrs[t.nattr] = flight.Attr{Key: key, Str: val}
+	t.nattr++
+}
+
+// Event drops a point-in-time marker inside the span.
+func (t *TSpan) Event(name string) {
+	if t.sink == nil {
+		return
+	}
+	now := t.sink.clock().UnixNano()
+	e := flight.Entry{
+		Trace:  t.sc.Trace,
+		Span:   t.sc.Span,
+		Parent: t.sc.Span,
+		Kind:   flight.KindEvent,
+		Start:  now,
+		Name:   name,
+	}
+	flight.Emit(&e)
+}
+
+// End finishes the span successfully.
+func (t *TSpan) End() { t.EndErr(nil) }
+
+// EndErr finishes the span with err's fault classification, emits its
+// record into the flight ring, and — when err is fault.Terminal —
+// triggers a black-box dump so the ring's view of the moments before
+// the fault is preserved. Idempotent: later calls are no-ops.
+func (t *TSpan) EndErr(err error) {
+	s := t.sink
+	if s == nil {
+		return
+	}
+	t.sink = nil
+	end := s.clock()
+	e := flight.Entry{
+		Trace:    t.sc.Trace,
+		Span:     t.sc.Span,
+		Parent:   t.parent,
+		Kind:     flight.KindSpan,
+		Status:   flight.StatusOf(err),
+		Start:    t.start.UnixNano(),
+		Duration: end.Sub(t.start).Nanoseconds(),
+		Name:     t.name,
+		Attrs:    t.attrs,
+		NAttrs:   t.nattr,
+	}
+	flight.Emit(&e)
+	if fault.IsTerminal(err) {
+		flight.TriggerDump(dumpReasonTerminal + t.name)
+	}
+}
+
+// dumpReasonTerminal prefixes the flight-dump reason for terminal span
+// failures.
+const dumpReasonTerminal = "fault.terminal: "

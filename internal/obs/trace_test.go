@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mdrep/internal/fault"
+	"mdrep/internal/flight"
+)
+
+// testClock is a deterministic ticking clock.
+func testClock() Clock {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func withTracing(t *testing.T, sampleEvery int) *flight.Recorder {
+	t.Helper()
+	rec := flight.NewRecorder(256, 4)
+	flight.Install(rec)
+	EnableTracing(42, testClock(), sampleEvery)
+	t.Cleanup(func() {
+		DisableTracing()
+		flight.Install(nil)
+	})
+	return rec
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	if TracingEnabled() {
+		t.Fatal("tracing enabled without EnableTracing")
+	}
+	sp := StartRoot("x")
+	if sp.Recording() || sp.Context().Valid() {
+		t.Errorf("disabled root not inert: %+v", sp.Context())
+	}
+	sp.Attr("k", 1)
+	sp.EndErr(errors.New("ignored"))
+	child := StartChild(sp.Context(), "y")
+	if child.Recording() {
+		t.Error("child of inert span records")
+	}
+	child.End()
+}
+
+func TestRootChildStitching(t *testing.T) {
+	rec := withTracing(t, 1)
+	root := StartRoot("walk.estimate")
+	if !root.Recording() || !root.Context().Valid() || !root.Context().Sampled {
+		t.Fatalf("root not recording: %+v", root.Context())
+	}
+	child := StartChild(root.Context(), "walk.row_fetch")
+	child.Attr("user", 7)
+	grand := StartChild(child.Context(), "dht.rpc.retrieve")
+	grand.AttrStr("addr", "mem://node-01")
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := rec.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Records land end-order: grand, child, root.
+	g, c, r := recs[0], recs[1], recs[2]
+	if r.Trace != c.Trace || c.Trace != g.Trace {
+		t.Errorf("trace IDs differ: %x %x %x", r.Trace, c.Trace, g.Trace)
+	}
+	if r.Parent != 0 {
+		t.Errorf("root has parent %x", r.Parent)
+	}
+	if c.Parent != r.Span || g.Parent != c.Span {
+		t.Errorf("stitching broken: root=%x child=(%x←%x) grand=(%x←%x)", r.Span, c.Span, c.Parent, g.Span, g.Parent)
+	}
+	if c.Attrs[0].Key != "user" || c.Attrs[0].Val != 7 {
+		t.Errorf("child attrs = %+v", c.Attrs)
+	}
+	if g.Attrs[0].Str != "mem://node-01" {
+		t.Errorf("grand attrs = %+v", g.Attrs)
+	}
+	if r.Duration <= 0 {
+		t.Errorf("root duration %d", r.Duration)
+	}
+}
+
+func TestEndErrStatusAndIdempotence(t *testing.T) {
+	rec := withTracing(t, 1)
+	sp := StartRoot("dht.op")
+	sp.EndErr(fault.Unreachable(errors.New("down")))
+	sp.EndErr(errors.New("second end must not record"))
+	recs := rec.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1 (EndErr not idempotent)", len(recs))
+	}
+	if recs[0].Status != flight.StatusRetryable {
+		t.Errorf("status = %v, want retryable", recs[0].Status)
+	}
+}
+
+func TestTerminalEndTriggersDump(t *testing.T) {
+	rec := withTracing(t, 1)
+	sp := StartRoot("dht.rpc.store")
+	sp.EndErr(fault.Terminal(errors.New("bad frame")))
+	d, ok := rec.LastDump()
+	if !ok {
+		t.Fatal("terminal error did not trigger a flight dump")
+	}
+	if d.Reason != "fault.terminal: dht.rpc.store" {
+		t.Errorf("dump reason = %q", d.Reason)
+	}
+	if len(d.Records) != 1 || d.Records[0].Status != flight.StatusError {
+		t.Errorf("dump records = %+v", d.Records)
+	}
+}
+
+func TestSamplingDeterministicAndPropagated(t *testing.T) {
+	rec := withTracing(t, 4)
+	sampled, unsampled := 0, 0
+	for i := 0; i < 64; i++ {
+		root := StartRoot("r")
+		child := StartChild(root.Context(), "c")
+		if root.Recording() != child.Recording() {
+			t.Fatalf("iteration %d: child sampling diverged from root", i)
+		}
+		if root.Recording() {
+			sampled++
+		} else {
+			unsampled++
+			if !child.Context().Valid() {
+				t.Fatal("unsampled child lost trace identity")
+			}
+			if child.Context().Sampled {
+				t.Fatal("unsampled root produced sampled child")
+			}
+		}
+		child.End()
+		root.End()
+	}
+	if sampled == 0 || unsampled == 0 {
+		t.Fatalf("sampling not mixing: %d sampled, %d unsampled of 64", sampled, unsampled)
+	}
+	if got := int(rec.Triggered()); got != 0 {
+		t.Errorf("sampling triggered %d dumps", got)
+	}
+	if got := len(rec.Snapshot()); got != 2*sampled {
+		t.Errorf("ring holds %d records, want %d", got, 2*sampled)
+	}
+
+	// Re-enabling with the same seed makes the same decisions.
+	first := make([]bool, 16)
+	EnableTracing(99, testClock(), 4)
+	for i := range first {
+		sp := StartRoot("r")
+		first[i] = sp.Recording()
+		sp.End()
+	}
+	EnableTracing(99, testClock(), 4)
+	for i := range first {
+		sp := StartRoot("r")
+		if sp.Recording() != first[i] {
+			t.Fatalf("root %d: sampling not deterministic across re-seeds", i)
+		}
+		sp.End()
+	}
+}
+
+func TestStartSpanBoundary(t *testing.T) {
+	withTracing(t, 1)
+	// No incoming context: a fresh sampled root.
+	root := StartSpan(SpanContext{}, "dht.serve")
+	if !root.Recording() || root.Context().Trace == 0 {
+		t.Fatalf("boundary root not recording: %+v", root.Context())
+	}
+	// Incoming context: a child of it.
+	child := StartSpan(root.Context(), "dht.serve")
+	if child.Context().Trace != root.Context().Trace {
+		t.Error("boundary child re-rooted the trace")
+	}
+	child.End()
+	root.End()
+}
+
+func TestSpanContextWireRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: 0xabc, Span: 0xdef, Sampled: true}
+	buf := sc.MarshalWire()
+	if buf == nil {
+		t.Fatal("sampled context marshalled to nil")
+	}
+	if got := SpanContextFromWire(buf); got != sc {
+		t.Errorf("round-trip: got %+v, want %+v", got, sc)
+	}
+	if (SpanContext{}).MarshalWire() != nil {
+		t.Error("zero context marshalled to bytes")
+	}
+	if (SpanContext{Trace: 1, Span: 1, Sampled: false}).MarshalWire() != nil {
+		t.Error("unsampled context marshalled to bytes")
+	}
+	if got := SpanContextFromWire(nil); got != (SpanContext{}) {
+		t.Errorf("nil bytes decoded to %+v", got)
+	}
+	if got := SpanContextFromWire([]byte("garbage")); got != (SpanContext{}) {
+		t.Errorf("garbage decoded to %+v", got)
+	}
+}
+
+func TestAttrOverflowIgnored(t *testing.T) {
+	rec := withTracing(t, 1)
+	sp := StartRoot("r")
+	for i := 0; i < flight.MaxAttrs+3; i++ {
+		sp.Attr("k", int64(i))
+	}
+	sp.End()
+	recs := rec.Snapshot()
+	if len(recs) != 1 || len(recs[0].Attrs) != flight.MaxAttrs {
+		t.Fatalf("attrs = %+v", recs)
+	}
+}
+
+func TestEventRecords(t *testing.T) {
+	rec := withTracing(t, 1)
+	sp := StartRoot("journal.recover")
+	sp.Event("segment.rotated")
+	sp.End()
+	recs := rec.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want event + span", len(recs))
+	}
+	ev := recs[0]
+	if ev.Kind != flight.KindEvent || ev.Name != "segment.rotated" || ev.Parent != recs[1].Span {
+		t.Errorf("event = %+v", ev)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mdrep/internal/eval"
 	"mdrep/internal/fault"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 )
 
 // Exchange is the in-memory Network: a registry through which peers serve
@@ -42,8 +43,12 @@ func (e *Exchange) Unregister(id identity.PeerID) {
 	delete(e.serving, id)
 }
 
-// FetchEvaluations implements Network.
-func (e *Exchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, error) {
+// FetchEvaluations implements Network. The in-process exchange still
+// opens a fetch span so traces look the same against both networks.
+func (e *Exchange) FetchEvaluations(sc obs.SpanContext, target identity.PeerID) (infos []eval.Info, err error) {
+	sp := obs.StartSpan(sc, spanFetch)
+	sp.AttrStr(attrTarget, string(target))
+	defer func() { sp.EndErr(err) }()
 	e.mu.RLock()
 	fn, ok := e.serving[target]
 	e.mu.RUnlock()

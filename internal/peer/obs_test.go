@@ -6,6 +6,7 @@ import (
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
 	"mdrep/internal/metrics"
+	"mdrep/internal/obs"
 )
 
 func TestExchangeByteCounters(t *testing.T) {
@@ -39,7 +40,7 @@ func TestExchangeByteCounters(t *testing.T) {
 	srv.Instrument(xobs)
 	resolver.Set(p.ID(), srv.Addr())
 
-	infos, err := network.FetchEvaluations(p.ID())
+	infos, err := network.FetchEvaluations(obs.SpanContext{}, p.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestExchangeUninstrumented(t *testing.T) {
 	}
 	defer func() { _ = srv.Close() }()
 	resolver.Set("ghost", srv.Addr())
-	if _, err := network.FetchEvaluations("ghost"); err != nil {
+	if _, err := network.FetchEvaluations(obs.SpanContext{}, "ghost"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -35,7 +35,19 @@ import (
 	"mdrep/internal/fault"
 	"mdrep/internal/identity"
 	"mdrep/internal/incentive"
+	"mdrep/internal/obs"
 	"mdrep/internal/security"
+)
+
+// Causal-tracing span names and attribute keys (const table per the
+// metriclabel analyzer's span-attribute contract).
+const (
+	spanSync  = "peer.sync"
+	spanFetch = "peer.fetch_evaluations"
+	spanServe = "peer.serve_evaluations"
+
+	attrTarget   = "target"
+	attrVerified = "verified"
 )
 
 // Directory resolves peer IDs to public keys (a PKI or self-certifying
@@ -47,8 +59,8 @@ type Directory = identity.Directory
 // DHT transport's framing.
 type Network interface {
 	// FetchEvaluations returns the target's current signed evaluation
-	// list.
-	FetchEvaluations(target identity.PeerID) ([]eval.Info, error)
+	// list, continuing the caller's trace across the exchange.
+	FetchEvaluations(sc obs.SpanContext, target identity.PeerID) ([]eval.Info, error)
 }
 
 // Config parameterises a peer.
@@ -238,11 +250,18 @@ func (p *Peer) SignedEvaluations() ([]eval.Info, error) {
 // SyncPeer fetches the target's evaluation list (§4.1 step 4), verifies
 // each entry's signature, caches it, and feeds the examiner. It returns
 // the number of verified entries.
-func (p *Peer) SyncPeer(target identity.PeerID) (int, error) {
+func (p *Peer) SyncPeer(target identity.PeerID) (n int, err error) {
 	if target == p.ID() {
 		return 0, fault.Terminal(errors.New("peer: cannot sync with self"))
 	}
-	infos, err := p.net.FetchEvaluations(target)
+	// One sync is one trace: fetch, verification, examination.
+	sp := obs.StartRoot(spanSync)
+	sp.AttrStr(attrTarget, string(target))
+	defer func() {
+		sp.Attr(attrVerified, int64(n))
+		sp.EndErr(err)
+	}()
+	infos, err := p.net.FetchEvaluations(sp.Context(), target)
 	if err != nil {
 		return 0, fmt.Errorf("peer: fetch %s: %w", target, err)
 	}

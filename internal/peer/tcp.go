@@ -9,6 +9,7 @@ import (
 	"mdrep/internal/eval"
 	"mdrep/internal/fault"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 	"mdrep/internal/wire"
 )
 
@@ -24,6 +25,7 @@ import (
 
 type exchangeRequest struct {
 	Method string `json:"method"`
+	Trace  []byte `json:"trace,omitempty"`
 }
 
 type exchangeResponse struct {
@@ -87,7 +89,10 @@ func NewTCPExchange(resolver Resolver) *TCPExchange {
 }
 
 // FetchEvaluations implements Network.
-func (e *TCPExchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, error) {
+func (e *TCPExchange) FetchEvaluations(sc obs.SpanContext, target identity.PeerID) (infos []eval.Info, err error) {
+	sp := obs.StartSpan(sc, spanFetch)
+	sp.AttrStr(attrTarget, string(target))
+	defer func() { sp.EndErr(err) }()
 	addr, err := e.resolver.Resolve(target)
 	if err != nil {
 		return nil, err
@@ -104,7 +109,7 @@ func (e *TCPExchange) FetchEvaluations(target identity.PeerID) ([]eval.Info, err
 	if err := conn.SetDeadline(time.Now().Add(e.CallTimeout)); err != nil { //mdrep:allow wallclock: I/O deadline on a live socket, not replayed state
 		return nil, err
 	}
-	if err := wire.WriteFrame(conn, exchangeRequest{Method: "evaluations"}); err != nil {
+	if err := wire.WriteFrame(conn, exchangeRequest{Method: "evaluations", Trace: sp.Context().MarshalWire()}); err != nil {
 		return nil, fault.Unreachable(fmt.Errorf("peer: send to %s: %w", target, err))
 	}
 	var resp exchangeResponse
@@ -206,14 +211,18 @@ func (s *ExchangeServer) serveConn(raw net.Conn) {
 	if err := wire.ReadFrame(conn, &req); err != nil {
 		return
 	}
+	sp := obs.StartSpan(obs.SpanContextFromWire(req.Trace), spanServe)
 	if req.Method != "evaluations" {
+		sp.EndErr(fmt.Errorf("unknown method %q", req.Method)) //mdrep:allow faultwrap: feeds the serve span's status only, never returned to a retry loop
 		_ = wire.WriteFrame(conn, exchangeResponse{Error: fmt.Sprintf("unknown method %q", req.Method)})
 		return
 	}
 	infos, err := s.source()
 	if err != nil {
+		sp.EndErr(err)
 		_ = wire.WriteFrame(conn, exchangeResponse{Error: err.Error()})
 		return
 	}
+	sp.End()
 	_ = wire.WriteFrame(conn, exchangeResponse{Evaluations: infos})
 }

@@ -7,6 +7,7 @@ import (
 
 	"mdrep/internal/eval"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 	"mdrep/internal/wire"
 
 	"net"
@@ -116,7 +117,7 @@ func TestTCPExchangeDialFailure(t *testing.T) {
 	r.Set("dead", "127.0.0.1:1")
 	e := NewTCPExchange(r)
 	e.DialTimeout = 200 * time.Millisecond
-	if _, err := e.FetchEvaluations("dead"); err == nil {
+	if _, err := e.FetchEvaluations(obs.SpanContext{}, "dead"); err == nil {
 		t.Fatal("fetch from closed port succeeded")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"mdrep/internal/eval"
 	"mdrep/internal/fault"
 	"mdrep/internal/identity"
+	"mdrep/internal/obs"
 	"mdrep/internal/sparse"
 	"mdrep/internal/wire"
 )
@@ -114,8 +115,9 @@ func PublishRows(pub RowPublisher, tm *sparse.CSR, epoch uint64) error {
 
 // Fetcher retrieves the records stored under a key; *dht.Node implements
 // it (with dht.RetryClient underneath when the ring is built on one).
+// The span context carries the walk estimate's trace into the DHT.
 type Fetcher interface {
-	Retrieve(key dht.ID) ([]dht.StoredRecord, error)
+	Retrieve(sc obs.SpanContext, key dht.ID) ([]dht.StoredRecord, error)
 }
 
 // DHTSource serves TM rows fetched through the DHT, the decentralized
@@ -181,13 +183,14 @@ func (s *DHTSource) SetEpoch(epoch uint64) {
 	s.epoch = epoch
 	s.cache = make(map[int]*list.Element, s.cap)
 	s.order.Init()
+	wobs.Load().setCacheSize(0)
 }
 
 // Row implements RowSource. A missing or stale-epoch record is
 // fault.Unreachable — republication repairs it, so retrying is sound. A
 // record that decodes to the wrong shape is fault.Terminal. A transport
 // error keeps whatever fault class the retry layer assigned it.
-func (s *DHTSource) Row(user int) ([]int32, []float64, error) {
+func (s *DHTSource) Row(sc obs.SpanContext, user int) ([]int32, []float64, error) {
 	if user < 0 || user >= s.n {
 		return nil, nil, fault.Terminal(fmt.Errorf("walk: user %d outside [0, %d)", user, s.n))
 	}
@@ -201,7 +204,7 @@ func (s *DHTSource) Row(user int) ([]int32, []float64, error) {
 		return e.cols, e.vals, nil
 	}
 	wo.countMiss()
-	cols, vals, err := s.fetchRow(user, wo)
+	cols, vals, err := s.fetchRow(sc, user, wo)
 	if err != nil {
 		wo.countFetchErr()
 		return nil, nil, err
@@ -213,14 +216,19 @@ func (s *DHTSource) Row(user int) ([]int32, []float64, error) {
 		delete(s.cache, oldest.Value.(*cacheEntry).user)
 		wo.countEvicted()
 	}
+	wo.setCacheSize(s.order.Len())
 	return cols, vals, nil
 }
 
-// fetchRow retrieves, selects, and decodes user's row record. Called
-// with the cache mutex held.
-func (s *DHTSource) fetchRow(user int, wo *walkObs) ([]int32, []float64, error) {
+// fetchRow retrieves, selects, and decodes user's row record — a
+// "walk.row_fetch" span on the estimate's trace, parenting the DHT
+// retrieve and its retry attempts. Called with the cache mutex held.
+func (s *DHTSource) fetchRow(sc obs.SpanContext, user int, wo *walkObs) (cols []int32, vals []float64, err error) {
 	sp := wo.spanFetch()
-	recs, err := s.fetcher.Retrieve(RowKey(user))
+	tsp := obs.StartChild(sc, spanRowFetch)
+	tsp.Attr(attrUser, int64(user))
+	defer func() { tsp.EndErr(err) }()
+	recs, err := s.fetcher.Retrieve(tsp.Context(), RowKey(user))
 	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("walk: fetch row %d: %w", user, err)

@@ -7,6 +7,7 @@ import (
 
 	"mdrep/internal/dht"
 	"mdrep/internal/fault"
+	"mdrep/internal/obs"
 	"mdrep/internal/sparse"
 	"mdrep/internal/wire"
 )
@@ -68,7 +69,7 @@ func TestDHTSourceMatchesLocalTwin(t *testing.T) {
 func TestDHTSourceServesEmptyRows(t *testing.T) {
 	tm := sparse.FreezeNormalized(3, []map[int]float64{{1: 1}, nil, {0: 1}})
 	src := ringSource(t, tm, 4)
-	cols, vals, err := src.Row(1)
+	cols, vals, err := src.Row(obs.SpanContext{}, 1)
 	if err != nil {
 		t.Fatalf("empty row fetch: %v", err)
 	}
@@ -84,7 +85,7 @@ type stubFetcher struct {
 	err   error
 }
 
-func (f *stubFetcher) Retrieve(key dht.ID) ([]dht.StoredRecord, error) {
+func (f *stubFetcher) Retrieve(_ obs.SpanContext, key dht.ID) ([]dht.StoredRecord, error) {
 	f.calls++
 	if f.err != nil {
 		return nil, f.err
@@ -115,7 +116,7 @@ func TestDHTSourceCachesAndEvicts(t *testing.T) {
 	}
 	mustRow := func(u int) {
 		t.Helper()
-		if _, _, err := src.Row(u); err != nil {
+		if _, _, err := src.Row(obs.SpanContext{}, u); err != nil {
 			t.Fatalf("row %d: %v", u, err)
 		}
 	}
@@ -147,13 +148,13 @@ func TestDHTSourceSetEpochDropsCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := src.Row(0); err != nil {
+	if _, _, err := src.Row(obs.SpanContext{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	// The snapshot moves on: epoch 2 is republished over epoch 1.
 	fetcher.recs = rowRecords(t, tm, 2)
 	src.SetEpoch(2)
-	if _, _, err := src.Row(0); err != nil {
+	if _, _, err := src.Row(obs.SpanContext{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if fetcher.calls != 2 {
@@ -172,7 +173,7 @@ func TestDHTSourceFaultTaxonomy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, err = src.Row(0)
+		_, _, err = src.Row(obs.SpanContext{}, 0)
 		if !errors.Is(err, fault.ErrUnreachable) || !fault.Retryable(err) {
 			t.Fatalf("err = %v, want retryable fault.ErrUnreachable", err)
 		}
@@ -182,7 +183,7 @@ func TestDHTSourceFaultTaxonomy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, err = src.Row(0)
+		_, _, err = src.Row(obs.SpanContext{}, 0)
 		if !errors.Is(err, fault.ErrUnreachable) || !fault.Retryable(err) {
 			t.Fatalf("err = %v, want retryable fault.ErrUnreachable", err)
 		}
@@ -193,7 +194,7 @@ func TestDHTSourceFaultTaxonomy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, err = src.Row(0)
+		_, _, err = src.Row(obs.SpanContext{}, 0)
 		if !errors.Is(err, cause) || !fault.Retryable(err) {
 			t.Fatalf("err = %v, want the wrapped retryable transport error", err)
 		}
@@ -206,7 +207,7 @@ func TestDHTSourceFaultTaxonomy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := src.Row(0); !fault.IsTerminal(err) {
+		if _, _, err := src.Row(obs.SpanContext{}, 0); !fault.IsTerminal(err) {
 			t.Fatalf("err = %v, want fault.Terminal", err)
 		}
 	})
@@ -218,7 +219,7 @@ func TestDHTSourceFaultTaxonomy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := src.Row(0); !errors.Is(err, fault.ErrUnreachable) {
+		if _, _, err := src.Row(obs.SpanContext{}, 0); !errors.Is(err, fault.ErrUnreachable) {
 			t.Fatalf("err = %v, want fault.ErrUnreachable (foreign owners are not rows)", err)
 		}
 	})
@@ -232,7 +233,7 @@ func TestDHTSourceFaultTaxonomy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := src.Row(0); !fault.IsTerminal(err) {
+		if _, _, err := src.Row(obs.SpanContext{}, 0); !fault.IsTerminal(err) {
 			t.Fatalf("err = %v, want fault.Terminal", err)
 		}
 	})
@@ -241,7 +242,7 @@ func TestDHTSourceFaultTaxonomy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := src.Row(2); !fault.IsTerminal(err) {
+		if _, _, err := src.Row(obs.SpanContext{}, 2); !fault.IsTerminal(err) {
 			t.Fatalf("err = %v, want fault.Terminal", err)
 		}
 	})
@@ -263,7 +264,7 @@ func TestDHTSourcePrefersNewestRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cols, _, err := src.Row(0)
+	cols, _, err := src.Row(obs.SpanContext{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,8 @@ type walkObs struct {
 	misses   *metrics.Counter   // row-cache misses
 	evicted  *metrics.Counter   // row-cache evictions
 	fetchErr *metrics.Counter   // row fetches that failed
+	cacheLen *metrics.Gauge     // rows currently cached
+	hitRatio *metrics.Gauge     // hits / (hits + misses), derived on update
 }
 
 var wobs atomic.Pointer[walkObs]
@@ -49,6 +51,8 @@ func Instrument(reg *metrics.Registry, clock obs.Clock) {
 		misses:   reg.Counter("walk_row_cache_misses_total"),
 		evicted:  reg.Counter("walk_row_cache_evictions_total"),
 		fetchErr: reg.Counter("walk_row_fetch_errors_total"),
+		cacheLen: reg.Gauge("walk_cache_size"),
+		hitRatio: reg.Gauge("walk_cache_hit_ratio"),
 	})
 }
 
@@ -99,6 +103,7 @@ func (w *walkObs) countHit() {
 		return
 	}
 	w.hits.Inc()
+	w.updateHitRatio()
 }
 
 func (w *walkObs) countMiss() {
@@ -106,6 +111,24 @@ func (w *walkObs) countMiss() {
 		return
 	}
 	w.misses.Inc()
+	w.updateHitRatio()
+}
+
+// updateHitRatio derives hits/(hits+misses) so cache effectiveness is a
+// scrapeable gauge instead of two counters to divide by hand.
+func (w *walkObs) updateHitRatio() {
+	h, m := w.hits.Load(), w.misses.Load()
+	if total := h + m; total > 0 {
+		w.hitRatio.Set(float64(h) / float64(total))
+	}
+}
+
+// setCacheSize reports the LRU's current occupancy.
+func (w *walkObs) setCacheSize(n int) {
+	if w == nil {
+		return
+	}
+	w.cacheLen.Set(float64(n))
 }
 
 func (w *walkObs) countEvicted() {

@@ -32,8 +32,20 @@ import (
 
 	"mdrep/internal/core"
 	"mdrep/internal/fault"
+	"mdrep/internal/obs"
 	"mdrep/internal/sim"
 	"mdrep/internal/sparse"
+)
+
+// Causal-tracing span names and attribute keys (const table per the
+// metriclabel analyzer's span-attribute contract).
+const (
+	spanEstimate = "walk.estimate"
+	spanRowFetch = "walk.row_fetch"
+
+	attrUser   = "user"
+	attrSource = "source"
+	attrWalks  = "walks"
 )
 
 // RowSource supplies normalized trust-matrix rows. Implementations must
@@ -45,8 +57,10 @@ type RowSource interface {
 	// Row returns user's outgoing trust row: ascending column indices
 	// and matching transition weights summing to at most 1. An empty
 	// row is a dangling user, not an error; errors mean the row could
-	// not be obtained (and carry the internal/fault taxonomy).
-	Row(user int) (cols []int32, vals []float64, err error)
+	// not be obtained (and carry the internal/fault taxonomy). The span
+	// context is the estimate's causal trace; sources that fetch over
+	// the network continue it, local sources ignore it.
+	Row(sc obs.SpanContext, user int) (cols []int32, vals []float64, err error)
 }
 
 // LocalSource serves rows from a frozen sparse.CSR snapshot — typically
@@ -70,7 +84,7 @@ func (s *LocalSource) N() int { return s.tm.N() }
 // Row implements RowSource; the slices alias the snapshot's storage.
 //
 //mdrep:hotpath
-func (s *LocalSource) Row(user int) ([]int32, []float64, error) {
+func (s *LocalSource) Row(_ obs.SpanContext, user int) ([]int32, []float64, error) {
 	if user < 0 || user >= s.tm.N() {
 		return nil, nil, fault.Terminal(fmt.Errorf("walk: user %d outside [0, %d)", user, s.tm.N()))
 	}
@@ -148,6 +162,10 @@ func (e *Estimator) Estimate(source int) (map[int]float64, error) {
 	}
 	wo := wobs.Load()
 	sp := wo.spanEstimate()
+	tsp := obs.StartRoot(spanEstimate)
+	tsp.Attr(attrSource, int64(source))
+	tsp.Attr(attrWalks, int64(e.cfg.Walks))
+	tsc := tsp.Context()
 	counts := make([]int64, n)
 	base := sim.NewRNG(e.cfg.Seed).DeriveStream("walk")
 	var (
@@ -166,7 +184,7 @@ func (e *Estimator) Estimate(source int) (map[int]float64, error) {
 			cur := source
 			alive := true
 			for d := 0; d < e.cfg.Depth; d++ {
-				cols, vals, err := e.src.Row(cur)
+				cols, vals, err := e.src.Row(tsc, cur)
 				if err != nil {
 					if failed.CompareAndSwap(false, true) {
 						errMu.Lock()
@@ -196,9 +214,11 @@ func (e *Estimator) Estimate(source int) (map[int]float64, error) {
 		errMu.Lock()
 		defer errMu.Unlock()
 		wo.countAborted()
+		tsp.EndErr(firstErr)
 		return nil, firstErr
 	}
 	wo.countEstimate()
+	tsp.End()
 	out := make(map[int]float64)
 	total := float64(e.cfg.Walks)
 	for j, c := range counts {

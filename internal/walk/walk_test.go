@@ -143,7 +143,7 @@ type stubSource struct {
 
 func (s *stubSource) N() int { return s.n }
 
-func (s *stubSource) Row(user int) ([]int32, []float64, error) {
+func (s *stubSource) Row(_ obs.SpanContext, user int) ([]int32, []float64, error) {
 	if err := s.fail[user]; err != nil {
 		return nil, nil, err
 	}

@@ -121,3 +121,34 @@ func FuzzTMRowCodec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTraceContext feeds hostile bytes to the trace-context decoder: it
+// must never panic, and anything it accepts must re-encode to the exact
+// input bytes (the encoding is canonical).
+func FuzzTraceContext(f *testing.F) {
+	seed := func(tc TraceContext) []byte {
+		raw, err := tc.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	f.Add([]byte{})
+	f.Add(seed(TraceContext{Trace: 1, Span: 1}))
+	f.Add(seed(TraceContext{Trace: 0xdeadbeef, Span: 0xcafe, Sampled: true}))
+	f.Add([]byte("TRC1 but far too short"))
+	f.Add(make([]byte, EncodedTraceContextSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tc, err := DecodeTraceContext(data)
+		if err != nil {
+			return
+		}
+		raw, err := tc.Encode()
+		if err != nil {
+			t.Fatalf("re-encode accepted context: %v", err)
+		}
+		if !bytes.Equal(raw, data) {
+			t.Fatal("accepted bytes are not the canonical encoding")
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// A trace context is the causal-tracing header a frame carries so the
+// receiving side can continue the sender's trace: which trace the
+// request belongs to and which span is its parent. Like TM rows it is a
+// fixed canonical binary layout — two encodings of the same context are
+// byte-identical, and anything the decoder accepts re-encodes to the
+// input bytes:
+//
+//	[4]  magic "TRC1"
+//	[8]  trace (uint64, nonzero)
+//	[8]  span  (uint64, nonzero — the sender's current span)
+//	[1]  flags (bit 0 = sampled; remaining bits must be zero)
+//	[4]  CRC32-C over everything above
+//
+// A corrupt or truncated header must never fail the request it rides
+// on; callers treat any decode error as "no trace context".
+
+// trcMagic identifies and versions the encoding.
+var trcMagic = [4]byte{'T', 'R', 'C', '1'}
+
+// EncodedTraceContextSize is the fixed wire size of a trace context.
+const EncodedTraceContextSize = 4 + 8 + 8 + 1 + 4
+
+// trcSampledFlag is bit 0 of the flags byte.
+const trcSampledFlag = 0x01
+
+// ErrTraceCtx reports a structurally invalid trace-context header;
+// every decode failure wraps it.
+var ErrTraceCtx = errors.New("wire: invalid trace context")
+
+// TraceContext is the decoded header.
+type TraceContext struct {
+	Trace   uint64
+	Span    uint64
+	Sampled bool
+}
+
+// validate checks the invariants shared by encode and decode.
+func (tc TraceContext) validate() error {
+	if tc.Trace == 0 {
+		return fmt.Errorf("%w: zero trace ID", ErrTraceCtx)
+	}
+	if tc.Span == 0 {
+		return fmt.Errorf("%w: zero span ID", ErrTraceCtx)
+	}
+	return nil
+}
+
+// Encode emits the canonical byte form.
+func (tc TraceContext) Encode() ([]byte, error) {
+	if err := tc.validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, EncodedTraceContextSize)
+	buf = append(buf, trcMagic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, tc.Trace)
+	buf = binary.BigEndian.AppendUint64(buf, tc.Span)
+	flags := byte(0)
+	if tc.Sampled {
+		flags |= trcSampledFlag
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	return buf, nil
+}
+
+// DecodeTraceContext parses and verifies a header. It rejects wrong
+// magic, wrong length, unknown flag bits, zero IDs, and checksum
+// mismatches.
+func DecodeTraceContext(buf []byte) (TraceContext, error) {
+	if len(buf) != EncodedTraceContextSize {
+		return TraceContext{}, fmt.Errorf("%w: %d bytes, want %d", ErrTraceCtx, len(buf), EncodedTraceContextSize)
+	}
+	if [4]byte(buf[:4]) != trcMagic {
+		return TraceContext{}, fmt.Errorf("%w: bad magic %q", ErrTraceCtx, buf[:4])
+	}
+	body, sum := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return TraceContext{}, fmt.Errorf("%w: checksum mismatch", ErrTraceCtx)
+	}
+	flags := buf[20]
+	if flags&^byte(trcSampledFlag) != 0 {
+		return TraceContext{}, fmt.Errorf("%w: unknown flag bits %#x", ErrTraceCtx, flags)
+	}
+	tc := TraceContext{
+		Trace:   binary.BigEndian.Uint64(buf[4:12]),
+		Span:    binary.BigEndian.Uint64(buf[12:20]),
+		Sampled: flags&trcSampledFlag != 0,
+	}
+	if err := tc.validate(); err != nil {
+		return TraceContext{}, err
+	}
+	return tc, nil
+}

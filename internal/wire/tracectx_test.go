@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	cases := []TraceContext{
+		{Trace: 1, Span: 1, Sampled: false},
+		{Trace: 0xdeadbeefcafe, Span: 0x1234, Sampled: true},
+		{Trace: ^uint64(0), Span: ^uint64(0), Sampled: true},
+	}
+	for _, tc := range cases {
+		buf, err := tc.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", tc, err)
+		}
+		if len(buf) != EncodedTraceContextSize {
+			t.Fatalf("encoded %d bytes, want %d", len(buf), EncodedTraceContextSize)
+		}
+		got, err := DecodeTraceContext(buf)
+		if err != nil {
+			t.Fatalf("Decode(%+v): %v", tc, err)
+		}
+		if got != tc {
+			t.Errorf("round-trip: got %+v, want %+v", got, tc)
+		}
+		again, err := tc.Encode()
+		if err != nil || !bytes.Equal(again, buf) {
+			t.Errorf("encoding not canonical: %v", err)
+		}
+	}
+}
+
+func TestTraceContextRejectsZeroIDs(t *testing.T) {
+	for _, tc := range []TraceContext{{Trace: 0, Span: 5}, {Trace: 5, Span: 0}, {}} {
+		if _, err := tc.Encode(); !errors.Is(err, ErrTraceCtx) {
+			t.Errorf("Encode(%+v) err = %v, want ErrTraceCtx", tc, err)
+		}
+	}
+}
+
+func TestTraceContextDecodeRejects(t *testing.T) {
+	good, err := TraceContext{Trace: 7, Span: 9, Sampled: true}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncation", func(t *testing.T) {
+		for n := 0; n < len(good); n++ {
+			if _, err := DecodeTraceContext(good[:n]); !errors.Is(err, ErrTraceCtx) {
+				t.Errorf("len %d: err = %v, want ErrTraceCtx", n, err)
+			}
+		}
+		if _, err := DecodeTraceContext(append(bytes.Clone(good), 0)); !errors.Is(err, ErrTraceCtx) {
+			t.Errorf("trailing byte: err = %v, want ErrTraceCtx", err)
+		}
+	})
+
+	t.Run("bit flips", func(t *testing.T) {
+		for i := 0; i < len(good); i++ {
+			for bit := 0; bit < 8; bit++ {
+				mut := bytes.Clone(good)
+				mut[i] ^= 1 << bit
+				if _, err := DecodeTraceContext(mut); !errors.Is(err, ErrTraceCtx) {
+					t.Fatalf("flip byte %d bit %d accepted: %v", i, bit, err)
+				}
+			}
+		}
+	})
+
+	t.Run("unknown flags", func(t *testing.T) {
+		mut := bytes.Clone(good)
+		mut[20] |= 0x80
+		// Re-checksum so the flag check, not the CRC, rejects it.
+		fixed, err := reChecksum(mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeTraceContext(fixed); !errors.Is(err, ErrTraceCtx) {
+			t.Errorf("unknown flag bits accepted: %v", err)
+		}
+	})
+
+	t.Run("zero trace with valid crc", func(t *testing.T) {
+		mut := bytes.Clone(good)
+		for i := 4; i < 12; i++ {
+			mut[i] = 0
+		}
+		fixed, err := reChecksum(mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeTraceContext(fixed); !errors.Is(err, ErrTraceCtx) {
+			t.Errorf("zero trace ID accepted: %v", err)
+		}
+	})
+}
+
+// reChecksum recomputes the trailing CRC over a mutated header so tests
+// can reach the semantic checks behind it.
+func reChecksum(buf []byte) ([]byte, error) {
+	if len(buf) != EncodedTraceContextSize {
+		return nil, errors.New("bad length")
+	}
+	out := bytes.Clone(buf[:len(buf)-4])
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, crcTable)), nil
+}
